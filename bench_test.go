@@ -1,0 +1,208 @@
+// Top-level benchmarks: one entry per table/figure of the paper's
+// evaluation, so `go test -bench=.` touches every experiment. The naming
+// follows DESIGN.md's experiment index: Fig3* are the §VI overhead matched
+// pairs (compare the Native and Generic variants of each pair), V* are the
+// §V in-text measurements, TableI/TableII regenerate the comparison tables.
+package pressio
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pressio/internal/core"
+	"pressio/internal/experiments"
+	"pressio/internal/mgard"
+	"pressio/internal/sdrbench"
+	"pressio/internal/sz"
+	"pressio/internal/zfp"
+
+	_ "pressio/internal/lossless"
+	_ "pressio/internal/meta"
+	_ "pressio/internal/metrics"
+)
+
+var (
+	benchData     *core.Data
+	benchDataOnce sync.Once
+)
+
+func loadBenchData() *core.Data {
+	benchDataOnce.Do(func() {
+		benchData, _ = sdrbench.Generate(sdrbench.NameScaleLetKF, 1, 42)
+	})
+	return benchData
+}
+
+// --- Figure 3: matched pairs, native API vs generic interface -------------
+
+func benchGeneric(b *testing.B, name string, relBound float64) {
+	in := loadBenchData()
+	c, err := core.NewCompressor(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.SetOptions(core.NewOptions().SetValue(core.KeyRel, relBound)); err != nil {
+		b.Fatal(err)
+	}
+	out := core.NewEmpty(core.DTypeByte, 0)
+	b.SetBytes(int64(in.ByteLen()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Compress(in, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3SZNative(b *testing.B) {
+	in := loadBenchData()
+	p := sz.Params{Mode: core.BoundValueRangeRel, Bound: 1e-3}
+	b.SetBytes(int64(in.ByteLen()))
+	for i := 0; i < b.N; i++ {
+		if _, err := sz.CompressSlice(in.Float32s(), in.Dims(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3SZGeneric(b *testing.B) { benchGeneric(b, "sz", 1e-3) }
+
+func BenchmarkFig3ZFPNative(b *testing.B) {
+	in := loadBenchData()
+	b.SetBytes(int64(in.ByteLen()))
+	for i := 0; i < b.N; i++ {
+		// Resolve the value-range-relative bound inside the loop, exactly
+		// as the generic plugin must per call — keeping the pair matched.
+		lo, hi := core.ValueRange(in)
+		p := zfp.Params{Mode: zfp.ModeFixedAccuracy, Tolerance: 1e-3 * (hi - lo)}
+		if _, err := zfp.CompressSlice(in.Float32s(), in.Dims(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3ZFPGeneric(b *testing.B) { benchGeneric(b, "zfp", 1e-3) }
+
+func BenchmarkFig3MGARDNative(b *testing.B) {
+	in := loadBenchData()
+	p := mgard.Params{Mode: core.BoundValueRangeRel, Bound: 1e-3}
+	b.SetBytes(int64(in.ByteLen()))
+	for i := 0; i < b.N; i++ {
+		if _, err := mgard.CompressSlice(in.Float32s(), in.Dims(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3MGARDGeneric(b *testing.B) { benchGeneric(b, "mgard", 1e-3) }
+
+// --- §V: dimension ordering, flattening, padding ---------------------------
+
+func benchSZDims(b *testing.B, dims []uint64) {
+	cloud := sdrbench.HurricaneCloud(16, 32, 32, 42)
+	p := sz.Params{Mode: core.BoundValueRangeRel, Bound: 1e-3}
+	b.SetBytes(int64(cloud.ByteLen()))
+	for i := 0; i < b.N; i++ {
+		stream, err := sz.CompressSlice(cloud.Float32s(), dims, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(cloud.ByteLen())/float64(len(stream)), "ratio")
+	}
+}
+
+func BenchmarkVDimOrderCorrect(b *testing.B)  { benchSZDims(b, []uint64{16, 32, 32}) }
+func BenchmarkVDimOrderReversed(b *testing.B) { benchSZDims(b, []uint64{32, 32, 16}) }
+func BenchmarkVFlatten3D(b *testing.B)        { benchSZDims(b, []uint64{16, 32, 32}) }
+func BenchmarkVFlatten1D(b *testing.B)        { benchSZDims(b, []uint64{16 * 32 * 32}) }
+
+func benchZFPDims(b *testing.B, dims []uint64) {
+	field := sdrbench.ScaleLetKF(1, 64, 64, 42)
+	work := field.Clone()
+	if err := work.Reshape(dims...); err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := core.ValueRange(field)
+	p := zfp.Params{Mode: zfp.ModeFixedAccuracy, Tolerance: 1e-3 * (hi - lo)}
+	b.SetBytes(int64(field.ByteLen()))
+	for i := 0; i < b.N; i++ {
+		stream, err := zfp.CompressSlice(work.Float32s(), work.Dims(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(field.ByteLen())/float64(len(stream)), "ratio")
+	}
+}
+
+func BenchmarkVZfpPadded(b *testing.B)  { benchZFPDims(b, []uint64{64, 64, 1}) }
+func BenchmarkVZfpResized(b *testing.B) { benchZFPDims(b, []uint64{64, 64}) }
+
+// --- §V: embeddable vs external-process -----------------------------------
+
+var (
+	workerOnce sync.Once
+	workerBin  string
+)
+
+// buildWorker compiles cmd/pressio once for the embed benchmark.
+func buildWorker(b *testing.B) string {
+	workerOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "pressio-worker")
+		if err != nil {
+			return
+		}
+		bin := filepath.Join(dir, "pressio")
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/pressio")
+		if out, err := cmd.CombinedOutput(); err == nil {
+			workerBin = bin
+		} else {
+			_ = out
+		}
+	})
+	if workerBin == "" {
+		b.Skip("worker binary unavailable (go build failed)")
+	}
+	return workerBin
+}
+
+func BenchmarkVEmbedExternalProcess(b *testing.B) {
+	bin := buildWorker(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Embed(bin, []string{"-worker"}, 1, 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.OverheadPct, "overhead_%")
+	}
+}
+
+// --- Tables ----------------------------------------------------------------
+
+func BenchmarkTableIIntrospection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if experiments.LibPressioFeatures().Introspect != experiments.Yes {
+			b.Fatal("introspection probe failed")
+		}
+	}
+}
+
+func BenchmarkTableIILoc(b *testing.B) {
+	root, err := experiments.RepoRoot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.TableII(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}

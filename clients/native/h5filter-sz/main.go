@@ -1,0 +1,173 @@
+// Command h5filter-sz implements an HDF5-style chunked dataset filter for
+// the sz compressor only: it stores a dataset split into chunks, each
+// compressed with the native sz API, inside its own hand-rolled container
+// format. A second copy of all of this exists in h5filter-zfp with zfp's
+// parameter vocabulary — the per-compressor filter duplication Table II
+// measures against the generic clients/pressio/h5filter.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"pressio/internal/core"
+	"pressio/internal/sz"
+)
+
+const containerMagic = "H5SZ"
+
+func main() {
+	var (
+		mode     = flag.String("mode", "write", "write (compress into container) or read")
+		input    = flag.String("input", "", "flat binary input (write) / container (read)")
+		output   = flag.String("output", "", "container path (write) / flat binary (read)")
+		dimsFlag = flag.String("dims", "", "dims, slowest first (write)")
+		rows     = flag.Uint64("chunk-rows", 16, "rows per chunk along the slowest dim")
+		mode2    = flag.String("error-bound-mode", "rel", "abs or rel")
+		bound    = flag.Float64("bound", 1e-4, "sz error bound")
+	)
+	flag.Parse()
+	var err error
+	switch *mode {
+	case "write":
+		err = write(*input, *output, *dimsFlag, *rows, *mode2, *bound)
+	case "read":
+		err = read(*input, *output)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "h5filter-sz:", err)
+		os.Exit(1)
+	}
+}
+
+func write(input, output, dimsFlag string, chunkRows uint64, boundMode string, bound float64) error {
+	raw, err := os.ReadFile(input)
+	if err != nil {
+		return err
+	}
+	var dims []uint64
+	for _, p := range strings.Split(dimsFlag, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad dims: %v", err)
+		}
+		dims = append(dims, v)
+	}
+	if len(dims) == 0 {
+		return fmt.Errorf("missing -dims")
+	}
+	vals := make([]float32, len(raw)/4)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	var bm core.ErrorBoundMode
+	switch boundMode {
+	case "abs":
+		bm = core.BoundAbs
+	case "rel":
+		bm = core.BoundValueRangeRel
+	default:
+		return fmt.Errorf("unknown bound mode %q", boundMode)
+	}
+	params := sz.Params{Mode: bm, Bound: bound}
+
+	rowLen := uint64(1)
+	for _, d := range dims[1:] {
+		rowLen *= d
+	}
+	if chunkRows == 0 || chunkRows > dims[0] {
+		chunkRows = dims[0]
+	}
+	// Container: magic, rank, dims, chunkRows, chunk count, then
+	// length-prefixed sz streams.
+	var hdr []byte
+	hdr = append(hdr, containerMagic...)
+	hdr = append(hdr, byte(len(dims)))
+	for _, d := range dims {
+		hdr = binary.AppendUvarint(hdr, d)
+	}
+	hdr = binary.AppendUvarint(hdr, chunkRows)
+	var chunks [][]byte
+	for start := uint64(0); start < dims[0]; start += chunkRows {
+		rows := chunkRows
+		if start+rows > dims[0] {
+			rows = dims[0] - start
+		}
+		chunkDims := append([]uint64{rows}, dims[1:]...)
+		chunk := vals[start*rowLen : (start+rows)*rowLen]
+		stream, err := sz.CompressSlice(chunk, chunkDims, params)
+		if err != nil {
+			return err
+		}
+		chunks = append(chunks, stream)
+	}
+	hdr = binary.AppendUvarint(hdr, uint64(len(chunks)))
+	out := hdr
+	for _, c := range chunks {
+		out = binary.AppendUvarint(out, uint64(len(c)))
+		out = append(out, c...)
+	}
+	if err := os.WriteFile(output, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("stored_ratio=%f\n", float64(len(raw))/float64(len(out)))
+	return nil
+}
+
+func read(input, output string) error {
+	b, err := os.ReadFile(input)
+	if err != nil {
+		return err
+	}
+	if len(b) < 5 || string(b[:4]) != containerMagic {
+		return fmt.Errorf("not an h5filter-sz container")
+	}
+	rank := int(b[4])
+	pos := 5
+	dims := make([]uint64, rank)
+	for i := range dims {
+		v, sz := binary.Uvarint(b[pos:])
+		if sz <= 0 {
+			return fmt.Errorf("corrupt container")
+		}
+		dims[i] = v
+		pos += sz
+	}
+	if _, sz := binary.Uvarint(b[pos:]); sz > 0 {
+		pos += sz // chunkRows (recomputable from per-chunk headers)
+	}
+	nChunks, szN := binary.Uvarint(b[pos:])
+	if szN <= 0 {
+		return fmt.Errorf("corrupt container")
+	}
+	pos += szN
+	var vals []float32
+	for i := uint64(0); i < nChunks; i++ {
+		l, szL := binary.Uvarint(b[pos:])
+		if szL <= 0 || pos+szL+int(l) > len(b) {
+			return fmt.Errorf("corrupt container")
+		}
+		pos += szL
+		chunk, _, err := sz.DecompressFloat32(b[pos : pos+int(l)])
+		if err != nil {
+			return err
+		}
+		pos += int(l)
+		vals = append(vals, chunk...)
+	}
+	raw := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	if output != "" {
+		return os.WriteFile(output, raw, 0o644)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFilterWriteRead(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.bin")
+	container := filepath.Join(dir, "x.h5sz")
+	out := filepath.Join(dir, "x.out")
+
+	n := 20 * 16
+	vals := make([]float32, n)
+	buf := make([]byte, 4*n)
+	for i := range vals {
+		vals[i] = float32(math.Cos(float64(i) / 10))
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(vals[i]))
+	}
+	if err := os.WriteFile(in, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := write(in, container, "20,16", 6, "abs", 0.01); err != nil {
+		t.Fatal(err)
+	}
+	ci, err := os.Stat(container)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Size() >= int64(4*n) {
+		t.Fatalf("container did not compress: %d bytes", ci.Size())
+	}
+	if err := read(container, out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 4*n {
+		t.Fatalf("restored %d bytes", len(raw))
+	}
+	for i := range vals {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		if math.Abs(float64(got-vals[i])) > 0.01 {
+			t.Fatalf("elem %d bound violated", i)
+		}
+	}
+}
+
+func TestFilterRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("not a container"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := read(bad, ""); err == nil {
+		t.Fatal("garbage container should fail")
+	}
+}

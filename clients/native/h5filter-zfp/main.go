@@ -1,0 +1,171 @@
+// Command h5filter-zfp is the zfp twin of h5filter-sz: the same chunked
+// container workflow reimplemented against zfp's native API and parameter
+// vocabulary (mode/tolerance/rate/precision instead of bound modes).
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"pressio/internal/zfp"
+)
+
+const containerMagic = "H5ZF"
+
+func main() {
+	var (
+		mode      = flag.String("mode", "write", "write (compress into container) or read")
+		input     = flag.String("input", "", "flat binary input (write) / container (read)")
+		output    = flag.String("output", "", "container path (write) / flat binary (read)")
+		dimsFlag  = flag.String("dims", "", "dims, slowest first (write)")
+		rows      = flag.Uint64("chunk-rows", 16, "rows per chunk along the slowest dim")
+		zfpMode   = flag.String("zfp-mode", "accuracy", "accuracy, rate, or precision")
+		tolerance = flag.Float64("tolerance", 1e-3, "tolerance (accuracy mode)")
+		rate      = flag.Float64("rate", 16, "bits per value (rate mode)")
+		precision = flag.Uint("precision", 32, "bit planes (precision mode)")
+	)
+	flag.Parse()
+	var err error
+	switch *mode {
+	case "write":
+		err = write(*input, *output, *dimsFlag, *rows, *zfpMode, *tolerance, *rate, *precision)
+	case "read":
+		err = read(*input, *output)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "h5filter-zfp:", err)
+		os.Exit(1)
+	}
+}
+
+func write(input, output, dimsFlag string, chunkRows uint64,
+	zfpMode string, tolerance, rate float64, precision uint) error {
+	raw, err := os.ReadFile(input)
+	if err != nil {
+		return err
+	}
+	var dims []uint64
+	for _, p := range strings.Split(dimsFlag, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad dims: %v", err)
+		}
+		dims = append(dims, v)
+	}
+	if len(dims) == 0 {
+		return fmt.Errorf("missing -dims")
+	}
+	vals := make([]float32, len(raw)/4)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	var params zfp.Params
+	switch zfpMode {
+	case "accuracy":
+		params = zfp.Params{Mode: zfp.ModeFixedAccuracy, Tolerance: tolerance}
+	case "rate":
+		params = zfp.Params{Mode: zfp.ModeFixedRate, Rate: rate}
+	case "precision":
+		params = zfp.Params{Mode: zfp.ModeFixedPrecision, Precision: precision}
+	default:
+		return fmt.Errorf("unknown zfp mode %q", zfpMode)
+	}
+
+	rowLen := uint64(1)
+	for _, d := range dims[1:] {
+		rowLen *= d
+	}
+	if chunkRows == 0 || chunkRows > dims[0] {
+		chunkRows = dims[0]
+	}
+	var hdr []byte
+	hdr = append(hdr, containerMagic...)
+	hdr = append(hdr, byte(len(dims)))
+	for _, d := range dims {
+		hdr = binary.AppendUvarint(hdr, d)
+	}
+	hdr = binary.AppendUvarint(hdr, chunkRows)
+	var chunks [][]byte
+	for start := uint64(0); start < dims[0]; start += chunkRows {
+		rows := chunkRows
+		if start+rows > dims[0] {
+			rows = dims[0] - start
+		}
+		chunkDims := append([]uint64{rows}, dims[1:]...)
+		chunk := vals[start*rowLen : (start+rows)*rowLen]
+		stream, err := zfp.CompressSlice(chunk, chunkDims, params)
+		if err != nil {
+			return err
+		}
+		chunks = append(chunks, stream)
+	}
+	hdr = binary.AppendUvarint(hdr, uint64(len(chunks)))
+	out := hdr
+	for _, c := range chunks {
+		out = binary.AppendUvarint(out, uint64(len(c)))
+		out = append(out, c...)
+	}
+	if err := os.WriteFile(output, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("stored_ratio=%f\n", float64(len(raw))/float64(len(out)))
+	return nil
+}
+
+func read(input, output string) error {
+	b, err := os.ReadFile(input)
+	if err != nil {
+		return err
+	}
+	if len(b) < 5 || string(b[:4]) != containerMagic {
+		return fmt.Errorf("not an h5filter-zfp container")
+	}
+	rank := int(b[4])
+	pos := 5
+	dims := make([]uint64, rank)
+	for i := range dims {
+		v, sz := binary.Uvarint(b[pos:])
+		if sz <= 0 {
+			return fmt.Errorf("corrupt container")
+		}
+		dims[i] = v
+		pos += sz
+	}
+	if _, sz := binary.Uvarint(b[pos:]); sz > 0 {
+		pos += sz
+	}
+	nChunks, szN := binary.Uvarint(b[pos:])
+	if szN <= 0 {
+		return fmt.Errorf("corrupt container")
+	}
+	pos += szN
+	var vals []float32
+	for i := uint64(0); i < nChunks; i++ {
+		l, szL := binary.Uvarint(b[pos:])
+		if szL <= 0 || pos+szL+int(l) > len(b) {
+			return fmt.Errorf("corrupt container")
+		}
+		pos += szL
+		chunk, _, err := zfp.DecompressSlice[float32](b[pos : pos+int(l)])
+		if err != nil {
+			return err
+		}
+		pos += int(l)
+		vals = append(vals, chunk...)
+	}
+	raw := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	if output != "" {
+		return os.WriteFile(output, raw, 0o644)
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+// Command mgard-cli is the *native* command line interface for the
+// mgard-family multilevel compressor only — the third reimplementation of
+// the same workflow counted by Table II.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"pressio/internal/core"
+	"pressio/internal/mgard"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "roundtrip", "compress, decompress, or roundtrip")
+		input     = flag.String("input", "", "input file (flat binary)")
+		output    = flag.String("output", "", "output file")
+		dimsFlag  = flag.String("dims", "", "comma separated dims, slowest first (all >= 3)")
+		dtypeFlag = flag.String("dtype", "float32", "float32 or float64")
+		boundMode = flag.String("error-bound-mode", "abs", "abs or rel")
+		tolerance = flag.Float64("tolerance", 1e-3, "error tolerance")
+		lossless  = flag.Int("lossless-level", 0, "DEFLATE effort for the backend")
+	)
+	flag.Parse()
+	if err := run(*mode, *input, *output, *dimsFlag, *dtypeFlag, *boundMode,
+		*tolerance, *lossless); err != nil {
+		fmt.Fprintln(os.Stderr, "mgard-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mode, input, output, dimsFlag, dtypeFlag, boundMode string,
+	tolerance float64, lossless int) error {
+	var bm core.ErrorBoundMode
+	switch boundMode {
+	case "abs":
+		bm = core.BoundAbs
+	case "rel":
+		bm = core.BoundValueRangeRel
+	default:
+		return fmt.Errorf("unknown error bound mode %q", boundMode)
+	}
+	params := mgard.Params{Mode: bm, Bound: tolerance, LosslessLevel: lossless}
+
+	switch mode {
+	case "compress", "roundtrip":
+		raw, err := os.ReadFile(input)
+		if err != nil {
+			return err
+		}
+		dims, err := parseDims(dimsFlag)
+		if err != nil {
+			return err
+		}
+		stream, err := compressRaw(raw, dims, dtypeFlag, params)
+		if err != nil {
+			return err
+		}
+		if mode == "compress" {
+			if output != "" {
+				if err := os.WriteFile(output, stream, 0o644); err != nil {
+					return err
+				}
+			}
+			fmt.Printf("compression_ratio=%f\n", float64(len(raw))/float64(len(stream)))
+			return nil
+		}
+		dec, err := decompressRaw(stream, dtypeFlag)
+		if err != nil {
+			return err
+		}
+		printQuality(raw, dec, dtypeFlag, len(stream))
+		if output != "" {
+			return os.WriteFile(output, dec, 0o644)
+		}
+	case "decompress":
+		stream, err := os.ReadFile(input)
+		if err != nil {
+			return err
+		}
+		raw, err := decompressRaw(stream, dtypeFlag)
+		if err != nil {
+			return err
+		}
+		if output != "" {
+			return os.WriteFile(output, raw, 0o644)
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	return nil
+}
+
+func parseDims(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -dims")
+	}
+	var dims []uint64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad dims %q: %v", s, err)
+		}
+		if v < 3 {
+			return nil, fmt.Errorf("mgard requires at least 3 points per dimension, got %d", v)
+		}
+		dims = append(dims, v)
+	}
+	return dims, nil
+}
+
+func compressRaw(raw []byte, dims []uint64, dtype string, p mgard.Params) ([]byte, error) {
+	switch dtype {
+	case "float32":
+		return mgard.CompressSlice(bytesToF32(raw), dims, p)
+	case "float64":
+		return mgard.CompressSlice(bytesToF64(raw), dims, p)
+	default:
+		return nil, fmt.Errorf("mgard-cli supports float32/float64, got %q", dtype)
+	}
+}
+
+func decompressRaw(stream []byte, dtype string) ([]byte, error) {
+	switch dtype {
+	case "float32":
+		vals, _, err := mgard.DecompressSlice[float32](stream)
+		if err != nil {
+			return nil, err
+		}
+		return f32ToBytes(vals), nil
+	case "float64":
+		vals, _, err := mgard.DecompressSlice[float64](stream)
+		if err != nil {
+			return nil, err
+		}
+		return f64ToBytes(vals), nil
+	default:
+		return nil, fmt.Errorf("mgard-cli supports float32/float64, got %q", dtype)
+	}
+}
+
+func printQuality(orig, dec []byte, dtype string, compressedLen int) {
+	var a, b []float64
+	if dtype == "float32" {
+		for _, v := range bytesToF32(orig) {
+			a = append(a, float64(v))
+		}
+		for _, v := range bytesToF32(dec) {
+			b = append(b, float64(v))
+		}
+	} else {
+		a = bytesToF64(orig)
+		b = bytesToF64(dec)
+	}
+	maxErr, mse := 0.0, 0.0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > maxErr {
+			maxErr = d
+		}
+		mse += d * d
+		lo, hi = math.Min(lo, a[i]), math.Max(hi, a[i])
+	}
+	mse /= float64(len(a))
+	fmt.Printf("compression_ratio=%f\n", float64(len(orig))/float64(compressedLen))
+	fmt.Printf("max_abs_error=%g\n", maxErr)
+	if mse > 0 && hi > lo {
+		fmt.Printf("psnr=%f\n", 20*math.Log10(hi-lo)-10*math.Log10(mse))
+	}
+}
+
+func bytesToF32(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func f32ToBytes(v []float32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(x))
+	}
+	return out
+}
+
+func bytesToF64(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func f64ToBytes(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}

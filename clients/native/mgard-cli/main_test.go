@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBin(t *testing.T, path string, n int) []float32 {
+	t.Helper()
+	vals := make([]float32, n)
+	buf := make([]byte, 4*n)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i) / 12))
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(vals[i]))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+func TestNativeCLIRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.bin")
+	out := filepath.Join(dir, "x.out")
+	vals := writeBin(t, in, 32*32)
+	if err := run("roundtrip", in, out, "32,32", "float32", "abs", 0.01, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		if math.Abs(float64(got-vals[i])) > 0.01 {
+			t.Fatalf("elem %d bound violated", i)
+		}
+	}
+}
+
+func TestNativeCLIMinDims(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.bin")
+	writeBin(t, in, 4)
+	// The CLI surfaces mgard's >= 3 points-per-dim restriction at parse time.
+	if err := run("roundtrip", in, "", "2,2", "float32", "abs", 0.1, 0); err == nil {
+		t.Fatal("dims < 3 should fail")
+	}
+}

@@ -1,0 +1,95 @@
+// Package mgardwriter is the third copy of the per-compressor stream
+// adapter "binding" (after sz-writer and zfp-writer), rewritten for mgard's
+// API — including its own twist, the >= 3 points-per-dimension restriction
+// that surfaces only at Close time.
+package mgardwriter
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"pressio/internal/core"
+	"pressio/internal/mgard"
+)
+
+// Writer buffers float32 values and writes one mgard-compressed frame on
+// Close: [uvarint stream length][mgard stream].
+type Writer struct {
+	dst    io.Writer
+	dims   []uint64
+	params mgard.Params
+	vals   []float32
+	closed bool
+}
+
+// NewWriter adapts dst; dims describes the tensor being streamed and every
+// extent must be at least 3 (checked at Close, as mgard reports it).
+func NewWriter(dst io.Writer, dims []uint64, mode core.ErrorBoundMode, bound float64) *Writer {
+	return &Writer{dst: dst, dims: dims, params: mgard.Params{Mode: mode, Bound: bound}}
+}
+
+// WriteValues appends values to the pending tensor.
+func (w *Writer) WriteValues(vals []float32) error {
+	if w.closed {
+		return errors.New("mgardwriter: write after close")
+	}
+	w.vals = append(w.vals, vals...)
+	return nil
+}
+
+// Write implements io.Writer over raw little-endian float32 bytes.
+func (w *Writer) Write(p []byte) (int, error) {
+	if len(p)%4 != 0 {
+		return 0, errors.New("mgardwriter: partial float32 write")
+	}
+	vals := make([]float32, len(p)/4)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[4*i:]))
+	}
+	if err := w.WriteValues(vals); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Close compresses the buffered tensor and emits the frame.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	want := uint64(1)
+	for _, d := range w.dims {
+		want *= d
+	}
+	if uint64(len(w.vals)) != want {
+		return fmt.Errorf("mgardwriter: wrote %d values, dims %v need %d", len(w.vals), w.dims, want)
+	}
+	stream, err := mgard.CompressSlice(w.vals, w.dims, w.params)
+	if err != nil {
+		return err
+	}
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, uint64(len(stream)))
+	if _, err := w.dst.Write(hdr); err != nil {
+		return err
+	}
+	_, err = w.dst.Write(stream)
+	return err
+}
+
+// ReadFrame decodes one frame produced by Writer.
+func ReadFrame(r io.ByteReader, body io.Reader) ([]float32, []uint64, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(body, buf); err != nil {
+		return nil, nil, err
+	}
+	return mgard.DecompressSlice[float32](buf)
+}

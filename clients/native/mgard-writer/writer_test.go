@@ -1,0 +1,46 @@
+package mgardwriter
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pressio/internal/core"
+)
+
+func TestWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, []uint64{8, 32}, core.BoundAbs, 0.01)
+	vals := make([]float32, 256)
+	for i := range vals {
+		vals[i] = float32(math.Cos(float64(i) / 11))
+	}
+	if err := w.WriteValues(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, dims, err := ReadFrame(&buf, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims) != 2 || dims[0] != 8 {
+		t.Fatalf("dims %v", dims)
+	}
+	for i := range vals {
+		if math.Abs(float64(got[i]-vals[i])) > 0.01 {
+			t.Fatalf("elem %d bound violated", i)
+		}
+	}
+}
+
+func TestWriterMinDims(t *testing.T) {
+	// mgard's >= 3 points-per-dimension restriction surfaces at Close.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, []uint64{2, 2}, core.BoundAbs, 0.5)
+	_ = w.WriteValues([]float32{1, 2, 3, 4})
+	if err := w.Close(); err == nil {
+		t.Fatal("2x2 close should fail")
+	}
+}

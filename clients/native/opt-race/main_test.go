@@ -1,0 +1,31 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRaceRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.bin")
+	n := 32 * 32
+	buf := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(buf[4*i:],
+			math.Float32bits(float32(math.Cos(float64(i)/11)*20)))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "32,32", 0.01); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRaceMissingInput(t *testing.T) {
+	if err := run("/nonexistent", "4", 0.1); err == nil {
+		t.Fatal("missing input should fail")
+	}
+}

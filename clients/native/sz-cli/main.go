@@ -1,0 +1,247 @@
+// Command sz-cli is a *native* command line interface for the sz-family
+// compressor only, written directly against the sz package API. It is one
+// of the per-compressor tools whose lines of code Table II compares against
+// the single generic CLI (cmd/pressio): every concern here — argument
+// parsing, file IO, dimension handling, the compressor's own option
+// vocabulary, quality metrics — is duplicated again in zfp-cli and
+// mgard-cli because nothing is shared through a common interface.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"pressio/internal/core"
+	"pressio/internal/sz"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "roundtrip", "compress, decompress, or roundtrip")
+		input     = flag.String("input", "", "input file (flat binary)")
+		output    = flag.String("output", "", "output file")
+		dimsFlag  = flag.String("dims", "", "comma separated dims, slowest first")
+		dtypeFlag = flag.String("dtype", "float32", "float32 or float64")
+		boundMode = flag.String("error-bound-mode", "rel", "abs or rel (value-range relative)")
+		bound     = flag.Float64("bound", 1e-4, "error bound")
+		intervals = flag.Uint64("max-quant-intervals", 65536, "quantization intervals")
+		lossless  = flag.Int("lossless-level", 0, "DEFLATE effort for the backend")
+		threads   = flag.Int("threads", 0, "use the parallel (OMP-style) variant when > 1")
+	)
+	flag.Parse()
+	if err := run(*mode, *input, *output, *dimsFlag, *dtypeFlag, *boundMode,
+		*bound, uint32(*intervals), *lossless, *threads); err != nil {
+		fmt.Fprintln(os.Stderr, "sz-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func parseDims(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -dims")
+	}
+	var dims []uint64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad dims %q: %v", s, err)
+		}
+		dims = append(dims, v)
+	}
+	return dims, nil
+}
+
+func run(mode, input, output, dimsFlag, dtypeFlag, boundMode string,
+	bound float64, intervals uint32, lossless, threads int) error {
+	dims, err := parseDims(dimsFlag)
+	if err != nil && mode != "decompress" {
+		return err
+	}
+	var bm core.ErrorBoundMode
+	switch boundMode {
+	case "abs":
+		bm = core.BoundAbs
+	case "rel":
+		bm = core.BoundValueRangeRel
+	default:
+		return fmt.Errorf("unknown error bound mode %q", boundMode)
+	}
+	params := sz.Params{Mode: bm, Bound: bound, MaxQuantIntervals: intervals, LosslessLevel: lossless}
+
+	switch mode {
+	case "compress":
+		raw, err := os.ReadFile(input)
+		if err != nil {
+			return err
+		}
+		stream, err := compressRaw(raw, dims, dtypeFlag, params, threads)
+		if err != nil {
+			return err
+		}
+		if output != "" {
+			if err := os.WriteFile(output, stream, 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("compression_ratio=%f\n", float64(len(raw))/float64(len(stream)))
+	case "decompress":
+		stream, err := os.ReadFile(input)
+		if err != nil {
+			return err
+		}
+		raw, err := decompressRaw(stream, dtypeFlag, threads)
+		if err != nil {
+			return err
+		}
+		if output != "" {
+			if err := os.WriteFile(output, raw, 0o644); err != nil {
+				return err
+			}
+		}
+	case "roundtrip":
+		raw, err := os.ReadFile(input)
+		if err != nil {
+			return err
+		}
+		stream, err := compressRaw(raw, dims, dtypeFlag, params, threads)
+		if err != nil {
+			return err
+		}
+		dec, err := decompressRaw(stream, dtypeFlag, threads)
+		if err != nil {
+			return err
+		}
+		printQuality(raw, dec, dtypeFlag, len(stream))
+		if output != "" {
+			if err := os.WriteFile(output, dec, 0o644); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	return nil
+}
+
+func compressRaw(raw []byte, dims []uint64, dtype string, p sz.Params, threads int) ([]byte, error) {
+	switch dtype {
+	case "float32":
+		vals := bytesToF32(raw)
+		if threads > 1 {
+			return sz.CompressParallel(vals, dims, p, threads)
+		}
+		// Classic global-config native flow.
+		sz.Init(p)
+		defer sz.Finalize()
+		return sz.CompressFloat32(vals, dims)
+	case "float64":
+		vals := bytesToF64(raw)
+		if threads > 1 {
+			return sz.CompressParallel(vals, dims, p, threads)
+		}
+		sz.Init(p)
+		defer sz.Finalize()
+		return sz.CompressFloat64(vals, dims)
+	default:
+		return nil, fmt.Errorf("sz-cli supports float32/float64, got %q", dtype)
+	}
+}
+
+func decompressRaw(stream []byte, dtype string, threads int) ([]byte, error) {
+	switch dtype {
+	case "float32":
+		var vals []float32
+		var err error
+		if threads > 1 {
+			vals, _, err = sz.DecompressParallel[float32](stream, threads)
+		} else {
+			vals, _, err = sz.DecompressFloat32(stream)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return f32ToBytes(vals), nil
+	case "float64":
+		var vals []float64
+		var err error
+		if threads > 1 {
+			vals, _, err = sz.DecompressParallel[float64](stream, threads)
+		} else {
+			vals, _, err = sz.DecompressFloat64(stream)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return f64ToBytes(vals), nil
+	default:
+		return nil, fmt.Errorf("sz-cli supports float32/float64, got %q", dtype)
+	}
+}
+
+func printQuality(orig, dec []byte, dtype string, compressedLen int) {
+	var a, b []float64
+	if dtype == "float32" {
+		for _, v := range bytesToF32(orig) {
+			a = append(a, float64(v))
+		}
+		for _, v := range bytesToF32(dec) {
+			b = append(b, float64(v))
+		}
+	} else {
+		a = bytesToF64(orig)
+		b = bytesToF64(dec)
+	}
+	maxErr, mse := 0.0, 0.0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > maxErr {
+			maxErr = d
+		}
+		mse += d * d
+		lo, hi = math.Min(lo, a[i]), math.Max(hi, a[i])
+	}
+	mse /= float64(len(a))
+	fmt.Printf("compression_ratio=%f\n", float64(len(orig))/float64(compressedLen))
+	fmt.Printf("max_abs_error=%g\n", maxErr)
+	if mse > 0 && hi > lo {
+		fmt.Printf("psnr=%f\n", 20*math.Log10(hi-lo)-10*math.Log10(mse))
+	}
+}
+
+func bytesToF32(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func f32ToBytes(v []float32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(x))
+	}
+	return out
+}
+
+func bytesToF64(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func f64ToBytes(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBin(t *testing.T, path string, n int) []float32 {
+	t.Helper()
+	vals := make([]float32, n)
+	buf := make([]byte, 4*n)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i) / 12))
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(vals[i]))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+func TestNativeCLIRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.bin")
+	out := filepath.Join(dir, "x.out")
+	vals := writeBin(t, in, 32*32)
+	if err := run("roundtrip", in, out, "32,32", "float32", "abs", 0.01, 65536, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		if math.Abs(float64(got-vals[i])) > 0.01 {
+			t.Fatalf("elem %d bound violated", i)
+		}
+	}
+}
+
+func TestNativeCLICompressDecompress(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.bin")
+	comp := filepath.Join(dir, "x.sz")
+	out := filepath.Join(dir, "x.out")
+	writeBin(t, in, 24*24)
+	if err := run("compress", in, comp, "24,24", "float32", "rel", 1e-3, 65536, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("decompress", comp, out, "", "float32", "rel", 1e-3, 65536, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	oi, err := os.Stat(out)
+	if err != nil || oi.Size() != 4*24*24 {
+		t.Fatalf("output %v err %v", oi, err)
+	}
+}
+
+func TestNativeCLIParallelVariant(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.bin")
+	writeBin(t, in, 16*64)
+	if err := run("roundtrip", in, "", "16,64", "float32", "abs", 0.05, 65536, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeCLIErrors(t *testing.T) {
+	if err := run("compress", "/missing", "", "4", "float32", "abs", 0.1, 65536, 0, 0); err == nil {
+		t.Fatal("missing input should fail")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.bin")
+	writeBin(t, in, 8)
+	if err := run("compress", in, "", "8", "float32", "psnr", 0.1, 65536, 0, 0); err == nil {
+		t.Fatal("unknown bound mode should fail")
+	}
+	if err := run("compress", in, "", "8", "int32", "abs", 0.1, 65536, 0, 0); err == nil {
+		t.Fatal("unsupported dtype should fail")
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBin(t *testing.T, path string, n int) {
+	t.Helper()
+	buf := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(buf[4*i:],
+			math.Float32bits(float32(math.Sin(float64(i)/20)*50)))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeOptRatioMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.bin")
+	writeBin(t, path, 64*64)
+	if err := run(path, "64,64", 10, 0, false, 0.1, 32); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeOptPSNRMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.bin")
+	writeBin(t, path, 64*64)
+	if err := run(path, "64,64", 0, 70, false, 0.1, 32); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeOptSweepMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.bin")
+	writeBin(t, path, 32*32)
+	if err := run(path, "32,32", 0, 0, true, 0.1, 32); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeOptNoTarget(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.bin")
+	writeBin(t, path, 16)
+	if err := run(path, "16", 0, 0, false, 0.1, 32); err == nil {
+		t.Fatal("missing target should fail")
+	}
+}

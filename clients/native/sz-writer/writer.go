@@ -1,0 +1,95 @@
+// Package szwriter is a *native* io.Writer/io.Reader adapter ("binding")
+// for the sz compressor alone — the Go analogue of the per-compressor
+// language bindings Table II counts (zfp_jll, pyzfp, zfp-sys, ...). A
+// structurally identical copy exists for zfp in clients/native/zfp-writer;
+// the generic clients/pressio/writer package replaces both.
+package szwriter
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"pressio/internal/core"
+	"pressio/internal/sz"
+)
+
+// Writer buffers float32 values and writes one sz-compressed frame on
+// Close: [uvarint stream length][sz stream].
+type Writer struct {
+	dst    io.Writer
+	dims   []uint64
+	params sz.Params
+	vals   []float32
+	closed bool
+}
+
+// NewWriter adapts dst; dims describes the tensor being streamed.
+func NewWriter(dst io.Writer, dims []uint64, mode core.ErrorBoundMode, bound float64) *Writer {
+	return &Writer{dst: dst, dims: dims, params: sz.Params{Mode: mode, Bound: bound}}
+}
+
+// WriteValues appends values to the pending tensor.
+func (w *Writer) WriteValues(vals []float32) error {
+	if w.closed {
+		return errors.New("szwriter: write after close")
+	}
+	w.vals = append(w.vals, vals...)
+	return nil
+}
+
+// Write implements io.Writer over raw little-endian float32 bytes.
+func (w *Writer) Write(p []byte) (int, error) {
+	if len(p)%4 != 0 {
+		return 0, errors.New("szwriter: partial float32 write")
+	}
+	vals := make([]float32, len(p)/4)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[4*i:]))
+	}
+	if err := w.WriteValues(vals); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Close compresses the buffered tensor and emits the frame.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	want := uint64(1)
+	for _, d := range w.dims {
+		want *= d
+	}
+	if uint64(len(w.vals)) != want {
+		return fmt.Errorf("szwriter: wrote %d values, dims %v need %d", len(w.vals), w.dims, want)
+	}
+	stream, err := sz.CompressSlice(w.vals, w.dims, w.params)
+	if err != nil {
+		return err
+	}
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, uint64(len(stream)))
+	if _, err := w.dst.Write(hdr); err != nil {
+		return err
+	}
+	_, err = w.dst.Write(stream)
+	return err
+}
+
+// ReadFrame decodes one frame produced by Writer.
+func ReadFrame(r io.ByteReader, body io.Reader) ([]float32, []uint64, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(body, buf); err != nil {
+		return nil, nil, err
+	}
+	return sz.DecompressSlice[float32](buf)
+}

@@ -1,0 +1,63 @@
+package szwriter
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pressio/internal/core"
+)
+
+func TestWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, []uint64{8, 32}, core.BoundAbs, 0.01)
+	vals := make([]float32, 256)
+	for i := range vals {
+		vals[i] = float32(math.Cos(float64(i) / 11))
+	}
+	if err := w.WriteValues(vals[:100]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteValues(vals[100:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, dims, err := ReadFrame(&buf, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims) != 2 || dims[0] != 8 {
+		t.Fatalf("dims %v", dims)
+	}
+	for i := range vals {
+		if math.Abs(float64(got[i]-vals[i])) > 0.01 {
+			t.Fatalf("elem %d bound violated", i)
+		}
+	}
+}
+
+func TestWriterByteInterface(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, []uint64{4}, core.BoundAbs, 0.5)
+	d := core.FromFloat32s([]float32{1, 2, 3, 4})
+	if n, err := w.Write(d.Bytes()); err != nil || n != 16 {
+		t.Fatalf("write: %d %v", n, err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte{0, 0, 0, 0}); err == nil {
+		t.Fatal("write after close should fail")
+	}
+}
+
+func TestWriterShapeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, []uint64{10}, core.BoundAbs, 0.5)
+	_ = w.WriteValues([]float32{1, 2, 3})
+	if err := w.Close(); err == nil {
+		t.Fatal("underfilled close should fail")
+	}
+}

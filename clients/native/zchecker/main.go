@@ -1,0 +1,280 @@
+// Command zchecker is a *native* compression-quality analysis tool in the
+// mold of Z-Checker before it adopted a generic interface: it supports four
+// compressors, each integrated through its own API with its own parameter
+// plumbing, its own stream handling, and a per-compressor switch in every
+// code path. Adding a fifth compressor means touching all of them —
+// contrast with cmd/pressio-zchecker, where any registered plugin works.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pressio/internal/core"
+	"pressio/internal/fpzip"
+	"pressio/internal/mgard"
+	"pressio/internal/sz"
+	"pressio/internal/zfp"
+)
+
+func main() {
+	var (
+		input       = flag.String("input", "", "flat binary float32 input")
+		dimsFlag    = flag.String("dims", "", "dims, slowest first")
+		compressors = flag.String("compressors", "sz,zfp,mgard,fpzip", "subset of sz,zfp,mgard,fpzip")
+		bound       = flag.Float64("bound", 1e-3, "value-range relative bound (where supported)")
+	)
+	flag.Parse()
+	if err := run(*input, *dimsFlag, *compressors, *bound); err != nil {
+		fmt.Fprintln(os.Stderr, "zchecker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(input, dimsFlag, compressors string, bound float64) error {
+	raw, err := os.ReadFile(input)
+	if err != nil {
+		return err
+	}
+	var dims []uint64
+	for _, p := range strings.Split(dimsFlag, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad dims: %v", err)
+		}
+		dims = append(dims, v)
+	}
+	vals := make([]float32, len(raw)/4)
+	for i := range vals {
+		vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+
+	fmt.Printf("%-8s %12s %12s %12s %12s\n", "comp", "ratio", "max_abs_err", "psnr", "pearson")
+	for _, name := range strings.Split(compressors, ",") {
+		name = strings.TrimSpace(name)
+		var stream []byte
+		var dec []float32
+		var err error
+		// Every compressor needs its own integration: different parameter
+		// structs, different bound semantics, different decompress calls.
+		switch name {
+		case "sz":
+			stream, err = sz.CompressSlice(vals, dims,
+				sz.Params{Mode: core.BoundValueRangeRel, Bound: bound})
+			if err == nil {
+				dec, _, err = sz.DecompressSlice[float32](stream)
+			}
+		case "zfp":
+			lo, hi := rangeOf(vals)
+			tol := bound * (hi - lo)
+			if tol <= 0 {
+				tol = 1e-12
+			}
+			stream, err = zfp.CompressSlice(vals, dims,
+				zfp.Params{Mode: zfp.ModeFixedAccuracy, Tolerance: tol})
+			if err == nil {
+				dec, _, err = zfp.DecompressSlice[float32](stream)
+			}
+		case "mgard":
+			stream, err = mgard.CompressSlice(vals, dims,
+				mgard.Params{Mode: core.BoundValueRangeRel, Bound: bound})
+			if err == nil {
+				dec, _, err = mgard.DecompressSlice[float32](stream)
+			}
+		case "fpzip":
+			// fpzip has no error bound: translate the requested quality
+			// into a precision by hand (the kind of adapter logic the
+			// paper notes Z-Checker had to carry per compressor).
+			prec := uint(32)
+			if bound > 0 {
+				prec = uint(math.Max(8, math.Min(32, math.Ceil(-math.Log2(bound))+9)))
+			}
+			stream, err = fpzip.CompressSlice(vals, dims, fpzip.Params{Precision: prec})
+			if err == nil {
+				dec, _, err = fpzip.DecompressSlice[float32](stream)
+			}
+		default:
+			fmt.Printf("%-8s unsupported by this tool\n", name)
+			continue
+		}
+		if err != nil {
+			fmt.Printf("%-8s error: %v\n", name, err)
+			continue
+		}
+		ratio := float64(len(raw)) / float64(len(stream))
+		maxErr, psnr, pear := quality(vals, dec)
+		ksD, ksP := ksTest(vals, dec)
+		ac1 := errorAutocorr(vals, dec)
+		fmt.Printf("%-8s %12.3f %12.4g %12.2f %12.6f  ks_d=%.4f ks_p=%.3f autocorr=%.3f\n",
+			name, ratio, maxErr, psnr, pear, ksD, ksP, ac1)
+		printDiffHistogram(vals, dec)
+	}
+	return nil
+}
+
+// ksTest computes the two-sample Kolmogorov-Smirnov statistic and its
+// asymptotic p-value by hand — in the generic tool this is one more metric
+// plugin name, here it is another block of statistics code the tool must
+// carry itself.
+func ksTest(orig, dec []float32) (d, p float64) {
+	as := make([]float64, len(orig))
+	bs := make([]float64, len(dec))
+	for i := range orig {
+		as[i] = float64(orig[i])
+		bs[i] = float64(dec[i])
+	}
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	i, j := 0, 0
+	na, nb := float64(len(as)), float64(len(bs))
+	for i < len(as) && j < len(bs) {
+		va, vb := as[i], bs[j]
+		if va <= vb {
+			i++
+		}
+		if vb <= va {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+	en := math.Sqrt(na * nb / (na + nb))
+	lambda := (en + 0.12 + 0.11/en) * d
+	if lambda <= 0 {
+		return d, 1
+	}
+	sum, sign := 0.0, 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p = math.Max(0, math.Min(1, 2*sum))
+	return d, p
+}
+
+// errorAutocorr computes the lag-1 autocorrelation of the pointwise errors.
+func errorAutocorr(orig, dec []float32) float64 {
+	n := len(orig)
+	if n < 3 {
+		return 0
+	}
+	errs := make([]float64, n)
+	for i := range orig {
+		errs[i] = float64(dec[i]) - float64(orig[i])
+	}
+	a, b := errs[:n-1], errs[1:]
+	m := float64(n - 1)
+	var sa, sb, saa, sbb, sab float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+		saa += a[i] * a[i]
+		sbb += b[i] * b[i]
+		sab += a[i] * b[i]
+	}
+	cov := sab - sa*sb/m
+	va := saa - sa*sa/m
+	vb := sbb - sb*sb/m
+	if va <= 0 || vb <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// printDiffHistogram renders a 9-bin histogram of the pointwise
+// differences, the hand-rolled equivalent of the diff_pdf metric plugin.
+func printDiffHistogram(orig, dec []float32) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	diffs := make([]float64, len(orig))
+	for i := range orig {
+		diffs[i] = float64(dec[i]) - float64(orig[i])
+		lo = math.Min(lo, diffs[i])
+		hi = math.Max(hi, diffs[i])
+	}
+	if lo == hi {
+		lo, hi = lo-1, hi+1
+	}
+	const bins = 9
+	counts := make([]int, bins)
+	width := (hi - lo) / bins
+	for _, d := range diffs {
+		b := int((d - lo) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	peak := 0
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	for b, c := range counts {
+		bar := ""
+		if peak > 0 {
+			for k := 0; k < c*30/peak; k++ {
+				bar += "#"
+			}
+		}
+		fmt.Printf("         diff[%+.3g, %+.3g): %s\n", lo+float64(b)*width, lo+float64(b+1)*width, bar)
+	}
+}
+
+func rangeOf(vals []float32) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		lo = math.Min(lo, float64(v))
+		hi = math.Max(hi, float64(v))
+	}
+	return lo, hi
+}
+
+func quality(orig, dec []float32) (maxErr, psnr, pearson float64) {
+	n := float64(len(orig))
+	var mse, sa, sb, saa, sbb, sab float64
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range orig {
+		a, b := float64(orig[i]), float64(dec[i])
+		d := math.Abs(a - b)
+		if d > maxErr {
+			maxErr = d
+		}
+		mse += d * d
+		sa += a
+		sb += b
+		saa += a * a
+		sbb += b * b
+		sab += a * b
+		lo, hi = math.Min(lo, a), math.Max(hi, a)
+	}
+	mse /= n
+	if mse > 0 && hi > lo {
+		psnr = 20*math.Log10(hi-lo) - 10*math.Log10(mse)
+	} else {
+		psnr = math.Inf(1)
+	}
+	cov := sab - sa*sb/n
+	va := saa - sa*sa/n
+	vb := sbb - sb*sb/n
+	if va > 0 && vb > 0 {
+		pearson = cov / math.Sqrt(va*vb)
+	} else {
+		pearson = 1
+	}
+	return maxErr, psnr, pearson
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNativeZCheckerSurvey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.bin")
+	n := 24 * 24
+	buf := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(buf[4*i:],
+			math.Float32bits(float32(math.Sin(float64(i)/9)*30)))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "24,24", "sz,zfp,mgard,fpzip", 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	// Unsupported names are reported but do not abort — the brittleness of
+	// a per-compressor tool is in its source, not its exit code.
+	if err := run(path, "24,24", "tthresh,sz", 1e-3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeZCheckerStats(t *testing.T) {
+	orig := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	same := append([]float32(nil), orig...)
+	d, p := ksTest(orig, same)
+	if d != 0 || p < 0.99 {
+		t.Fatalf("identical samples: D=%v p=%v", d, p)
+	}
+	if ac := errorAutocorr(orig, same); ac != 0 {
+		t.Fatalf("zero-error autocorr %v", ac)
+	}
+	maxErr, psnr, pear := quality(orig, same)
+	if maxErr != 0 || !math.IsInf(psnr, 1) || pear != 1 {
+		t.Fatalf("identical quality: %v %v %v", maxErr, psnr, pear)
+	}
+}

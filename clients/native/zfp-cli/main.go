@@ -1,0 +1,228 @@
+// Command zfp-cli is the *native* command line interface for the
+// zfp-family compressor only. Note how little it shares with sz-cli even
+// though both do the same job: the mode vocabulary (rate/precision/
+// accuracy instead of abs/rel bounds), the parameter plumbing and the IO
+// handling are all reimplemented — the duplication Table II quantifies.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"pressio/internal/zfp"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "roundtrip", "compress, decompress, or roundtrip")
+		input     = flag.String("input", "", "input file (flat binary)")
+		output    = flag.String("output", "", "output file")
+		dimsFlag  = flag.String("dims", "", "comma separated dims, slowest first")
+		dtypeFlag = flag.String("dtype", "float32", "float32 or float64")
+		zfpMode   = flag.String("zfp-mode", "accuracy", "accuracy, rate, or precision")
+		tolerance = flag.Float64("tolerance", 1e-3, "absolute error tolerance (accuracy mode)")
+		rate      = flag.Float64("rate", 16, "bits per value (rate mode)")
+		precision = flag.Uint("precision", 32, "bit planes (precision mode)")
+	)
+	flag.Parse()
+	if err := run(*mode, *input, *output, *dimsFlag, *dtypeFlag, *zfpMode,
+		*tolerance, *rate, *precision); err != nil {
+		fmt.Fprintln(os.Stderr, "zfp-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func parseDims(s string) ([]uint64, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing -dims")
+	}
+	var dims []uint64
+	for _, p := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad dims %q: %v", s, err)
+		}
+		dims = append(dims, v)
+	}
+	return dims, nil
+}
+
+func buildParams(mode string, tolerance, rate float64, precision uint) (zfp.Params, error) {
+	switch mode {
+	case "accuracy":
+		return zfp.Params{Mode: zfp.ModeFixedAccuracy, Tolerance: tolerance}, nil
+	case "rate":
+		return zfp.Params{Mode: zfp.ModeFixedRate, Rate: rate}, nil
+	case "precision":
+		return zfp.Params{Mode: zfp.ModeFixedPrecision, Precision: precision}, nil
+	default:
+		return zfp.Params{}, fmt.Errorf("unknown zfp mode %q", mode)
+	}
+}
+
+func run(mode, input, output, dimsFlag, dtypeFlag, zfpMode string,
+	tolerance, rate float64, precision uint) error {
+	params, err := buildParams(zfpMode, tolerance, rate, precision)
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case "compress":
+		raw, err := os.ReadFile(input)
+		if err != nil {
+			return err
+		}
+		dims, err := parseDims(dimsFlag)
+		if err != nil {
+			return err
+		}
+		stream, err := compressRaw(raw, dims, dtypeFlag, params)
+		if err != nil {
+			return err
+		}
+		if output != "" {
+			if err := os.WriteFile(output, stream, 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("compression_ratio=%f\n", float64(len(raw))/float64(len(stream)))
+	case "decompress":
+		stream, err := os.ReadFile(input)
+		if err != nil {
+			return err
+		}
+		raw, err := decompressRaw(stream, dtypeFlag)
+		if err != nil {
+			return err
+		}
+		if output != "" {
+			if err := os.WriteFile(output, raw, 0o644); err != nil {
+				return err
+			}
+		}
+	case "roundtrip":
+		raw, err := os.ReadFile(input)
+		if err != nil {
+			return err
+		}
+		dims, err := parseDims(dimsFlag)
+		if err != nil {
+			return err
+		}
+		stream, err := compressRaw(raw, dims, dtypeFlag, params)
+		if err != nil {
+			return err
+		}
+		dec, err := decompressRaw(stream, dtypeFlag)
+		if err != nil {
+			return err
+		}
+		printQuality(raw, dec, dtypeFlag, len(stream))
+		if output != "" {
+			if err := os.WriteFile(output, dec, 0o644); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	return nil
+}
+
+func compressRaw(raw []byte, dims []uint64, dtype string, p zfp.Params) ([]byte, error) {
+	switch dtype {
+	case "float32":
+		return zfp.CompressSlice(bytesToF32(raw), dims, p)
+	case "float64":
+		return zfp.CompressSlice(bytesToF64(raw), dims, p)
+	default:
+		return nil, fmt.Errorf("zfp-cli supports float32/float64, got %q", dtype)
+	}
+}
+
+func decompressRaw(stream []byte, dtype string) ([]byte, error) {
+	switch dtype {
+	case "float32":
+		vals, _, err := zfp.DecompressSlice[float32](stream)
+		if err != nil {
+			return nil, err
+		}
+		return f32ToBytes(vals), nil
+	case "float64":
+		vals, _, err := zfp.DecompressSlice[float64](stream)
+		if err != nil {
+			return nil, err
+		}
+		return f64ToBytes(vals), nil
+	default:
+		return nil, fmt.Errorf("zfp-cli supports float32/float64, got %q", dtype)
+	}
+}
+
+func printQuality(orig, dec []byte, dtype string, compressedLen int) {
+	var a, b []float64
+	if dtype == "float32" {
+		for _, v := range bytesToF32(orig) {
+			a = append(a, float64(v))
+		}
+		for _, v := range bytesToF32(dec) {
+			b = append(b, float64(v))
+		}
+	} else {
+		a = bytesToF64(orig)
+		b = bytesToF64(dec)
+	}
+	maxErr, mse := 0.0, 0.0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > maxErr {
+			maxErr = d
+		}
+		mse += d * d
+		lo, hi = math.Min(lo, a[i]), math.Max(hi, a[i])
+	}
+	mse /= float64(len(a))
+	fmt.Printf("compression_ratio=%f\n", float64(len(orig))/float64(compressedLen))
+	fmt.Printf("max_abs_error=%g\n", maxErr)
+	if mse > 0 && hi > lo {
+		fmt.Printf("psnr=%f\n", 20*math.Log10(hi-lo)-10*math.Log10(mse))
+	}
+}
+
+func bytesToF32(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func f32ToBytes(v []float32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(x))
+	}
+	return out
+}
+
+func bytesToF64(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func f64ToBytes(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBin(t *testing.T, path string, n int) []float32 {
+	t.Helper()
+	vals := make([]float32, n)
+	buf := make([]byte, 4*n)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i) / 12))
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(vals[i]))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+func TestNativeCLIAccuracyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.bin")
+	out := filepath.Join(dir, "x.out")
+	vals := writeBin(t, in, 32*32)
+	if err := run("roundtrip", in, out, "32,32", "float32", "accuracy", 0.01, 16, 32); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		if math.Abs(float64(got-vals[i])) > 0.01 {
+			t.Fatalf("elem %d bound violated", i)
+		}
+	}
+}
+
+func TestNativeCLIRateAndPrecisionModes(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.bin")
+	writeBin(t, in, 16*16)
+	if err := run("roundtrip", in, "", "16,16", "float32", "rate", 0, 8, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("roundtrip", in, "", "16,16", "float32", "precision", 0, 16, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("roundtrip", in, "", "16,16", "float32", "psnr", 0, 16, 20); err == nil {
+		t.Fatal("unknown zfp mode should fail")
+	}
+}

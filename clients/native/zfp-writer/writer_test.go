@@ -1,0 +1,45 @@
+package zfpwriter
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pressio/internal/zfp"
+)
+
+func TestWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, []uint64{8, 32}, zfp.Params{Mode: zfp.ModeFixedAccuracy, Tolerance: 0.01})
+	vals := make([]float32, 256)
+	for i := range vals {
+		vals[i] = float32(math.Cos(float64(i) / 11))
+	}
+	if err := w.WriteValues(vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, dims, err := ReadFrame(&buf, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims) != 2 || dims[1] != 32 {
+		t.Fatalf("dims %v", dims)
+	}
+	for i := range vals {
+		if math.Abs(float64(got[i]-vals[i])) > 0.01 {
+			t.Fatalf("elem %d bound violated", i)
+		}
+	}
+}
+
+func TestWriterShapeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, []uint64{10}, zfp.Params{Mode: zfp.ModeFixedAccuracy, Tolerance: 0.5})
+	_ = w.WriteValues([]float32{1, 2})
+	if err := w.Close(); err == nil {
+		t.Fatal("underfilled close should fail")
+	}
+}

@@ -1,0 +1,123 @@
+// Package writer is the generic stream adapter ("binding") that replaces
+// the per-compressor sz-writer and zfp-writer packages: it works with any
+// registered compressor because all configuration flows through the
+// generic option interface, and the frame records which plugin produced it.
+package writer
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"pressio/internal/core"
+)
+
+// Writer buffers a Data tensor and writes one compressed frame on Close:
+// [uvarint name length][compressor name][uvarint stream length][stream]
+// [uvarint dtype][uvarint rank][dims...].
+type Writer struct {
+	dst    io.Writer
+	comp   *core.Compressor
+	data   *core.Data
+	fill   int // payload bytes received so far
+	closed bool
+}
+
+// NewWriter adapts dst using the named compressor configured by opts.
+func NewWriter(dst io.Writer, compressor string, opts *core.Options, dtype core.DType, dims ...uint64) (*Writer, error) {
+	c, err := core.NewCompressor(compressor)
+	if err != nil {
+		return nil, err
+	}
+	if opts != nil {
+		if err := c.SetOptions(opts); err != nil {
+			return nil, err
+		}
+	}
+	return &Writer{dst: dst, comp: c, data: core.NewData(dtype, dims...)}, nil
+}
+
+// Write implements io.Writer over the tensor's raw bytes, filled in order.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("writer: write after close")
+	}
+	buf := w.data.Bytes()
+	if w.fill+len(p) > len(buf) {
+		return 0, fmt.Errorf("writer: overflow: %d bytes into a %d byte tensor", w.fill+len(p), len(buf))
+	}
+	copy(buf[w.fill:], p)
+	w.fill += len(p)
+	return len(p), nil
+}
+
+// Close compresses the tensor and emits the frame.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.fill != len(w.data.Bytes()) {
+		return fmt.Errorf("writer: wrote %d of %d bytes", w.fill, len(w.data.Bytes()))
+	}
+	out, err := core.Compress(w.comp, w.data)
+	if err != nil {
+		return err
+	}
+	var hdr []byte
+	name := w.comp.Prefix()
+	hdr = binary.AppendUvarint(hdr, uint64(len(name)))
+	hdr = append(hdr, name...)
+	hdr = binary.AppendUvarint(hdr, out.ByteLen())
+	hdr = binary.AppendUvarint(hdr, uint64(w.data.DType()))
+	hdr = binary.AppendUvarint(hdr, uint64(w.data.NumDims()))
+	for _, d := range w.data.Dims() {
+		hdr = binary.AppendUvarint(hdr, d)
+	}
+	if _, err := w.dst.Write(hdr); err != nil {
+		return err
+	}
+	_, err = w.dst.Write(out.Bytes())
+	return err
+}
+
+// ReadFrame decodes one frame produced by Writer, reconstructing with the
+// compressor named inside the frame.
+func ReadFrame(r io.ByteReader, body io.Reader) (*core.Data, error) {
+	nameLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(body, nameBuf); err != nil {
+		return nil, err
+	}
+	streamLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	dtypeU, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	rank, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	dims := make([]uint64, rank)
+	for i := range dims {
+		if dims[i], err = binary.ReadUvarint(r); err != nil {
+			return nil, err
+		}
+	}
+	stream := make([]byte, streamLen)
+	if _, err := io.ReadFull(body, stream); err != nil {
+		return nil, err
+	}
+	c, err := core.NewCompressor(string(nameBuf))
+	if err != nil {
+		return nil, err
+	}
+	return core.Decompress(c, core.NewBytes(stream), core.DType(dtypeU), dims...)
+}

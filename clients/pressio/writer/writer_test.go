@@ -1,0 +1,77 @@
+package writer
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pressio/internal/core"
+	_ "pressio/internal/lossless"
+	_ "pressio/internal/sz"
+	_ "pressio/internal/zfp"
+)
+
+func sample(n int) []byte {
+	d := core.NewData(core.DTypeFloat32, uint64(n))
+	v := d.Float32s()
+	for i := range v {
+		v[i] = float32(math.Sin(float64(i) / 7))
+	}
+	return d.Bytes()
+}
+
+func TestGenericWriterRoundTripAnyCompressor(t *testing.T) {
+	for _, name := range []string{"sz_threadsafe", "zfp", "flate"} {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, name,
+			core.NewOptions().SetValue(core.KeyAbs, 0.001),
+			core.DTypeFloat32, 16, 16)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		raw := sample(256)
+		if _, err := w.Write(raw[:512]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Write(raw[512:]); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+		got, err := ReadFrame(&buf, &buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if got.DType() != core.DTypeFloat32 || got.Len() != 256 {
+			t.Fatalf("%s: frame %v", name, got)
+		}
+		orig := core.NewData(core.DTypeFloat32, 256)
+		copy(orig.Bytes(), raw)
+		for i, v := range got.Float32s() {
+			if math.Abs(float64(v-orig.Float32s()[i])) > 0.001 {
+				t.Fatalf("%s: elem %d bound violated", name, i)
+			}
+		}
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	if _, err := NewWriter(&bytes.Buffer{}, "nope", nil, core.DTypeFloat32, 4); err == nil {
+		t.Fatal("unknown compressor should fail")
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "flate", nil, core.DTypeFloat32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(make([]byte, 32)); err == nil {
+		t.Fatal("overflow should fail")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("underfilled close should fail")
+	}
+	if _, err := w.Write([]byte{1}); err == nil {
+		t.Fatal("write after close should fail")
+	}
+}

@@ -1,0 +1,135 @@
+// Command pressio-bench regenerates the paper's quantitative evaluation:
+//
+//	-experiment fig3     the §VI overhead distribution + Wilcoxon test
+//	-experiment dimorder the §V reversed-dimension-order ratio loss
+//	-experiment flatten  the §V 3-D-as-1-D ratio loss
+//	-experiment zfppad   the §V zfp block-padding inefficiency
+//	-experiment dtype    the §V datatype-awareness advantage
+//	-experiment mgardmin the §V MGARD minimum-dims failure
+//	-experiment embed    the §V in-process vs external-process overhead
+//	-experiment tablei   Table I (feature matrix)
+//	-experiment tableii  Table II (client lines of code)
+//	-experiment all      everything above
+//
+// The embed experiment re-executes this binary with -worker, so it measures
+// a real process spawn plus two real data copies across pipes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pressio/internal/experiments"
+	"pressio/internal/launch"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig3, dimorder, flatten, zfppad, dtype, mgardmin, embed, tablei, tableii, or all")
+		scale      = flag.Int("scale", 2, "dataset scale (1 = quick, 2 = default)")
+		runs       = flag.Int("runs", 30, "matched-pair runs per configuration (fig3)")
+		seed       = flag.Int64("seed", 20210101, "dataset seed")
+		worker     = flag.Bool("worker", false, "serve one worker request on stdin/stdout (internal)")
+		delay      = flag.Duration("startup-delay", 0, "simulated init delay in worker mode (internal)")
+	)
+	flag.Parse()
+	if *worker {
+		time.Sleep(*delay)
+		if err := launch.Serve(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*experiment, *scale, *runs, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "pressio-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, scale, runs int, seed int64) error {
+	all := experiment == "all"
+	did := false
+	if all || experiment == "fig3" {
+		did = true
+		res, err := experiments.Fig3(scale, runs, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Report())
+	}
+	if all || experiment == "dimorder" {
+		did = true
+		rows, err := experiments.DimOrder(scale, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.DimOrderReport(rows))
+	}
+	if all || experiment == "flatten" {
+		did = true
+		rows, err := experiments.Flatten(scale, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FlattenReport(rows))
+	}
+	if all || experiment == "zfppad" {
+		did = true
+		res, err := experiments.ZfpPad(scale, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Report())
+	}
+	if all || experiment == "dtype" {
+		did = true
+		res, err := experiments.DTypeAware(scale, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Report())
+	}
+	if all || experiment == "mgardmin" {
+		did = true
+		msg, err := experiments.MgardMin()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("mgard on a 2x2 grid fails rather than compressing (as §V reports):\n  %s\n\n", msg)
+	}
+	if all || experiment == "embed" {
+		did = true
+		self, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		res, err := experiments.Embed(self, []string{"-worker"}, scale, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Report())
+	}
+	if all || experiment == "tablei" {
+		did = true
+		fmt.Println(experiments.TableI())
+	}
+	if all || experiment == "tableii" {
+		did = true
+		root, err := experiments.RepoRoot()
+		if err != nil {
+			return err
+		}
+		rows, err := experiments.TableII(root)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.TableIIReport(rows))
+	}
+	if !did {
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+	return nil
+}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestDistributedRunCompletes(t *testing.T) {
+	for _, ranks := range []int{1, 4, 16} {
+		if err := run(ranks, "scale-letkf", 1, "sz_threadsafe", 1e-3, 7); err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+	}
+}
+
+func TestDistributedRunMoreRanksThanRows(t *testing.T) {
+	// Ranks are clamped to the slowest dimension.
+	if err := run(10000, "nyx-density", 1, "zfp", 1e-3, 7); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedRunErrors(t *testing.T) {
+	if err := run(4, "not-a-dataset", 1, "sz", 1e-3, 7); err == nil {
+		t.Fatal("unknown dataset should fail")
+	}
+	if err := run(4, "scale-letkf", 1, "not-a-compressor", 1e-3, 7); err == nil {
+		t.Fatal("unknown compressor should fail")
+	}
+}

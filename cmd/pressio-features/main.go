@@ -1,0 +1,15 @@
+// Command pressio-features regenerates the paper's Table I: the feature
+// comparison between compressor interface libraries. Competitor rows encode
+// the paper's discussion; this implementation's row is derived live by
+// probing the registry and option system (see internal/experiments).
+package main
+
+import (
+	"fmt"
+
+	"pressio/internal/experiments"
+)
+
+func main() {
+	fmt.Print(experiments.TableI())
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFuzzCoreCompressorsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fuzz smoke test")
+	}
+	for _, name := range []string{"sz_threadsafe", "zfp", "mgard", "fpzip", "flate", "linear_quantizer"} {
+		if findings := fuzzCompressor(name, 40, 1, 1024); findings != 0 {
+			t.Fatalf("%s: %d findings", name, findings)
+		}
+	}
+}
+
+func TestRandomDataShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		d := randomData(rng, 2048)
+		if d.Len() == 0 || d.NumDims() == 0 || d.NumDims() > 3 {
+			t.Fatalf("bad shape: %v", d)
+		}
+	}
+}

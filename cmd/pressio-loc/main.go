@@ -1,0 +1,32 @@
+// Command pressio-loc regenerates the paper's Table II: the lines of
+// client code needed for each use case when written once per compressor
+// (clients/native) versus once against the generic interface.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pressio/internal/experiments"
+)
+
+func main() {
+	root := flag.String("root", "", "repository root (default: walk up to go.mod)")
+	flag.Parse()
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = experiments.RepoRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pressio-loc:", err)
+			os.Exit(1)
+		}
+	}
+	rows, err := experiments.TableII(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pressio-loc:", err)
+		os.Exit(1)
+	}
+	fmt.Print(experiments.TableIIReport(rows))
+}

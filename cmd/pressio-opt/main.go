@@ -1,0 +1,115 @@
+// Command pressio-opt is the generic configuration optimizer CLI
+// (LibPressio-Opt): it finds the error bound meeting a target compression
+// ratio or PSNR floor for any registered compressor, or searches across
+// compressors for the best one at a fixed bound.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pressio/internal/core"
+	"pressio/internal/opt"
+
+	_ "pressio/internal/bitgroom"
+	_ "pressio/internal/fpzip"
+	_ "pressio/internal/lossless"
+	_ "pressio/internal/meta"
+	_ "pressio/internal/metrics"
+	_ "pressio/internal/mgard"
+	_ "pressio/internal/pio"
+	_ "pressio/internal/sz"
+	_ "pressio/internal/tthresh"
+	_ "pressio/internal/zfp"
+)
+
+func main() {
+	var (
+		input      = flag.String("input", "", "input path")
+		ioName     = flag.String("io", "posix", "io plugin")
+		dims       = flag.String("dims", "", "dims, slowest first")
+		dtype      = flag.String("dtype", "float32", "element type")
+		compressor = flag.String("compressor", "sz", "compressor to tune")
+		ratio      = flag.Float64("target-ratio", 0, "target compression ratio (0 = off)")
+		psnr       = flag.Float64("target-psnr", 0, "PSNR floor in dB (0 = off)")
+		search     = flag.String("search", "", "comma separated compressors to race at -bound")
+		bound      = flag.Float64("bound", 1e-3, "pressio:abs bound for -search")
+		tolerance  = flag.Float64("tolerance", 0.1, "relative tolerance on the target")
+	)
+	flag.Parse()
+	if err := run(*input, *ioName, *dims, *dtype, *compressor, *ratio, *psnr,
+		*search, *bound, *tolerance); err != nil {
+		fmt.Fprintln(os.Stderr, "pressio-opt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(input, ioName, dims, dtype, compressor string, ratio, psnr float64,
+	search string, bound, tolerance float64) error {
+	io, err := core.NewIO(ioName)
+	if err != nil {
+		return err
+	}
+	if err := io.SetOptions(core.NewOptions().SetValue(core.KeyIOPath, input)); err != nil {
+		return err
+	}
+	var hint *core.Data
+	if dims != "" {
+		if hint, err = core.ParseShape(dims, dtype); err != nil {
+			return err
+		}
+	}
+	data, err := io.Read(hint)
+	if err != nil {
+		return err
+	}
+	switch {
+	case search != "":
+		names := strings.Split(search, ",")
+		for i := range names {
+			names[i] = strings.TrimSpace(names[i])
+		}
+		best, results, err := opt.BestCompressor(names, data,
+			core.NewOptions().SetValue(core.KeyAbs, bound))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %10s %10s\n", "compressor", "ratio", "psnr")
+		for _, name := range names {
+			r, ok := results[name]
+			if !ok {
+				fmt.Printf("%-16s %10s %10s\n", name, "failed", "-")
+				continue
+			}
+			fmt.Printf("%-16s %10.3f %10.2f\n", name, r.Ratio, r.PSNR)
+		}
+		fmt.Printf("best=%s\n", best)
+	case ratio > 0:
+		c, err := core.NewCompressor(compressor)
+		if err != nil {
+			return err
+		}
+		res, err := opt.TuneRatio(c, data, ratio, opt.Config{Tolerance: tolerance})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bound=%g\nratio=%f\npsnr=%f\nevaluations=%d\n",
+			res.Bound, res.Ratio, res.PSNR, res.Evaluations)
+	case psnr > 0:
+		c, err := core.NewCompressor(compressor)
+		if err != nil {
+			return err
+		}
+		res, err := opt.TunePSNR(c, data, psnr, opt.Config{Tolerance: tolerance})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bound=%g\nratio=%f\npsnr=%f\nevaluations=%d\n",
+			res.Bound, res.Ratio, res.PSNR, res.Evaluations)
+	default:
+		return fmt.Errorf("specify -target-ratio, -target-psnr, or -search")
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeField(t *testing.T, path string, n int) {
+	t.Helper()
+	buf := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(buf[4*i:],
+			math.Float32bits(float32(math.Sin(float64(i)/15)*100)))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptTargetRatio(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	writeField(t, path, 64*64)
+	if err := run(path, "posix", "64,64", "float32", "sz", 10, 0, "", 0, 0.1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptTargetPSNR(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	writeField(t, path, 64*64)
+	if err := run(path, "posix", "64,64", "float32", "sz_threadsafe", 0, 70, "", 0, 0.1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptSearch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	writeField(t, path, 32*32)
+	if err := run(path, "posix", "32,32", "float32", "", 0, 0, "sz,zfp,noop", 0.01, 0.1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptNoTarget(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	writeField(t, path, 16)
+	if err := run(path, "posix", "16", "float32", "sz", 0, 0, "", 0, 0.1); err == nil {
+		t.Fatal("missing target should fail")
+	}
+}

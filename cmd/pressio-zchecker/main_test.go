@@ -1,0 +1,46 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeField(t *testing.T, path string, n int) {
+	t.Helper()
+	buf := make([]byte, 4*n)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint32(buf[4*i:],
+			math.Float32bits(float32(math.Sin(float64(i)/9)*40)))
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZCheckerSurvey(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	writeField(t, path, 16*16)
+	err := run(path, "posix", "16,16", "float32", "sz,zfp,fpzip", 1e-3,
+		"size,error_stat,pearson")
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZCheckerUnknownCompressorContinues(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.bin")
+	writeField(t, path, 64)
+	// An unknown name is reported but does not abort the survey.
+	if err := run(path, "posix", "64", "float32", "bogus,sz", 1e-3, "size"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZCheckerMissingInput(t *testing.T) {
+	if err := run("/nonexistent/file", "posix", "4", "float32", "sz", 1e-3, "size"); err == nil {
+		t.Fatal("missing input should fail")
+	}
+}

@@ -1,0 +1,13 @@
+// Package pressio is a from-scratch Go reproduction of "Productive and
+// Performant Generic Lossy Data Compression with LibPressio" (Underwood,
+// Malvoso, Calhoun, Di, Cappello — SC 2021): a generic, introspectable,
+// low-overhead compression interface in front of a library of lossless and
+// error-bounded lossy compressor plugins, metrics modules, IO plugins, and
+// composable meta-compressors.
+//
+// The interface framework lives in internal/core; each compressor family
+// (sz, zfp, mgard, fpzip, tthresh, bitgroom, lossless codecs) is
+// implemented from scratch in its own internal package; internal/experiments
+// regenerates every table and figure of the paper's evaluation. See
+// README.md for the map and DESIGN.md for the reproduction methodology.
+package pressio

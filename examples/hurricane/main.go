@@ -1,0 +1,76 @@
+// Hurricane surveys error-bounded lossy compressors on a CLOUD-like
+// atmospheric field — the workload the paper's §V measurements use. It
+// sweeps several compressors over several value-range relative bounds and
+// prints the ratio/quality trade-off table an application scientist would
+// use to choose a compressor, all through the generic interface.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pressio/internal/core"
+	"pressio/internal/sdrbench"
+
+	_ "pressio/internal/bitgroom"
+	_ "pressio/internal/fpzip"
+	_ "pressio/internal/lossless"
+	_ "pressio/internal/metrics"
+	_ "pressio/internal/mgard"
+	_ "pressio/internal/sz"
+	_ "pressio/internal/tthresh"
+	_ "pressio/internal/zfp"
+)
+
+func main() {
+	cloud := sdrbench.HurricaneCloud(32, 64, 64, 2021)
+	fmt.Printf("dataset: CLOUD-like field, dims %v, %d MB\n\n",
+		cloud.Dims(), cloud.ByteLen()/(1<<20))
+
+	compressors := []string{"sz", "sz_omp", "zfp", "mgard", "tthresh", "shuffle"}
+	bounds := []float64{1e-2, 1e-3, 1e-4}
+
+	fmt.Printf("%-10s %10s %12s %10s %14s %12s\n",
+		"compressor", "rel bound", "ratio", "psnr", "max_abs_err", "compress_ms")
+	for _, name := range compressors {
+		for _, bound := range bounds {
+			c, err := core.NewCompressor(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// One flat option set configures every plugin: each consumes
+			// the keys it understands (tthresh's Frobenius eps rides
+			// along; the lossless shuffle ignores both).
+			opts := core.NewOptions().
+				SetValue(core.KeyRel, bound).
+				SetValue("tthresh:eps", bound)
+			if err := c.SetOptions(opts); err != nil {
+				log.Fatal(err)
+			}
+			m, err := core.NewMetrics("size", "time", "error_stat")
+			if err != nil {
+				log.Fatal(err)
+			}
+			c.SetMetrics(m)
+
+			comp, err := core.Compress(c, cloud)
+			if err != nil {
+				fmt.Printf("%-10s %10.0e %12s\n", name, bound, "failed: "+err.Error())
+				continue
+			}
+			if _, err := core.Decompress(c, comp, cloud.DType(), cloud.Dims()...); err != nil {
+				log.Fatal(err)
+			}
+			res := c.MetricsResults()
+			ratio, _ := res.GetFloat64("size:compression_ratio")
+			psnr, _ := res.GetFloat64("error_stat:psnr")
+			maxErr, _ := res.GetFloat64("error_stat:max_abs_error")
+			ms, _ := res.GetFloat64("time:compress")
+			fmt.Printf("%-10s %10.0e %12.2f %10.2f %14.4g %12.2f\n",
+				name, bound, ratio, psnr, maxErr, ms)
+			if name == "shuffle" {
+				break // lossless: the bound sweep is meaningless
+			}
+		}
+	}
+}

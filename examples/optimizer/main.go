@@ -1,0 +1,64 @@
+// Optimizer demonstrates the configuration-search workflow the paper's
+// LibPressio-Opt enables: hit a fixed compression ratio on any compressor,
+// respect a quality floor, and race compressor types through the switch
+// meta-compressor — all without compressor-specific code.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pressio/internal/core"
+	"pressio/internal/opt"
+	"pressio/internal/sdrbench"
+
+	_ "pressio/internal/lossless"
+	_ "pressio/internal/meta"
+	_ "pressio/internal/metrics"
+	_ "pressio/internal/mgard"
+	_ "pressio/internal/sz"
+	_ "pressio/internal/zfp"
+)
+
+func main() {
+	data := sdrbench.ScaleLetKF(16, 48, 48, 7)
+	fmt.Printf("dataset: weather-like field, dims %v\n\n", data.Dims())
+
+	// 1. Fixed ratio: "give me exactly 16x" (the FRaZ use case).
+	c, err := core.NewCompressor("sz")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := opt.TuneRatio(c, data, 16, opt.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fixed ratio 16x on sz: bound=%.4g ratio=%.2f psnr=%.1f dB (%d evaluations)\n",
+		res.Bound, res.Ratio, res.PSNR, res.Evaluations)
+
+	// 2. Quality floor: best ratio with PSNR >= 80 dB.
+	res, err = opt.TunePSNR(c, data, 80, opt.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("psnr floor 80 dB on sz:  bound=%.4g ratio=%.2f psnr=%.1f dB\n",
+		res.Bound, res.Ratio, res.PSNR)
+
+	// 3. Race compressor types at a fixed bound.
+	names := []string{"sz", "sz_omp", "zfp", "mgard", "shuffle"}
+	best, results, err := opt.BestCompressor(names, data,
+		core.NewOptions().SetValue(core.KeyAbs, res.Bound))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrace at abs bound %.4g:\n", res.Bound)
+	for _, name := range names {
+		r, ok := results[name]
+		if !ok {
+			fmt.Printf("  %-10s failed\n", name)
+			continue
+		}
+		fmt.Printf("  %-10s ratio=%8.2f psnr=%6.1f dB\n", name, r.Ratio, r.PSNR)
+	}
+	fmt.Printf("winner: %s\n", best)
+}

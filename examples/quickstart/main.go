@@ -1,0 +1,84 @@
+// Quickstart is the Go port of the paper's Appendix A example: compress a
+// 300x300x300 float64 buffer with the sz compressor at an absolute error
+// bound of 0.5, attach the "size" metric, and print the compression ratio.
+// As in the paper, switching to another compressor means changing only the
+// plugin name and the option lines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"pressio/internal/core"
+
+	_ "pressio/internal/lossless"
+	_ "pressio/internal/metrics"
+	_ "pressio/internal/sz"
+	_ "pressio/internal/zfp"
+)
+
+func makeInputData() []float64 {
+	vals := make([]float64, 300*300*300)
+	i := 0
+	for x := 0; x < 300; x++ {
+		for y := 0; y < 300; y++ {
+			for z := 0; z < 300; z++ {
+				vals[i] = math.Sin(float64(x)/30)*math.Cos(float64(y)/40) + float64(z)/300
+				i++
+			}
+		}
+	}
+	return vals
+}
+
+func main() {
+	// Get a handle to a compressor (pressio_get_compressor(library, "sz")).
+	compressor, err := core.NewCompressor("sz")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Configure metrics (pressio_new_metrics(..., {"size"}, 1)).
+	metrics, err := core.NewMetrics("size")
+	if err != nil {
+		log.Fatal(err)
+	}
+	compressor.SetMetrics(metrics)
+
+	// Configure the compressor: an absolute error bound of 0.5, exactly
+	// the Appendix A settings. To use zfp instead, change "sz" above and
+	// these two option names — nothing else.
+	options := core.NewOptions().
+		SetValue("sz:error_bound_mode_str", "abs").
+		SetValue("sz:abs_err_bound", 0.5)
+	if err := compressor.CheckOptions(options); err != nil {
+		log.Fatal(err)
+	}
+	if err := compressor.SetOptions(options); err != nil {
+		log.Fatal(err)
+	}
+
+	// Load a 300x300x300 dataset (pressio_data_new_move).
+	inputData := core.FromFloat64s(makeInputData(), 300, 300, 300)
+
+	// Set up compressed and decompressed buffers (pressio_data_new_empty).
+	compressed := core.NewEmpty(core.DTypeByte, 0)
+	decompressed := core.NewEmpty(core.DTypeFloat64, 300, 300, 300)
+
+	// Compress and decompress the data.
+	if err := compressor.Compress(inputData, compressed); err != nil {
+		log.Fatal(err)
+	}
+	if err := compressor.Decompress(compressed, decompressed); err != nil {
+		log.Fatal(err)
+	}
+
+	// Get the compression ratio (pressio_compressor_get_metrics_results).
+	results := compressor.MetricsResults()
+	ratio, err := results.GetFloat64("size:compression_ratio")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compression ratio: %f\n", ratio)
+}

@@ -1,0 +1,3 @@
+module pressio
+
+go 1.24

@@ -1,0 +1,128 @@
+// End-to-end integration tests: build the real pressio CLI binary and
+// drive it as a user would — file-based round trips and the external
+// worker protocol across a genuine process boundary.
+package pressio
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"pressio/internal/core"
+	"pressio/internal/launch"
+)
+
+var (
+	cliOnce sync.Once
+	cliBin  string
+	cliErr  string
+)
+
+func buildCLI(t *testing.T) string {
+	t.Helper()
+	cliOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "pressio-cli")
+		if err != nil {
+			cliErr = err.Error()
+			return
+		}
+		bin := filepath.Join(dir, "pressio")
+		out, err := exec.Command("go", "build", "-o", bin, "./cmd/pressio").CombinedOutput()
+		if err != nil {
+			cliErr = string(out)
+			return
+		}
+		cliBin = bin
+	})
+	if cliBin == "" {
+		t.Skipf("go build unavailable: %s", cliErr)
+	}
+	return cliBin
+}
+
+func TestCLIBinaryRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.bin")
+	n := 48 * 48
+	vals := make([]float32, n)
+	raw := make([]byte, 4*n)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i) / 14 * math.Pi))
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(vals[i]))
+	}
+	if err := os.WriteFile(in, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin,
+		"-compressor", "sz", "-mode", "roundtrip",
+		"-input", in, "-dims", "48,48", "-dtype", "float32",
+		"-o", "pressio:abs=0.001", "-metrics", "size,error_stat").CombinedOutput()
+	if err != nil {
+		t.Fatalf("cli failed: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "size:compression_ratio=") {
+		t.Fatalf("missing ratio in output:\n%s", text)
+	}
+	if !strings.Contains(text, "error_stat:max_abs_error=") {
+		t.Fatalf("missing error stat in output:\n%s", text)
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, "error_stat:max_abs_error="); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("unparseable %q", line)
+			}
+			if v > 0.001 {
+				t.Fatalf("CLI round trip violated bound: %v", v)
+			}
+		}
+	}
+}
+
+func TestWorkerProtocolAcrossProcessBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary")
+	}
+	bin := buildCLI(t)
+	vals := make([]float32, 64*64)
+	for i := range vals {
+		vals[i] = float32(math.Cos(float64(i) / 9))
+	}
+	in := core.FromFloat32s(vals, 64, 64)
+	ext := launch.External{Binary: bin, Args: []string{"-worker"}}
+	comp, dur, err := ext.Compress("sz_threadsafe", map[string]string{"pressio:abs": "0.01"}, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur <= 0 {
+		t.Fatal("no duration measured")
+	}
+	if comp.ByteLen() == 0 || comp.ByteLen() >= in.ByteLen() {
+		t.Fatalf("worker compression size %d", comp.ByteLen())
+	}
+	// Decode the worker's stream in-process: bound must hold end-to-end.
+	c, err := core.NewCompressor("sz_threadsafe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.Decompress(c, comp, core.DTypeFloat32, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dec.Float32s() {
+		if math.Abs(float64(v-vals[i])) > 0.01 {
+			t.Fatalf("elem %d: cross-process bound violated", i)
+		}
+	}
+}

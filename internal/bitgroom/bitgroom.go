@@ -1,0 +1,222 @@
+// Package bitgroom implements the mantissa-manipulation "compressors" from
+// the paper's plugin list: Bit Grooming (Zender, GMD'16) and Digit Rounding
+// (Delaunay et al.). Both quantize IEEE floating point mantissas so that a
+// requested number of significant decimal digits survives, then rely on a
+// byte-shuffle + DEFLATE backend to shrink the now highly-redundant tail
+// bytes. Decompression is exact with respect to the groomed values.
+package bitgroom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pressio/internal/core"
+	"pressio/internal/lossless"
+)
+
+// Version is the plugin version.
+const Version = "1.0.0-go"
+
+// ErrCorrupt reports a malformed stream.
+var ErrCorrupt = errors.New("bitgroom: corrupt stream")
+
+// bitsForDigits returns the number of explicit mantissa bits that must be
+// kept to preserve nsd significant decimal digits (log2(10) ≈ 3.32 bits per
+// digit, plus guard bits as in the NCO implementation).
+func bitsForDigits(nsd int) int {
+	return int(math.Ceil(float64(nsd)*math.Log2(10))) + 3
+}
+
+// GroomFloat32 applies bit grooming in place: the mantissa tail below the
+// kept bits is alternately zeroed and set for successive values, which
+// cancels the rounding bias that plain truncation would introduce.
+func GroomFloat32(vals []float32, nsd int) {
+	keep := bitsForDigits(nsd)
+	if keep >= 23 {
+		return
+	}
+	mask := uint32(0xffffffff) << uint(23-keep)
+	tail := ^mask & 0x007fffff
+	for i, v := range vals {
+		b := math.Float32bits(v)
+		if isSpecial32(b) {
+			continue
+		}
+		if i&1 == 0 {
+			b &= mask
+		} else {
+			b |= tail
+		}
+		vals[i] = math.Float32frombits(b)
+	}
+}
+
+// GroomFloat64 is the float64 variant of GroomFloat32.
+func GroomFloat64(vals []float64, nsd int) {
+	keep := bitsForDigits(nsd)
+	if keep >= 52 {
+		return
+	}
+	mask := ^uint64(0) << uint(52-keep)
+	tail := ^mask & 0x000fffffffffffff
+	for i, v := range vals {
+		b := math.Float64bits(v)
+		if isSpecial64(b) {
+			continue
+		}
+		if i&1 == 0 {
+			b &= mask
+		} else {
+			b |= tail
+		}
+		vals[i] = math.Float64frombits(b)
+	}
+}
+
+// RoundFloat32 applies digit rounding in place: round-to-nearest at the
+// kept-bit position, which halves the worst-case error of grooming at the
+// cost of a possible carry into the exponent (still a representable value).
+func RoundFloat32(vals []float32, nsd int) {
+	keep := bitsForDigits(nsd)
+	if keep >= 23 {
+		return
+	}
+	shift := uint(23 - keep)
+	half := uint32(1) << (shift - 1)
+	mask := uint32(0xffffffff) << shift
+	for i, v := range vals {
+		b := math.Float32bits(v)
+		if isSpecial32(b) {
+			continue
+		}
+		vals[i] = math.Float32frombits((b + half) & mask)
+	}
+}
+
+// RoundFloat64 is the float64 variant of RoundFloat32.
+func RoundFloat64(vals []float64, nsd int) {
+	keep := bitsForDigits(nsd)
+	if keep >= 52 {
+		return
+	}
+	shift := uint(52 - keep)
+	half := uint64(1) << (shift - 1)
+	mask := ^uint64(0) << shift
+	for i, v := range vals {
+		b := math.Float64bits(v)
+		if isSpecial64(b) {
+			continue
+		}
+		vals[i] = math.Float64frombits((b + half) & mask)
+	}
+}
+
+func isSpecial32(b uint32) bool { return b&0x7f800000 == 0x7f800000 } // Inf/NaN
+func isSpecial64(b uint64) bool { return b&0x7ff0000000000000 == 0x7ff0000000000000 }
+
+// kind selects grooming or rounding.
+type kind int
+
+const (
+	kindGroom kind = iota
+	kindRound
+)
+
+type plugin struct {
+	kind  kind
+	name  string
+	nsd   int32
+	level int32
+}
+
+func init() {
+	core.RegisterCompressor("bit_grooming", func() core.CompressorPlugin {
+		return &plugin{kind: kindGroom, name: "bit_grooming", nsd: 5}
+	})
+	core.RegisterCompressor("digit_rounding", func() core.CompressorPlugin {
+		return &plugin{kind: kindRound, name: "digit_rounding", nsd: 5}
+	})
+}
+
+func (p *plugin) Prefix() string  { return p.name }
+func (p *plugin) Version() string { return Version }
+
+func (p *plugin) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue(p.name+":nsd", p.nsd)
+	o.SetValue(core.KeyLossless, p.level)
+	return o
+}
+
+func (p *plugin) SetOptions(o *core.Options) error {
+	if v, err := o.GetInt32(p.name + ":nsd"); err == nil {
+		if v < 1 || v > 15 {
+			return fmt.Errorf("%w: %s:nsd %d outside [1,15]", core.ErrInvalidOption, p.name, v)
+		}
+		p.nsd = v
+	}
+	if v, err := o.GetInt32(core.KeyLossless); err == nil {
+		p.level = v
+	}
+	return nil
+}
+
+func (p *plugin) CheckOptions(o *core.Options) error {
+	clone := *p
+	return clone.SetOptions(o)
+}
+
+func (p *plugin) Configuration() *core.Options {
+	return core.StandardConfiguration(core.ThreadSafetyMultiple, "stable", Version, false)
+}
+
+func (p *plugin) CompressImpl(in, out *core.Data) error {
+	var groomed *core.Data
+	switch in.DType() {
+	case core.DTypeFloat32:
+		groomed = in.Clone()
+		if p.kind == kindGroom {
+			GroomFloat32(groomed.Float32s(), int(p.nsd))
+		} else {
+			RoundFloat32(groomed.Float32s(), int(p.nsd))
+		}
+	case core.DTypeFloat64:
+		groomed = in.Clone()
+		if p.kind == kindGroom {
+			GroomFloat64(groomed.Float64s(), int(p.nsd))
+		} else {
+			RoundFloat64(groomed.Float64s(), int(p.nsd))
+		}
+	default:
+		return fmt.Errorf("%w: %s accepts only floating point data, got %s",
+			core.ErrInvalidDType, p.name, in.DType())
+	}
+	packed, err := lossless.Deflate(lossless.Shuffle(groomed.Bytes(), in.DType().Size()), int(p.level))
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, len(packed)+1)
+	buf = append(buf, byte(in.DType().Size()))
+	buf = append(buf, packed...)
+	out.Become(core.NewBytes(buf))
+	return nil
+}
+
+func (p *plugin) DecompressImpl(in, out *core.Data) error {
+	b := in.Bytes()
+	if len(b) < 1 {
+		return ErrCorrupt
+	}
+	elem := int(b[0])
+	raw, err := lossless.Inflate(b[1:])
+	if err != nil {
+		return err
+	}
+	return core.FillDecompressed(out, lossless.Unshuffle(raw, elem))
+}
+
+func (p *plugin) Clone() core.CompressorPlugin {
+	clone := *p
+	return &clone
+}

@@ -1,0 +1,159 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleBitsRoundTrip(t *testing.T) {
+	w := NewWriter(16)
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		if got := r.ReadBit(); got != want {
+			t.Fatalf("bit %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsWidths(t *testing.T) {
+	for width := uint(1); width <= 64; width++ {
+		w := NewWriter(64)
+		vals := make([]uint64, 20)
+		rng := rand.New(rand.NewSource(int64(width)))
+		for i := range vals {
+			v := rng.Uint64()
+			if width < 64 {
+				v &= (1 << width) - 1
+			}
+			vals[i] = v
+			w.WriteBits(v, width)
+		}
+		r := NewReader(w.Bytes())
+		for i, want := range vals {
+			if got := r.ReadBits(width); got != want {
+				t.Fatalf("width %d val %d: got %#x want %#x", width, i, got, want)
+			}
+		}
+	}
+}
+
+func TestMixedWidthsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(200)
+		type rec struct {
+			v uint64
+			w uint
+		}
+		recs := make([]rec, n)
+		wtr := NewWriter(0)
+		for i := range recs {
+			width := uint(1 + rng.Intn(64))
+			v := rng.Uint64()
+			if width < 64 {
+				v &= (1 << width) - 1
+			}
+			recs[i] = rec{v, width}
+			wtr.WriteBits(v, width)
+		}
+		r := NewReader(wtr.Bytes())
+		for _, rc := range recs {
+			if r.ReadBits(rc.w) != rc.v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnaryRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	vals := []uint{0, 1, 2, 5, 63, 64, 65, 130, 7, 0, 1}
+	for _, v := range vals {
+		w.WriteUnary(v)
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range vals {
+		if got := r.ReadUnary(); got != want {
+			t.Fatalf("unary %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestLenCountsBits(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0xff, 3)
+	w.WriteBit(1)
+	w.WriteBits(0, 60)
+	w.WriteBits(1, 64)
+	if w.Len() != 3+1+60+64 {
+		t.Fatalf("Len = %d, want 128", w.Len())
+	}
+	if len(w.Bytes()) != 16 {
+		t.Fatalf("Bytes len = %d, want 16", len(w.Bytes()))
+	}
+}
+
+func TestReadPastEndIsZero(t *testing.T) {
+	r := NewReader([]byte{0xff})
+	if got := r.ReadBits(8); got != 0xff {
+		t.Fatalf("got %#x", got)
+	}
+	if got := r.ReadBits(16); got != 0 {
+		t.Fatalf("past-end bits = %#x, want 0", got)
+	}
+	if got := r.ReadBit(); got != 0 {
+		t.Fatalf("past-end bit = %d, want 0", got)
+	}
+}
+
+func TestWriterReusableAfterBytes(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0b101, 3)
+	first := w.Bytes()
+	if NewReader(first).ReadBits(3) != 0b101 {
+		t.Fatal("first snapshot wrong")
+	}
+	w.WriteBits(0b11, 2)
+	r := NewReader(w.Bytes())
+	if r.ReadBits(3) != 0b101 || r.ReadBits(2) != 0b11 {
+		t.Fatal("second snapshot wrong")
+	}
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(1 << 13)
+		for j := 0; j < 1024; j++ {
+			w.WriteBits(uint64(j)*0x9e3779b97f4a7c15, 37)
+		}
+		_ = w.Bytes()
+	}
+}
+
+func BenchmarkReadBits(b *testing.B) {
+	w := NewWriter(1 << 13)
+	for j := 0; j < 1024; j++ {
+		w.WriteBits(uint64(j)*0x9e3779b97f4a7c15, 37)
+	}
+	buf := w.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(buf)
+		var sink uint64
+		for j := 0; j < 1024; j++ {
+			sink += r.ReadBits(37)
+		}
+		_ = sink
+	}
+}

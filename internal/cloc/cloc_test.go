@@ -1,0 +1,80 @@
+package cloc
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCountSourceBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"", 0},
+		{"\n\n\n", 0},
+		{"package main\n", 1},
+		{"// just a comment\n", 0},
+		{"package main // trailing comment\n", 1},
+		{"/* block */\n", 0},
+		{"/* block */ var x int\n", 1},
+		{"var x int /* trailing block\nstill comment\n*/ var y int\n", 2},
+		{"a\nb\nc", 3},
+		{"\t \t\n  x\n", 1},
+	}
+	for i, c := range cases {
+		if got := CountSource(c.src); got != c.want {
+			t.Fatalf("case %d (%q): got %d want %d", i, c.src, got, c.want)
+		}
+	}
+}
+
+func TestCommentMarkersInsideStrings(t *testing.T) {
+	src := `s := "http://example.com" // real comment
+t := "/* not a block */"
+u := '"'
+`
+	if got := CountSource(src); got != 3 {
+		t.Fatalf("got %d want 3", got)
+	}
+}
+
+func TestMultiLineBlockComments(t *testing.T) {
+	src := `code1
+/*
+comment line
+comment line
+*/
+code2
+`
+	if got := CountSource(src); got != 2 {
+		t.Fatalf("got %d want 2", got)
+	}
+}
+
+func TestCountDir(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.go", "package a\nvar X = 1\n")
+	write("a_test.go", "package a\nfunc TestX() {}\n")
+	write("notes.txt", "ignored\n")
+	c, err := CountDir(dir, []string{".go"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Files != 1 || c.Code != 2 {
+		t.Fatalf("count %+v", c)
+	}
+	all, err := CountDir(dir, []string{".go"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Files != 2 || all.Code != 4 {
+		t.Fatalf("count %+v", all)
+	}
+}

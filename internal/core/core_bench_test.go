@@ -1,0 +1,81 @@
+package core
+
+import "testing"
+
+// These micro-benchmarks isolate the framework layers whose cost §VI's
+// macro experiment shows to be de minimis: the option store, the typed
+// buffer views, the compressor wrapper, and the metrics hooks.
+
+func BenchmarkOptionsSetGet(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o := NewOptions()
+		o.SetValue("sz:abs_err_bound", 1e-3)
+		o.SetValue("sz:error_bound_mode_str", "abs")
+		if v, err := o.GetFloat64("sz:abs_err_bound"); err != nil || v != 1e-3 {
+			b.Fatal("get failed")
+		}
+	}
+}
+
+func BenchmarkOptionCast(b *testing.B) {
+	opt := NewOption(int32(42))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := opt.Cast(OptInt64, CastImplicit); !ok {
+			b.Fatal("cast failed")
+		}
+	}
+}
+
+func BenchmarkDataTypedView(b *testing.B) {
+	d := NewData(DTypeFloat32, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		v := d.Float32s()
+		sink += v[0]
+	}
+	_ = sink
+}
+
+func BenchmarkCompressorWrapperNoMetrics(b *testing.B) {
+	c := NewCompressorFromPlugin(newFake())
+	in := FromFloat32s(make([]float32, 1024), 1024)
+	out := NewEmpty(DTypeByte, 0)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Compress(in, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressorWrapperWithMetrics(b *testing.B) {
+	c := NewCompressorFromPlugin(newFake())
+	c.SetMetrics(&recordMetric{})
+	in := FromFloat32s(make([]float32, 1024), 1024)
+	out := NewEmpty(DTypeByte, 0)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Compress(in, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValueRange(b *testing.B) {
+	d := NewData(DTypeFloat32, 1<<16)
+	v := d.Float32s()
+	for i := range v {
+		v[i] = float32(i % 997)
+	}
+	b.SetBytes(int64(d.ByteLen()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ValueRange(d)
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors mirroring the error categories libpressio reports through
+// pressio_error_code/pressio_error_msg. Plugins wrap these with context so
+// callers can both test with errors.Is and print a meaningful message.
+var (
+	// ErrInvalidOption indicates an option had the wrong type or an
+	// out-of-range value.
+	ErrInvalidOption = errors.New("invalid option")
+	// ErrMissingOption indicates a required option was not provided.
+	ErrMissingOption = errors.New("missing option")
+	// ErrInvalidDType indicates an unsupported element type for the plugin.
+	ErrInvalidDType = errors.New("invalid dtype")
+	// ErrInvalidDims indicates unsupported dimensions (rank or extents).
+	ErrInvalidDims = errors.New("invalid dimensions")
+	// ErrUnknownPlugin indicates a name that is not registered.
+	ErrUnknownPlugin = errors.New("unknown plugin")
+	// ErrCorrupt indicates a malformed compressed stream.
+	ErrCorrupt = errors.New("corrupt compressed stream")
+	// ErrNotImplemented indicates an operation the plugin does not support.
+	ErrNotImplemented = errors.New("not implemented")
+	// ErrNilData indicates a nil Data argument where one is required.
+	ErrNilData = errors.New("nil data")
+)
+
+// PluginError attaches the name of the plugin that produced an error, so
+// errors surfacing through deeply composed meta-compressors still identify
+// their origin.
+type PluginError struct {
+	Plugin string // plugin prefix, e.g. "sz"
+	Err    error
+}
+
+// Error implements the error interface.
+func (e *PluginError) Error() string { return fmt.Sprintf("%s: %v", e.Plugin, e.Err) }
+
+// Unwrap exposes the wrapped error for errors.Is / errors.As.
+func (e *PluginError) Unwrap() error { return e.Err }
+
+// wrapPlugin annotates err with the plugin prefix unless it is nil or
+// already annotated with the same prefix.
+func wrapPlugin(prefix string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *PluginError
+	if errors.As(err, &pe) && pe.Plugin == prefix {
+		return err
+	}
+	return &PluginError{Plugin: prefix, Err: err}
+}

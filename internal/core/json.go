@@ -1,0 +1,165 @@
+package core
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+)
+
+// jsonOption is the wire form of one option.
+type jsonOption struct {
+	Type  string          `json:"type"`
+	Value json.RawMessage `json:"value,omitempty"`
+}
+
+type jsonData struct {
+	DType string   `json:"dtype"`
+	Dims  []uint64 `json:"dims"`
+	B64   string   `json:"data"`
+}
+
+// MarshalJSON serializes the option set. It fails for OptUserPtr entries:
+// opaque native handles (an MPI communicator, a device queue) have no JSON
+// representation — exactly why §V argues JSON-typed configuration cannot
+// fully configure modern compressors. Callers who need to ship options
+// across a boundary must strip such entries deliberately.
+func (o *Options) MarshalJSON() ([]byte, error) {
+	out := make(map[string]jsonOption, o.Len())
+	for _, k := range o.Keys() {
+		opt, _ := o.Get(k)
+		j := jsonOption{Type: opt.Type().String()}
+		if opt.HasValue() {
+			switch opt.Type() {
+			case OptUserPtr:
+				return nil, fmt.Errorf("%w: option %q holds an opaque pointer (%T) that cannot be serialized as JSON",
+					ErrInvalidOption, k, opt.Value())
+			case OptData:
+				d := opt.Value().(*Data)
+				raw, err := json.Marshal(jsonData{
+					DType: d.DType().String(),
+					Dims:  d.Dims(),
+					B64:   base64.StdEncoding.EncodeToString(d.Bytes()),
+				})
+				if err != nil {
+					return nil, err
+				}
+				j.Value = raw
+			default:
+				raw, err := json.Marshal(opt.Value())
+				if err != nil {
+					return nil, err
+				}
+				j.Value = raw
+			}
+		}
+		out[k] = j
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON restores an option set serialized by MarshalJSON.
+func (o *Options) UnmarshalJSON(b []byte) error {
+	var raw map[string]jsonOption
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	if o.m == nil {
+		o.m = make(map[string]Option, len(raw))
+	}
+	for k, j := range raw {
+		typ, err := parseOptionType(j.Type)
+		if err != nil {
+			return fmt.Errorf("option %q: %w", k, err)
+		}
+		if len(j.Value) == 0 {
+			o.Set(k, TypedOption(typ))
+			continue
+		}
+		opt, err := unmarshalValue(typ, j.Value)
+		if err != nil {
+			return fmt.Errorf("option %q: %w", k, err)
+		}
+		o.Set(k, opt)
+	}
+	return nil
+}
+
+func parseOptionType(s string) (OptionType, error) {
+	for t, name := range optionTypeNames {
+		if name == s {
+			return t, nil
+		}
+	}
+	return OptUnset, fmt.Errorf("%w: unknown option type %q", ErrInvalidOption, s)
+}
+
+func unmarshalValue(typ OptionType, raw json.RawMessage) (Option, error) {
+	switch typ {
+	case OptInt8, OptInt16, OptInt32, OptInt64:
+		var v int64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return Option{}, err
+		}
+		opt, ok := NewOption(v).Cast(typ, CastExplicit)
+		if !ok {
+			return Option{}, fmt.Errorf("%w: %d does not fit %s", ErrInvalidOption, v, typ)
+		}
+		return opt, nil
+	case OptUint8, OptUint16, OptUint32, OptUint64:
+		var v uint64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return Option{}, err
+		}
+		opt, ok := NewOption(v).Cast(typ, CastExplicit)
+		if !ok {
+			return Option{}, fmt.Errorf("%w: %d does not fit %s", ErrInvalidOption, v, typ)
+		}
+		return opt, nil
+	case OptFloat:
+		var v float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return Option{}, err
+		}
+		return NewOption(float32(v)), nil
+	case OptDouble:
+		var v float64
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return Option{}, err
+		}
+		return NewOption(v), nil
+	case OptString:
+		var v string
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return Option{}, err
+		}
+		return NewOption(v), nil
+	case OptStrings:
+		var v []string
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return Option{}, err
+		}
+		return NewOption(v), nil
+	case OptData:
+		var jd jsonData
+		if err := json.Unmarshal(raw, &jd); err != nil {
+			return Option{}, err
+		}
+		dt, err := ParseDType(jd.DType)
+		if err != nil {
+			return Option{}, err
+		}
+		buf, err := base64.StdEncoding.DecodeString(jd.B64)
+		if err != nil {
+			return Option{}, err
+		}
+		d, err := NewMove(dt, buf, jd.Dims...)
+		if err != nil {
+			return Option{}, err
+		}
+		return NewOption(d), nil
+	case OptUserPtr:
+		return Option{}, fmt.Errorf("%w: opaque pointers cannot be deserialized from JSON", ErrInvalidOption)
+	default:
+		return Option{}, fmt.Errorf("%w: cannot deserialize %s", ErrInvalidOption, typ)
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestOptionsJSONRoundTrip(t *testing.T) {
+	o := NewOptions().
+		SetValue("a:int", int32(-7)).
+		SetValue("a:uint", uint64(1<<40)).
+		SetValue("a:float", float32(1.5)).
+		SetValue("a:double", 2.25).
+		SetValue("a:string", "hello").
+		SetValue("a:strings", []string{"x", "y"}).
+		SetType("a:typed", OptDouble)
+	mask := NewData(DTypeUint8, 3)
+	mask.Bytes()[1] = 1
+	o.Set("a:mask", NewOption(mask))
+
+	b, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := NewOptions()
+	if err := json.Unmarshal(b, back); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := back.GetInt32("a:int"); v != -7 {
+		t.Fatalf("int: %v", v)
+	}
+	if v, _ := back.GetUint64("a:uint"); v != 1<<40 {
+		t.Fatalf("uint: %v", v)
+	}
+	if v, _ := back.GetFloat64("a:double"); v != 2.25 {
+		t.Fatalf("double: %v", v)
+	}
+	if v, _ := back.GetString("a:string"); v != "hello" {
+		t.Fatalf("string: %v", v)
+	}
+	if v, _ := back.GetStrings("a:strings"); len(v) != 2 || v[1] != "y" {
+		t.Fatalf("strings: %v", v)
+	}
+	if opt, ok := back.Get("a:typed"); !ok || opt.HasValue() || opt.Type() != OptDouble {
+		t.Fatalf("typed placeholder lost: %v", opt)
+	}
+	d, err := back.GetData("a:mask")
+	if err != nil || !d.Equal(mask) {
+		t.Fatalf("mask: %v %v", d, err)
+	}
+	fv, ok := back.Get("a:float")
+	if !ok || fv.Type() != OptFloat || fv.Value().(float32) != 1.5 {
+		t.Fatalf("float: %v", fv)
+	}
+}
+
+func TestOptionsJSONRefusesOpaquePointers(t *testing.T) {
+	// §V in code: JSON-typed configuration cannot carry an MPI_Comm-like
+	// handle, so any interface built on JSON options cannot fully
+	// configure compressors that need parallel resources.
+	type comm struct{ rank int }
+	o := NewOptions().Set("mpi:comm", OptionUserPtr(&comm{rank: 2}))
+	_, err := json.Marshal(o)
+	if err == nil {
+		t.Fatal("marshaling an opaque pointer must fail")
+	}
+	if !strings.Contains(err.Error(), "opaque pointer") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestOptionsJSONBadInput(t *testing.T) {
+	back := NewOptions()
+	if err := json.Unmarshal([]byte(`{"k":{"type":"warp","value":1}}`), back); err == nil {
+		t.Fatal("unknown type should fail")
+	}
+	if err := json.Unmarshal([]byte(`{"k":{"type":"int8","value":4096}}`), back); err == nil {
+		t.Fatal("out-of-range int8 should fail")
+	}
+	if err := json.Unmarshal([]byte(`{"k":{"type":"userptr","value":{}}}`), back); err == nil {
+		t.Fatal("userptr should fail to deserialize")
+	}
+	if err := json.Unmarshal([]byte(`not json`), back); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}

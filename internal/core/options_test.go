@@ -1,0 +1,286 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptionTypesAndValues(t *testing.T) {
+	cases := []struct {
+		opt  Option
+		want OptionType
+	}{
+		{NewOption(int8(1)), OptInt8},
+		{NewOption(int16(1)), OptInt16},
+		{NewOption(int32(1)), OptInt32},
+		{NewOption(int64(1)), OptInt64},
+		{NewOption(int(1)), OptInt64},
+		{NewOption(uint8(1)), OptUint8},
+		{NewOption(uint16(1)), OptUint16},
+		{NewOption(uint32(1)), OptUint32},
+		{NewOption(uint64(1)), OptUint64},
+		{NewOption(float32(1)), OptFloat},
+		{NewOption(float64(1)), OptDouble},
+		{NewOption("x"), OptString},
+		{NewOption([]string{"a", "b"}), OptStrings},
+		{NewOption(NewData(DTypeFloat32, 2)), OptData},
+		{OptionUserPtr(struct{ X int }{1}), OptUserPtr},
+	}
+	for i, c := range cases {
+		if c.opt.Type() != c.want {
+			t.Fatalf("case %d: type %v want %v", i, c.opt.Type(), c.want)
+		}
+		if !c.opt.HasValue() {
+			t.Fatalf("case %d: missing value", i)
+		}
+	}
+	var unset Option
+	if unset.Type() != OptUnset || unset.HasValue() {
+		t.Fatal("zero Option should be unset")
+	}
+	typed := TypedOption(OptDouble)
+	if typed.Type() != OptDouble || typed.HasValue() {
+		t.Fatal("TypedOption should carry a type but no value")
+	}
+}
+
+func TestImplicitCastWidening(t *testing.T) {
+	// int8 -> int16/32/64 implicit, never the reverse.
+	small := NewOption(int8(5))
+	for _, to := range []OptionType{OptInt16, OptInt32, OptInt64} {
+		if _, ok := small.Cast(to, CastImplicit); !ok {
+			t.Fatalf("int8 -> %v should be implicit", to)
+		}
+	}
+	big := NewOption(int64(5))
+	if _, ok := big.Cast(OptInt8, CastImplicit); ok {
+		t.Fatal("int64 -> int8 must not be implicit")
+	}
+	if got, ok := big.Cast(OptInt8, CastExplicit); !ok || got.Value().(int8) != 5 {
+		t.Fatal("int64(5) -> int8 should cast explicitly")
+	}
+	if _, ok := NewOption(int64(300)).Cast(OptInt8, CastExplicit); ok {
+		t.Fatal("int64(300) must not fit int8")
+	}
+}
+
+func TestSignednessRules(t *testing.T) {
+	if _, ok := NewOption(int32(-1)).Cast(OptUint32, CastImplicit); ok {
+		t.Fatal("signed -> unsigned must not be implicit")
+	}
+	if _, ok := NewOption(int32(-1)).Cast(OptUint32, CastExplicit); ok {
+		t.Fatal("negative value must never cast to unsigned")
+	}
+	if _, ok := NewOption(uint32(7)).Cast(OptInt64, CastImplicit); !ok {
+		t.Fatal("uint32 -> int64 is a safe widening")
+	}
+	if _, ok := NewOption(uint32(7)).Cast(OptInt32, CastImplicit); ok {
+		t.Fatal("uint32 -> int32 must not be implicit (range mismatch)")
+	}
+	if _, ok := NewOption(uint32(7)).Cast(OptInt32, CastExplicit); !ok {
+		t.Fatal("uint32(7) -> int32 fits explicitly")
+	}
+}
+
+func TestFloatCasts(t *testing.T) {
+	if got, ok := NewOption(float32(1.5)).Cast(OptDouble, CastImplicit); !ok || got.Value().(float64) != 1.5 {
+		t.Fatal("float32 -> double should be implicit")
+	}
+	// Double -> float loses precision: requires special.
+	if _, ok := NewOption(1.0000000001).Cast(OptFloat, CastExplicit); ok {
+		t.Fatal("lossy double -> float must not be explicit")
+	}
+	if _, ok := NewOption(1.0000000001).Cast(OptFloat, CastSpecial); !ok {
+		t.Fatal("lossy double -> float allowed as special")
+	}
+	if got, ok := NewOption(1.5).Cast(OptFloat, CastImplicit); !ok || got.Value().(float32) != 1.5 {
+		t.Fatal("exactly representable double -> float is implicit")
+	}
+	// Fractional float never casts to int.
+	if _, ok := NewOption(1.5).Cast(OptInt32, CastSpecial); ok {
+		t.Fatal("1.5 must not cast to int32")
+	}
+	if got, ok := NewOption(3.0).Cast(OptInt32, CastExplicit); !ok || got.Value().(int32) != 3 {
+		t.Fatal("3.0 -> int32 should cast explicitly")
+	}
+	if _, ok := NewOption(3.0).Cast(OptInt32, CastImplicit); ok {
+		t.Fatal("float -> int must not be implicit")
+	}
+}
+
+func TestStringCasts(t *testing.T) {
+	if got, ok := NewOption("42").Cast(OptInt32, CastSpecial); !ok || got.Value().(int32) != 42 {
+		t.Fatal("string -> int32 special cast failed")
+	}
+	if _, ok := NewOption("42").Cast(OptInt32, CastExplicit); ok {
+		t.Fatal("string parse must require special")
+	}
+	if got, ok := NewOption("1e-3").Cast(OptDouble, CastSpecial); !ok || got.Value().(float64) != 1e-3 {
+		t.Fatal("string -> double failed")
+	}
+	if _, ok := NewOption("abc").Cast(OptDouble, CastSpecial); ok {
+		t.Fatal("non-numeric string should not parse")
+	}
+	if got, ok := NewOption(int32(-7)).Cast(OptString, CastSpecial); !ok || got.Value().(string) != "-7" {
+		t.Fatal("int -> string failed")
+	}
+	if got, ok := NewOption("a").Cast(OptStrings, CastImplicit); !ok || got.Value().([]string)[0] != "a" {
+		t.Fatal("string -> strings failed")
+	}
+	if got, ok := NewOption([]string{"only"}).Cast(OptString, CastExplicit); !ok || got.Value().(string) != "only" {
+		t.Fatal("singleton strings -> string failed")
+	}
+	if _, ok := NewOption([]string{"a", "b"}).Cast(OptString, CastExplicit); ok {
+		t.Fatal("multi strings -> string must fail")
+	}
+}
+
+func TestCastLatticeProperty(t *testing.T) {
+	// Implicit ⊂ Explicit ⊂ Special: anything castable at a lower level
+	// is castable at every higher level with the same value.
+	types := []OptionType{OptInt8, OptInt16, OptInt32, OptInt64, OptUint8,
+		OptUint16, OptUint32, OptUint64, OptFloat, OptDouble, OptString}
+	f := func(raw int32, ti, tj uint8) bool {
+		src := makeIntOption(OptInt32, int64(raw))
+		from := types[int(ti)%len(types)]
+		to := types[int(tj)%len(types)]
+		srcOpt, ok := src.Cast(from, CastSpecial)
+		if !ok {
+			return true
+		}
+		imp, okImp := srcOpt.Cast(to, CastImplicit)
+		exp, okExp := srcOpt.Cast(to, CastExplicit)
+		spc, okSpc := srcOpt.Cast(to, CastSpecial)
+		if okImp && (!okExp || !okSpc) {
+			return false
+		}
+		if okExp && !okSpc {
+			return false
+		}
+		if okImp && okExp && imp.Value() != exp.Value() {
+			return false
+		}
+		_ = spc
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripThroughCastProperty(t *testing.T) {
+	// Casting any in-range int value to a wider type and back preserves it.
+	f := func(v int16) bool {
+		opt := NewOption(v)
+		wide, ok := opt.Cast(OptInt64, CastImplicit)
+		if !ok {
+			return false
+		}
+		back, ok := wide.Cast(OptInt16, CastExplicit)
+		return ok && back.Value().(int16) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64LargeValues(t *testing.T) {
+	huge := NewOption(uint64(math.MaxUint64))
+	if _, ok := huge.Cast(OptInt64, CastExplicit); ok {
+		t.Fatal("MaxUint64 must not cast to int64")
+	}
+	if got, ok := huge.Cast(OptString, CastSpecial); !ok || got.Value().(string) != "18446744073709551615" {
+		t.Fatalf("MaxUint64 -> string: %v %v", got, ok)
+	}
+	if got, ok := NewOption("18446744073709551615").Cast(OptUint64, CastSpecial); !ok || got.Value().(uint64) != math.MaxUint64 {
+		t.Fatal("string -> MaxUint64 failed")
+	}
+}
+
+func TestOptionsAccessors(t *testing.T) {
+	o := NewOptions()
+	o.SetValue("a", int32(1))
+	o.SetValue("b", 2.5)
+	o.SetValue("c", "hi")
+	o.SetValue("d", []string{"x", "y"})
+	o.SetType("e", OptDouble)
+
+	if v, err := o.GetInt64("a"); err != nil || v != 1 {
+		t.Fatalf("GetInt64: %v %v", v, err)
+	}
+	if v, err := o.GetFloat64("b"); err != nil || v != 2.5 {
+		t.Fatalf("GetFloat64: %v %v", v, err)
+	}
+	if v, err := o.GetString("c"); err != nil || v != "hi" {
+		t.Fatalf("GetString: %v %v", v, err)
+	}
+	if v, err := o.GetStrings("d"); err != nil || len(v) != 2 {
+		t.Fatalf("GetStrings: %v %v", v, err)
+	}
+	if _, err := o.GetFloat64("e"); err == nil {
+		t.Fatal("typed-but-unset option should report missing")
+	}
+	if _, err := o.GetFloat64("zzz"); err == nil {
+		t.Fatal("missing key should error")
+	}
+	if _, err := o.GetString("a"); err == nil {
+		t.Fatal("int as string should error")
+	}
+	keys := o.Keys()
+	if len(keys) != 5 || keys[0] != "a" || keys[4] != "e" {
+		t.Fatalf("keys %v", keys)
+	}
+	o.Delete("a")
+	if o.Has("a") {
+		t.Fatal("delete failed")
+	}
+}
+
+func TestOptionsMergeAndClone(t *testing.T) {
+	a := NewOptions().SetValue("x", int32(1)).SetValue("y", int32(2))
+	b := NewOptions().SetValue("y", int32(20)).SetValue("z", int32(3))
+	c := a.Clone()
+	a.Merge(b)
+	if v, _ := a.GetInt32("y"); v != 20 {
+		t.Fatalf("merge should overwrite: %v", v)
+	}
+	if v, _ := a.GetInt32("z"); v != 3 {
+		t.Fatal("merge missed new key")
+	}
+	// Clone is independent.
+	if v, _ := c.GetInt32("y"); v != 2 {
+		t.Fatalf("clone affected by merge: %v", v)
+	}
+}
+
+func TestGetSetIdentityProperty(t *testing.T) {
+	f := func(key string, v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		o := NewOptions()
+		o.SetValue(key, v)
+		got, err := o.GetFloat64(key)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserPtrRoundTrip(t *testing.T) {
+	type fakeComm struct{ rank int }
+	o := NewOptions()
+	o.Set("mpi:comm", OptionUserPtr(&fakeComm{rank: 3}))
+	got, err := o.GetUserPtr("mpi:comm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*fakeComm).rank != 3 {
+		t.Fatal("user pointer lost identity")
+	}
+	if _, err := o.GetString("mpi:comm"); err == nil {
+		t.Fatal("userptr must not read as string")
+	}
+}

@@ -1,0 +1,372 @@
+// Package fpzip implements a predictive floating-point compressor in the
+// style of fpzip (Lindstrom & Isenburg, TVCG'06): floats are mapped to
+// order-preserving unsigned integers, predicted with a Lorenzo predictor
+// over the reconstructed field, and the prediction residuals are entropy
+// coded with an adaptive binary range coder (residual magnitude class
+// adaptively coded, remaining bits raw).
+//
+// fpzip is precision-based rather than error-bound based: lossy operation
+// truncates the low-order bits of the mapped integers, bounding the
+// *relative* error. Full precision is exactly lossless. As in the original,
+// only floating point inputs are accepted — the example the paper's §II
+// uses for why a generic interface must carry datatype metadata.
+package fpzip
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"pressio/internal/core"
+	"pressio/internal/rangecoder"
+)
+
+// Version is the compressor version reported through the plugin interface.
+const Version = "1.3.0-go"
+
+// ErrCorrupt reports a malformed fpzip stream.
+var ErrCorrupt = errors.New("fpzip: corrupt stream")
+
+// Float constrains inputs to floating point element types.
+type Float interface {
+	~float32 | ~float64
+}
+
+// Params configures a compression call.
+type Params struct {
+	// Precision is the number of kept bits per value: 1..32 for float32,
+	// 1..64 for float64. 0 selects full (lossless) precision.
+	Precision uint
+}
+
+const magic = "FPZ1"
+
+// monotone mapping between floats and unsigned integers: negative floats
+// map below positives and uint ordering matches float ordering.
+func f32ToOrd(f float32) uint64 {
+	b := math.Float32bits(f)
+	if b&0x80000000 != 0 {
+		return uint64(^b)
+	}
+	return uint64(b | 0x80000000)
+}
+
+func ordToF32(u uint64) float32 {
+	b := uint32(u)
+	if b&0x80000000 != 0 {
+		return math.Float32frombits(b &^ 0x80000000)
+	}
+	return math.Float32frombits(^b)
+}
+
+func f64ToOrd(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b&0x8000000000000000 != 0 {
+		return ^b
+	}
+	return b | 0x8000000000000000
+}
+
+func ordToF64(u uint64) float64 {
+	if u&0x8000000000000000 != 0 {
+		return math.Float64frombits(u &^ 0x8000000000000000)
+	}
+	return math.Float64frombits(^u)
+}
+
+func width[T Float]() uint {
+	var zero T
+	if _, ok := any(zero).(float32); ok {
+		return 32
+	}
+	return 64
+}
+
+// geometry mirrors the sz package's reduction of arbitrary rank to a
+// batched 3-D Lorenzo scan.
+func geometry(dims []uint64) (outer, nx, ny, nz int, err error) {
+	if len(dims) == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("fpzip: %w: no dimensions", core.ErrInvalidDims)
+	}
+	for _, d := range dims {
+		if d == 0 {
+			return 0, 0, 0, 0, fmt.Errorf("fpzip: %w: zero extent", core.ErrInvalidDims)
+		}
+	}
+	outer, nx, ny, nz = 1, 1, 1, 1
+	switch len(dims) {
+	case 1:
+		nz = int(dims[0])
+	case 2:
+		ny, nz = int(dims[0]), int(dims[1])
+	case 3:
+		nx, ny, nz = int(dims[0]), int(dims[1]), int(dims[2])
+	default:
+		for _, d := range dims[:len(dims)-3] {
+			outer *= int(d)
+		}
+		nx, ny, nz = int(dims[len(dims)-3]), int(dims[len(dims)-2]), int(dims[len(dims)-1])
+	}
+	return outer, nx, ny, nz, nil
+}
+
+// lorenzo computes the restricted Lorenzo prediction over mapped integers.
+// Arithmetic is modular, which is harmless: residuals stay small when the
+// field is smooth and remain correct otherwise.
+func lorenzo(r []uint64, x, y, z, ny, nz int) uint64 {
+	base := (x*ny + y) * nz
+	switch {
+	case x > 0 && y > 0 && z > 0:
+		pm := ((x-1)*ny + y) * nz
+		qm := ((x-1)*ny + y - 1) * nz
+		rm := (x*ny + y - 1) * nz
+		return r[pm+z] + r[rm+z] + r[base+z-1] - r[qm+z] - r[pm+z-1] - r[rm+z-1] + r[qm+z-1]
+	case x > 0 && y > 0:
+		pm := ((x-1)*ny + y) * nz
+		qm := ((x-1)*ny + y - 1) * nz
+		rm := (x*ny + y - 1) * nz
+		return r[pm+z] + r[rm+z] - r[qm+z]
+	case x > 0 && z > 0:
+		pm := ((x-1)*ny + y) * nz
+		return r[pm+z] + r[base+z-1] - r[pm+z-1]
+	case y > 0 && z > 0:
+		rm := (x*ny + y - 1) * nz
+		return r[rm+z] + r[base+z-1] - r[rm+z-1]
+	case x > 0:
+		return r[((x-1)*ny+y)*nz+z]
+	case y > 0:
+		return r[(x*ny+y-1)*nz+z]
+	case z > 0:
+		return r[base+z-1]
+	default:
+		return 0
+	}
+}
+
+// coder holds the adaptive contexts: one probability per position of the
+// unary magnitude-class code.
+type coder struct {
+	classProbs [66]rangecoder.Prob
+}
+
+func newCoder() *coder {
+	var c coder
+	for i := range c.classProbs {
+		c.classProbs[i] = rangecoder.NewProb()
+	}
+	return &c
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func (c *coder) encodeResidual(enc *rangecoder.Encoder, diff int64) {
+	z := zigzag(diff)
+	k := uint(bits.Len64(z)) // magnitude class: 0 for z==0
+	for i := uint(0); i < k; i++ {
+		enc.EncodeBit(&c.classProbs[i], 1)
+	}
+	if k < 65 {
+		enc.EncodeBit(&c.classProbs[k], 0)
+	}
+	if k > 1 {
+		// MSB is implied; emit the k-1 low bits raw.
+		rem := k - 1
+		if rem > 32 {
+			enc.EncodeBitsRaw(uint32(z>>32), rem-32)
+			enc.EncodeBitsRaw(uint32(z), 32)
+		} else {
+			enc.EncodeBitsRaw(uint32(z), rem)
+		}
+	}
+}
+
+func (c *coder) decodeResidual(dec *rangecoder.Decoder) int64 {
+	k := uint(0)
+	for k < 65 && dec.DecodeBit(&c.classProbs[k]) == 1 {
+		k++
+	}
+	if k == 0 {
+		return 0
+	}
+	var z uint64 = 1 << (k - 1)
+	if k > 1 {
+		rem := k - 1
+		if rem > 32 {
+			z |= uint64(dec.DecodeBitsRaw(rem-32)) << 32
+			z |= uint64(dec.DecodeBitsRaw(32))
+		} else {
+			z |= uint64(dec.DecodeBitsRaw(rem))
+		}
+	}
+	return unzigzag(z)
+}
+
+// CompressSlice compresses vals shaped dims (C order).
+func CompressSlice[T Float](vals []T, dims []uint64, p Params) ([]byte, error) {
+	w := width[T]()
+	prec := p.Precision
+	if prec == 0 {
+		prec = w
+	}
+	if prec > w {
+		return nil, fmt.Errorf("fpzip: precision %d exceeds %d-bit width", prec, w)
+	}
+	outer, nx, ny, nz, err := geometry(dims)
+	if err != nil {
+		return nil, err
+	}
+	n := outer * nx * ny * nz
+	if n != len(vals) {
+		return nil, fmt.Errorf("fpzip: %w: dims %v describe %d elements, have %d",
+			core.ErrInvalidDims, dims, n, len(vals))
+	}
+	shift := w - prec
+
+	var hdr []byte
+	hdr = append(hdr, magic...)
+	if w == 32 {
+		hdr = append(hdr, 1)
+	} else {
+		hdr = append(hdr, 2)
+	}
+	hdr = append(hdr, byte(len(dims)))
+	for _, d := range dims {
+		hdr = binary.AppendUvarint(hdr, d)
+	}
+	hdr = append(hdr, byte(prec))
+
+	enc := rangecoder.NewEncoder()
+	cdr := newCoder()
+	recon := make([]uint64, nx*ny*nz)
+	sliceLen := nx * ny * nz
+	for o := 0; o < outer; o++ {
+		src := vals[o*sliceLen : (o+1)*sliceLen]
+		i := 0
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				for z := 0; z < nz; z++ {
+					var u uint64
+					if w == 32 {
+						u = f32ToOrd(float32(src[i]))
+					} else {
+						u = f64ToOrd(float64(src[i]))
+					}
+					u >>= shift
+					pred := lorenzo(recon, x, y, z, ny, nz)
+					cdr.encodeResidual(enc, int64(u-pred))
+					recon[i] = u
+					i++
+				}
+			}
+		}
+	}
+	return append(hdr, enc.Finish()...), nil
+}
+
+// Header describes a compressed stream.
+type Header struct {
+	DType     core.DType
+	Dims      []uint64
+	Precision uint
+}
+
+// ParseHeader reads the stream header.
+func ParseHeader(stream []byte) (Header, int, error) {
+	var h Header
+	if len(stream) < 7 || string(stream[:4]) != magic {
+		return h, 0, ErrCorrupt
+	}
+	switch stream[4] {
+	case 1:
+		h.DType = core.DTypeFloat32
+	case 2:
+		h.DType = core.DTypeFloat64
+	default:
+		return h, 0, ErrCorrupt
+	}
+	rank := int(stream[5])
+	if rank == 0 || rank > 16 {
+		return h, 0, ErrCorrupt
+	}
+	pos := 6
+	h.Dims = make([]uint64, rank)
+	total := uint64(1)
+	for i := range h.Dims {
+		v, sz := binary.Uvarint(stream[pos:])
+		if sz <= 0 || v == 0 || v > 1<<40 {
+			return h, 0, ErrCorrupt
+		}
+		h.Dims[i] = v
+		total *= v
+		if total > 1<<33 {
+			// Sanity cap against decompression bombs: the adaptive coder
+			// has no per-element minimum bit cost to check against.
+			return h, 0, ErrCorrupt
+		}
+		pos += sz
+	}
+	if pos >= len(stream) {
+		return h, 0, ErrCorrupt
+	}
+	h.Precision = uint(stream[pos])
+	pos++
+	return h, pos, nil
+}
+
+// DecompressSlice decodes a stream produced by CompressSlice.
+func DecompressSlice[T Float](stream []byte) ([]T, []uint64, error) {
+	h, pos, err := ParseHeader(stream)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := width[T]()
+	want := core.DTypeFloat32
+	if w == 64 {
+		want = core.DTypeFloat64
+	}
+	if h.DType != want {
+		return nil, nil, fmt.Errorf("fpzip: %w: stream holds %s", core.ErrInvalidDType, h.DType)
+	}
+	if h.Precision == 0 || h.Precision > w {
+		return nil, nil, ErrCorrupt
+	}
+	shift := w - h.Precision
+	outer, nx, ny, nz, err := geometry(h.Dims)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := outer * nx * ny * nz
+	out := make([]T, n)
+	dec := rangecoder.NewDecoder(stream[pos:])
+	cdr := newCoder()
+	recon := make([]uint64, nx*ny*nz)
+	sliceLen := nx * ny * nz
+	for o := 0; o < outer; o++ {
+		dst := out[o*sliceLen : (o+1)*sliceLen]
+		i := 0
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				for z := 0; z < nz; z++ {
+					pred := lorenzo(recon, x, y, z, ny, nz)
+					u := pred + uint64(cdr.decodeResidual(dec))
+					if w == 32 {
+						u &= 0xffffffff >> shift
+					} else if shift > 0 {
+						u &= ^uint64(0) >> shift
+					}
+					recon[i] = u
+					if w == 32 {
+						dst[i] = T(ordToF32(u << shift))
+					} else {
+						dst[i] = T(ordToF64(u << shift))
+					}
+					i++
+				}
+			}
+		}
+	}
+	return out, h.Dims, nil
+}

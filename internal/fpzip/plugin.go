@@ -1,0 +1,98 @@
+package fpzip
+
+import (
+	"fmt"
+
+	"pressio/internal/core"
+)
+
+// plugin adapts fpzip to the framework. fpzip has no absolute error bound
+// mode; its single knob is "fpzip:prec" (0 = lossless), so it demonstrates
+// a plugin whose options do not include the generic pressio:abs — clients
+// discover that through introspection instead of crashing at runtime.
+type plugin struct {
+	prec uint64
+}
+
+func init() {
+	core.RegisterCompressor("fpzip", func() core.CompressorPlugin { return &plugin{} })
+}
+
+func (p *plugin) Prefix() string  { return "fpzip" }
+func (p *plugin) Version() string { return Version }
+
+func (p *plugin) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue("fpzip:prec", p.prec)
+	return o
+}
+
+func (p *plugin) SetOptions(o *core.Options) error {
+	if v, err := o.GetUint64("fpzip:prec"); err == nil {
+		if v > 64 {
+			return fmt.Errorf("%w: fpzip:prec %d > 64", core.ErrInvalidOption, v)
+		}
+		p.prec = v
+	}
+	return nil
+}
+
+func (p *plugin) CheckOptions(o *core.Options) error {
+	clone := *p
+	return clone.SetOptions(o)
+}
+
+func (p *plugin) Configuration() *core.Options {
+	cfg := core.StandardConfiguration(core.ThreadSafetyMultiple, "stable", Version, false)
+	cfg.SetValue("fpzip:float_only", int32(1))
+	return cfg
+}
+
+func (p *plugin) CompressImpl(in, out *core.Data) error {
+	var stream []byte
+	var err error
+	switch in.DType() {
+	case core.DTypeFloat32:
+		stream, err = CompressSlice(in.Float32s(), in.Dims(), Params{Precision: uint(p.prec)})
+	case core.DTypeFloat64:
+		stream, err = CompressSlice(in.Float64s(), in.Dims(), Params{Precision: uint(p.prec)})
+	default:
+		// Mirrors the real fpzip: floating point only.
+		return fmt.Errorf("%w: fpzip accepts only floating point data, got %s",
+			core.ErrInvalidDType, in.DType())
+	}
+	if err != nil {
+		return err
+	}
+	out.Become(core.NewBytes(stream))
+	return nil
+}
+
+func (p *plugin) DecompressImpl(in, out *core.Data) error {
+	h, _, err := ParseHeader(in.Bytes())
+	if err != nil {
+		return err
+	}
+	switch h.DType {
+	case core.DTypeFloat32:
+		vals, dims, err := DecompressSlice[float32](in.Bytes())
+		if err != nil {
+			return err
+		}
+		out.Become(core.FromFloat32s(vals, dims...))
+	case core.DTypeFloat64:
+		vals, dims, err := DecompressSlice[float64](in.Bytes())
+		if err != nil {
+			return err
+		}
+		out.Become(core.FromFloat64s(vals, dims...))
+	default:
+		return ErrCorrupt
+	}
+	return nil
+}
+
+func (p *plugin) Clone() core.CompressorPlugin {
+	clone := *p
+	return &clone
+}

@@ -1,0 +1,350 @@
+// Package h5lite implements a minimal self-describing chunked container
+// file format standing in for HDF5 in this reproduction (the substitution
+// is documented in DESIGN.md). Like HDF5 it stores named n-dimensional
+// datasets with type metadata, splits them into chunks along the slowest
+// dimension, and supports *filters*: per-chunk transforms applied on write
+// and undone on read. Filters are compressor plugins from the framework
+// registry, so the generic "HDF5 filter" client of Table II is a few lines
+// — exactly the economics the paper measures.
+//
+// File layout:
+//
+//	magic "H5LITE1\n"
+//	uint64 little-endian JSON index length
+//	JSON index (datasets: name -> {dtype, dims, filter, options, chunks})
+//	concatenated chunk payloads
+package h5lite
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+
+	"pressio/internal/core"
+)
+
+// ErrFormat reports an unreadable container.
+var ErrFormat = errors.New("h5lite: bad format")
+
+// ErrNotFound reports a missing dataset.
+var ErrNotFound = errors.New("h5lite: dataset not found")
+
+var magic = []byte("H5LITE1\n")
+
+// chunkInfo locates one stored chunk in the blob section.
+type chunkInfo struct {
+	Rows   uint64 `json:"rows"` // extent along dim 0 covered by this chunk
+	Offset uint64 `json:"offset"`
+	Length uint64 `json:"length"`
+}
+
+// datasetInfo is the stored metadata of one dataset.
+type datasetInfo struct {
+	DType   string             `json:"dtype"`
+	Dims    []uint64           `json:"dims"`
+	Filter  string             `json:"filter,omitempty"`
+	Options map[string]float64 `json:"options,omitempty"`
+	Chunks  []chunkInfo        `json:"chunks"`
+}
+
+type index struct {
+	Datasets map[string]datasetInfo `json:"datasets"`
+}
+
+// DatasetOptions configures how a dataset is stored.
+type DatasetOptions struct {
+	// ChunkRows is the number of dim-0 rows per chunk (0 = single chunk).
+	ChunkRows uint64
+	// Filter names a registered compressor applied per chunk ("" = none).
+	Filter string
+	// FilterOptions are numeric options applied to the filter compressor
+	// (e.g. {"pressio:abs": 1e-4}).
+	FilterOptions map[string]float64
+}
+
+// File is an in-memory handle to a container; Save persists it.
+type File struct {
+	path  string
+	idx   index
+	blobs map[string][][]byte // per dataset, per chunk
+}
+
+// Create starts a new empty container that will be written to path.
+func Create(path string) *File {
+	return &File{
+		path:  path,
+		idx:   index{Datasets: map[string]datasetInfo{}},
+		blobs: map[string][][]byte{},
+	}
+}
+
+// Open reads an existing container.
+func Open(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < len(magic)+8 || string(raw[:len(magic)]) != string(magic) {
+		return nil, ErrFormat
+	}
+	hlen := binary.LittleEndian.Uint64(raw[len(magic):])
+	base := uint64(len(magic)) + 8
+	if hlen > uint64(len(raw))-base {
+		return nil, ErrFormat
+	}
+	var idx index
+	if err := json.Unmarshal(raw[base:base+hlen], &idx); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	f := &File{path: path, idx: idx, blobs: map[string][][]byte{}}
+	blobBase := base + hlen
+	for name, info := range idx.Datasets {
+		chunks := make([][]byte, len(info.Chunks))
+		for i, ch := range info.Chunks {
+			if ch.Offset > uint64(len(raw)) || ch.Length > uint64(len(raw)) {
+				return nil, ErrFormat
+			}
+			lo := blobBase + ch.Offset
+			hi := lo + ch.Length
+			if hi > uint64(len(raw)) || lo > hi {
+				return nil, ErrFormat
+			}
+			chunks[i] = append([]byte(nil), raw[lo:hi]...)
+		}
+		f.blobs[name] = chunks
+	}
+	return f, nil
+}
+
+// Names lists the stored datasets, sorted.
+func (f *File) Names() []string {
+	names := make([]string, 0, len(f.idx.Datasets))
+	for n := range f.idx.Datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// filterFor instantiates the filter compressor for a dataset.
+func filterFor(name string, opts map[string]float64) (*core.Compressor, error) {
+	c, err := core.NewCompressor(name)
+	if err != nil {
+		return nil, err
+	}
+	o := core.NewOptions()
+	for k, v := range opts {
+		o.SetValue(k, v)
+	}
+	if err := c.SetOptions(o); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// WriteDataset stores d under name, replacing any existing dataset.
+func (f *File) WriteDataset(name string, d *core.Data, opts DatasetOptions) error {
+	if d == nil || !d.HasData() || d.NumDims() == 0 {
+		return fmt.Errorf("h5lite: %w", core.ErrNilData)
+	}
+	var filter *core.Compressor
+	if opts.Filter != "" {
+		var err error
+		filter, err = filterFor(opts.Filter, opts.FilterOptions)
+		if err != nil {
+			return err
+		}
+	}
+	dims := d.Dims()
+	rowsTotal := dims[0]
+	chunkRows := opts.ChunkRows
+	if chunkRows == 0 || chunkRows > rowsTotal {
+		chunkRows = rowsTotal
+	}
+	rowBytes := uint64(d.DType().Size())
+	for _, dim := range dims[1:] {
+		rowBytes *= dim
+	}
+	var chunks []chunkInfo
+	var blobs [][]byte
+	for start := uint64(0); start < rowsTotal; start += chunkRows {
+		rows := chunkRows
+		if start+rows > rowsTotal {
+			rows = rowsTotal - start
+		}
+		raw := d.Bytes()[start*rowBytes : (start+rows)*rowBytes]
+		var payload []byte
+		if filter != nil {
+			chunkDims := append([]uint64{rows}, dims[1:]...)
+			chunk, err := core.NewMove(d.DType(), append([]byte(nil), raw...), chunkDims...)
+			if err != nil {
+				return err
+			}
+			comp, err := core.Compress(filter, chunk)
+			if err != nil {
+				return err
+			}
+			payload = comp.Bytes()
+		} else {
+			payload = append([]byte(nil), raw...)
+		}
+		chunks = append(chunks, chunkInfo{Rows: rows, Length: uint64(len(payload))})
+		blobs = append(blobs, payload)
+	}
+	f.idx.Datasets[name] = datasetInfo{
+		DType:   d.DType().String(),
+		Dims:    append([]uint64(nil), dims...),
+		Filter:  opts.Filter,
+		Options: opts.FilterOptions,
+		Chunks:  chunks,
+	}
+	f.blobs[name] = blobs
+	return nil
+}
+
+// ReadDataset decodes the named dataset, undoing the filter per chunk.
+func (f *File) ReadDataset(name string) (*core.Data, error) {
+	info, ok := f.idx.Datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	dtype, err := core.ParseDType(info.DType)
+	if err != nil {
+		return nil, err
+	}
+	var filter *core.Compressor
+	if info.Filter != "" {
+		filter, err = filterFor(info.Filter, info.Options)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := core.NewData(dtype, info.Dims...)
+	rowBytes := uint64(dtype.Size())
+	for _, dim := range info.Dims[1:] {
+		rowBytes *= dim
+	}
+	offset := uint64(0)
+	for i, ch := range info.Chunks {
+		payload := f.blobs[name][i]
+		var raw []byte
+		if filter != nil {
+			chunkDims := append([]uint64{ch.Rows}, info.Dims[1:]...)
+			dec, err := core.Decompress(filter, core.NewBytes(payload), dtype, chunkDims...)
+			if err != nil {
+				return nil, err
+			}
+			raw = dec.Bytes()
+		} else {
+			raw = payload
+		}
+		if uint64(len(raw)) != ch.Rows*rowBytes {
+			return nil, ErrFormat
+		}
+		copy(out.Bytes()[offset:], raw)
+		offset += ch.Rows * rowBytes
+	}
+	if offset != out.ByteLen() {
+		return nil, ErrFormat
+	}
+	return out, nil
+}
+
+// ReadRows decodes only the chunks overlapping rows [start, start+count)
+// along dimension 0 — the payoff of chunked storage: a slab read touches
+// (and decompresses) a fraction of the dataset.
+func (f *File) ReadRows(name string, start, count uint64) (*core.Data, error) {
+	info, ok := f.idx.Datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if count == 0 || start+count > info.Dims[0] {
+		return nil, fmt.Errorf("h5lite: rows [%d, %d) outside extent %d", start, start+count, info.Dims[0])
+	}
+	dtype, err := core.ParseDType(info.DType)
+	if err != nil {
+		return nil, err
+	}
+	var filter *core.Compressor
+	if info.Filter != "" {
+		filter, err = filterFor(info.Filter, info.Options)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rowBytes := uint64(dtype.Size())
+	for _, dim := range info.Dims[1:] {
+		rowBytes *= dim
+	}
+	outDims := append([]uint64{count}, info.Dims[1:]...)
+	out := core.NewData(dtype, outDims...)
+
+	chunkStart := uint64(0)
+	written := uint64(0)
+	for i, ch := range info.Chunks {
+		chunkEnd := chunkStart + ch.Rows
+		if chunkEnd <= start || chunkStart >= start+count {
+			chunkStart = chunkEnd
+			continue // chunk does not overlap: never decompressed
+		}
+		var raw []byte
+		if filter != nil {
+			chunkDims := append([]uint64{ch.Rows}, info.Dims[1:]...)
+			dec, err := core.Decompress(filter, core.NewBytes(f.blobs[name][i]), dtype, chunkDims...)
+			if err != nil {
+				return nil, err
+			}
+			raw = dec.Bytes()
+		} else {
+			raw = f.blobs[name][i]
+		}
+		if uint64(len(raw)) != ch.Rows*rowBytes {
+			return nil, ErrFormat
+		}
+		lo := start
+		if chunkStart > lo {
+			lo = chunkStart
+		}
+		hi := start + count
+		if chunkEnd < hi {
+			hi = chunkEnd
+		}
+		copy(out.Bytes()[written*rowBytes:],
+			raw[(lo-chunkStart)*rowBytes:(hi-chunkStart)*rowBytes])
+		written += hi - lo
+		chunkStart = chunkEnd
+	}
+	if written != count {
+		return nil, ErrFormat
+	}
+	return out, nil
+}
+
+// Save writes the container to its path.
+func (f *File) Save() error {
+	// Assign blob offsets in sorted-name order for determinism.
+	offset := uint64(0)
+	var blobSection []byte
+	for _, name := range f.Names() {
+		info := f.idx.Datasets[name]
+		for i := range info.Chunks {
+			info.Chunks[i].Offset = offset
+			offset += info.Chunks[i].Length
+			blobSection = append(blobSection, f.blobs[name][i]...)
+		}
+		f.idx.Datasets[name] = info
+	}
+	hdr, err := json.Marshal(f.idx)
+	if err != nil {
+		return err
+	}
+	out := make([]byte, 0, len(magic)+8+len(hdr)+len(blobSection))
+	out = append(out, magic...)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(hdr)))
+	out = append(out, hdr...)
+	out = append(out, blobSection...)
+	return os.WriteFile(f.path, out, 0o644)
+}

@@ -1,0 +1,343 @@
+// Package huffman implements a canonical Huffman entropy coder over dense
+// unsigned integer alphabets. It is the encoding stage of the sz and mgard
+// compressor plugins (quantization-code streams) and is also exposed as a
+// standalone lossless compressor plugin.
+//
+// The encoded form is self-contained: a header carries the alphabet size
+// and the canonical code lengths, so decoding needs no side channel.
+package huffman
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"pressio/internal/bitstream"
+)
+
+// ErrCorrupt reports a malformed huffman stream.
+var ErrCorrupt = errors.New("huffman: corrupt stream")
+
+// maxCodeLen bounds canonical code lengths; counts are scaled if a longer
+// code would be produced (cannot happen for < 2^32 total count but guards
+// adversarial inputs).
+const maxCodeLen = 57
+
+// buildLengths computes Huffman code lengths from symbol frequencies using
+// the standard two-queue method over sorted leaf weights.
+func buildLengths(freq []uint64) []uint8 {
+	n := len(freq)
+	lengths := make([]uint8, n)
+	type node struct {
+		weight      uint64
+		left, right int32 // indices into nodes; -1 for leaves
+		sym         int32
+	}
+	var nodes []node
+	order := make([]int, 0, n)
+	for s, f := range freq {
+		if f > 0 {
+			order = append(order, s)
+		}
+	}
+	switch len(order) {
+	case 0:
+		return lengths
+	case 1:
+		lengths[order[0]] = 1
+		return lengths
+	}
+	sort.Slice(order, func(i, j int) bool { return freq[order[i]] < freq[order[j]] })
+	for _, s := range order {
+		nodes = append(nodes, node{weight: freq[s], left: -1, right: -1, sym: int32(s)})
+	}
+	// Two-queue merge: leaves (already sorted) and internal nodes (created
+	// in nondecreasing weight order).
+	leafQ := 0
+	internal := make([]int32, 0, len(order))
+	intQ := 0
+	pop := func() int32 {
+		if leafQ < len(order) && (intQ >= len(internal) || nodes[leafQ].weight <= nodes[internal[intQ]].weight) {
+			leafQ++
+			return int32(leafQ - 1)
+		}
+		intQ++
+		return internal[intQ-1]
+	}
+	remaining := len(order)
+	for remaining > 1 {
+		a := pop()
+		b := pop()
+		nodes = append(nodes, node{weight: nodes[a].weight + nodes[b].weight, left: a, right: b, sym: -1})
+		internal = append(internal, int32(len(nodes)-1))
+		remaining--
+	}
+	// Depth-first assign lengths.
+	root := internal[len(internal)-1]
+	type item struct {
+		idx   int32
+		depth uint8
+	}
+	stack := []item{{root, 0}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := nodes[it.idx]
+		if nd.left < 0 {
+			d := it.depth
+			if d == 0 {
+				d = 1
+			}
+			lengths[nd.sym] = d
+			continue
+		}
+		stack = append(stack, item{nd.left, it.depth + 1}, item{nd.right, it.depth + 1})
+	}
+	return lengths
+}
+
+// canonicalCodes assigns canonical codes (numerically increasing with
+// length, then symbol) from code lengths. Codes are returned bit-reversed so
+// they can be emitted LSB-first.
+func canonicalCodes(lengths []uint8) ([]uint64, error) {
+	maxLen := uint8(0)
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen == 0 {
+		return make([]uint64, len(lengths)), nil
+	}
+	if maxLen > maxCodeLen {
+		return nil, fmt.Errorf("%w: code length %d exceeds %d", ErrCorrupt, maxLen, maxCodeLen)
+	}
+	countByLen := make([]uint64, maxLen+1)
+	for _, l := range lengths {
+		if l > 0 {
+			countByLen[l]++
+		}
+	}
+	firstCode := make([]uint64, maxLen+2)
+	code := uint64(0)
+	for l := uint8(1); l <= maxLen; l++ {
+		code = (code + countByLen[l-1]) << 1
+		firstCode[l] = code
+	}
+	// Kraft check to reject invalid length tables early.
+	kraft := uint64(0)
+	for l := uint8(1); l <= maxLen; l++ {
+		kraft += countByLen[l] << (maxLen - l)
+	}
+	if kraft > 1<<maxLen {
+		return nil, fmt.Errorf("%w: over-subscribed code", ErrCorrupt)
+	}
+	next := append([]uint64(nil), firstCode...)
+	codes := make([]uint64, len(lengths))
+	for s, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		codes[s] = reverseBits(next[l], uint(l))
+		next[l]++
+	}
+	return codes, nil
+}
+
+func reverseBits(v uint64, n uint) uint64 {
+	var out uint64
+	for i := uint(0); i < n; i++ {
+		out = out<<1 | (v>>i)&1
+	}
+	return out
+}
+
+// Encode compresses the symbol stream. alphabet is the exclusive upper bound
+// on symbol values; callers typically pass maxSymbol+1.
+func Encode(symbols []uint32, alphabet uint32) ([]byte, error) {
+	freq := make([]uint64, alphabet)
+	for _, s := range symbols {
+		if s >= alphabet {
+			return nil, fmt.Errorf("huffman: symbol %d outside alphabet %d", s, alphabet)
+		}
+		freq[s]++
+	}
+	lengths := buildLengths(freq)
+	codes, err := canonicalCodes(lengths)
+	if err != nil {
+		return nil, err
+	}
+	var hdr []byte
+	hdr = binary.AppendUvarint(hdr, uint64(alphabet))
+	hdr = binary.AppendUvarint(hdr, uint64(len(symbols)))
+	hdr = append(hdr, encodeLengths(lengths)...)
+	w := bitstream.NewWriter(len(symbols) / 2)
+	for _, s := range symbols {
+		w.WriteBits(codes[s], uint(lengths[s]))
+	}
+	body := w.Bytes()
+	out := make([]byte, 0, len(hdr)+len(body)+4)
+	out = binary.AppendUvarint(out, uint64(len(hdr)))
+	out = append(out, hdr...)
+	out = append(out, body...)
+	return out, nil
+}
+
+// encodeLengths run-length encodes the code length table: pairs of
+// (length byte, uvarint run).
+func encodeLengths(lengths []uint8) []byte {
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(len(lengths)))
+	i := 0
+	for i < len(lengths) {
+		j := i
+		for j < len(lengths) && lengths[j] == lengths[i] {
+			j++
+		}
+		out = append(out, lengths[i])
+		out = binary.AppendUvarint(out, uint64(j-i))
+		i = j
+	}
+	return out
+}
+
+func decodeLengths(b []byte) ([]uint8, int, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 || n > 1<<28 {
+		return nil, 0, ErrCorrupt
+	}
+	pos := sz
+	lengths := make([]uint8, 0, n)
+	for uint64(len(lengths)) < n {
+		if pos >= len(b) {
+			return nil, 0, ErrCorrupt
+		}
+		l := b[pos]
+		pos++
+		run, sz := binary.Uvarint(b[pos:])
+		if sz <= 0 || uint64(len(lengths))+run > n {
+			return nil, 0, ErrCorrupt
+		}
+		pos += sz
+		for k := uint64(0); k < run; k++ {
+			lengths = append(lengths, l)
+		}
+	}
+	return lengths, pos, nil
+}
+
+// decodeTable is a length-indexed canonical decoding structure.
+type decodeTable struct {
+	maxLen    uint8
+	firstCode []uint64 // canonical first code per length (MSB-first value)
+	offset    []uint64 // index into symsByLen of first symbol per length
+	symsByLen []uint32
+}
+
+func buildDecodeTable(lengths []uint8) (*decodeTable, error) {
+	maxLen := uint8(0)
+	for _, l := range lengths {
+		if l > maxLen {
+			maxLen = l
+		}
+	}
+	if maxLen > maxCodeLen {
+		return nil, ErrCorrupt
+	}
+	countByLen := make([]uint64, maxLen+1)
+	for _, l := range lengths {
+		if l > 0 {
+			countByLen[l]++
+		}
+	}
+	t := &decodeTable{maxLen: maxLen,
+		firstCode: make([]uint64, maxLen+2),
+		offset:    make([]uint64, maxLen+2)}
+	code := uint64(0)
+	total := uint64(0)
+	for l := uint8(1); l <= maxLen; l++ {
+		code = (code + countByLen[l-1]) << 1
+		t.firstCode[l] = code
+		t.offset[l] = total
+		total += countByLen[l]
+	}
+	t.symsByLen = make([]uint32, total)
+	next := make([]uint64, maxLen+1)
+	for s, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		t.symsByLen[t.offset[l]+next[l]] = uint32(s)
+		next[l]++
+	}
+	return t, nil
+}
+
+// Decode reverses Encode. It returns the symbol stream and the alphabet
+// size recorded in the header.
+func Decode(data []byte) ([]uint32, uint32, error) {
+	hdrLen, sz := binary.Uvarint(data)
+	if sz <= 0 || uint64(sz)+hdrLen > uint64(len(data)) {
+		return nil, 0, ErrCorrupt
+	}
+	hdr := data[sz : sz+int(hdrLen)]
+	body := data[sz+int(hdrLen):]
+	alphabet64, o := binary.Uvarint(hdr)
+	if o <= 0 || alphabet64 > 1<<28 {
+		return nil, 0, ErrCorrupt
+	}
+	hdr = hdr[o:]
+	count, o := binary.Uvarint(hdr)
+	if o <= 0 {
+		return nil, 0, ErrCorrupt
+	}
+	hdr = hdr[o:]
+	lengths, _, err := decodeLengths(hdr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if uint64(len(lengths)) != alphabet64 {
+		return nil, 0, ErrCorrupt
+	}
+	table, err := buildDecodeTable(lengths)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Every symbol costs at least one bit, so the count cannot exceed the
+	// body's bit length; and a table with no codes cannot decode anything.
+	if count > uint64(len(body))*8+64 || count > 1<<32 {
+		return nil, 0, ErrCorrupt
+	}
+	if count > 0 && table.maxLen == 0 {
+		return nil, 0, ErrCorrupt
+	}
+	out := make([]uint32, count)
+	r := bitstream.NewReader(body)
+	for i := range out {
+		sym, err := table.decodeOne(r)
+		if err != nil {
+			return nil, 0, err
+		}
+		out[i] = sym
+	}
+	return out, uint32(alphabet64), nil
+}
+
+func (t *decodeTable) decodeOne(r *bitstream.Reader) (uint32, error) {
+	if t.maxLen == 0 {
+		return 0, ErrCorrupt
+	}
+	code := uint64(0)
+	for l := uint8(1); l <= t.maxLen; l++ {
+		code = code<<1 | uint64(r.ReadBit())
+		count := t.offset[l+1] - t.offset[l]
+		if l == t.maxLen {
+			count = uint64(len(t.symsByLen)) - t.offset[l]
+		}
+		if count > 0 && code >= t.firstCode[l] && code-t.firstCode[l] < count {
+			return t.symsByLen[t.offset[l]+(code-t.firstCode[l])], nil
+		}
+	}
+	return 0, ErrCorrupt
+}

@@ -1,0 +1,167 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, syms []uint32, alphabet uint32) {
+	t.Helper()
+	enc, err := Encode(syms, alphabet)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, alpha, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if alpha != alphabet {
+		t.Fatalf("alphabet: got %d want %d", alpha, alphabet)
+	}
+	if len(dec) != len(syms) {
+		t.Fatalf("length: got %d want %d", len(dec), len(syms))
+	}
+	for i := range syms {
+		if dec[i] != syms[i] {
+			t.Fatalf("symbol %d: got %d want %d", i, dec[i], syms[i])
+		}
+	}
+}
+
+func TestEmpty(t *testing.T)        { roundTrip(t, nil, 16) }
+func TestSingleSymbol(t *testing.T) { roundTrip(t, []uint32{7, 7, 7, 7, 7}, 16) }
+func TestTwoSymbols(t *testing.T)   { roundTrip(t, []uint32{0, 1, 0, 0, 1, 1, 0}, 2) }
+
+func TestUniformAlphabet(t *testing.T) {
+	syms := make([]uint32, 4096)
+	for i := range syms {
+		syms[i] = uint32(i % 256)
+	}
+	roundTrip(t, syms, 256)
+}
+
+func TestSkewedDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	syms := make([]uint32, 10000)
+	for i := range syms {
+		// Geometric-ish skew typical of quantization codes.
+		v := uint32(0)
+		for rng.Float64() < 0.5 && v < 63 {
+			v++
+		}
+		syms[i] = v
+	}
+	roundTrip(t, syms, 64)
+	// Skewed data must compress well below 6 bits/symbol.
+	enc, _ := Encode(syms, 64)
+	if len(enc) > 10000*4/8 {
+		t.Fatalf("skewed stream poorly compressed: %d bytes", len(enc))
+	}
+}
+
+func TestLargeAlphabetSparse(t *testing.T) {
+	syms := []uint32{65000, 1, 65000, 2, 65000, 65000, 1}
+	roundTrip(t, syms, 65536)
+}
+
+func TestPropertyRandomStreams(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := uint32(1 + rng.Intn(1000))
+		n := rng.Intn(2000)
+		syms := make([]uint32, n)
+		for i := range syms {
+			syms[i] = uint32(rng.Intn(int(alphabet)))
+		}
+		enc, err := Encode(syms, alphabet)
+		if err != nil {
+			return false
+		}
+		dec, _, err := Decode(enc)
+		if err != nil || len(dec) != n {
+			return false
+		}
+		for i := range syms {
+			if dec[i] != syms[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymbolOutsideAlphabet(t *testing.T) {
+	if _, err := Encode([]uint32{9}, 4); err == nil {
+		t.Fatal("expected error for out-of-alphabet symbol")
+	}
+}
+
+func TestCorruptStreams(t *testing.T) {
+	enc, err := Encode([]uint32{1, 2, 3, 1, 2, 3, 3, 3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncations must error or return wrong-but-safe results, never panic.
+	for cut := 0; cut < len(enc); cut++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on truncation at %d: %v", cut, r)
+				}
+			}()
+			_, _, _ = Decode(enc[:cut])
+		}()
+	}
+	// Garbage header.
+	if _, _, err := Decode([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]uint32, 1<<16)
+	for i := range syms {
+		v := uint32(0)
+		for rng.Float64() < 0.6 && v < 255 {
+			v++
+		}
+		syms[i] = v
+	}
+	b.SetBytes(int64(len(syms) * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(syms, 256); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]uint32, 1<<16)
+	for i := range syms {
+		v := uint32(0)
+		for rng.Float64() < 0.6 && v < 255 {
+			v++
+		}
+		syms[i] = v
+	}
+	enc, err := Encode(syms, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(syms) * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

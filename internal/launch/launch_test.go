@@ -1,0 +1,135 @@
+package launch
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pressio/internal/core"
+	_ "pressio/internal/lossless"
+	_ "pressio/internal/sz"
+)
+
+func sample() *core.Data {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float32, 32*32)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i)/15) + 0.01*rng.NormFloat64())
+	}
+	return core.FromFloat32s(vals, 32, 32)
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	in := sample()
+	req := Request{
+		Op:         "compress",
+		Compressor: "sz_threadsafe",
+		Options:    map[string]string{"pressio:abs": "0.001", "mode": "fast"},
+		Payload:    in,
+		Hint:       core.NewEmpty(core.DTypeFloat32, 32, 32),
+	}
+	var buf bytes.Buffer
+	if err := WriteRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != req.Op || got.Compressor != req.Compressor {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Options["pressio:abs"] != "0.001" || got.Options["mode"] != "fast" {
+		t.Fatalf("options mismatch: %v", got.Options)
+	}
+	if !got.Payload.Equal(in) {
+		t.Fatal("payload mismatch")
+	}
+	if got.Hint.DType() != core.DTypeFloat32 || got.Hint.Len() != 1024 {
+		t.Fatalf("hint mismatch: %v", got.Hint)
+	}
+}
+
+func TestServeCompressDecompressInProcess(t *testing.T) {
+	// Run the worker protocol over in-memory pipes (both directions).
+	in := sample()
+	var req1, resp1 bytes.Buffer
+	err := WriteRequest(&req1, Request{
+		Op: "compress", Compressor: "sz_threadsafe",
+		Options: map[string]string{"pressio:abs": "0.001"},
+		Payload: in,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Serve(&req1, &resp1); err != nil {
+		t.Fatal(err)
+	}
+	compressed, err := readData(&bufReader{&resp1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compressed.ByteLen() == 0 || compressed.ByteLen() >= in.ByteLen() {
+		t.Fatalf("compressed size %d", compressed.ByteLen())
+	}
+	var req2, resp2 bytes.Buffer
+	err = WriteRequest(&req2, Request{
+		Op: "decompress", Compressor: "sz_threadsafe",
+		Payload: compressed,
+		Hint:    core.NewEmpty(core.DTypeFloat32, 32, 32),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Serve(&req2, &resp2); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := readData(&bufReader{&resp2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := in.Float32s()
+	got := dec.Float32s()
+	for i := range orig {
+		if math.Abs(float64(got[i]-orig[i])) > 0.001 {
+			t.Fatalf("elem %d: bound violated through worker protocol", i)
+		}
+	}
+}
+
+func TestServeRejectsBadRequests(t *testing.T) {
+	var out bytes.Buffer
+	if err := Serve(bytes.NewReader([]byte("nope")), &out); err == nil {
+		t.Fatal("expected protocol error")
+	}
+	var req bytes.Buffer
+	if err := WriteRequest(&req, Request{Op: "explode", Compressor: "sz_threadsafe", Payload: sample()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Serve(&req, &out); err == nil {
+		t.Fatal("expected unknown-op error")
+	}
+}
+
+func TestApplyStringOptions(t *testing.T) {
+	c, err := core.NewCompressor("sz_threadsafe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ApplyStringOptions(c, map[string]string{
+		"sz_threadsafe:abs_err_bound": "0.25",
+		"pressio:lossless":            "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Options().GetFloat64("sz_threadsafe:abs_err_bound")
+	if err != nil || got != 0.25 {
+		t.Fatalf("bound not applied: %v %v", got, err)
+	}
+	// Unparseable value against an advertised numeric type fails loudly.
+	if err := ApplyStringOptions(c, map[string]string{"sz_threadsafe:abs_err_bound": "tiny"}); err == nil {
+		t.Fatal("expected parse error")
+	}
+}

@@ -1,0 +1,176 @@
+package lossless
+
+import (
+	"fmt"
+
+	"pressio/internal/core"
+)
+
+// Version is the plugin family version reported through Configuration.
+const Version = "1.0.0"
+
+// codecKind selects the algorithm behind a generic byte-codec plugin.
+type codecKind int
+
+const (
+	kindNoop codecKind = iota
+	kindFlate
+	kindGzip
+	kindZlib
+	kindRLE
+	kindShuffle    // byte shuffle + DEFLATE (BLOSC-style)
+	kindBitShuffle // bit shuffle + DEFLATE (BLOSC's second filter)
+	kindDelta      // bitwise delta + varint + DEFLATE
+)
+
+// plugin is the shared implementation of every lossless compressor plugin.
+// Lossless compressors treat the input as a byte stream (the paper's §V
+// datatype-awareness discussion); shuffle and delta additionally use the
+// element size from the dtype when available.
+type plugin struct {
+	kind  codecKind
+	name  string
+	level int32
+}
+
+func newPlugin(kind codecKind, name string) func() core.CompressorPlugin {
+	return func() core.CompressorPlugin {
+		return &plugin{kind: kind, name: name, level: 6}
+	}
+}
+
+func init() {
+	core.RegisterCompressor("noop", newPlugin(kindNoop, "noop"))
+	core.RegisterCompressor("flate", newPlugin(kindFlate, "flate"))
+	core.RegisterCompressor("gzip", newPlugin(kindGzip, "gzip"))
+	core.RegisterCompressor("zlib", newPlugin(kindZlib, "zlib"))
+	core.RegisterCompressor("rle", newPlugin(kindRLE, "rle"))
+	core.RegisterCompressor("shuffle", newPlugin(kindShuffle, "shuffle"))
+	core.RegisterCompressor("bitshuffle", newPlugin(kindBitShuffle, "bitshuffle"))
+	core.RegisterCompressor("delta", newPlugin(kindDelta, "delta"))
+}
+
+func (p *plugin) Prefix() string  { return p.name }
+func (p *plugin) Version() string { return Version }
+
+func (p *plugin) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue(p.name+":level", p.level)
+	o.SetValue(core.KeyLossless, p.level)
+	return o
+}
+
+func (p *plugin) SetOptions(o *core.Options) error {
+	if v, err := o.GetInt32(core.KeyLossless); err == nil {
+		p.level = v
+	}
+	if v, err := o.GetInt32(p.name + ":level"); err == nil {
+		p.level = v
+	}
+	if p.level < 0 || p.level > 9 {
+		return fmt.Errorf("%w: %s:level %d outside [0,9]", core.ErrInvalidOption, p.name, p.level)
+	}
+	return nil
+}
+
+func (p *plugin) CheckOptions(o *core.Options) error {
+	clone := *p
+	return clone.SetOptions(o)
+}
+
+func (p *plugin) Configuration() *core.Options {
+	return core.StandardConfiguration(core.ThreadSafetyMultiple, "stable", Version, false)
+}
+
+// header layout: [kind byte][elemSize byte] then payload.
+func (p *plugin) CompressImpl(in, out *core.Data) error {
+	raw := in.Bytes()
+	elem := in.DType().Size()
+	if elem == 0 {
+		elem = 1
+	}
+	var payload []byte
+	var err error
+	switch p.kind {
+	case kindNoop:
+		payload = append([]byte(nil), raw...)
+	case kindFlate:
+		payload, err = Deflate(raw, int(p.level))
+	case kindGzip:
+		payload, err = Gzip(raw, int(p.level))
+	case kindZlib:
+		payload, err = Zlib(raw, int(p.level))
+	case kindRLE:
+		payload = RLE(raw)
+	case kindShuffle:
+		payload, err = Deflate(Shuffle(raw, elem), int(p.level))
+	case kindBitShuffle:
+		payload, err = Deflate(BitShuffle(raw, elem), int(p.level))
+	case kindDelta:
+		var deltas []byte
+		deltas, err = DeltaVarint(raw, elem)
+		if err == nil {
+			payload, err = Deflate(deltas, int(p.level))
+		}
+	}
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 0, len(payload)+2)
+	buf = append(buf, byte(p.kind), byte(elem))
+	buf = append(buf, payload...)
+	out.Become(core.NewBytes(buf))
+	return nil
+}
+
+func (p *plugin) DecompressImpl(in, out *core.Data) error {
+	b := in.Bytes()
+	if len(b) < 2 {
+		return ErrCorrupt
+	}
+	kind, elem := codecKind(b[0]), int(b[1])
+	if kind != p.kind {
+		return fmt.Errorf("%w: stream was produced by a different codec", ErrCorrupt)
+	}
+	payload := b[2:]
+	var raw []byte
+	var err error
+	switch kind {
+	case kindNoop:
+		raw = append([]byte(nil), payload...)
+	case kindFlate:
+		raw, err = Inflate(payload)
+	case kindGzip:
+		raw, err = Gunzip(payload)
+	case kindZlib:
+		raw, err = Unzlib(payload)
+	case kindRLE:
+		raw, err = UnRLE(payload)
+	case kindShuffle:
+		raw, err = Inflate(payload)
+		if err == nil {
+			raw = Unshuffle(raw, elem)
+		}
+	case kindBitShuffle:
+		raw, err = Inflate(payload)
+		if err == nil {
+			raw = BitUnshuffle(raw, elem)
+		}
+	case kindDelta:
+		raw, err = Inflate(payload)
+		if err == nil {
+			raw, err = UnDeltaVarint(raw, elem)
+		}
+	default:
+		err = ErrCorrupt
+	}
+	if err != nil {
+		return err
+	}
+	return core.FillDecompressed(out, raw)
+}
+
+func (p *plugin) Clone() core.CompressorPlugin {
+	clone := *p
+	return &clone
+}

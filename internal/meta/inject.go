@@ -1,0 +1,284 @@
+package meta
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pressio/internal/core"
+)
+
+func init() {
+	core.RegisterCompressor("fault_injector", func() core.CompressorPlugin {
+		return &faultInjector{child: newChild("fault_injector", "sz_threadsafe"), nFaults: 1}
+	})
+	core.RegisterCompressor("noise_injector", func() core.CompressorPlugin {
+		return &noiseInjector{child: newChild("noise_injector", "sz_threadsafe"), dist: "gaussian", scale: 1e-3}
+	})
+	core.RegisterCompressor("switch", func() core.CompressorPlugin {
+		return &switchMeta{active: "sz_threadsafe"}
+	})
+}
+
+// faultInjector compresses with its child and then flips bits in the
+// compressed stream — the building block of fuzz-style resilience testing
+// of decompressors (the paper's Fault Injector).
+type faultInjector struct {
+	child
+	nFaults uint64
+	seed    int64
+}
+
+func (p *faultInjector) Prefix() string  { return "fault_injector" }
+func (p *faultInjector) Version() string { return Version }
+
+func (p *faultInjector) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue("fault_injector:faults", p.nFaults)
+	o.SetValue("fault_injector:seed", p.seed)
+	p.describe(o)
+	return o
+}
+
+func (p *faultInjector) SetOptions(o *core.Options) error {
+	if v, err := o.GetUint64("fault_injector:faults"); err == nil {
+		p.nFaults = v
+	}
+	if v, err := o.GetInt64("fault_injector:seed"); err == nil {
+		p.seed = v
+	}
+	return p.applyOptions(o)
+}
+
+func (p *faultInjector) CheckOptions(o *core.Options) error {
+	clone := faultInjector{child: p.child.clone(), nFaults: p.nFaults, seed: p.seed}
+	return clone.SetOptions(o)
+}
+
+func (p *faultInjector) Configuration() *core.Options {
+	return core.StandardConfiguration(core.ThreadSafetySerialized, "experimental", Version, false)
+}
+
+func (p *faultInjector) CompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	inner, err := core.Compress(comp, in)
+	if err != nil {
+		return err
+	}
+	buf := append([]byte(nil), inner.Bytes()...)
+	rng := rand.New(rand.NewSource(p.seed))
+	for i := uint64(0); i < p.nFaults && len(buf) > 0; i++ {
+		bit := rng.Intn(len(buf) * 8)
+		buf[bit/8] ^= 1 << (bit % 8)
+	}
+	out.Become(core.NewBytes(buf))
+	return nil
+}
+
+func (p *faultInjector) DecompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	return comp.Decompress(in, out)
+}
+
+func (p *faultInjector) Clone() core.CompressorPlugin {
+	return &faultInjector{child: p.child.clone(), nFaults: p.nFaults, seed: p.seed}
+}
+
+// noiseInjector adds random noise to each input element before handing the
+// data to the child compressor — the Random Error Injector, used to study
+// how compressors respond to measurement noise.
+type noiseInjector struct {
+	child
+	dist  string // "gaussian" or "uniform"
+	scale float64
+	seed  int64
+}
+
+func (p *noiseInjector) Prefix() string  { return "noise_injector" }
+func (p *noiseInjector) Version() string { return Version }
+
+func (p *noiseInjector) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue("noise_injector:distribution", p.dist)
+	o.SetValue("noise_injector:scale", p.scale)
+	o.SetValue("noise_injector:seed", p.seed)
+	p.describe(o)
+	return o
+}
+
+func (p *noiseInjector) SetOptions(o *core.Options) error {
+	if v, err := o.GetString("noise_injector:distribution"); err == nil {
+		if v != "gaussian" && v != "uniform" {
+			return fmt.Errorf("%w: noise distribution %q", core.ErrInvalidOption, v)
+		}
+		p.dist = v
+	}
+	if v, err := o.GetFloat64("noise_injector:scale"); err == nil {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("%w: noise scale %v", core.ErrInvalidOption, v)
+		}
+		p.scale = v
+	}
+	if v, err := o.GetInt64("noise_injector:seed"); err == nil {
+		p.seed = v
+	}
+	return p.applyOptions(o)
+}
+
+func (p *noiseInjector) CheckOptions(o *core.Options) error {
+	clone := noiseInjector{child: p.child.clone(), dist: p.dist, scale: p.scale, seed: p.seed}
+	return clone.SetOptions(o)
+}
+
+func (p *noiseInjector) Configuration() *core.Options {
+	return core.StandardConfiguration(core.ThreadSafetySerialized, "experimental", Version, false)
+}
+
+func (p *noiseInjector) CompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	work := in.Clone()
+	rng := rand.New(rand.NewSource(p.seed))
+	noise := func() float64 {
+		if p.dist == "uniform" {
+			return (rng.Float64()*2 - 1) * p.scale
+		}
+		return rng.NormFloat64() * p.scale
+	}
+	switch in.DType() {
+	case core.DTypeFloat32:
+		v := work.Float32s()
+		for i := range v {
+			v[i] += float32(noise())
+		}
+	case core.DTypeFloat64:
+		v := work.Float64s()
+		for i := range v {
+			v[i] += noise()
+		}
+	default:
+		return fmt.Errorf("%w: noise_injector needs floating point data", core.ErrInvalidDType)
+	}
+	inner, err := core.Compress(comp, work)
+	if err != nil {
+		return err
+	}
+	out.Become(inner)
+	return nil
+}
+
+func (p *noiseInjector) DecompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	return comp.Decompress(in, out)
+}
+
+func (p *noiseInjector) Clone() core.CompressorPlugin {
+	return &noiseInjector{child: p.child.clone(), dist: p.dist, scale: p.scale, seed: p.seed}
+}
+
+// switchMeta dispatches to one of several child compressors selected at
+// runtime by the "switch:active" option, which is how optimizers search
+// across compressor *types* with a single configuration knob.
+type switchMeta struct {
+	active string
+	pool   map[string]*core.Compressor
+	saved  *core.Options
+}
+
+func (p *switchMeta) Prefix() string  { return "switch" }
+func (p *switchMeta) Version() string { return Version }
+
+func (p *switchMeta) current() (*core.Compressor, error) {
+	if p.pool == nil {
+		p.pool = map[string]*core.Compressor{}
+	}
+	if c, ok := p.pool[p.active]; ok {
+		return c, nil
+	}
+	c, err := core.NewCompressor(p.active)
+	if err != nil {
+		return nil, err
+	}
+	if p.saved != nil {
+		if err := c.SetOptions(p.saved); err != nil {
+			return nil, err
+		}
+	}
+	p.pool[p.active] = c
+	return c, nil
+}
+
+func (p *switchMeta) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue("switch:active", p.active)
+	if c, err := p.current(); err == nil {
+		o.Merge(c.Options())
+	}
+	return o
+}
+
+func (p *switchMeta) SetOptions(o *core.Options) error {
+	if v, err := o.GetString("switch:active"); err == nil {
+		p.active = v
+	}
+	if p.saved == nil {
+		p.saved = core.NewOptions()
+	}
+	p.saved.Merge(o)
+	for _, c := range p.pool {
+		if err := c.SetOptions(o); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *switchMeta) CheckOptions(o *core.Options) error {
+	if v, err := o.GetString("switch:active"); err == nil {
+		if _, err := core.NewCompressor(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *switchMeta) Configuration() *core.Options {
+	cfg := core.StandardConfiguration(core.ThreadSafetySerialized, "stable", Version, false)
+	cfg.SetValue("switch:known", core.SupportedCompressors())
+	return cfg
+}
+
+func (p *switchMeta) CompressImpl(in, out *core.Data) error {
+	c, err := p.current()
+	if err != nil {
+		return err
+	}
+	return c.Compress(in, out)
+}
+
+func (p *switchMeta) DecompressImpl(in, out *core.Data) error {
+	c, err := p.current()
+	if err != nil {
+		return err
+	}
+	return c.Decompress(in, out)
+}
+
+func (p *switchMeta) Clone() core.CompressorPlugin {
+	clone := &switchMeta{active: p.active}
+	if p.saved != nil {
+		clone.saved = p.saved.Clone()
+	}
+	return clone
+}

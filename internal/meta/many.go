@@ -1,0 +1,140 @@
+package meta
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pressio/internal/core"
+)
+
+// CompressMany is the "Many Independent" meta-compressor: it compresses
+// several buffers concurrently using clones of the prototype compressor
+// (embarrassingly parallel). It respects the prototype's declared thread
+// safety: "single" plugins are run serially.
+func CompressMany(proto *core.Compressor, bufs []*core.Data, nthreads int) ([]*core.Data, error) {
+	if proto == nil {
+		return nil, fmt.Errorf("meta: %w: nil compressor", core.ErrNilData)
+	}
+	results := make([]*core.Data, len(bufs))
+	errs := make([]error, len(bufs))
+	workers := nthreads
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if proto.ThreadSafety() == core.ThreadSafetySingle {
+		workers = 1
+	}
+	if workers > len(bufs) {
+		workers = len(bufs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker := proto.Clone()
+			for i := range next {
+				results[i], errs[i] = core.Compress(worker, bufs[i])
+			}
+		}()
+	}
+	for i := range bufs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// DecompressMany is the inverse of CompressMany; hints supply the per-buffer
+// output dtype/dims the same way Decompress does.
+func DecompressMany(proto *core.Compressor, comps, hints []*core.Data, nthreads int) ([]*core.Data, error) {
+	if len(comps) != len(hints) {
+		return nil, fmt.Errorf("meta: %w: %d streams, %d hints", core.ErrInvalidDims, len(comps), len(hints))
+	}
+	results := make([]*core.Data, len(comps))
+	errs := make([]error, len(comps))
+	workers := nthreads
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if proto.ThreadSafety() == core.ThreadSafetySingle {
+		workers = 1
+	}
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker := proto.Clone()
+			for i := range next {
+				out := core.NewEmpty(hints[i].DType(), hints[i].Dims()...)
+				errs[i] = worker.Decompress(comps[i], out)
+				results[i] = out
+			}
+		}()
+	}
+	for i := range comps {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// Feedback maps the metric results of one buffer to option updates for the
+// next — e.g. forwarding the previous timestep's tuned error bound.
+type Feedback func(step int, results *core.Options) *core.Options
+
+// CompressManyDependent is the "Many Dependent" meta-compressor: a pipeline
+// in which buffer i's metrics configure buffer i+1's compression. The first
+// buffer runs with the compressor's current options; after each buffer the
+// feedback callback may return options applied before the next one.
+func CompressManyDependent(proto *core.Compressor, bufs []*core.Data, metrics []string, fb Feedback) ([]*core.Data, error) {
+	comp := proto.Clone()
+	if len(metrics) > 0 {
+		m, err := core.NewMetrics(metrics...)
+		if err != nil {
+			return nil, err
+		}
+		comp.SetMetrics(m)
+	}
+	results := make([]*core.Data, len(bufs))
+	for i, buf := range bufs {
+		out, err := core.Compress(comp, buf)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = out
+		if fb != nil {
+			if opts := fb(i, comp.MetricsResults()); opts != nil {
+				if err := comp.SetOptions(opts); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,363 @@
+// Package meta implements the paper's "meta-compressors": plugins that
+// satisfy the compressor interface but compose, transform, parallelize or
+// perturb other compressors instead of coding data themselves — chunking,
+// transpose, resize, sampling, delta encoding, linear quantization, fault
+// and noise injection, runtime switching, and the many-independent /
+// many-dependent parallel pipelines. They are what lets tools be written
+// once against the generic interface and still benefit every compressor.
+package meta
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pressio/internal/core"
+)
+
+// Version is the meta-compressor family version.
+const Version = "1.0.0"
+
+// ErrCorrupt reports a malformed meta-compressor stream.
+var ErrCorrupt = errors.New("meta: corrupt stream")
+
+// child manages the wrapped compressor of a meta plugin: the child is named
+// by an option ("<prefix>:compressor") and receives every option set on the
+// parent, so one flat Options value configures the whole composition.
+type child struct {
+	prefix    string
+	childName string
+	comp      *core.Compressor
+	saved     *core.Options
+}
+
+func newChild(prefix, defaultName string) child {
+	return child{prefix: prefix, childName: defaultName}
+}
+
+func (c *child) applyOptions(o *core.Options) error {
+	if v, err := o.GetString(c.prefix + ":compressor"); err == nil && v != c.childName {
+		c.childName = v
+		c.comp = nil
+	}
+	if c.saved == nil {
+		c.saved = core.NewOptions()
+	}
+	c.saved.Merge(o)
+	if c.comp != nil {
+		return c.comp.SetOptions(o)
+	}
+	return nil
+}
+
+func (c *child) describe(o *core.Options) {
+	o.SetValue(c.prefix+":compressor", c.childName)
+	if c.comp != nil {
+		o.Merge(c.comp.Options())
+	}
+}
+
+func (c *child) get() (*core.Compressor, error) {
+	if c.comp == nil {
+		comp, err := core.NewCompressor(c.childName)
+		if err != nil {
+			return nil, err
+		}
+		if c.saved != nil {
+			if err := comp.SetOptions(c.saved); err != nil {
+				return nil, err
+			}
+		}
+		c.comp = comp
+	}
+	return c.comp, nil
+}
+
+func (c *child) clone() child {
+	out := child{prefix: c.prefix, childName: c.childName}
+	if c.saved != nil {
+		out.saved = c.saved.Clone()
+	}
+	if c.comp != nil {
+		out.comp = c.comp.Clone()
+	}
+	return out
+}
+
+func init() {
+	core.RegisterCompressor("chunking", func() core.CompressorPlugin {
+		return &chunking{child: newChild("chunking", "sz_threadsafe")}
+	})
+}
+
+// chunking splits the input along the slowest dimension and compresses the
+// chunks concurrently with independent clones of the child compressor — the
+// automatic task-parallelization meta-compressor. It consults the child's
+// declared thread safety: "multiple" children share one instance per
+// worker clone anyway (clones are cheap), while "single" children are
+// compressed serially.
+type chunking struct {
+	child
+	chunkRows uint64
+	nthreads  int32
+}
+
+const chunkingMagic = "MCH1"
+
+func (p *chunking) Prefix() string  { return "chunking" }
+func (p *chunking) Version() string { return Version }
+
+func (p *chunking) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue("chunking:chunk_rows", p.chunkRows)
+	o.SetValue("chunking:nthreads", p.nthreads)
+	o.SetValue(core.KeyNThreads, p.nthreads)
+	p.describe(o)
+	return o
+}
+
+func (p *chunking) SetOptions(o *core.Options) error {
+	if v, err := o.GetUint64("chunking:chunk_rows"); err == nil {
+		p.chunkRows = v
+	}
+	if v, err := o.GetInt32(core.KeyNThreads); err == nil {
+		p.nthreads = v
+	}
+	if v, err := o.GetInt32("chunking:nthreads"); err == nil {
+		p.nthreads = v
+	}
+	return p.applyOptions(o)
+}
+
+func (p *chunking) CheckOptions(o *core.Options) error {
+	clone := chunking{child: p.child.clone(), chunkRows: p.chunkRows, nthreads: p.nthreads}
+	return clone.SetOptions(o)
+}
+
+func (p *chunking) Configuration() *core.Options {
+	cfg := core.StandardConfiguration(core.ThreadSafetyMultiple, "stable", Version, false)
+	cfg.SetValue("chunking:parallel", int32(1))
+	return cfg
+}
+
+func (p *chunking) CompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	dims := in.Dims()
+	if len(dims) == 0 {
+		return fmt.Errorf("chunking: %w", core.ErrInvalidDims)
+	}
+	d0 := dims[0]
+	chunkRows := p.chunkRows
+	if chunkRows == 0 || chunkRows > d0 {
+		n := uint64(runtime.GOMAXPROCS(0))
+		chunkRows = (d0 + n - 1) / n
+		if chunkRows == 0 {
+			chunkRows = 1
+		}
+	}
+	rowBytes := uint64(in.DType().Size())
+	for _, d := range dims[1:] {
+		rowBytes *= d
+	}
+	type job struct {
+		rows  uint64
+		chunk *core.Data
+	}
+	var jobs []job
+	for start := uint64(0); start < d0; start += chunkRows {
+		rows := chunkRows
+		if start+rows > d0 {
+			rows = d0 - start
+		}
+		chunkDims := append([]uint64{rows}, dims[1:]...)
+		raw := in.Bytes()[start*rowBytes : (start+rows)*rowBytes]
+		chunk, err := core.NewMove(in.DType(), raw, chunkDims...)
+		if err != nil {
+			return err
+		}
+		jobs = append(jobs, job{rows, chunk})
+	}
+
+	results := make([]*core.Data, len(jobs))
+	errs := make([]error, len(jobs))
+	parallel := comp.ThreadSafety() >= core.ThreadSafetySerialized
+	workers := int(p.nthreads)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if !parallel || workers > len(jobs) {
+		if !parallel {
+			workers = 1
+		} else {
+			workers = len(jobs)
+		}
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Serialized children need one clone per worker; a fresh
+			// clone also isolates metrics state.
+			worker := comp.Clone()
+			for i := range next {
+				results[i], errs[i] = core.Compress(worker, jobs[i].chunk)
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	var buf []byte
+	buf = append(buf, chunkingMagic...)
+	buf = append(buf, byte(in.DType()))
+	buf = append(buf, byte(len(dims)))
+	for _, d := range dims {
+		buf = binary.AppendUvarint(buf, d)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(jobs)))
+	for i := range jobs {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		buf = binary.AppendUvarint(buf, jobs[i].rows)
+		buf = binary.AppendUvarint(buf, results[i].ByteLen())
+	}
+	for i := range jobs {
+		buf = append(buf, results[i].Bytes()...)
+	}
+	out.Become(core.NewBytes(buf))
+	return nil
+}
+
+func (p *chunking) DecompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	b := in.Bytes()
+	if len(b) < 6 || string(b[:4]) != chunkingMagic {
+		return ErrCorrupt
+	}
+	dtype := core.DType(b[4])
+	rank := int(b[5])
+	if rank == 0 || rank > 16 || dtype.Size() == 0 {
+		return ErrCorrupt
+	}
+	pos := 6
+	dims := make([]uint64, rank)
+	total := uint64(1)
+	for i := range dims {
+		v, sz := binary.Uvarint(b[pos:])
+		if sz <= 0 || v == 0 {
+			return ErrCorrupt
+		}
+		dims[i] = v
+		total *= v
+		if total > 1<<40 {
+			return ErrCorrupt // declared-shape bomb
+		}
+		pos += sz
+	}
+	nChunks, sz := binary.Uvarint(b[pos:])
+	if sz <= 0 || nChunks == 0 || nChunks > 1<<24 {
+		return ErrCorrupt
+	}
+	pos += sz
+	rows := make([]uint64, nChunks)
+	sizes := make([]uint64, nChunks)
+	for i := range rows {
+		r, sz := binary.Uvarint(b[pos:])
+		if sz <= 0 {
+			return ErrCorrupt
+		}
+		pos += sz
+		l, sz := binary.Uvarint(b[pos:])
+		if sz <= 0 {
+			return ErrCorrupt
+		}
+		pos += sz
+		rows[i], sizes[i] = r, l
+	}
+	rowBytes := uint64(dtype.Size())
+	for _, d := range dims[1:] {
+		rowBytes *= d
+	}
+	result := core.NewData(dtype, dims...)
+	type span struct {
+		payload []byte
+		dstOff  uint64
+		rows    uint64
+	}
+	spans := make([]span, nChunks)
+	off := uint64(pos)
+	dst := uint64(0)
+	for i := uint64(0); i < nChunks; i++ {
+		if off+sizes[i] > uint64(len(b)) {
+			return ErrCorrupt
+		}
+		spans[i] = span{payload: b[off : off+sizes[i]], dstOff: dst, rows: rows[i]}
+		off += sizes[i]
+		dst += rows[i] * rowBytes
+	}
+	if dst != result.ByteLen() {
+		return ErrCorrupt
+	}
+	errs := make([]error, nChunks)
+	parallel := comp.ThreadSafety() >= core.ThreadSafetySerialized
+	workers := int(p.nthreads)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if !parallel {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker := comp.Clone()
+			for i := range next {
+				s := spans[i]
+				chunkDims := append([]uint64{s.rows}, dims[1:]...)
+				dec, err := core.Decompress(worker, core.NewBytes(s.payload), dtype, chunkDims...)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				if dec.ByteLen() != s.rows*rowBytes {
+					errs[i] = ErrCorrupt
+					continue
+				}
+				copy(result.Bytes()[s.dstOff:], dec.Bytes())
+			}
+		}()
+	}
+	for i := range spans {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	out.Become(result)
+	return nil
+}
+
+func (p *chunking) Clone() core.CompressorPlugin {
+	return &chunking{child: p.child.clone(), chunkRows: p.chunkRows, nthreads: p.nthreads}
+}

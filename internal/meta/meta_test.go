@@ -1,0 +1,471 @@
+package meta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pressio/internal/core"
+	_ "pressio/internal/lossless"
+	_ "pressio/internal/metrics"
+	_ "pressio/internal/sz"
+	_ "pressio/internal/zfp"
+)
+
+func smooth(dims []uint64, seed int64) *core.Data {
+	rng := rand.New(rand.NewSource(seed))
+	total := uint64(1)
+	for _, d := range dims {
+		total *= d
+	}
+	vals := make([]float32, total)
+	for i := range vals {
+		vals[i] = float32(40*math.Sin(float64(i)/33) + 0.02*rng.NormFloat64())
+	}
+	return core.FromFloat32s(vals, dims...)
+}
+
+func maxErr(a, b *core.Data) float64 {
+	av, bv := a.AsFloat64s(), b.AsFloat64s()
+	worst := 0.0
+	for i := range av {
+		if d := math.Abs(av[i] - bv[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestChunkingPreservesBound(t *testing.T) {
+	in := smooth([]uint64{40, 16, 16}, 1)
+	c, err := core.NewCompressor("chunking")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.NewOptions().
+		SetValue("chunking:compressor", "sz_threadsafe").
+		SetValue("chunking:chunk_rows", uint64(8)).
+		SetValue(core.KeyAbs, 0.01)
+	if err := c.SetOptions(opts); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.Decompress(c, comp, core.DTypeFloat32, 40, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalDims(dec.Dims(), in.Dims()) {
+		t.Fatalf("dims %v", dec.Dims())
+	}
+	if worst := maxErr(in, dec); worst > 0.01 {
+		t.Fatalf("bound violated through chunking: %g", worst)
+	}
+}
+
+func equalDims(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestChunkingWithSingleThreadSafetyChild(t *testing.T) {
+	// The "sz" plugin is thread-safety "single": chunking must fall back
+	// to serial execution and still produce correct output.
+	in := smooth([]uint64{16, 8, 8}, 2)
+	c, _ := core.NewCompressor("chunking")
+	opts := core.NewOptions().
+		SetValue("chunking:compressor", "sz").
+		SetValue("chunking:chunk_rows", uint64(4)).
+		SetValue(core.KeyAbs, 0.05)
+	if err := c.SetOptions(opts); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.Decompress(c, comp, core.DTypeFloat32, 16, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst := maxErr(in, dec); worst > 0.05 {
+		t.Fatalf("bound violated: %g", worst)
+	}
+}
+
+func TestChunkingLosslessChild(t *testing.T) {
+	in := smooth([]uint64{10, 100}, 3)
+	c, _ := core.NewCompressor("chunking")
+	if err := c.SetOptions(core.NewOptions().
+		SetValue("chunking:compressor", "shuffle").
+		SetValue("chunking:chunk_rows", uint64(3))); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.Decompress(c, comp, core.DTypeFloat32, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Equal(in) {
+		t.Fatal("lossless chunking round trip failed")
+	}
+}
+
+func TestTransposeFunction(t *testing.T) {
+	// 2x3 matrix transposed.
+	d := core.FromFloat64s([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	tr, err := Transpose(d, []uint64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalDims(tr.Dims(), []uint64{3, 2}) {
+		t.Fatalf("dims %v", tr.Dims())
+	}
+	want := []float64{1, 4, 2, 5, 3, 6}
+	for i, v := range tr.Float64s() {
+		if v != want[i] {
+			t.Fatalf("tr[%d] = %v", i, v)
+		}
+	}
+	back, err := Transpose(tr, invertPerm([]uint64{1, 0}))
+	if err != nil || !back.Equal(d) {
+		t.Fatal("double transpose should be identity")
+	}
+	// 3-D with a rotation permutation.
+	d3 := smooth([]uint64{3, 4, 5}, 4)
+	perm := []uint64{2, 0, 1}
+	tr3, err := Transpose(d3, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back3, err := Transpose(tr3, invertPerm(perm))
+	if err != nil || !back3.Equal(d3) {
+		t.Fatal("3-D transpose inverse failed")
+	}
+	if _, err := Transpose(d, []uint64{0, 0}); err == nil {
+		t.Fatal("expected invalid permutation error")
+	}
+}
+
+func TestTransposeMetaRoundTrip(t *testing.T) {
+	in := smooth([]uint64{8, 12, 20}, 5)
+	c, _ := core.NewCompressor("transpose")
+	if err := c.SetOptions(core.NewOptions().
+		SetValue("transpose:compressor", "sz_threadsafe").
+		SetValue(core.KeyAbs, 0.01)); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.Decompress(c, comp, core.DTypeFloat32, 8, 12, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalDims(dec.Dims(), in.Dims()) {
+		t.Fatalf("dims %v", dec.Dims())
+	}
+	if worst := maxErr(in, dec); worst > 0.01 {
+		t.Fatalf("bound violated through transpose: %g", worst)
+	}
+}
+
+func TestResizeFixesZfpPadding(t *testing.T) {
+	// §V: an A×B×1 field is inefficient for the 4^3-block codec; resizing
+	// to A×B recovers the efficiency. Both must round trip with the bound.
+	vals := smooth([]uint64{64, 64, 1}, 6)
+	direct, _ := core.NewCompressor("zfp")
+	if err := direct.SetOptions(core.NewOptions().SetValue(core.KeyAbs, 1e-3)); err != nil {
+		t.Fatal(err)
+	}
+	asIs, err := core.Compress(direct, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resized, _ := core.NewCompressor("resize")
+	newDims := core.NewData(core.DTypeUint64, 2)
+	copy(newDims.Uint64s(), []uint64{64, 64})
+	if err := resized.SetOptions(core.NewOptions().
+		SetValue("resize:compressor", "zfp").
+		Set("resize:dims", core.NewOption(newDims)).
+		SetValue(core.KeyAbs, 1e-3)); err != nil {
+		t.Fatal(err)
+	}
+	viaResize, err := core.Compress(resized, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaResize.ByteLen() >= asIs.ByteLen() {
+		t.Fatalf("resize should beat padded 3-D: %d vs %d", viaResize.ByteLen(), asIs.ByteLen())
+	}
+	dec, err := core.Decompress(resized, viaResize, core.DTypeFloat32, 64, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalDims(dec.Dims(), []uint64{64, 64, 1}) {
+		t.Fatalf("original dims not restored: %v", dec.Dims())
+	}
+	if worst := maxErr(vals, dec); worst > 1e-3 {
+		t.Fatalf("bound violated: %g", worst)
+	}
+}
+
+func TestSampleReducesData(t *testing.T) {
+	in := smooth([]uint64{16, 10}, 7)
+	c, _ := core.NewCompressor("sample")
+	if err := c.SetOptions(core.NewOptions().
+		SetValue("sample:stride", uint64(4)).
+		SetValue("sample:compressor", "noop")); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.Decompress(c, comp, core.DTypeFloat32, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalDims(dec.Dims(), []uint64{4, 10}) {
+		t.Fatalf("sample dims %v", dec.Dims())
+	}
+	// Sampled rows must match the strided originals exactly (noop child).
+	for r := 0; r < 4; r++ {
+		for col := 0; col < 10; col++ {
+			if dec.Float32s()[r*10+col] != in.Float32s()[r*4*10+col] {
+				t.Fatalf("sample row %d mismatch", r)
+			}
+		}
+	}
+}
+
+func TestDeltaEncodingLosslessChild(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(1000 + i*3)
+	}
+	in := core.FromInt64s(vals, 1000)
+	c, _ := core.NewCompressor("delta_encoding")
+	if err := c.SetOptions(core.NewOptions().SetValue("delta_encoding:compressor", "rle")); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.Decompress(c, comp, core.DTypeInt64, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Equal(in) {
+		t.Fatal("delta round trip failed")
+	}
+}
+
+func TestLinearQuantizerBound(t *testing.T) {
+	in := smooth([]uint64{50, 50}, 8)
+	c, _ := core.NewCompressor("linear_quantizer")
+	if err := c.SetOptions(core.NewOptions().SetValue(core.KeyAbs, 0.005)); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.Decompress(c, comp, core.DTypeFloat32, 50, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst := maxErr(in, dec); worst > 0.005+1e-9 {
+		t.Fatalf("quantizer bound violated: %g", worst)
+	}
+	ratio := float64(in.ByteLen()) / float64(comp.ByteLen())
+	if ratio < 2 {
+		t.Fatalf("quantizer ratio %f too low", ratio)
+	}
+}
+
+func TestFaultInjectorCorruptsStream(t *testing.T) {
+	in := smooth([]uint64{32, 32}, 9)
+	clean, _ := core.NewCompressor("sz_threadsafe")
+	if err := clean.SetOptions(core.NewOptions().SetValue(core.KeyAbs, 0.01)); err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Compress(clean, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := core.NewCompressor("fault_injector")
+	if err := c.SetOptions(core.NewOptions().
+		SetValue("fault_injector:compressor", "sz_threadsafe").
+		SetValue("fault_injector:faults", uint64(4)).
+		SetValue("fault_injector:seed", int64(7)).
+		SetValue(core.KeyAbs, 0.01)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Equal(want) {
+		t.Fatal("fault injector did not flip any bits")
+	}
+	// Decompressing the corrupted stream must not panic (errors are fine).
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("decompressor panicked on corrupted stream: %v", r)
+			}
+		}()
+		_, _ = core.Decompress(c, got, core.DTypeFloat32, 32, 32)
+	}()
+}
+
+func TestNoiseInjectorAddsBoundedNoise(t *testing.T) {
+	in := smooth([]uint64{40, 40}, 10)
+	c, _ := core.NewCompressor("noise_injector")
+	if err := c.SetOptions(core.NewOptions().
+		SetValue("noise_injector:compressor", "noop").
+		SetValue("noise_injector:distribution", "uniform").
+		SetValue("noise_injector:scale", 0.1).
+		SetValue("noise_injector:seed", int64(3))); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.Decompress(c, comp, core.DTypeFloat32, 40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := maxErr(in, dec)
+	if worst == 0 {
+		t.Fatal("noise injector added no noise")
+	}
+	if worst > 0.1+1e-6 {
+		t.Fatalf("uniform noise exceeded scale: %g", worst)
+	}
+	if err := c.SetOptions(core.NewOptions().SetValue("noise_injector:distribution", "cauchy")); err == nil {
+		t.Fatal("expected distribution validation error")
+	}
+}
+
+func TestSwitchMeta(t *testing.T) {
+	in := smooth([]uint64{24, 24}, 11)
+	c, _ := core.NewCompressor("switch")
+	if err := c.SetOptions(core.NewOptions().
+		SetValue("switch:active", "zfp").
+		SetValue(core.KeyAbs, 0.01)); err != nil {
+		t.Fatal(err)
+	}
+	zfpOut, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.Decompress(c, zfpOut, core.DTypeFloat32, 24, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst := maxErr(in, dec); worst > 0.01 {
+		t.Fatalf("switch/zfp bound violated: %g", worst)
+	}
+	// Switch at runtime.
+	if err := c.SetOptions(core.NewOptions().SetValue("switch:active", "sz_threadsafe")); err != nil {
+		t.Fatal(err)
+	}
+	szOut, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec2, err := core.Decompress(c, szOut, core.DTypeFloat32, 24, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst := maxErr(in, dec2); worst > 0.01 {
+		t.Fatalf("switch/sz bound violated: %g", worst)
+	}
+	if err := c.CheckOptions(core.NewOptions().SetValue("switch:active", "bogus")); err == nil {
+		t.Fatal("expected unknown compressor error")
+	}
+}
+
+func TestCompressManyIndependent(t *testing.T) {
+	bufs := make([]*core.Data, 9)
+	hints := make([]*core.Data, 9)
+	for i := range bufs {
+		bufs[i] = smooth([]uint64{16, 16}, int64(100+i))
+		hints[i] = core.NewEmpty(core.DTypeFloat32, 16, 16)
+	}
+	proto, _ := core.NewCompressor("sz_threadsafe")
+	if err := proto.SetOptions(core.NewOptions().SetValue(core.KeyAbs, 0.02)); err != nil {
+		t.Fatal(err)
+	}
+	comps, err := CompressMany(proto, bufs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs, err := DecompressMany(proto, comps, hints, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bufs {
+		if worst := maxErr(bufs[i], decs[i]); worst > 0.02 {
+			t.Fatalf("buffer %d bound violated: %g", i, worst)
+		}
+	}
+}
+
+func TestCompressManyDependentFeedback(t *testing.T) {
+	bufs := make([]*core.Data, 5)
+	for i := range bufs {
+		bufs[i] = smooth([]uint64{16, 16}, int64(200+i))
+	}
+	proto, _ := core.NewCompressor("sz_threadsafe")
+	if err := proto.SetOptions(core.NewOptions().SetValue(core.KeyAbs, 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	var ratios []float64
+	fb := func(step int, results *core.Options) *core.Options {
+		if r, err := results.GetFloat64("size:compression_ratio"); err == nil {
+			ratios = append(ratios, r)
+		}
+		// Tighten the bound each step.
+		return core.NewOptions().SetValue(core.KeyAbs, 0.1/float64(step+2))
+	}
+	comps, err := CompressManyDependent(proto, bufs, []string{"size"}, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 5 || len(ratios) != 5 {
+		t.Fatalf("comps %d ratios %d", len(comps), len(ratios))
+	}
+	// Tighter bounds mean larger streams over the steps.
+	if comps[4].ByteLen() <= comps[0].ByteLen() {
+		t.Fatalf("feedback did not tighten bound: %d vs %d", comps[4].ByteLen(), comps[0].ByteLen())
+	}
+}
+
+func TestUnknownChildRejected(t *testing.T) {
+	c, _ := core.NewCompressor("chunking")
+	if err := c.SetOptions(core.NewOptions().SetValue("chunking:compressor", "nope")); err != nil {
+		t.Fatal(err) // name is stored; resolution happens at use
+	}
+	in := smooth([]uint64{8, 8}, 12)
+	if _, err := core.Compress(c, in); err == nil {
+		t.Fatal("expected unknown plugin error at compress time")
+	}
+}

@@ -1,0 +1,161 @@
+package meta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pressio/internal/core"
+	_ "pressio/internal/fpzip"
+)
+
+func sparseField(n int, density float64, seed int64) *core.Data {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float32, n)
+	for i := range vals {
+		if rng.Float64() < density {
+			vals[i] = float32(5 + rng.NormFloat64())
+		}
+	}
+	return core.FromFloat32s(vals, uint64(n))
+}
+
+func TestSparseRoundTripPreservesBoundAndZeros(t *testing.T) {
+	in := sparseField(5000, 0.1, 1)
+	c, err := core.NewCompressor("sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetOptions(core.NewOptions().
+		SetValue("sparse:compressor", "sz_threadsafe").
+		SetValue(core.KeyAbs, 0.01)); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.Decompress(c, comp, core.DTypeFloat32, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dec.Float32s() {
+		orig := in.Float32s()[i]
+		if orig == 0 {
+			if v != 0 {
+				t.Fatalf("elem %d: background not exactly zero: %v", i, v)
+			}
+			continue
+		}
+		if math.Abs(float64(v-orig)) > 0.01 {
+			t.Fatalf("elem %d: bound violated", i)
+		}
+	}
+}
+
+func TestSparseBeatsLosslessChildOnNoisyBackground(t *testing.T) {
+	// Where masking genuinely wins: a lossless child (here fpzip in
+	// lossless mode) must store background noise bit-exactly, while the
+	// sparse wrapper discards anything below the threshold — detector
+	// data with a noise floor is the classic case (SZ's ExaFEL mode).
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float32, 4096)
+	for i := range vals {
+		if rng.Float64() < 0.08 {
+			vals[i] = float32(100 + 10*rng.NormFloat64()) // signal
+		} else {
+			vals[i] = float32(1e-4 * rng.NormFloat64()) // noise floor
+		}
+	}
+	in := core.FromFloat32s(vals, 64, 64)
+
+	dense, _ := core.NewCompressor("fpzip")
+	denseOut, err := core.Compress(dense, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := core.NewCompressor("sparse")
+	if err := sp.SetOptions(core.NewOptions().
+		SetValue("sparse:compressor", "fpzip").
+		SetValue("sparse:threshold", 1e-3)); err != nil {
+		t.Fatal(err)
+	}
+	sparseOut, err := core.Compress(sp, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparseOut.ByteLen()*2 >= denseOut.ByteLen() {
+		t.Fatalf("sparse+lossless should beat dense lossless by 2x+ here: %d vs %d",
+			sparseOut.ByteLen(), denseOut.ByteLen())
+	}
+	// Reconstruction: signal is bit-exact (lossless child), background is
+	// exactly zero, and no error exceeds the threshold.
+	dec, err := core.Decompress(sp, sparseOut, core.DTypeFloat32, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dec.Float32s() {
+		if math.Abs(float64(vals[i])) > 1e-3 {
+			if v != vals[i] {
+				t.Fatalf("elem %d: signal not bit-exact", i)
+			}
+		} else if v != 0 {
+			t.Fatalf("elem %d: background not zeroed", i)
+		}
+	}
+}
+
+func TestSparseAllZero(t *testing.T) {
+	in := core.FromFloat32s(make([]float32, 400), 20, 20)
+	c, _ := core.NewCompressor("sparse")
+	if err := c.SetOptions(core.NewOptions().SetValue(core.KeyAbs, 0.1)); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.ByteLen() > 100 {
+		t.Fatalf("all-zero field should compress to almost nothing: %d", comp.ByteLen())
+	}
+	dec, err := core.Decompress(c, comp, core.DTypeFloat32, 20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Equal(in) {
+		t.Fatal("all-zero round trip failed")
+	}
+}
+
+func TestSparseAllDense(t *testing.T) {
+	in := sparseField(256, 1.0, 4) // nothing below threshold
+	c, _ := core.NewCompressor("sparse")
+	if err := c.SetOptions(core.NewOptions().SetValue(core.KeyAbs, 0.01)); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.Decompress(c, comp, core.DTypeFloat32, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst := maxErr(in, dec); worst > 0.01 {
+		t.Fatalf("bound violated: %g", worst)
+	}
+}
+
+func TestSparseRejectsIntData(t *testing.T) {
+	c, _ := core.NewCompressor("sparse")
+	if _, err := core.Compress(c, core.FromInt32s([]int32{1, 2})); err == nil {
+		t.Fatal("expected dtype error")
+	}
+}
+
+func TestSparseThresholdValidation(t *testing.T) {
+	c, _ := core.NewCompressor("sparse")
+	if err := c.SetOptions(core.NewOptions().SetValue("sparse:threshold", -1.0)); err == nil {
+		t.Fatal("negative threshold should fail")
+	}
+}

@@ -1,0 +1,696 @@
+package meta
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pressio/internal/core"
+)
+
+func init() {
+	core.RegisterCompressor("transpose", func() core.CompressorPlugin {
+		return &transpose{child: newChild("transpose", "sz_threadsafe")}
+	})
+	core.RegisterCompressor("resize", func() core.CompressorPlugin {
+		return &resize{child: newChild("resize", "zfp")}
+	})
+	core.RegisterCompressor("sample", func() core.CompressorPlugin {
+		return &sample{child: newChild("sample", "sz_threadsafe"), stride: 2}
+	})
+	core.RegisterCompressor("delta_encoding", func() core.CompressorPlugin {
+		return &deltaMeta{child: newChild("delta_encoding", "flate")}
+	})
+	core.RegisterCompressor("linear_quantizer", func() core.CompressorPlugin {
+		return &linQuant{child: newChild("linear_quantizer", "shuffle"), step: 1e-4}
+	})
+}
+
+// Transpose permutes the data of a tensor into C-order layout under the
+// permuted dims. perm[i] gives the source axis for destination axis i.
+func Transpose(d *core.Data, perm []uint64) (*core.Data, error) {
+	dims := d.Dims()
+	if len(perm) != len(dims) {
+		return nil, fmt.Errorf("%w: perm rank %d vs data rank %d", core.ErrInvalidDims, len(perm), len(dims))
+	}
+	seen := make([]bool, len(perm))
+	for _, p := range perm {
+		if p >= uint64(len(perm)) || seen[p] {
+			return nil, fmt.Errorf("%w: invalid permutation %v", core.ErrInvalidOption, perm)
+		}
+		seen[p] = true
+	}
+	outDims := make([]uint64, len(dims))
+	for i, p := range perm {
+		outDims[i] = dims[p]
+	}
+	out := core.NewData(d.DType(), outDims...)
+	elem := uint64(d.DType().Size())
+	src := d.Bytes()
+	dst := out.Bytes()
+	// Walk destination indices in order; gather from the source.
+	n := d.Len()
+	rank := len(dims)
+	idx := make([]uint64, rank)
+	srcIdx := make([]uint64, rank)
+	for lin := uint64(0); lin < n; lin++ {
+		for i := 0; i < rank; i++ {
+			srcIdx[perm[i]] = idx[i]
+		}
+		srcLin := uint64(0)
+		for i := 0; i < rank; i++ {
+			srcLin = srcLin*dims[i] + srcIdx[i]
+		}
+		copy(dst[lin*elem:(lin+1)*elem], src[srcLin*elem:(srcLin+1)*elem])
+		for i := rank - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < outDims[i] {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+	return out, nil
+}
+
+// invertPerm returns the inverse permutation.
+func invertPerm(perm []uint64) []uint64 {
+	inv := make([]uint64, len(perm))
+	for i, p := range perm {
+		inv[p] = uint64(i)
+	}
+	return inv
+}
+
+// transpose applies a multi-dimensional transpose before compression and
+// undoes it after decompression.
+type transpose struct {
+	child
+	perm []uint64
+}
+
+const transposeMagic = "MTR1"
+
+func (p *transpose) Prefix() string  { return "transpose" }
+func (p *transpose) Version() string { return Version }
+
+func (p *transpose) Options() *core.Options {
+	o := core.NewOptions()
+	permData := core.NewData(core.DTypeUint64, uint64(len(p.perm)))
+	copy(permData.Uint64s(), p.perm)
+	o.Set("transpose:axes", core.NewOption(permData))
+	p.describe(o)
+	return o
+}
+
+func (p *transpose) SetOptions(o *core.Options) error {
+	if d, err := o.GetData("transpose:axes"); err == nil {
+		if d.DType() != core.DTypeUint64 {
+			return fmt.Errorf("%w: transpose:axes must be uint64 data", core.ErrInvalidOption)
+		}
+		p.perm = append([]uint64(nil), d.Uint64s()...)
+	}
+	return p.applyOptions(o)
+}
+
+func (p *transpose) CheckOptions(o *core.Options) error {
+	clone := transpose{child: p.child.clone(), perm: append([]uint64(nil), p.perm...)}
+	return clone.SetOptions(o)
+}
+
+func (p *transpose) Configuration() *core.Options {
+	return core.StandardConfiguration(core.ThreadSafetySerialized, "stable", Version, false)
+}
+
+func (p *transpose) CompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	perm := p.perm
+	if len(perm) == 0 {
+		// Default: reverse the axes.
+		perm = make([]uint64, in.NumDims())
+		for i := range perm {
+			perm[i] = uint64(in.NumDims() - 1 - i)
+		}
+	}
+	tr, err := Transpose(in, perm)
+	if err != nil {
+		return err
+	}
+	inner, err := core.Compress(comp, tr)
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	buf = append(buf, transposeMagic...)
+	buf = append(buf, byte(len(perm)))
+	for _, v := range perm {
+		buf = binary.AppendUvarint(buf, v)
+	}
+	for _, v := range tr.Dims() {
+		buf = binary.AppendUvarint(buf, v)
+	}
+	buf = append(buf, byte(tr.DType()))
+	buf = append(buf, inner.Bytes()...)
+	out.Become(core.NewBytes(buf))
+	return nil
+}
+
+func (p *transpose) DecompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	b := in.Bytes()
+	if len(b) < 5 || string(b[:4]) != transposeMagic {
+		return ErrCorrupt
+	}
+	rank := int(b[4])
+	if rank == 0 || rank > 16 {
+		return ErrCorrupt
+	}
+	pos := 5
+	perm := make([]uint64, rank)
+	for i := range perm {
+		v, sz := binary.Uvarint(b[pos:])
+		if sz <= 0 || v >= uint64(rank) {
+			return ErrCorrupt
+		}
+		perm[i] = v
+		pos += sz
+	}
+	trDims := make([]uint64, rank)
+	for i := range trDims {
+		v, sz := binary.Uvarint(b[pos:])
+		if sz <= 0 || v == 0 {
+			return ErrCorrupt
+		}
+		trDims[i] = v
+		pos += sz
+	}
+	if pos >= len(b) {
+		return ErrCorrupt
+	}
+	dtype := core.DType(b[pos])
+	pos++
+	dec, err := core.Decompress(comp, core.NewBytes(b[pos:]), dtype, trDims...)
+	if err != nil {
+		return err
+	}
+	if dec.NumDims() != rank {
+		if err := dec.Reshape(trDims...); err != nil {
+			return err
+		}
+	}
+	back, err := Transpose(dec, invertPerm(perm))
+	if err != nil {
+		return err
+	}
+	out.Become(back)
+	return nil
+}
+
+func (p *transpose) Clone() core.CompressorPlugin {
+	return &transpose{child: p.child.clone(), perm: append([]uint64(nil), p.perm...)}
+}
+
+// resize reinterprets the dimensions without touching values — useful when
+// a compressor benefits from being told a different shape, e.g. an A×B×1
+// dataset handed to the zfp-family codec as A×B (the §V padding
+// experiment).
+type resize struct {
+	child
+	newDims []uint64
+}
+
+const resizeMagic = "MRS1"
+
+func (p *resize) Prefix() string  { return "resize" }
+func (p *resize) Version() string { return Version }
+
+func (p *resize) Options() *core.Options {
+	o := core.NewOptions()
+	dimsData := core.NewData(core.DTypeUint64, uint64(len(p.newDims)))
+	copy(dimsData.Uint64s(), p.newDims)
+	o.Set("resize:dims", core.NewOption(dimsData))
+	p.describe(o)
+	return o
+}
+
+func (p *resize) SetOptions(o *core.Options) error {
+	if d, err := o.GetData("resize:dims"); err == nil {
+		if d.DType() != core.DTypeUint64 {
+			return fmt.Errorf("%w: resize:dims must be uint64 data", core.ErrInvalidOption)
+		}
+		p.newDims = append([]uint64(nil), d.Uint64s()...)
+	}
+	return p.applyOptions(o)
+}
+
+func (p *resize) CheckOptions(o *core.Options) error {
+	clone := resize{child: p.child.clone(), newDims: append([]uint64(nil), p.newDims...)}
+	return clone.SetOptions(o)
+}
+
+func (p *resize) Configuration() *core.Options {
+	return core.StandardConfiguration(core.ThreadSafetySerialized, "stable", Version, false)
+}
+
+func (p *resize) CompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	work := in
+	if len(p.newDims) > 0 {
+		work = in.Clone()
+		if err := work.Reshape(p.newDims...); err != nil {
+			return err
+		}
+	}
+	inner, err := core.Compress(comp, work)
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	buf = append(buf, resizeMagic...)
+	buf = append(buf, byte(in.NumDims()))
+	for _, d := range in.Dims() {
+		buf = binary.AppendUvarint(buf, d)
+	}
+	buf = append(buf, byte(work.NumDims()))
+	for _, d := range work.Dims() {
+		buf = binary.AppendUvarint(buf, d)
+	}
+	buf = append(buf, byte(in.DType()))
+	buf = append(buf, inner.Bytes()...)
+	out.Become(core.NewBytes(buf))
+	return nil
+}
+
+func (p *resize) DecompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	b := in.Bytes()
+	if len(b) < 5 || string(b[:4]) != resizeMagic {
+		return ErrCorrupt
+	}
+	pos := 4
+	readDims := func() ([]uint64, error) {
+		if pos >= len(b) {
+			return nil, ErrCorrupt
+		}
+		rank := int(b[pos])
+		pos++
+		if rank == 0 || rank > 16 {
+			return nil, ErrCorrupt
+		}
+		dims := make([]uint64, rank)
+		for i := range dims {
+			v, sz := binary.Uvarint(b[pos:])
+			if sz <= 0 || v == 0 {
+				return nil, ErrCorrupt
+			}
+			dims[i] = v
+			pos += sz
+		}
+		return dims, nil
+	}
+	origDims, err := readDims()
+	if err != nil {
+		return err
+	}
+	workDims, err := readDims()
+	if err != nil {
+		return err
+	}
+	if pos >= len(b) {
+		return ErrCorrupt
+	}
+	dtype := core.DType(b[pos])
+	pos++
+	dec, err := core.Decompress(comp, core.NewBytes(b[pos:]), dtype, workDims...)
+	if err != nil {
+		return err
+	}
+	if err := dec.Reshape(origDims...); err != nil {
+		return err
+	}
+	out.Become(dec)
+	return nil
+}
+
+func (p *resize) Clone() core.CompressorPlugin {
+	return &resize{child: p.child.clone(), newDims: append([]uint64(nil), p.newDims...)}
+}
+
+// sample compresses a strided subsample of the input — the data-sampling
+// meta-compressor used for quick quality surveys. Decompression returns the
+// sample (shape divided by the stride along the slowest dimension).
+type sample struct {
+	child
+	stride uint64
+}
+
+func (p *sample) Prefix() string  { return "sample" }
+func (p *sample) Version() string { return Version }
+
+func (p *sample) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue("sample:stride", p.stride)
+	p.describe(o)
+	return o
+}
+
+func (p *sample) SetOptions(o *core.Options) error {
+	if v, err := o.GetUint64("sample:stride"); err == nil {
+		if v == 0 {
+			return fmt.Errorf("%w: sample:stride must be >= 1", core.ErrInvalidOption)
+		}
+		p.stride = v
+	}
+	return p.applyOptions(o)
+}
+
+func (p *sample) CheckOptions(o *core.Options) error {
+	clone := sample{child: p.child.clone(), stride: p.stride}
+	return clone.SetOptions(o)
+}
+
+func (p *sample) Configuration() *core.Options {
+	return core.StandardConfiguration(core.ThreadSafetySerialized, "stable", Version, false)
+}
+
+func (p *sample) CompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	dims := in.Dims()
+	if len(dims) == 0 {
+		return fmt.Errorf("sample: %w", core.ErrInvalidDims)
+	}
+	rows := (dims[0] + p.stride - 1) / p.stride
+	rowBytes := uint64(in.DType().Size())
+	for _, d := range dims[1:] {
+		rowBytes *= d
+	}
+	sampDims := append([]uint64{rows}, dims[1:]...)
+	samp := core.NewData(in.DType(), sampDims...)
+	for r := uint64(0); r < rows; r++ {
+		src := r * p.stride * rowBytes
+		copy(samp.Bytes()[r*rowBytes:(r+1)*rowBytes], in.Bytes()[src:src+rowBytes])
+	}
+	inner, err := core.Compress(comp, samp)
+	if err != nil {
+		return err
+	}
+	out.Become(inner)
+	return nil
+}
+
+func (p *sample) DecompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	return comp.Decompress(in, out)
+}
+
+func (p *sample) Clone() core.CompressorPlugin {
+	return &sample{child: p.child.clone(), stride: p.stride}
+}
+
+// deltaMeta applies a delta-encoding preprocessing step (in float64 space)
+// before the child compressor and integrates after decompression. With a
+// lossless child the transform is exactly invertible.
+type deltaMeta struct {
+	child
+}
+
+const deltaMagic = "MDL1"
+
+func (p *deltaMeta) Prefix() string  { return "delta_encoding" }
+func (p *deltaMeta) Version() string { return Version }
+
+func (p *deltaMeta) Options() *core.Options {
+	o := core.NewOptions()
+	p.describe(o)
+	return o
+}
+
+func (p *deltaMeta) SetOptions(o *core.Options) error { return p.applyOptions(o) }
+
+func (p *deltaMeta) CheckOptions(o *core.Options) error {
+	clone := deltaMeta{child: p.child.clone()}
+	return clone.SetOptions(o)
+}
+
+func (p *deltaMeta) Configuration() *core.Options {
+	return core.StandardConfiguration(core.ThreadSafetySerialized, "experimental", Version, false)
+}
+
+func (p *deltaMeta) CompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	if in.DType() != core.DTypeFloat64 && in.DType() != core.DTypeFloat32 &&
+		in.DType() != core.DTypeInt64 && in.DType() != core.DTypeInt32 {
+		return fmt.Errorf("%w: delta_encoding supports numeric 32/64-bit types", core.ErrInvalidDType)
+	}
+	work := in.Clone()
+	switch in.DType() {
+	case core.DTypeFloat64:
+		deltaForward(work.Float64s())
+	case core.DTypeFloat32:
+		deltaForward(work.Float32s())
+	case core.DTypeInt64:
+		deltaForward(work.Int64s())
+	case core.DTypeInt32:
+		deltaForward(work.Int32s())
+	}
+	inner, err := core.Compress(comp, work)
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	buf = append(buf, deltaMagic...)
+	buf = append(buf, byte(in.DType()))
+	buf = append(buf, byte(in.NumDims()))
+	for _, d := range in.Dims() {
+		buf = binary.AppendUvarint(buf, d)
+	}
+	buf = append(buf, inner.Bytes()...)
+	out.Become(core.NewBytes(buf))
+	return nil
+}
+
+func deltaForward[T int32 | int64 | float32 | float64](v []T) {
+	for i := len(v) - 1; i > 0; i-- {
+		v[i] -= v[i-1]
+	}
+}
+
+func deltaInverse[T int32 | int64 | float32 | float64](v []T) {
+	for i := 1; i < len(v); i++ {
+		v[i] += v[i-1]
+	}
+}
+
+func (p *deltaMeta) DecompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	b := in.Bytes()
+	if len(b) < 6 || string(b[:4]) != deltaMagic {
+		return ErrCorrupt
+	}
+	dtype := core.DType(b[4])
+	rank := int(b[5])
+	if rank == 0 || rank > 16 || dtype.Size() == 0 {
+		return ErrCorrupt
+	}
+	pos := 6
+	dims := make([]uint64, rank)
+	for i := range dims {
+		v, sz := binary.Uvarint(b[pos:])
+		if sz <= 0 || v == 0 {
+			return ErrCorrupt
+		}
+		dims[i] = v
+		pos += sz
+	}
+	dec, err := core.Decompress(comp, core.NewBytes(b[pos:]), dtype, dims...)
+	if err != nil {
+		return err
+	}
+	switch dtype {
+	case core.DTypeFloat64:
+		deltaInverse(dec.Float64s())
+	case core.DTypeFloat32:
+		deltaInverse(dec.Float32s())
+	case core.DTypeInt64:
+		deltaInverse(dec.Int64s())
+	case core.DTypeInt32:
+		deltaInverse(dec.Int32s())
+	default:
+		return ErrCorrupt
+	}
+	out.Become(dec)
+	return nil
+}
+
+func (p *deltaMeta) Clone() core.CompressorPlugin {
+	return &deltaMeta{child: p.child.clone()}
+}
+
+// linQuant performs linear-scaling quantization to int64 codes followed by
+// a (typically lossless) child compressor; the absolute error bound is
+// step/2. It demonstrates composing a compressor out of functional stages
+// — quantization plus encoding — as §IV-D describes.
+type linQuant struct {
+	child
+	step float64
+}
+
+const linQuantMagic = "MLQ1"
+
+func (p *linQuant) Prefix() string  { return "linear_quantizer" }
+func (p *linQuant) Version() string { return Version }
+
+func (p *linQuant) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue("linear_quantizer:step", p.step)
+	o.SetValue(core.KeyAbs, p.step/2)
+	p.describe(o)
+	return o
+}
+
+func (p *linQuant) SetOptions(o *core.Options) error {
+	if v, err := o.GetFloat64(core.KeyAbs); err == nil {
+		p.step = 2 * v
+	}
+	if v, err := o.GetFloat64("linear_quantizer:step"); err == nil {
+		p.step = v
+	}
+	if p.step <= 0 || math.IsNaN(p.step) || math.IsInf(p.step, 0) {
+		return fmt.Errorf("%w: linear_quantizer:step must be positive", core.ErrInvalidOption)
+	}
+	return p.applyOptions(o)
+}
+
+func (p *linQuant) CheckOptions(o *core.Options) error {
+	clone := linQuant{child: p.child.clone(), step: p.step}
+	return clone.SetOptions(o)
+}
+
+func (p *linQuant) Configuration() *core.Options {
+	return core.StandardConfiguration(core.ThreadSafetySerialized, "stable", Version, false)
+}
+
+func (p *linQuant) CompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	if !in.DType().Numeric() {
+		return fmt.Errorf("%w: linear_quantizer needs numeric data", core.ErrInvalidDType)
+	}
+	vals := in.AsFloat64s()
+	var payload []byte
+	payload = binary.AppendUvarint(payload, uint64(len(vals)))
+	for _, v := range vals {
+		q := int64(math.Floor(v/p.step + 0.5))
+		payload = binary.AppendVarint(payload, q)
+	}
+	inner, err := core.Compress(comp, core.NewBytes(payload))
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	buf = append(buf, linQuantMagic...)
+	buf = append(buf, byte(in.DType()))
+	buf = append(buf, byte(in.NumDims()))
+	for _, d := range in.Dims() {
+		buf = binary.AppendUvarint(buf, d)
+	}
+	buf = binary.AppendUvarint(buf, math.Float64bits(p.step))
+	buf = append(buf, inner.Bytes()...)
+	out.Become(core.NewBytes(buf))
+	return nil
+}
+
+func (p *linQuant) DecompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	b := in.Bytes()
+	if len(b) < 6 || string(b[:4]) != linQuantMagic {
+		return ErrCorrupt
+	}
+	dtype := core.DType(b[4])
+	rank := int(b[5])
+	if rank == 0 || rank > 16 || !dtype.Numeric() {
+		return ErrCorrupt
+	}
+	pos := 6
+	dims := make([]uint64, rank)
+	for i := range dims {
+		v, sz := binary.Uvarint(b[pos:])
+		if sz <= 0 || v == 0 {
+			return ErrCorrupt
+		}
+		dims[i] = v
+		pos += sz
+	}
+	stepBits, sz := binary.Uvarint(b[pos:])
+	if sz <= 0 {
+		return ErrCorrupt
+	}
+	pos += sz
+	step := math.Float64frombits(stepBits)
+	if step <= 0 || math.IsNaN(step) || math.IsInf(step, 0) {
+		return ErrCorrupt
+	}
+	decPayload := core.NewEmpty(core.DTypeByte, 0)
+	if err := comp.Decompress(core.NewBytes(b[pos:]), decPayload); err != nil {
+		return err
+	}
+	payload := decPayload.Bytes()
+	count, sz := binary.Uvarint(payload)
+	if sz <= 0 || count > uint64(len(payload)) {
+		return ErrCorrupt
+	}
+	off := sz
+	vals := make([]float64, count)
+	for i := range vals {
+		q, sz := binary.Varint(payload[off:])
+		if sz <= 0 {
+			return ErrCorrupt
+		}
+		off += sz
+		vals[i] = float64(q) * step
+	}
+	d64 := core.FromFloat64s(vals, dims...)
+	if dtype == core.DTypeFloat64 {
+		out.Become(d64)
+		return nil
+	}
+	cast, err := d64.CastTo(dtype)
+	if err != nil {
+		return err
+	}
+	out.Become(cast)
+	return nil
+}
+
+func (p *linQuant) Clone() core.CompressorPlugin {
+	return &linQuant{child: p.child.clone(), step: p.step}
+}

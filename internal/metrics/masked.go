@@ -1,0 +1,192 @@
+package metrics
+
+import (
+	"fmt"
+
+	"pressio/internal/core"
+)
+
+func init() {
+	core.RegisterMetric("mask", func() core.Metric { return newMasked() })
+	core.RegisterMetric("critical_points", func() core.Metric { return &criticalPoints{} })
+}
+
+// masked wraps another metric, removing masked points from both the
+// original and decompressed data before delegating — the paper's "masked"
+// metrics module (e.g. exclude fill values or a detector's dead pixels
+// from error statistics). Options: "mask:metric" names the wrapped metric,
+// "mask:mask" is a uint8 Data where nonzero marks points to EXCLUDE.
+type masked struct {
+	childName string
+	child     core.Metric
+	mask      []uint8
+	input     *core.Data
+}
+
+func newMasked() *masked { return &masked{childName: "error_stat"} }
+
+func (m *masked) Prefix() string { return "mask" }
+
+func (m *masked) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue("mask:metric", m.childName)
+	o.SetType("mask:mask", core.OptData)
+	if m.child != nil {
+		o.Merge(m.child.Options())
+	}
+	return o
+}
+
+func (m *masked) SetOptions(o *core.Options) error {
+	if v, err := o.GetString("mask:metric"); err == nil && v != m.childName {
+		m.childName = v
+		m.child = nil
+	}
+	if d, err := o.GetData("mask:mask"); err == nil {
+		if d.DType() != core.DTypeUint8 && d.DType() != core.DTypeByte {
+			return fmt.Errorf("%w: mask:mask must be uint8 data", core.ErrInvalidOption)
+		}
+		m.mask = append([]uint8(nil), d.Bytes()...)
+	}
+	if m.child != nil {
+		return m.child.SetOptions(o)
+	}
+	return nil
+}
+
+func (m *masked) ensureChild() core.Metric {
+	if m.child == nil {
+		child, err := core.NewMetric(m.childName)
+		if err != nil {
+			return nil
+		}
+		m.child = child
+	}
+	return m.child
+}
+
+// filter removes masked elements, returning a fresh 1-D float64 Data.
+func (m *masked) filter(d *core.Data) *core.Data {
+	if len(m.mask) == 0 || d == nil || !d.HasData() || !d.DType().Numeric() {
+		return d
+	}
+	vals := d.AsFloat64s()
+	if len(vals) != len(m.mask) {
+		return d
+	}
+	kept := make([]float64, 0, len(vals))
+	for i, v := range vals {
+		if m.mask[i] == 0 {
+			kept = append(kept, v)
+		}
+	}
+	return core.FromFloat64s(kept, uint64(len(kept)))
+}
+
+func (m *masked) BeginCompress(in *core.Data) {
+	m.input = m.filter(in)
+	if c := m.ensureChild(); c != nil {
+		c.BeginCompress(m.input)
+	}
+}
+
+func (m *masked) EndCompress(in, out *core.Data, err error) {
+	if c := m.ensureChild(); c != nil {
+		c.EndCompress(m.input, out, err)
+	}
+}
+
+func (m *masked) BeginDecompress(in *core.Data) {
+	if c := m.ensureChild(); c != nil {
+		c.BeginDecompress(in)
+	}
+}
+
+func (m *masked) EndDecompress(in, out *core.Data, err error) {
+	if c := m.ensureChild(); c != nil {
+		c.EndDecompress(in, m.filter(out), err)
+	}
+}
+
+func (m *masked) Results() *core.Options {
+	if m.child == nil {
+		return core.NewOptions()
+	}
+	return m.child.Results()
+}
+
+func (m *masked) Clone() core.Metric {
+	c := newMasked()
+	c.childName = m.childName
+	c.mask = append([]uint8(nil), m.mask...)
+	return c
+}
+
+// criticalPoints is a lightweight stand-in for the paper's FTK metric
+// module: it counts the strict local extrema (1-D neighbors along the
+// fastest dimension) of the original and decompressed fields and reports
+// how many survive compression at the same locations — a cheap proxy for
+// "are the features preserved?".
+type criticalPoints struct {
+	noOptions
+	capture
+	computed  bool
+	origCount uint64
+	decCount  uint64
+	preserved uint64
+}
+
+func (m *criticalPoints) Prefix() string { return "critical_points" }
+
+// extrema marks strict 1-D local extrema.
+func extrema(vals []float64) []bool {
+	out := make([]bool, len(vals))
+	for i := 1; i+1 < len(vals); i++ {
+		if (vals[i] > vals[i-1] && vals[i] > vals[i+1]) ||
+			(vals[i] < vals[i-1] && vals[i] < vals[i+1]) {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+func (m *criticalPoints) EndDecompress(in, out *core.Data, err error) {
+	if err != nil {
+		return
+	}
+	orig, dec, ok := m.pair(out)
+	if !ok {
+		return
+	}
+	eo := extrema(orig)
+	ed := extrema(dec)
+	m.origCount, m.decCount, m.preserved = 0, 0, 0
+	for i := range eo {
+		if eo[i] {
+			m.origCount++
+			if ed[i] {
+				m.preserved++
+			}
+		}
+		if ed[i] {
+			m.decCount++
+		}
+	}
+	m.computed = true
+}
+
+func (m *criticalPoints) Results() *core.Options {
+	o := core.NewOptions()
+	if !m.computed {
+		return o
+	}
+	o.SetValue("critical_points:original", m.origCount)
+	o.SetValue("critical_points:decompressed", m.decCount)
+	o.SetValue("critical_points:preserved", m.preserved)
+	if m.origCount > 0 {
+		o.SetValue("critical_points:preserved_fraction", float64(m.preserved)/float64(m.origCount))
+	}
+	return o
+}
+
+func (m *criticalPoints) Clone() core.Metric { return &criticalPoints{} }

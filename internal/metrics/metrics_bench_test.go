@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"pressio/internal/core"
+)
+
+func benchPair(n int) (*core.Data, *core.Data) {
+	rng := rand.New(rand.NewSource(1))
+	orig := make([]float64, n)
+	dec := make([]float64, n)
+	for i := range orig {
+		orig[i] = rng.NormFloat64() * 100
+		dec[i] = orig[i] + rng.NormFloat64()*0.01
+	}
+	return core.FromFloat64s(orig, uint64(n)), core.FromFloat64s(dec, uint64(n))
+}
+
+func benchMetric(b *testing.B, name string) {
+	orig, dec := benchPair(1 << 16)
+	comp := core.NewBytes(make([]byte, 1024))
+	b.SetBytes(int64(orig.ByteLen()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := core.NewMetric(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.BeginCompress(orig)
+		m.EndCompress(orig, comp, nil)
+		m.BeginDecompress(comp)
+		m.EndDecompress(comp, dec, nil)
+		if m.Results().Len() == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+func BenchmarkErrorStat(b *testing.B)    { benchMetric(b, "error_stat") }
+func BenchmarkPearson(b *testing.B)      { benchMetric(b, "pearson") }
+func BenchmarkKSTest(b *testing.B)       { benchMetric(b, "ks_test") }
+func BenchmarkKLDivergence(b *testing.B) { benchMetric(b, "kl_divergence") }
+func BenchmarkSpatialError(b *testing.B) { benchMetric(b, "spatial_error") }

@@ -1,0 +1,257 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pressio/internal/core"
+)
+
+// spatialError reports the percentage of elements whose absolute error
+// exceeds a threshold (the paper's "Spatial Error" module).
+type spatialError struct {
+	capture
+	threshold float64
+	computed  bool
+	percent   float64
+	count     uint64
+}
+
+func newSpatialError() *spatialError { return &spatialError{threshold: 1e-4} }
+
+func (m *spatialError) Prefix() string { return "spatial_error" }
+
+func (m *spatialError) Options() *core.Options {
+	return core.NewOptions().SetValue("spatial_error:threshold", m.threshold)
+}
+
+func (m *spatialError) SetOptions(o *core.Options) error {
+	if v, err := o.GetFloat64("spatial_error:threshold"); err == nil {
+		if v < 0 {
+			return fmt.Errorf("%w: spatial_error:threshold must be >= 0", core.ErrInvalidOption)
+		}
+		m.threshold = v
+	}
+	return nil
+}
+
+func (m *spatialError) EndDecompress(in, out *core.Data, err error) {
+	if err != nil {
+		return
+	}
+	orig, dec, ok := m.pair(out)
+	if !ok || len(orig) == 0 {
+		return
+	}
+	var count uint64
+	for i := range orig {
+		if math.Abs(dec[i]-orig[i]) > m.threshold {
+			count++
+		}
+	}
+	m.count = count
+	m.percent = 100 * float64(count) / float64(len(orig))
+	m.computed = true
+}
+
+func (m *spatialError) Results() *core.Options {
+	o := core.NewOptions()
+	if m.computed {
+		o.SetValue("spatial_error:percent", m.percent)
+		o.SetValue("spatial_error:count", m.count)
+		o.SetValue("spatial_error:threshold", m.threshold)
+	}
+	return o
+}
+
+func (m *spatialError) Clone() core.Metric { return &spatialError{threshold: m.threshold} }
+
+// kthError reports the k-th largest absolute error (the "k-th order error"
+// module): more robust than the maximum against isolated outliers.
+type kthError struct {
+	capture
+	k        uint64
+	computed bool
+	value    float64
+}
+
+func newKthError() *kthError { return &kthError{k: 1} }
+
+func (m *kthError) Prefix() string { return "kth_error" }
+
+func (m *kthError) Options() *core.Options {
+	return core.NewOptions().SetValue("kth_error:k", m.k)
+}
+
+func (m *kthError) SetOptions(o *core.Options) error {
+	if v, err := o.GetUint64("kth_error:k"); err == nil {
+		if v == 0 {
+			return fmt.Errorf("%w: kth_error:k must be >= 1", core.ErrInvalidOption)
+		}
+		m.k = v
+	}
+	return nil
+}
+
+func (m *kthError) EndDecompress(in, out *core.Data, err error) {
+	if err != nil {
+		return
+	}
+	orig, dec, ok := m.pair(out)
+	if !ok || len(orig) == 0 || m.k > uint64(len(orig)) {
+		return
+	}
+	errs := make([]float64, len(orig))
+	for i := range orig {
+		errs[i] = math.Abs(dec[i] - orig[i])
+	}
+	sort.Float64s(errs)
+	m.value = errs[uint64(len(errs))-m.k]
+	m.computed = true
+}
+
+func (m *kthError) Results() *core.Options {
+	o := core.NewOptions()
+	if m.computed {
+		o.SetValue("kth_error:value", m.value)
+		o.SetValue("kth_error:k", m.k)
+	}
+	return o
+}
+
+func (m *kthError) Clone() core.Metric { return &kthError{k: m.k} }
+
+// regionOfInterest reports the arithmetic mean of a box-shaped region of
+// both the original and decompressed data, to check that features of
+// interest survive compression.
+type regionOfInterest struct {
+	capture
+	start    []uint64 // per-dimension inclusive start
+	end      []uint64 // per-dimension exclusive end
+	computed bool
+	origMean float64
+	decMean  float64
+}
+
+func (m *regionOfInterest) Prefix() string { return "region_of_interest" }
+
+func (m *regionOfInterest) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetType("region_of_interest:start", core.OptData)
+	o.SetType("region_of_interest:end", core.OptData)
+	return o
+}
+
+func (m *regionOfInterest) SetOptions(o *core.Options) error {
+	if d, err := o.GetData("region_of_interest:start"); err == nil {
+		if d.DType() != core.DTypeUint64 {
+			return fmt.Errorf("%w: region_of_interest:start must be uint64 data", core.ErrInvalidOption)
+		}
+		m.start = append([]uint64(nil), d.Uint64s()...)
+	}
+	if d, err := o.GetData("region_of_interest:end"); err == nil {
+		if d.DType() != core.DTypeUint64 {
+			return fmt.Errorf("%w: region_of_interest:end must be uint64 data", core.ErrInvalidOption)
+		}
+		m.end = append([]uint64(nil), d.Uint64s()...)
+	}
+	return nil
+}
+
+// roiMean averages the values inside the box [start, end) of a tensor.
+func roiMean(vals []float64, dims, start, end []uint64) (float64, uint64) {
+	if len(start) != len(dims) || len(end) != len(dims) {
+		return 0, 0
+	}
+	for i := range dims {
+		if start[i] >= end[i] || end[i] > dims[i] {
+			return 0, 0
+		}
+	}
+	var sum float64
+	var count uint64
+	idx := make([]uint64, len(dims))
+	copy(idx, start)
+	for {
+		lin := uint64(0)
+		for i := range dims {
+			lin = lin*dims[i] + idx[i]
+		}
+		sum += vals[lin]
+		count++
+		// Advance the multi-index within the box.
+		d := len(dims) - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < end[d] {
+				break
+			}
+			idx[d] = start[d]
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return sum / float64(count), count
+}
+
+func (m *regionOfInterest) EndDecompress(in, out *core.Data, err error) {
+	if err != nil || m.input == nil || len(m.start) == 0 {
+		return
+	}
+	orig, dec, ok := m.pair(out)
+	if !ok {
+		return
+	}
+	origMean, n := roiMean(orig, m.input.Dims(), m.start, m.end)
+	if n == 0 {
+		return
+	}
+	decMean, _ := roiMean(dec, m.input.Dims(), m.start, m.end)
+	m.origMean, m.decMean = origMean, decMean
+	m.computed = true
+}
+
+func (m *regionOfInterest) Results() *core.Options {
+	o := core.NewOptions()
+	if m.computed {
+		o.SetValue("region_of_interest:original_mean", m.origMean)
+		o.SetValue("region_of_interest:decompressed_mean", m.decMean)
+		o.SetValue("region_of_interest:mean_drift", math.Abs(m.decMean-m.origMean))
+	}
+	return o
+}
+
+func (m *regionOfInterest) Clone() core.Metric {
+	return &regionOfInterest{
+		start: append([]uint64(nil), m.start...),
+		end:   append([]uint64(nil), m.end...),
+	}
+}
+
+// printer is a diagnostic metric that records the sequence of hook
+// invocations; tests and tutorials use it to observe the framework's hook
+// protocol.
+type printer struct {
+	noOptions
+	events []string
+}
+
+func (m *printer) Prefix() string { return "printer" }
+
+func (m *printer) BeginCompress(in *core.Data) { m.events = append(m.events, "begin_compress") }
+func (m *printer) EndCompress(in, out *core.Data, err error) {
+	m.events = append(m.events, "end_compress")
+}
+func (m *printer) BeginDecompress(in *core.Data) { m.events = append(m.events, "begin_decompress") }
+func (m *printer) EndDecompress(in, out *core.Data, e error) {
+	m.events = append(m.events, "end_decompress")
+}
+
+func (m *printer) Results() *core.Options {
+	return core.NewOptions().SetValue("printer:events", append([]string(nil), m.events...))
+}
+
+func (m *printer) Clone() core.Metric { return &printer{} }

@@ -1,0 +1,111 @@
+package mgard
+
+import (
+	"fmt"
+
+	"pressio/internal/core"
+)
+
+// plugin adapts the multilevel compressor to the framework.
+type plugin struct {
+	bound core.BoundConfig
+	level int32
+}
+
+func init() {
+	core.RegisterCompressor("mgard", func() core.CompressorPlugin {
+		return &plugin{bound: core.BoundConfig{Mode: core.BoundAbs, Bound: 1e-3}}
+	})
+}
+
+func (p *plugin) Prefix() string  { return "mgard" }
+func (p *plugin) Version() string { return Version }
+
+func (p *plugin) Options() *core.Options {
+	o := core.NewOptions()
+	p.bound.Describe("mgard", o)
+	o.SetValue("mgard:tolerance", p.bound.Bound)
+	o.SetValue(core.KeyLossless, p.level)
+	return o
+}
+
+func (p *plugin) SetOptions(o *core.Options) error {
+	if err := p.bound.ApplyOptions("mgard", o); err != nil {
+		return err
+	}
+	if v, err := o.GetFloat64("mgard:tolerance"); err == nil {
+		p.bound = core.BoundConfig{Mode: core.BoundAbs, Bound: v}
+	}
+	if v, err := o.GetInt32(core.KeyLossless); err == nil {
+		p.level = v
+	}
+	return nil
+}
+
+func (p *plugin) CheckOptions(o *core.Options) error {
+	clone := *p
+	if err := clone.SetOptions(o); err != nil {
+		return err
+	}
+	if clone.bound.Bound <= 0 {
+		return fmt.Errorf("%w: mgard tolerance must be positive", core.ErrInvalidOption)
+	}
+	return nil
+}
+
+func (p *plugin) Configuration() *core.Options {
+	cfg := core.StandardConfiguration(core.ThreadSafetyMultiple, "stable", Version, false)
+	cfg.SetValue("mgard:min_points_per_dim", uint64(3))
+	return cfg
+}
+
+func (p *plugin) params() Params {
+	return Params{Mode: p.bound.Mode, Bound: p.bound.Bound, LosslessLevel: int(p.level)}
+}
+
+func (p *plugin) CompressImpl(in, out *core.Data) error {
+	var stream []byte
+	var err error
+	switch in.DType() {
+	case core.DTypeFloat32:
+		stream, err = CompressSlice(in.Float32s(), in.Dims(), p.params())
+	case core.DTypeFloat64:
+		stream, err = CompressSlice(in.Float64s(), in.Dims(), p.params())
+	default:
+		return fmt.Errorf("%w: mgard supports float32/float64, got %s", core.ErrInvalidDType, in.DType())
+	}
+	if err != nil {
+		return err
+	}
+	out.Become(core.NewBytes(stream))
+	return nil
+}
+
+func (p *plugin) DecompressImpl(in, out *core.Data) error {
+	h, _, err := ParseHeader(in.Bytes())
+	if err != nil {
+		return err
+	}
+	switch h.DType {
+	case core.DTypeFloat32:
+		vals, dims, err := DecompressSlice[float32](in.Bytes())
+		if err != nil {
+			return err
+		}
+		out.Become(core.FromFloat32s(vals, dims...))
+	case core.DTypeFloat64:
+		vals, dims, err := DecompressSlice[float64](in.Bytes())
+		if err != nil {
+			return err
+		}
+		out.Become(core.FromFloat64s(vals, dims...))
+	default:
+		return ErrCorrupt
+	}
+	return nil
+}
+
+func (p *plugin) Clone() core.CompressorPlugin {
+	clone := *p
+	return &clone
+}

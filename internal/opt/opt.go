@@ -1,0 +1,270 @@
+// Package opt implements the configuration optimizer (the paper's
+// LibPressio-Opt / FRaZ lineage): given a compressor and a target — a fixed
+// compression ratio or a quality floor — it searches the error-bound space
+// and returns the configuration that meets the target. Because it drives
+// compressors exclusively through the generic interface, it works with any
+// registered plugin, including the "switch" meta-compressor for searching
+// across compressor types.
+package opt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pressio/internal/core"
+)
+
+// ErrNoSolution reports that the target is unreachable in the search range.
+var ErrNoSolution = errors.New("opt: no configuration meets the target")
+
+// Result describes the configuration the optimizer found.
+type Result struct {
+	// Bound is the error bound (value of BoundKey) selected.
+	Bound float64
+	// Ratio is the compression ratio achieved at Bound.
+	Ratio float64
+	// PSNR is the decompressed quality at Bound (dB; +Inf when exact).
+	PSNR float64
+	// Evaluations counts compressor invocations spent searching.
+	Evaluations int
+	// Options holds the full option set to apply for this configuration.
+	Options *core.Options
+}
+
+// Config tunes the search.
+type Config struct {
+	// BoundKey is the option that carries the error bound
+	// (default "pressio:abs").
+	BoundKey string
+	// Lo and Hi bracket the bound search range (defaults derived from the
+	// input's value range).
+	Lo, Hi float64
+	// Tolerance is the acceptable relative deviation from the target
+	// (default 0.1, i.e. ±10 % like FRaZ's fixed-ratio contract).
+	Tolerance float64
+	// MaxIters bounds the search (default 32).
+	MaxIters int
+}
+
+func (c Config) normalized(in *core.Data) Config {
+	if c.BoundKey == "" {
+		c.BoundKey = core.KeyAbs
+	}
+	lo, hi := core.ValueRange(in)
+	rng := hi - lo
+	if rng <= 0 {
+		rng = 1
+	}
+	if c.Lo <= 0 {
+		c.Lo = rng * 1e-9
+	}
+	if c.Hi <= 0 {
+		c.Hi = rng * 0.5
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.1
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 32
+	}
+	return c
+}
+
+// evaluate compresses (and decompresses) once at the given bound and
+// reports ratio and PSNR.
+func evaluate(c *core.Compressor, in *core.Data, key string, bound float64) (ratio, psnr float64, err error) {
+	if err := c.SetOptions(core.NewOptions().SetValue(key, bound)); err != nil {
+		return 0, 0, err
+	}
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		return 0, 0, err
+	}
+	ratio = float64(in.ByteLen()) / float64(comp.ByteLen())
+	dec, err := core.Decompress(c, comp, in.DType(), in.Dims()...)
+	if err != nil {
+		return 0, 0, err
+	}
+	orig := in.AsFloat64s()
+	got := dec.AsFloat64s()
+	if len(got) != len(orig) {
+		return 0, 0, fmt.Errorf("opt: decompressed %d elements, want %d", len(got), len(orig))
+	}
+	lo, hi := core.ValueRange(in)
+	mse := 0.0
+	for i := range orig {
+		d := got[i] - orig[i]
+		mse += d * d
+	}
+	mse /= float64(len(orig))
+	if mse == 0 {
+		psnr = math.Inf(1)
+	} else {
+		psnr = 20*math.Log10(hi-lo) - 10*math.Log10(mse)
+	}
+	return ratio, psnr, nil
+}
+
+// TuneRatio finds an error bound whose compression ratio is within
+// cfg.Tolerance of targetRatio, searching log-bound space by bisection
+// (ratio grows monotonically with the bound for error-bounded
+// compressors). This is the fixed-ratio use case of FRaZ.
+func TuneRatio(c *core.Compressor, in *core.Data, targetRatio float64, cfg Config) (Result, error) {
+	if targetRatio <= 1 {
+		return Result{}, fmt.Errorf("opt: target ratio %v must exceed 1", targetRatio)
+	}
+	cfg = cfg.normalized(in)
+	work := c.Clone()
+	loB, hiB := math.Log(cfg.Lo), math.Log(cfg.Hi)
+	evals := 0
+
+	eval := func(logB float64) (Result, error) {
+		bound := math.Exp(logB)
+		ratio, psnr, err := evaluate(work, in, cfg.BoundKey, bound)
+		evals++
+		return Result{Bound: bound, Ratio: ratio, PSNR: psnr, Evaluations: evals}, err
+	}
+	lo, err := eval(loB)
+	if err != nil {
+		return lo, err
+	}
+	hi, err := eval(hiB)
+	if err != nil {
+		return hi, err
+	}
+	within := func(r Result) bool {
+		return math.Abs(r.Ratio-targetRatio) <= cfg.Tolerance*targetRatio
+	}
+	finish := func(r Result) (Result, error) {
+		r.Options = core.NewOptions().SetValue(cfg.BoundKey, r.Bound)
+		r.Evaluations = evals
+		return r, nil
+	}
+	if within(lo) {
+		return finish(lo)
+	}
+	if within(hi) {
+		return finish(hi)
+	}
+	if lo.Ratio > targetRatio || hi.Ratio < targetRatio {
+		return Result{Evaluations: evals}, fmt.Errorf("%w: ratio range [%.2f, %.2f] misses %.2f",
+			ErrNoSolution, lo.Ratio, hi.Ratio, targetRatio)
+	}
+	best := lo
+	for i := 0; i < cfg.MaxIters; i++ {
+		mid, err := eval((loB + hiB) / 2)
+		if err != nil {
+			return mid, err
+		}
+		if math.Abs(mid.Ratio-targetRatio) < math.Abs(best.Ratio-targetRatio) {
+			best = mid
+		}
+		if within(mid) {
+			return finish(mid)
+		}
+		if mid.Ratio < targetRatio {
+			loB = (loB + hiB) / 2
+		} else {
+			hiB = (loB + hiB) / 2
+		}
+	}
+	if within(best) {
+		return finish(best)
+	}
+	best.Evaluations = evals
+	return best, fmt.Errorf("%w: best ratio %.2f for target %.2f after %d evaluations",
+		ErrNoSolution, best.Ratio, targetRatio, evals)
+}
+
+// TunePSNR finds the largest error bound (hence best ratio) whose PSNR
+// stays at or above targetPSNR.
+func TunePSNR(c *core.Compressor, in *core.Data, targetPSNR float64, cfg Config) (Result, error) {
+	cfg = cfg.normalized(in)
+	work := c.Clone()
+	loB, hiB := math.Log(cfg.Lo), math.Log(cfg.Hi)
+	evals := 0
+	eval := func(logB float64) (Result, error) {
+		bound := math.Exp(logB)
+		ratio, psnr, err := evaluate(work, in, cfg.BoundKey, bound)
+		evals++
+		return Result{Bound: bound, Ratio: ratio, PSNR: psnr}, err
+	}
+	lo, err := eval(loB)
+	if err != nil {
+		return lo, err
+	}
+	if lo.PSNR < targetPSNR {
+		lo.Evaluations = evals
+		return lo, fmt.Errorf("%w: PSNR %.1f below target %.1f even at the smallest bound",
+			ErrNoSolution, lo.PSNR, targetPSNR)
+	}
+	best := lo
+	for i := 0; i < cfg.MaxIters; i++ {
+		mid, err := eval((loB + hiB) / 2)
+		if err != nil {
+			return mid, err
+		}
+		if mid.PSNR >= targetPSNR {
+			best = mid
+			loB = (loB + hiB) / 2
+		} else {
+			hiB = (loB + hiB) / 2
+		}
+		if hiB-loB < 0.05 {
+			break
+		}
+	}
+	best.Options = core.NewOptions().SetValue(cfg.BoundKey, best.Bound)
+	best.Evaluations = evals
+	return best, nil
+}
+
+// BestCompressor evaluates each named compressor at the given generic
+// options and returns the name achieving the highest compression ratio
+// (ties broken by PSNR). It exercises exactly the compressor-agnostic
+// search loop the paper's optimizer motivates.
+func BestCompressor(names []string, in *core.Data, opts *core.Options) (best string, results map[string]Result, err error) {
+	results = make(map[string]Result, len(names))
+	bestRatio := -1.0
+	for _, name := range names {
+		c, err := core.NewCompressor(name)
+		if err != nil {
+			return "", results, err
+		}
+		if err := c.SetOptions(opts); err != nil {
+			continue // option not understood: skip this candidate
+		}
+		comp, err := core.Compress(c, in)
+		if err != nil {
+			continue // e.g. dtype unsupported
+		}
+		dec, err := core.Decompress(c, comp, in.DType(), in.Dims()...)
+		if err != nil {
+			continue
+		}
+		ratio := float64(in.ByteLen()) / float64(comp.ByteLen())
+		orig := in.AsFloat64s()
+		got := dec.AsFloat64s()
+		mse := 0.0
+		for i := range orig {
+			d := got[i] - orig[i]
+			mse += d * d
+		}
+		mse /= float64(len(orig))
+		lo, hi := core.ValueRange(in)
+		psnr := math.Inf(1)
+		if mse > 0 {
+			psnr = 20*math.Log10(hi-lo) - 10*math.Log10(mse)
+		}
+		results[name] = Result{Ratio: ratio, PSNR: psnr, Evaluations: 1}
+		if ratio > bestRatio {
+			bestRatio = ratio
+			best = name
+		}
+	}
+	if best == "" {
+		return "", results, fmt.Errorf("%w: no candidate succeeded", ErrNoSolution)
+	}
+	return best, results, nil
+}

@@ -1,0 +1,140 @@
+package opt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pressio/internal/core"
+	_ "pressio/internal/lossless"
+	_ "pressio/internal/meta"
+	_ "pressio/internal/sz"
+	_ "pressio/internal/zfp"
+)
+
+func field(seed int64) *core.Data {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float32, 32*32*16)
+	i := 0
+	for z := 0; z < 16; z++ {
+		for y := 0; y < 32; y++ {
+			for x := 0; x < 32; x++ {
+				vals[i] = float32(25*math.Sin(float64(x)/6)*math.Cos(float64(y)/8) +
+					5*math.Sin(float64(z)/3) + 0.02*rng.NormFloat64())
+				i++
+			}
+		}
+	}
+	return core.FromFloat32s(vals, 16, 32, 32)
+}
+
+func TestTuneRatioHitsTarget(t *testing.T) {
+	in := field(1)
+	c, err := core.NewCompressor("sz_threadsafe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []float64{5, 10, 20} {
+		res, err := TuneRatio(c, in, target, Config{})
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		if math.Abs(res.Ratio-target) > 0.1*target {
+			t.Fatalf("target %v: achieved %v", target, res.Ratio)
+		}
+		if res.Bound <= 0 || res.Evaluations < 2 {
+			t.Fatalf("result %+v", res)
+		}
+		// Returned options must reproduce the ratio.
+		c2 := c.Clone()
+		if err := c2.SetOptions(res.Options); err != nil {
+			t.Fatal(err)
+		}
+		comp, err := core.Compress(c2, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := float64(in.ByteLen()) / float64(comp.ByteLen()); math.Abs(got-res.Ratio) > 1e-9 {
+			t.Fatalf("options not reproducible: %v vs %v", got, res.Ratio)
+		}
+	}
+}
+
+func TestTuneRatioWorksThroughZfp(t *testing.T) {
+	// zfp's fixed-accuracy mode rounds the tolerance down to a power of
+	// two, so its ratio curve is a step function — a coarser tolerance is
+	// needed than for sz's smooth curve.
+	in := field(2)
+	c, _ := core.NewCompressor("zfp")
+	res, err := TuneRatio(c, in, 12, Config{Tolerance: 0.35})
+	if err != nil {
+		t.Fatalf("zfp tuning failed: %v", err)
+	}
+	if math.Abs(res.Ratio-12) > 0.35*12 {
+		t.Fatalf("achieved %v", res.Ratio)
+	}
+}
+
+func TestTuneRatioUnreachable(t *testing.T) {
+	in := field(3)
+	c, _ := core.NewCompressor("sz_threadsafe")
+	// A ratio of 10 million is unreachable in the default range.
+	if _, err := TuneRatio(c, in, 1e7, Config{}); !errors.Is(err, ErrNoSolution) {
+		t.Fatalf("expected ErrNoSolution, got %v", err)
+	}
+	if _, err := TuneRatio(c, in, 0.5, Config{}); err == nil {
+		t.Fatal("ratio <= 1 must be rejected")
+	}
+}
+
+func TestTunePSNRMeetsFloor(t *testing.T) {
+	in := field(4)
+	c, _ := core.NewCompressor("sz_threadsafe")
+	target := 60.0
+	res, err := TunePSNR(c, in, target, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PSNR < target {
+		t.Fatalf("PSNR %v below floor %v", res.PSNR, target)
+	}
+	// A lower floor should allow an equal-or-better ratio.
+	loose, err := TunePSNR(c, in, 40, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Ratio < res.Ratio-1e-9 {
+		t.Fatalf("looser floor gave worse ratio: %v vs %v", loose.Ratio, res.Ratio)
+	}
+}
+
+func TestBestCompressorSearch(t *testing.T) {
+	in := field(5)
+	opts := core.NewOptions().SetValue(core.KeyAbs, 0.01)
+	best, results, err := BestCompressor([]string{"sz_threadsafe", "zfp", "flate", "noop"}, in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) < 3 {
+		t.Fatalf("results %v", results)
+	}
+	// noop never wins and the winner is one of the lossy codecs.
+	if best == "noop" || best == "flate" {
+		t.Fatalf("best = %v", best)
+	}
+	for name, r := range results {
+		if r.Ratio <= 0 {
+			t.Fatalf("%s ratio %v", name, r.Ratio)
+		}
+	}
+}
+
+func TestBestCompressorAllFail(t *testing.T) {
+	in := core.FromInt32s([]int32{1, 2, 3})
+	// Lossy float-only compressors all fail on int data.
+	if _, _, err := BestCompressor([]string{"sz_threadsafe", "fpzip"}, in,
+		core.NewOptions().SetValue(core.KeyAbs, 0.1)); err == nil {
+		t.Fatal("expected ErrNoSolution")
+	}
+}

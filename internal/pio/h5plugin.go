@@ -1,0 +1,90 @@
+package pio
+
+import (
+	"fmt"
+	"os"
+
+	"pressio/internal/core"
+	"pressio/internal/h5lite"
+)
+
+func init() {
+	core.RegisterIO("h5lite", func() core.IOPlugin { return &h5io{dataset: "data"} })
+}
+
+// h5io reads and writes datasets inside h5lite containers, the HDF5 IO
+// plugin analogue. Options: io:path, h5:dataset, h5:filter (compressor name
+// applied per chunk), h5:chunk_rows.
+type h5io struct {
+	pathConfig
+	dataset   string
+	filter    string
+	chunkRows uint64
+	filterAbs float64
+}
+
+func (h *h5io) Prefix() string { return "h5lite" }
+
+func (h *h5io) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue(core.KeyIOPath, h.path)
+	o.SetValue("h5:dataset", h.dataset)
+	o.SetValue("h5:filter", h.filter)
+	o.SetValue("h5:chunk_rows", h.chunkRows)
+	o.SetValue("h5:filter_abs", h.filterAbs)
+	return o
+}
+
+func (h *h5io) SetOptions(o *core.Options) error {
+	h.applyPath(o)
+	if v, err := o.GetString("h5:dataset"); err == nil {
+		h.dataset = v
+	}
+	if v, err := o.GetString("h5:filter"); err == nil {
+		h.filter = v
+	}
+	if v, err := o.GetUint64("h5:chunk_rows"); err == nil {
+		h.chunkRows = v
+	}
+	if v, err := o.GetFloat64("h5:filter_abs"); err == nil {
+		h.filterAbs = v
+	}
+	return nil
+}
+
+func (h *h5io) Configuration() *core.Options {
+	return core.StandardConfiguration(core.ThreadSafetySerialized, "stable", "1.0.0", false)
+}
+
+func (h *h5io) Read(hint *core.Data) (*core.Data, error) {
+	f, err := h5lite.Open(h.path)
+	if err != nil {
+		return nil, err
+	}
+	return f.ReadDataset(h.dataset)
+}
+
+func (h *h5io) Write(d *core.Data) error {
+	var f *h5lite.File
+	if _, err := os.Stat(h.path); err == nil {
+		f, err = h5lite.Open(h.path)
+		if err != nil {
+			return fmt.Errorf("h5lite: rewriting %s: %w", h.path, err)
+		}
+	} else {
+		f = h5lite.Create(h.path)
+	}
+	opts := h5lite.DatasetOptions{ChunkRows: h.chunkRows, Filter: h.filter}
+	if h.filter != "" && h.filterAbs > 0 {
+		opts.FilterOptions = map[string]float64{core.KeyAbs: h.filterAbs}
+	}
+	if err := f.WriteDataset(h.dataset, d, opts); err != nil {
+		return err
+	}
+	return f.Save()
+}
+
+func (h *h5io) Clone() core.IOPlugin {
+	clone := *h
+	return &clone
+}

@@ -1,0 +1,113 @@
+package pio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pressio/internal/core"
+)
+
+func TestNPYPropertyRoundTrip(t *testing.T) {
+	dtypes := []core.DType{
+		core.DTypeFloat32, core.DTypeFloat64,
+		core.DTypeInt8, core.DTypeInt16, core.DTypeInt32, core.DTypeInt64,
+		core.DTypeUint8, core.DTypeUint16, core.DTypeUint32, core.DTypeUint64,
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dt := dtypes[rng.Intn(len(dtypes))]
+		rank := 1 + rng.Intn(4)
+		dims := make([]uint64, rank)
+		for i := range dims {
+			dims[i] = uint64(1 + rng.Intn(8))
+		}
+		d := core.NewData(dt, dims...)
+		rng.Read(d.Bytes())
+		b, err := FormatNPY(d)
+		if err != nil {
+			return false
+		}
+		got, err := ParseNPY(b)
+		if err != nil {
+			return false
+		}
+		return got.Equal(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNPYTruncationsSafe(t *testing.T) {
+	d := core.FromFloat32s(make([]float32, 64), 8, 8)
+	b, err := FormatNPY(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(b); cut += 7 {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at truncation %d: %v", cut, r)
+				}
+			}()
+			_, _ = ParseNPY(b[:cut])
+		}()
+	}
+}
+
+func TestSubregionPropertyMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rank := 1 + rng.Intn(3)
+		dims := make([]uint64, rank)
+		for i := range dims {
+			dims[i] = uint64(2 + rng.Intn(6))
+		}
+		d := core.NewData(core.DTypeInt32, dims...)
+		for i := range d.Int32s() {
+			d.Int32s()[i] = int32(i)
+		}
+		start := make([]uint64, rank)
+		end := make([]uint64, rank)
+		for i := range dims {
+			start[i] = uint64(rng.Intn(int(dims[i])))
+			end[i] = start[i] + 1 + uint64(rng.Intn(int(dims[i]-start[i])))
+		}
+		sub, err := Subregion(d, start, end)
+		if err != nil {
+			return false
+		}
+		// Brute force: walk every multi-index in the box.
+		idx := make([]uint64, rank)
+		copy(idx, start)
+		si := 0
+		for {
+			lin := uint64(0)
+			for i := range dims {
+				lin = lin*dims[i] + idx[i]
+			}
+			if sub.Int32s()[si] != d.Int32s()[lin] {
+				return false
+			}
+			si++
+			k := rank - 1
+			for k >= 0 {
+				idx[k]++
+				if idx[k] < end[k] {
+					break
+				}
+				idx[k] = start[k]
+				k--
+			}
+			if k < 0 {
+				break
+			}
+		}
+		return si == int(sub.Len())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

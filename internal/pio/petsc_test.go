@@ -1,0 +1,73 @@
+package pio
+
+import (
+	"os"
+	"testing"
+
+	"pressio/internal/core"
+)
+
+func TestPetscRoundTrip(t *testing.T) {
+	path := tempPath(t, "v.petsc")
+	io := newIO(t, "petsc", path)
+	d := core.FromFloat64s([]float64{1.5, -2.25, 1e300, 0}, 4)
+	if err := io.Write(d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.Read(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(d) {
+		t.Fatal("petsc round trip mismatch")
+	}
+	// Shape + dtype hints apply.
+	hinted, err := io.Read(core.NewEmpty(core.DTypeFloat32, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hinted.DType() != core.DTypeFloat32 || hinted.NumDims() != 2 {
+		t.Fatalf("hint not applied: %v", hinted)
+	}
+}
+
+func TestPetscRejectsWrongClassID(t *testing.T) {
+	path := tempPath(t, "bad.petsc")
+	if err := os.WriteFile(path, []byte{0, 0, 0, 1, 0, 0, 0, 0}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	io := newIO(t, "petsc", path)
+	if _, err := io.Read(nil); err == nil {
+		t.Fatal("wrong class id should fail")
+	}
+}
+
+func TestMmapReadMatchesPosix(t *testing.T) {
+	if _, err := core.NewIO("mmap"); err != nil {
+		t.Skip("mmap plugin not available on this platform")
+	}
+	path := tempPath(t, "m.bin")
+	d := sample32()
+	posix := newIO(t, "posix", path)
+	if err := posix.Write(d); err != nil {
+		t.Fatal(err)
+	}
+	mm := newIO(t, "mmap", path)
+	got, err := mm.Read(core.NewEmpty(core.DTypeFloat32, 6, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(d) {
+		t.Fatal("mmap read mismatch")
+	}
+	// Write path.
+	path2 := tempPath(t, "m2.bin")
+	mm2 := newIO(t, "mmap", path2)
+	if err := mm2.Write(d); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := mm2.Read(core.NewEmpty(core.DTypeFloat32, 6, 8))
+	if err != nil || !got2.Equal(d) {
+		t.Fatalf("mmap write round trip: %v", err)
+	}
+}

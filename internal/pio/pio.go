@@ -1,0 +1,448 @@
+// Package pio implements the pressio_io plugin family: configurable
+// sources and sinks of Data buffers. It covers flat binary files ("posix"),
+// character-delimited values ("csv"), the NumPy .npy format ("npy"),
+// synthetic sequential data ("iota"), sub-region selection ("select"), an
+// in-memory buffer ("noop"), and the h5lite chunked container ("h5lite").
+package pio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pressio/internal/core"
+)
+
+// ErrFormat reports an unreadable file format.
+var ErrFormat = errors.New("pio: bad format")
+
+func init() {
+	core.RegisterIO("posix", func() core.IOPlugin { return &posix{} })
+	core.RegisterIO("csv", func() core.IOPlugin { return &csvIO{} })
+	core.RegisterIO("npy", func() core.IOPlugin { return &npy{} })
+	core.RegisterIO("iota", func() core.IOPlugin { return &iota{dtype: core.DTypeFloat32} })
+	core.RegisterIO("noop", func() core.IOPlugin { return &noop{} })
+	core.RegisterIO("select", func() core.IOPlugin { return &selectIO{io: "posix"} })
+}
+
+// pathConfig handles the common io:path option.
+type pathConfig struct {
+	path string
+}
+
+func (p *pathConfig) applyPath(o *core.Options) {
+	if v, err := o.GetString(core.KeyIOPath); err == nil {
+		p.path = v
+	}
+}
+
+// posix reads and writes flat binary files, relying on the caller's Data
+// hint for dtype and dims (like the POSIX read/write plugin of the paper).
+type posix struct {
+	pathConfig
+}
+
+func (p *posix) Prefix() string { return "posix" }
+
+func (p *posix) Options() *core.Options {
+	return core.NewOptions().SetValue(core.KeyIOPath, p.path)
+}
+
+func (p *posix) SetOptions(o *core.Options) error { p.applyPath(o); return nil }
+
+func (p *posix) Configuration() *core.Options {
+	return core.StandardConfiguration(core.ThreadSafetyMultiple, "stable", "1.0.0", false)
+}
+
+func (p *posix) Read(hint *core.Data) (*core.Data, error) {
+	b, err := os.ReadFile(p.path)
+	if err != nil {
+		return nil, err
+	}
+	if hint != nil && hint.DType() != core.DTypeUnset && hint.NumDims() > 0 {
+		d, err := core.NewMove(hint.DType(), b, hint.Dims()...)
+		if err != nil {
+			return nil, err
+		}
+		return d, nil
+	}
+	return core.NewBytes(b), nil
+}
+
+func (p *posix) Write(d *core.Data) error {
+	return os.WriteFile(p.path, d.Bytes(), 0o644)
+}
+
+func (p *posix) Clone() core.IOPlugin {
+	clone := *p
+	return &clone
+}
+
+// csvIO reads and writes 2-D data as comma-separated values (one row per
+// line); 1-D data is a single column.
+type csvIO struct {
+	pathConfig
+}
+
+func (c *csvIO) Prefix() string { return "csv" }
+
+func (c *csvIO) Options() *core.Options {
+	return core.NewOptions().SetValue(core.KeyIOPath, c.path)
+}
+
+func (c *csvIO) SetOptions(o *core.Options) error { c.applyPath(o); return nil }
+
+func (c *csvIO) Configuration() *core.Options {
+	return core.StandardConfiguration(core.ThreadSafetyMultiple, "stable", "1.0.0", false)
+}
+
+func (c *csvIO) Read(hint *core.Data) (*core.Data, error) {
+	f, err := os.Open(c.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var vals []float64
+	rows, cols := 0, -1
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if cols == -1 {
+			cols = len(fields)
+		} else if len(fields) != cols {
+			return nil, fmt.Errorf("%w: ragged csv row %d", ErrFormat, rows+1)
+		}
+		for _, fld := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fld), 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+			}
+			vals = append(vals, v)
+		}
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	var out *core.Data
+	if cols <= 1 {
+		out = core.FromFloat64s(vals, uint64(len(vals)))
+	} else {
+		out = core.FromFloat64s(vals, uint64(rows), uint64(cols))
+	}
+	if hint != nil && hint.DType() != core.DTypeUnset && hint.DType() != core.DTypeFloat64 {
+		return out.CastTo(hint.DType())
+	}
+	return out, nil
+}
+
+func (c *csvIO) Write(d *core.Data) error {
+	if !d.DType().Numeric() {
+		return fmt.Errorf("%w: cannot write %s as csv", core.ErrInvalidDType, d.DType())
+	}
+	f, err := os.Create(c.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	vals := d.AsFloat64s()
+	cols := 1
+	if d.NumDims() >= 2 {
+		cols = 1
+		for _, dim := range d.Dims()[1:] {
+			cols *= int(dim)
+		}
+	} else if d.NumDims() == 1 {
+		cols = 1
+	}
+	if d.NumDims() == 1 {
+		cols = 1
+	}
+	for i, v := range vals {
+		if i > 0 {
+			if i%cols == 0 {
+				if _, err := w.WriteString("\n"); err != nil {
+					return err
+				}
+			} else {
+				if _, err := w.WriteString(","); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := w.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	if _, err := w.WriteString("\n"); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (c *csvIO) Clone() core.IOPlugin {
+	clone := *c
+	return &clone
+}
+
+// iota generates synthetic sequentially increasing data, the std::iota
+// plugin of the paper used for tests and demos.
+type iota struct {
+	dims  []uint64
+	dtype core.DType
+	start float64
+}
+
+func (i *iota) Prefix() string { return "iota" }
+
+func (i *iota) Options() *core.Options {
+	o := core.NewOptions()
+	dimsData := core.NewData(core.DTypeUint64, uint64(len(i.dims)))
+	copy(dimsData.Uint64s(), i.dims)
+	o.Set("iota:dims", core.NewOption(dimsData))
+	o.SetValue("iota:dtype", i.dtype.String())
+	o.SetValue("iota:start", i.start)
+	return o
+}
+
+func (i *iota) SetOptions(o *core.Options) error {
+	if d, err := o.GetData("iota:dims"); err == nil {
+		if d.DType() != core.DTypeUint64 {
+			return fmt.Errorf("%w: iota:dims must be uint64 data", core.ErrInvalidOption)
+		}
+		i.dims = append([]uint64(nil), d.Uint64s()...)
+	}
+	if s, err := o.GetString("iota:dtype"); err == nil {
+		dt, err := core.ParseDType(s)
+		if err != nil {
+			return err
+		}
+		i.dtype = dt
+	}
+	if v, err := o.GetFloat64("iota:start"); err == nil {
+		i.start = v
+	}
+	return nil
+}
+
+func (i *iota) Configuration() *core.Options {
+	return core.StandardConfiguration(core.ThreadSafetyMultiple, "stable", "1.0.0", false)
+}
+
+func (i *iota) Read(hint *core.Data) (*core.Data, error) {
+	dims := i.dims
+	dtype := i.dtype
+	if hint != nil && hint.NumDims() > 0 {
+		dims = hint.Dims()
+		if hint.DType() != core.DTypeUnset {
+			dtype = hint.DType()
+		}
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("%w: iota needs dims", core.ErrInvalidDims)
+	}
+	n := uint64(1)
+	for _, d := range dims {
+		n *= d
+	}
+	vals := make([]float64, n)
+	for k := range vals {
+		vals[k] = i.start + float64(k)
+	}
+	d64 := core.FromFloat64s(vals, dims...)
+	if dtype == core.DTypeFloat64 {
+		return d64, nil
+	}
+	return d64.CastTo(dtype)
+}
+
+func (i *iota) Write(d *core.Data) error {
+	return fmt.Errorf("%w: iota is read-only", core.ErrNotImplemented)
+}
+
+func (i *iota) Clone() core.IOPlugin {
+	clone := *i
+	clone.dims = append([]uint64(nil), i.dims...)
+	return &clone
+}
+
+// noop stores data in memory; it backs unit tests and meta-IO composition.
+type noop struct {
+	stored *core.Data
+}
+
+func (n *noop) Prefix() string                   { return "noop" }
+func (n *noop) Options() *core.Options           { return core.NewOptions() }
+func (n *noop) SetOptions(o *core.Options) error { return nil }
+func (n *noop) Configuration() *core.Options {
+	return core.StandardConfiguration(core.ThreadSafetySerialized, "stable", "1.0.0", false)
+}
+
+func (n *noop) Read(hint *core.Data) (*core.Data, error) {
+	if n.stored == nil {
+		return nil, fmt.Errorf("noop: %w", os.ErrNotExist)
+	}
+	return n.stored.Clone(), nil
+}
+
+func (n *noop) Write(d *core.Data) error {
+	n.stored = d.Clone()
+	return nil
+}
+
+func (n *noop) Clone() core.IOPlugin {
+	clone := &noop{}
+	if n.stored != nil {
+		clone.stored = n.stored.Clone()
+	}
+	return clone
+}
+
+// selectIO reads through a child IO plugin and extracts a box-shaped
+// sub-region, the "select" plugin of the paper.
+type selectIO struct {
+	io    string
+	child core.IOPlugin
+	opts  *core.Options
+	start []uint64
+	end   []uint64
+}
+
+func (s *selectIO) Prefix() string { return "select" }
+
+func (s *selectIO) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue("select:io", s.io)
+	o.SetType("select:start", core.OptData)
+	o.SetType("select:end", core.OptData)
+	return o
+}
+
+func (s *selectIO) SetOptions(o *core.Options) error {
+	if v, err := o.GetString("select:io"); err == nil {
+		s.io = v
+		s.child = nil
+	}
+	if d, err := o.GetData("select:start"); err == nil {
+		if d.DType() != core.DTypeUint64 {
+			return fmt.Errorf("%w: select:start must be uint64 data", core.ErrInvalidOption)
+		}
+		s.start = append([]uint64(nil), d.Uint64s()...)
+	}
+	if d, err := o.GetData("select:end"); err == nil {
+		if d.DType() != core.DTypeUint64 {
+			return fmt.Errorf("%w: select:end must be uint64 data", core.ErrInvalidOption)
+		}
+		s.end = append([]uint64(nil), d.Uint64s()...)
+	}
+	if s.opts == nil {
+		s.opts = core.NewOptions()
+	}
+	s.opts.Merge(o)
+	return nil
+}
+
+func (s *selectIO) Configuration() *core.Options {
+	return core.StandardConfiguration(core.ThreadSafetySerialized, "stable", "1.0.0", false)
+}
+
+func (s *selectIO) ensureChild() error {
+	if s.child != nil {
+		return nil
+	}
+	child, err := core.NewIO(s.io)
+	if err != nil {
+		return err
+	}
+	if s.opts != nil {
+		if err := child.SetOptions(s.opts); err != nil {
+			return err
+		}
+	}
+	s.child = child
+	return nil
+}
+
+func (s *selectIO) Read(hint *core.Data) (*core.Data, error) {
+	if err := s.ensureChild(); err != nil {
+		return nil, err
+	}
+	full, err := s.child.Read(hint)
+	if err != nil {
+		return nil, err
+	}
+	return Subregion(full, s.start, s.end)
+}
+
+func (s *selectIO) Write(d *core.Data) error {
+	return fmt.Errorf("%w: select is read-only", core.ErrNotImplemented)
+}
+
+func (s *selectIO) Clone() core.IOPlugin {
+	clone := &selectIO{io: s.io,
+		start: append([]uint64(nil), s.start...),
+		end:   append([]uint64(nil), s.end...)}
+	if s.opts != nil {
+		clone.opts = s.opts.Clone()
+	}
+	return clone
+}
+
+// Subregion copies the box [start, end) out of d.
+func Subregion(d *core.Data, start, end []uint64) (*core.Data, error) {
+	dims := d.Dims()
+	if len(start) != len(dims) || len(end) != len(dims) {
+		return nil, fmt.Errorf("%w: select box rank %d vs data rank %d",
+			core.ErrInvalidDims, len(start), len(dims))
+	}
+	outDims := make([]uint64, len(dims))
+	for i := range dims {
+		if start[i] >= end[i] || end[i] > dims[i] {
+			return nil, fmt.Errorf("%w: box [%v,%v) outside dims %v", core.ErrInvalidDims, start, end, dims)
+		}
+		outDims[i] = end[i] - start[i]
+	}
+	elem := uint64(d.DType().Size())
+	out := core.NewData(d.DType(), outDims...)
+	src := d.Bytes()
+	dst := out.Bytes()
+	// Copy contiguous runs along the last dimension.
+	idx := make([]uint64, len(dims))
+	copy(idx, start)
+	rowLen := outDims[len(outDims)-1] * elem
+	dstOff := uint64(0)
+	for {
+		lin := uint64(0)
+		for i := range dims {
+			lin = lin*dims[i] + idx[i]
+		}
+		copy(dst[dstOff:dstOff+rowLen], src[lin*elem:lin*elem+rowLen])
+		dstOff += rowLen
+		// Advance all but the last dimension.
+		d2 := len(dims) - 2
+		for d2 >= 0 {
+			idx[d2]++
+			if idx[d2] < end[d2] {
+				break
+			}
+			idx[d2] = start[d2]
+			d2--
+		}
+		if d2 < 0 {
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package sdrbench
+
+import (
+	"math"
+	"testing"
+
+	"pressio/internal/core"
+	"pressio/internal/sz"
+)
+
+func TestDeterministicInSeed(t *testing.T) {
+	for _, name := range Names() {
+		a, ok := Generate(name, 1, 42)
+		if !ok {
+			t.Fatalf("unknown dataset %s", name)
+		}
+		b, _ := Generate(name, 1, 42)
+		if !a.Equal(b) {
+			t.Fatalf("%s: not deterministic", name)
+		}
+		c, _ := Generate(name, 1, 43)
+		if a.Equal(c) {
+			t.Fatalf("%s: seed ignored", name)
+		}
+	}
+}
+
+func TestShapesAndFiniteness(t *testing.T) {
+	for _, name := range Names() {
+		d, _ := Generate(name, 1, 1)
+		if d.Len() == 0 {
+			t.Fatalf("%s: empty", name)
+		}
+		for i, v := range d.Float32s() {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("%s: non-finite at %d", name, i)
+			}
+		}
+		lo, hi := core.ValueRange(d)
+		if hi <= lo {
+			t.Fatalf("%s: degenerate range [%v,%v]", name, lo, hi)
+		}
+	}
+}
+
+func TestHurricaneIsSparseAndPositive(t *testing.T) {
+	d := HurricaneCloud(16, 32, 32, 7)
+	zeroish := 0
+	for _, v := range d.Float32s() {
+		if v < 0 {
+			t.Fatal("cloud field must be non-negative")
+		}
+		if v < 1e-5 {
+			zeroish++
+		}
+	}
+	if float64(zeroish) < 0.2*float64(d.Len()) {
+		t.Fatalf("cloud field should be mostly near-zero: %d of %d", zeroish, d.Len())
+	}
+}
+
+func TestSmoothFieldsCompressBetterThanParticles(t *testing.T) {
+	// The generators must reproduce the key SDRBench contrast: smooth
+	// fields (hurricane, scale) compress far better than particle data
+	// (HACC) at the same value-range-relative bound.
+	ratio := func(d *core.Data) float64 {
+		stream, err := sz.CompressSlice(d.Float32s(), d.Dims(),
+			sz.Params{Mode: core.BoundValueRangeRel, Bound: 1e-3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(d.ByteLen()) / float64(len(stream))
+	}
+	hurricane, _ := Generate(NameHurricane, 1, 5)
+	hacc, _ := Generate(NameHACC, 1, 5)
+	rh := ratio(hurricane)
+	rp := ratio(hacc)
+	if rh < 4*rp {
+		t.Fatalf("smooth field should compress much better: hurricane %f vs hacc %f", rh, rp)
+	}
+	if rp < 0.8 {
+		t.Fatalf("hacc ratio %f should not balloon", rp)
+	}
+}
+
+func TestScaleParameterGrowsData(t *testing.T) {
+	small, _ := Generate(NameNYX, 1, 1)
+	big, _ := Generate(NameNYX, 2, 1)
+	if big.Len() != small.Len()*8 {
+		t.Fatalf("scale 2 should give 8x the voxels: %d vs %d", big.Len(), small.Len())
+	}
+}
+
+func TestUnknownName(t *testing.T) {
+	if _, ok := Generate("miranda", 1, 1); ok {
+		t.Fatal("unknown dataset should report false")
+	}
+}

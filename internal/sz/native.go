@@ -1,0 +1,289 @@
+package sz
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pressio/internal/core"
+)
+
+// The native API mirrors classic SZ's process-global configuration store:
+// SZ_Init fills a global parameter block that every subsequent call reads,
+// and SZ_Finalize releases it. This is exactly the construction-semantics
+// hazard §IV-B of the paper discusses — a thread may only Finalize when it
+// knows no other thread still uses SZ. The sz plugin serializes access; the
+// sz_threadsafe plugin bypasses the store entirely.
+var global struct {
+	mu     sync.Mutex
+	params Params
+	inited bool
+}
+
+// ErrNotInitialized reports use of the global API before Init.
+var ErrNotInitialized = errors.New("sz: not initialized (call Init first)")
+
+// Init installs the process-global parameters (the analogue of SZ_Init).
+func Init(p Params) {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	global.params = p
+	global.inited = true
+}
+
+// Finalize clears the process-global parameters (the analogue of
+// SZ_Finalize).
+func Finalize() {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	global.inited = false
+}
+
+// Initialized reports whether the global store is live.
+func Initialized() bool {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	return global.inited
+}
+
+// globalParams snapshots the global store.
+func globalParams() (Params, error) {
+	global.mu.Lock()
+	defer global.mu.Unlock()
+	if !global.inited {
+		return Params{}, ErrNotInitialized
+	}
+	return global.params, nil
+}
+
+// CompressFloat32 compresses using the global configuration, like the
+// native SZ_compress entry point.
+func CompressFloat32(vals []float32, dims []uint64) ([]byte, error) {
+	p, err := globalParams()
+	if err != nil {
+		return nil, err
+	}
+	return CompressSlice(vals, dims, p)
+}
+
+// CompressFloat64 compresses float64 data using the global configuration.
+func CompressFloat64(vals []float64, dims []uint64) ([]byte, error) {
+	p, err := globalParams()
+	if err != nil {
+		return nil, err
+	}
+	return CompressSlice(vals, dims, p)
+}
+
+// DecompressFloat32 decodes a float32 stream (no global state needed, as in
+// SZ where the stream is self-describing given the dims).
+func DecompressFloat32(stream []byte) ([]float32, []uint64, error) {
+	return DecompressSlice[float32](stream)
+}
+
+// DecompressFloat64 decodes a float64 stream.
+func DecompressFloat64(stream []byte) ([]float64, []uint64, error) {
+	return DecompressSlice[float64](stream)
+}
+
+// --- Parallel (OMP-style) variant -----------------------------------------
+
+// ompMagic tags the framed multi-block format of the parallel variant.
+const ompMagic = "SZMP"
+
+// CompressParallel compresses by splitting the slowest dimension into
+// roughly equal blocks compressed concurrently, the strategy of SZ-OMP.
+// Each block is an independent CompressSlice stream, so the error bound is
+// preserved per block. nthreads <= 0 selects GOMAXPROCS.
+func CompressParallel[T Float](vals []T, dims []uint64, p Params, nthreads int) ([]byte, error) {
+	if nthreads <= 0 {
+		nthreads = runtime.GOMAXPROCS(0)
+	}
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("sz: %w: no dimensions", core.ErrInvalidDims)
+	}
+	if p.Mode == core.BoundValueRangeRel {
+		// Resolve the range globally so all blocks share one absolute
+		// bound (a per-block range would change the bound semantics).
+		lo, hi := sliceRange(vals)
+		p.Mode = core.BoundAbs
+		p.Bound = p.Bound * (hi - lo)
+		if p.Bound <= 0 {
+			p.Bound = 1e-38
+		}
+	}
+	d0 := int(dims[0])
+	blocks := nthreads
+	if blocks > d0 {
+		blocks = d0
+	}
+	if blocks < 1 {
+		blocks = 1
+	}
+	rowLen := 1
+	for _, d := range dims[1:] {
+		rowLen *= int(d)
+	}
+	type result struct {
+		data []byte
+		err  error
+	}
+	results := make([]result, blocks)
+	var wg sync.WaitGroup
+	for b := 0; b < blocks; b++ {
+		lo := b * d0 / blocks
+		hi := (b + 1) * d0 / blocks
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			blockDims := append([]uint64{uint64(hi - lo)}, dims[1:]...)
+			data, err := CompressSlice(vals[lo*rowLen:hi*rowLen], blockDims, p)
+			results[b] = result{data, err}
+		}(b, lo, hi)
+	}
+	wg.Wait()
+	out := []byte(ompMagic)
+	out = appendUvarint(out, uint64(blocks))
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = appendUvarint(out, uint64(len(r.data)))
+	}
+	for _, r := range results {
+		out = append(out, r.data...)
+	}
+	return out, nil
+}
+
+// DecompressParallel decodes a CompressParallel stream, decompressing
+// blocks concurrently and reassembling along the slowest dimension.
+func DecompressParallel[T Float](stream []byte, nthreads int) ([]T, []uint64, error) {
+	if len(stream) < 4 || string(stream[:4]) != ompMagic {
+		return nil, nil, ErrCorrupt
+	}
+	pos := 4
+	nBlocks, sz := uvarint(stream[pos:])
+	if sz <= 0 || nBlocks == 0 || nBlocks > 1<<20 {
+		return nil, nil, ErrCorrupt
+	}
+	pos += sz
+	sizes := make([]uint64, nBlocks)
+	var total uint64
+	for i := range sizes {
+		v, sz := uvarint(stream[pos:])
+		if sz <= 0 {
+			return nil, nil, ErrCorrupt
+		}
+		sizes[i] = v
+		total += v
+		pos += sz
+	}
+	if uint64(len(stream)-pos) < total {
+		return nil, nil, ErrCorrupt
+	}
+	type result struct {
+		vals []T
+		dims []uint64
+		err  error
+	}
+	results := make([]result, nBlocks)
+	var wg sync.WaitGroup
+	off := pos
+	for i := uint64(0); i < nBlocks; i++ {
+		blk := stream[off : off+int(sizes[i])]
+		off += int(sizes[i])
+		wg.Add(1)
+		go func(i uint64, blk []byte) {
+			defer wg.Done()
+			vals, dims, err := DecompressSlice[T](blk)
+			results[i] = result{vals, dims, err}
+		}(i, blk)
+	}
+	wg.Wait()
+	var out []T
+	var dims []uint64
+	var d0 uint64
+	for i, r := range results {
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		if i == 0 {
+			dims = append([]uint64(nil), r.dims...)
+		} else if len(r.dims) != len(dims) {
+			return nil, nil, ErrCorrupt
+		}
+		d0 += r.dims[0]
+		out = append(out, r.vals...)
+	}
+	dims[0] = d0
+	return out, dims, nil
+}
+
+// ParallelHeader reports the element type and total dims of a
+// CompressParallel stream without decoding it.
+func ParallelHeader(stream []byte) (core.DType, []uint64, error) {
+	if len(stream) < 4 || string(stream[:4]) != ompMagic {
+		return core.DTypeUnset, nil, ErrCorrupt
+	}
+	pos := 4
+	nBlocks, sz := uvarint(stream[pos:])
+	if sz <= 0 || nBlocks == 0 || nBlocks > 1<<20 {
+		return core.DTypeUnset, nil, ErrCorrupt
+	}
+	pos += sz
+	sizes := make([]uint64, nBlocks)
+	for i := range sizes {
+		v, sz := uvarint(stream[pos:])
+		if sz <= 0 {
+			return core.DTypeUnset, nil, ErrCorrupt
+		}
+		sizes[i] = v
+		pos += sz
+	}
+	var dims []uint64
+	var dtype core.DType
+	off := pos
+	for i, bs := range sizes {
+		if off+int(bs) > len(stream) {
+			return core.DTypeUnset, nil, ErrCorrupt
+		}
+		h, _, err := ParseHeader(stream[off : off+int(bs)])
+		if err != nil {
+			return core.DTypeUnset, nil, err
+		}
+		if i == 0 {
+			dtype = h.DType
+			dims = append([]uint64(nil), h.Dims...)
+		} else {
+			dims[0] += h.Dims[0]
+		}
+		off += int(bs)
+	}
+	return dtype, dims, nil
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func uvarint(b []byte) (uint64, int) {
+	var v uint64
+	var s uint
+	for i, c := range b {
+		if c < 0x80 {
+			if i > 9 {
+				return 0, -1
+			}
+			return v | uint64(c)<<s, i + 1
+		}
+		v |= uint64(c&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}

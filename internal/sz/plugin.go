@@ -1,0 +1,278 @@
+package sz
+
+import (
+	"fmt"
+
+	"pressio/internal/core"
+)
+
+// variant selects between the three plugin flavors the paper's plugin list
+// includes: sz (global-config, serialized), sz_threadsafe (per-instance
+// config), and sz_omp (block-parallel).
+type variant int
+
+const (
+	variantGlobal variant = iota
+	variantThreadsafe
+	variantOMP
+)
+
+type plugin struct {
+	variant  variant
+	name     string
+	bound    core.BoundConfig
+	pwRel    float64 // > 0 selects the PW_REL mode
+	intvs    uint32
+	level    int32
+	nthreads int32
+}
+
+func newPlugin(v variant, name string) func() core.CompressorPlugin {
+	return func() core.CompressorPlugin {
+		return &plugin{
+			variant: v,
+			name:    name,
+			bound:   core.BoundConfig{Mode: core.BoundValueRangeRel, Bound: 1e-4},
+			intvs:   65536,
+		}
+	}
+}
+
+func init() {
+	core.RegisterCompressor("sz", newPlugin(variantGlobal, "sz"))
+	core.RegisterCompressor("sz_threadsafe", newPlugin(variantThreadsafe, "sz_threadsafe"))
+	core.RegisterCompressor("sz_omp", newPlugin(variantOMP, "sz_omp"))
+}
+
+func (p *plugin) Prefix() string  { return p.name }
+func (p *plugin) Version() string { return Version }
+
+func (p *plugin) Options() *core.Options {
+	o := core.NewOptions()
+	p.bound.Describe(p.name, o)
+	o.SetValue(p.name+":max_quant_intervals", p.intvs)
+	if p.pwRel > 0 {
+		o.SetValue(p.name+":pw_rel_err_bound", p.pwRel)
+	} else {
+		o.SetType(p.name+":pw_rel_err_bound", core.OptDouble)
+	}
+	o.SetValue(p.name+":lossless_level", p.level)
+	o.SetValue(core.KeyLossless, p.level)
+	if p.variant == variantOMP {
+		o.SetValue(p.name+":nthreads", p.nthreads)
+		o.SetValue(core.KeyNThreads, p.nthreads)
+	}
+	return o
+}
+
+func (p *plugin) SetOptions(o *core.Options) error {
+	if err := p.bound.ApplyOptions(p.name, o); err != nil {
+		return err
+	}
+	if v, err := o.GetFloat64(p.name + ":pw_rel_err_bound"); err == nil {
+		if v <= 0 || v >= 1 {
+			return fmt.Errorf("%w: pw_rel_err_bound %v outside (0,1)", core.ErrInvalidOption, v)
+		}
+		p.pwRel = v
+	}
+	if s, err := o.GetString(p.name + ":error_bound_mode_str"); err == nil && s != "pw_rel" {
+		p.pwRel = 0 // an explicit abs/rel mode turns PW_REL off
+	}
+	if o.Has(core.KeyAbs) || o.Has(core.KeyRel) {
+		p.pwRel = 0 // generic bounds also supersede PW_REL
+	}
+	if v, err := o.GetUint64(p.name + ":max_quant_intervals"); err == nil {
+		if v < 4 || v > 1<<24 {
+			return fmt.Errorf("%w: max_quant_intervals %d outside [4, 2^24]", core.ErrInvalidOption, v)
+		}
+		p.intvs = uint32(v)
+	}
+	if v, err := o.GetInt32(core.KeyLossless); err == nil {
+		p.level = v
+	}
+	if v, err := o.GetInt32(p.name + ":lossless_level"); err == nil {
+		p.level = v
+	}
+	if p.variant == variantOMP {
+		if v, err := o.GetInt32(core.KeyNThreads); err == nil {
+			p.nthreads = v
+		}
+		if v, err := o.GetInt32(p.name + ":nthreads"); err == nil {
+			p.nthreads = v
+		}
+	}
+	return nil
+}
+
+func (p *plugin) CheckOptions(o *core.Options) error {
+	clone := *p
+	if err := clone.SetOptions(o); err != nil {
+		return err
+	}
+	if clone.bound.Bound <= 0 {
+		return fmt.Errorf("%w: error bound must be positive", core.ErrInvalidOption)
+	}
+	return nil
+}
+
+func (p *plugin) Configuration() *core.Options {
+	switch p.variant {
+	case variantGlobal:
+		// The classic-SZ flavor shares the process-global parameter
+		// store, so instances must be serialized and are "shared".
+		return core.StandardConfiguration(core.ThreadSafetySingle, "stable", Version, true)
+	default:
+		return core.StandardConfiguration(core.ThreadSafetyMultiple, "stable", Version, false)
+	}
+}
+
+func (p *plugin) params() Params {
+	return Params{
+		Mode:              p.bound.Mode,
+		Bound:             p.bound.Bound,
+		MaxQuantIntervals: p.intvs,
+		LosslessLevel:     int(p.level),
+	}
+}
+
+func (p *plugin) CompressImpl(in, out *core.Data) error {
+	var stream []byte
+	var err error
+	if p.pwRel > 0 {
+		if p.variant == variantOMP {
+			return fmt.Errorf("%w: sz_omp does not support PW_REL", core.ErrNotImplemented)
+		}
+		switch in.DType() {
+		case core.DTypeFloat32:
+			stream, err = CompressSlicePW(in.Float32s(), in.Dims(), p.pwRel, p.params())
+		case core.DTypeFloat64:
+			stream, err = CompressSlicePW(in.Float64s(), in.Dims(), p.pwRel, p.params())
+		default:
+			err = fmt.Errorf("%w: sz supports float32/float64, got %s", core.ErrInvalidDType, in.DType())
+		}
+		if err != nil {
+			return err
+		}
+		out.Become(core.NewBytes(stream))
+		return nil
+	}
+	switch p.variant {
+	case variantGlobal:
+		// Route through the global store exactly like the C plugin does
+		// with SZ_Init / compress / SZ_Finalize. The lock makes the
+		// "single" thread-safety contract concrete.
+		global.mu.Lock()
+		global.params = p.params()
+		global.inited = true
+		global.mu.Unlock()
+		switch in.DType() {
+		case core.DTypeFloat32:
+			stream, err = CompressFloat32(in.Float32s(), in.Dims())
+		case core.DTypeFloat64:
+			stream, err = CompressFloat64(in.Float64s(), in.Dims())
+		default:
+			err = fmt.Errorf("%w: sz supports float32/float64, got %s", core.ErrInvalidDType, in.DType())
+		}
+	case variantThreadsafe:
+		switch in.DType() {
+		case core.DTypeFloat32:
+			stream, err = CompressSlice(in.Float32s(), in.Dims(), p.params())
+		case core.DTypeFloat64:
+			stream, err = CompressSlice(in.Float64s(), in.Dims(), p.params())
+		default:
+			err = fmt.Errorf("%w: sz supports float32/float64, got %s", core.ErrInvalidDType, in.DType())
+		}
+	case variantOMP:
+		switch in.DType() {
+		case core.DTypeFloat32:
+			stream, err = CompressParallel(in.Float32s(), in.Dims(), p.params(), int(p.nthreads))
+		case core.DTypeFloat64:
+			stream, err = CompressParallel(in.Float64s(), in.Dims(), p.params(), int(p.nthreads))
+		default:
+			err = fmt.Errorf("%w: sz supports float32/float64, got %s", core.ErrInvalidDType, in.DType())
+		}
+	}
+	if err != nil {
+		return err
+	}
+	out.Become(core.NewBytes(stream))
+	return nil
+}
+
+func (p *plugin) DecompressImpl(in, out *core.Data) error {
+	// The stream self-describes dtype and dims; the hint only needs to be
+	// compatible when set.
+	stream := in.Bytes()
+	if p.variant == variantOMP {
+		return p.decompressOMP(stream, out)
+	}
+	if IsPWStream(stream) {
+		return decompressPW(stream, out)
+	}
+	h, _, err := ParseHeader(stream)
+	if err != nil {
+		return err
+	}
+	switch h.DType {
+	case core.DTypeFloat32:
+		vals, dims, err := DecompressSlice[float32](stream)
+		if err != nil {
+			return err
+		}
+		out.Become(core.FromFloat32s(vals, dims...))
+	case core.DTypeFloat64:
+		vals, dims, err := DecompressSlice[float64](stream)
+		if err != nil {
+			return err
+		}
+		out.Become(core.FromFloat64s(vals, dims...))
+	default:
+		return ErrCorrupt
+	}
+	return nil
+}
+
+// decompressPW handles pointwise-relative streams for both float widths.
+func decompressPW(stream []byte, out *core.Data) error {
+	// The inner log stream records the element type; peek via a 32-bit
+	// attempt first.
+	if vals, dims, err := DecompressSlicePW[float32](stream); err == nil {
+		out.Become(core.FromFloat32s(vals, dims...))
+		return nil
+	}
+	vals, dims, err := DecompressSlicePW[float64](stream)
+	if err != nil {
+		return err
+	}
+	out.Become(core.FromFloat64s(vals, dims...))
+	return nil
+}
+
+func (p *plugin) decompressOMP(stream []byte, out *core.Data) error {
+	dtype, _, err := ParallelHeader(stream)
+	if err != nil {
+		return err
+	}
+	switch dtype {
+	case core.DTypeFloat64:
+		vals, dims, err := DecompressParallel[float64](stream, int(p.nthreads))
+		if err != nil {
+			return err
+		}
+		out.Become(core.FromFloat64s(vals, dims...))
+	case core.DTypeFloat32:
+		vals, dims, err := DecompressParallel[float32](stream, int(p.nthreads))
+		if err != nil {
+			return err
+		}
+		out.Become(core.FromFloat32s(vals, dims...))
+	default:
+		return ErrCorrupt
+	}
+	return nil
+}
+
+func (p *plugin) Clone() core.CompressorPlugin {
+	clone := *p
+	return &clone
+}

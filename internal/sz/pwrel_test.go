@@ -1,0 +1,177 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pressio/internal/core"
+)
+
+func TestPWRelBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Values spanning 12 orders of magnitude — the workload PW_REL exists
+	// for, where any absolute bound is wrong for most of the data.
+	vals := make([]float32, 4096)
+	for i := range vals {
+		mag := math.Pow(10, float64(rng.Intn(12))-6)
+		sign := 1.0
+		if rng.Float64() < 0.5 {
+			sign = -1
+		}
+		vals[i] = float32(sign * mag * (1 + 0.3*rng.Float64()))
+	}
+	for _, rel := range []float64{0.1, 0.01, 1e-3} {
+		stream, err := CompressSlicePW(vals, []uint64{64, 64}, rel, Params{})
+		if err != nil {
+			t.Fatalf("rel %g: %v", rel, err)
+		}
+		dec, dims, err := DecompressSlicePW[float32](stream)
+		if err != nil {
+			t.Fatalf("rel %g: %v", rel, err)
+		}
+		if len(dims) != 2 {
+			t.Fatalf("dims %v", dims)
+		}
+		for i := range vals {
+			limit := rel*math.Abs(float64(vals[i]))*1.001 + 1e-30
+			if d := math.Abs(float64(dec[i]) - float64(vals[i])); d > limit {
+				t.Fatalf("rel %g elem %d: |%g-%g| = %g > %g", rel, i, dec[i], vals[i], d, limit)
+			}
+		}
+	}
+}
+
+func TestPWRelSpecials(t *testing.T) {
+	vals := []float32{0, -0, 1, -1, float32(math.NaN()), float32(math.Inf(1)), 1e-30, -1e30}
+	stream, err := CompressSlicePW(vals, []uint64{8}, 0.01, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := DecompressSlicePW[float32](stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[0] != 0 || dec[1] != 0 {
+		t.Fatal("zeros not exact")
+	}
+	if !math.IsNaN(float64(dec[4])) || !math.IsInf(float64(dec[5]), 1) {
+		t.Fatal("specials not preserved")
+	}
+	for _, i := range []int{2, 3, 6, 7} {
+		rel := math.Abs(float64(dec[i])-float64(vals[i])) / math.Abs(float64(vals[i]))
+		if rel > 0.0101 {
+			t.Fatalf("elem %d rel error %g", i, rel)
+		}
+	}
+}
+
+func TestPWRelFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = math.Exp(20 * rng.NormFloat64()) // extreme dynamic range
+	}
+	stream, err := CompressSlicePW(vals, []uint64{500}, 1e-4, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := DecompressSlicePW[float64](stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if rel := math.Abs(dec[i]-vals[i]) / vals[i]; rel > 1e-4*1.001 {
+			t.Fatalf("elem %d rel error %g", i, rel)
+		}
+	}
+}
+
+func TestPWRelProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(300)
+		vals := make([]float32, n)
+		for i := range vals {
+			vals[i] = float32(rng.NormFloat64() * math.Pow(10, float64(rng.Intn(10)-5)))
+		}
+		rel := math.Pow(10, -1-float64(rng.Intn(3)))
+		stream, err := CompressSlicePW(vals, []uint64{uint64(n)}, rel, Params{})
+		if err != nil {
+			return false
+		}
+		dec, _, err := DecompressSlicePW[float32](stream)
+		if err != nil {
+			return false
+		}
+		for i := range vals {
+			if math.Abs(float64(dec[i])-float64(vals[i])) > rel*math.Abs(float64(vals[i]))*1.001+1e-30 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPWRelInvalidParams(t *testing.T) {
+	vals := []float32{1, 2}
+	for _, rel := range []float64{0, -0.1, 1, 2, math.NaN()} {
+		if _, err := CompressSlicePW(vals, []uint64{2}, rel, Params{}); err == nil {
+			t.Fatalf("rel %v should be rejected", rel)
+		}
+	}
+}
+
+func TestPWRelThroughPlugin(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float32, 32*32)
+	for i := range vals {
+		vals[i] = float32(math.Exp(rng.NormFloat64() * 5))
+	}
+	in := core.FromFloat32s(vals, 32, 32)
+	c, _ := core.NewCompressor("sz")
+	if err := c.SetOptions(core.NewOptions().SetValue("sz:pw_rel_err_bound", 0.01)); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.Decompress(c, comp, core.DTypeFloat32, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dec.Float32s() {
+		if rel := math.Abs(float64(v)-float64(vals[i])) / float64(vals[i]); rel > 0.0101 {
+			t.Fatalf("elem %d rel error %g", i, rel)
+		}
+	}
+	// Switching back to an absolute mode disables PW_REL.
+	if err := c.SetOptions(core.NewOptions().
+		SetValue("sz:error_bound_mode_str", "abs").
+		SetValue("sz:abs_err_bound", 0.5)); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Options().GetFloat64("sz:pw_rel_err_bound"); err == nil {
+		t.Fatalf("pw_rel still set: %v", v)
+	}
+	// Validation.
+	if err := c.SetOptions(core.NewOptions().SetValue("sz:pw_rel_err_bound", 2.0)); err == nil {
+		t.Fatal("pw_rel 2.0 should be rejected")
+	}
+}
+
+func TestPWRelOMPUnsupported(t *testing.T) {
+	c, _ := core.NewCompressor("sz_omp")
+	if err := c.SetOptions(core.NewOptions().SetValue("sz_omp:pw_rel_err_bound", 0.01)); err != nil {
+		t.Fatal(err)
+	}
+	in := core.FromFloat32s(make([]float32, 64), 64)
+	if _, err := core.Compress(c, in); err == nil {
+		t.Fatal("sz_omp PW_REL should report not implemented")
+	}
+}

@@ -1,0 +1,443 @@
+// Package sz implements a prediction-based error-bounded lossy compressor
+// in the style of SZ (Di & Cappello, IPDPS'16): a Lorenzo predictor over the
+// reconstructed field, linear-scaling quantization of prediction residuals,
+// canonical Huffman coding of the quantization codes, and a DEFLATE backend.
+// Unpredictable points are stored losslessly, so the pointwise absolute
+// error bound always holds.
+//
+// Like the original SZ, the package exposes a native API configured through
+// a process-global parameter store (Init/Finalize) — the thread-safety
+// hazard the paper discusses — plus explicit-parameter entry points that
+// back the "sz_threadsafe" and "sz_omp" plugins.
+package sz
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"pressio/internal/core"
+	"pressio/internal/huffman"
+	"pressio/internal/lossless"
+)
+
+// Version is the compressor version reported through the plugin interface.
+const Version = "2.1.10-go"
+
+// ErrCorrupt reports a malformed sz stream.
+var ErrCorrupt = errors.New("sz: corrupt stream")
+
+// Float constrains the element types the compressor accepts.
+type Float interface {
+	~float32 | ~float64
+}
+
+// Params configures a compression call.
+type Params struct {
+	// Mode selects how Bound is interpreted (absolute or value-range
+	// relative).
+	Mode core.ErrorBoundMode
+	// Bound is the error bound in the units Mode implies. It must be > 0.
+	Bound float64
+	// MaxQuantIntervals is the number of linear quantization intervals
+	// (default 65536). Larger values capture wider residuals at the cost
+	// of a larger Huffman alphabet.
+	MaxQuantIntervals uint32
+	// LosslessLevel is the DEFLATE effort for the backend stage (0 =
+	// library default).
+	LosslessLevel int
+	// PointwiseRel, when > 0, selects SZ's PW_REL mode instead of
+	// Mode/Bound: each point's error is bounded by PointwiseRel * |value|.
+	// Implemented, as in SZ, by compressing the logarithms of the
+	// magnitudes under an absolute bound of log1p(PointwiseRel), with the
+	// signs and exact zeros carried alongside.
+	PointwiseRel float64
+}
+
+// DefaultParams returns the defaults matching SZ's out-of-the-box
+// configuration: value-range relative bound of 1e-4 and 65536 intervals.
+func DefaultParams() Params {
+	return Params{Mode: core.BoundValueRangeRel, Bound: 1e-4, MaxQuantIntervals: 65536}
+}
+
+func (p Params) normalized() (Params, error) {
+	if p.Bound <= 0 || math.IsNaN(p.Bound) || math.IsInf(p.Bound, 0) {
+		return p, fmt.Errorf("sz: error bound %v must be positive and finite", p.Bound)
+	}
+	if p.MaxQuantIntervals == 0 {
+		p.MaxQuantIntervals = 65536
+	}
+	if p.MaxQuantIntervals < 4 {
+		p.MaxQuantIntervals = 4
+	}
+	if p.MaxQuantIntervals > 1<<24 {
+		return p, fmt.Errorf("sz: max_quant_intervals %d too large", p.MaxQuantIntervals)
+	}
+	return p, nil
+}
+
+const (
+	magic     = "SZG1"
+	dtF32     = 1
+	dtF64     = 2
+	maxStream = 1 << 40
+)
+
+// geometry reduces arbitrary-rank dims to (outer, nx, ny, nz): prediction
+// runs over the trailing three dimensions while leading dimensions are
+// treated as an independent batch, mirroring how SZ handles 4-D data.
+func geometry(dims []uint64) (outer, nx, ny, nz int, err error) {
+	if len(dims) == 0 {
+		return 0, 0, 0, 0, fmt.Errorf("sz: %w: no dimensions", core.ErrInvalidDims)
+	}
+	for _, d := range dims {
+		if d == 0 {
+			return 0, 0, 0, 0, fmt.Errorf("sz: %w: zero extent", core.ErrInvalidDims)
+		}
+	}
+	outer, nx, ny, nz = 1, 1, 1, 1
+	switch len(dims) {
+	case 1:
+		nz = int(dims[0])
+	case 2:
+		ny, nz = int(dims[0]), int(dims[1])
+	case 3:
+		nx, ny, nz = int(dims[0]), int(dims[1]), int(dims[2])
+	default:
+		for _, d := range dims[:len(dims)-3] {
+			outer *= int(d)
+		}
+		nx, ny, nz = int(dims[len(dims)-3]), int(dims[len(dims)-2]), int(dims[len(dims)-1])
+	}
+	return outer, nx, ny, nz, nil
+}
+
+// lorenzo computes the restricted Lorenzo prediction for position (x,y,z)
+// from the reconstructed slice: the inclusion-exclusion sum over the
+// neighbors available within bounds (dimensions at index 0 drop out, so the
+// predictor degrades gracefully from 3-D to 2-D to 1-D at boundaries).
+func lorenzo[T Float](r []T, x, y, z, ny, nz int) float64 {
+	base := (x*ny + y) * nz
+	switch {
+	case x > 0 && y > 0 && z > 0:
+		pm := ((x-1)*ny + y) * nz // x-1 plane
+		qm := ((x-1)*ny + y - 1) * nz
+		rm := (x*ny + y - 1) * nz // y-1 row
+		return float64(r[pm+z]) + float64(r[rm+z]) + float64(r[base+z-1]) -
+			float64(r[qm+z]) - float64(r[pm+z-1]) - float64(r[rm+z-1]) +
+			float64(r[qm+z-1])
+	case x > 0 && y > 0:
+		pm := ((x-1)*ny + y) * nz
+		qm := ((x-1)*ny + y - 1) * nz
+		rm := (x*ny + y - 1) * nz
+		return float64(r[pm+z]) + float64(r[rm+z]) - float64(r[qm+z])
+	case x > 0 && z > 0:
+		pm := ((x-1)*ny + y) * nz
+		return float64(r[pm+z]) + float64(r[base+z-1]) - float64(r[pm+z-1])
+	case y > 0 && z > 0:
+		rm := (x*ny + y - 1) * nz
+		return float64(r[rm+z]) + float64(r[base+z-1]) - float64(r[rm+z-1])
+	case x > 0:
+		return float64(r[((x-1)*ny+y)*nz+z])
+	case y > 0:
+		return float64(r[(x*ny+y-1)*nz+z])
+	case z > 0:
+		return float64(r[base+z-1])
+	default:
+		return 0
+	}
+}
+
+// CompressSlice compresses vals shaped dims (C order) under p and returns
+// the self-describing stream.
+func CompressSlice[T Float](vals []T, dims []uint64, p Params) ([]byte, error) {
+	p, err := p.normalized()
+	if err != nil {
+		return nil, err
+	}
+	outer, nx, ny, nz, err := geometry(dims)
+	if err != nil {
+		return nil, err
+	}
+	n := outer * nx * ny * nz
+	if n != len(vals) {
+		return nil, fmt.Errorf("sz: %w: dims %v describe %d elements, have %d",
+			core.ErrInvalidDims, dims, n, len(vals))
+	}
+	eb := p.Bound
+	if p.Mode == core.BoundValueRangeRel {
+		lo, hi := sliceRange(vals)
+		eb = p.Bound * (hi - lo)
+		if eb <= 0 {
+			// Constant (or empty) field: any positive bound works.
+			eb = math.SmallestNonzeroFloat32
+		}
+	}
+	radius := int64(p.MaxQuantIntervals / 2)
+	twoEb := 2 * eb
+
+	codes := make([]uint32, n)
+	recon := make([]T, n)
+	var outliers []T
+
+	slice := nx * ny * nz
+	for o := 0; o < outer; o++ {
+		v := vals[o*slice : (o+1)*slice]
+		r := recon[o*slice : (o+1)*slice]
+		c := codes[o*slice : (o+1)*slice]
+		i := 0
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				for z := 0; z < nz; z++ {
+					pred := lorenzo(r, x, y, z, ny, nz)
+					fv := float64(v[i])
+					diff := fv - pred
+					q := int64(math.Floor(diff/twoEb + 0.5))
+					if q > -radius && q < radius {
+						dec := T(pred + float64(q)*twoEb)
+						if d := float64(dec) - fv; d <= eb && d >= -eb {
+							c[i] = uint32(q + radius)
+							r[i] = dec
+							i++
+							continue
+						}
+					}
+					c[i] = 0
+					outliers = append(outliers, v[i])
+					r[i] = v[i]
+					i++
+				}
+			}
+		}
+	}
+
+	huff, err := huffman.Encode(codes, uint32(2*radius))
+	if err != nil {
+		return nil, err
+	}
+	outlierBytes := floatBytes(outliers)
+
+	var hdr []byte
+	hdr = append(hdr, magic...)
+	hdr = append(hdr, dtypeByte[T]())
+	hdr = append(hdr, byte(len(dims)))
+	for _, d := range dims {
+		hdr = binary.AppendUvarint(hdr, d)
+	}
+	hdr = binary.AppendUvarint(hdr, math.Float64bits(eb))
+	hdr = binary.AppendUvarint(hdr, uint64(radius))
+	hdr = binary.AppendUvarint(hdr, uint64(len(outliers)))
+	hdr = binary.AppendUvarint(hdr, uint64(len(huff)))
+
+	body := make([]byte, 0, len(huff)+len(outlierBytes))
+	body = append(body, huff...)
+	body = append(body, outlierBytes...)
+	packed, err := lossless.Deflate(body, p.LosslessLevel)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(hdr)+len(packed))
+	out = append(out, hdr...)
+	out = append(out, packed...)
+	return out, nil
+}
+
+// Header describes a compressed stream without decoding its payload.
+type Header struct {
+	DType core.DType
+	Dims  []uint64
+	Bound float64 // resolved absolute bound
+}
+
+// ParseHeader reads the stream header.
+func ParseHeader(stream []byte) (Header, int, error) {
+	var h Header
+	if len(stream) < 6 || string(stream[:4]) != magic {
+		return h, 0, ErrCorrupt
+	}
+	switch stream[4] {
+	case dtF32:
+		h.DType = core.DTypeFloat32
+	case dtF64:
+		h.DType = core.DTypeFloat64
+	default:
+		return h, 0, ErrCorrupt
+	}
+	rank := int(stream[5])
+	if rank == 0 || rank > 16 {
+		return h, 0, ErrCorrupt
+	}
+	pos := 6
+	h.Dims = make([]uint64, rank)
+	for i := 0; i < rank; i++ {
+		d, sz := binary.Uvarint(stream[pos:])
+		if sz <= 0 || d == 0 || d > maxStream {
+			return h, 0, ErrCorrupt
+		}
+		h.Dims[i] = d
+		pos += sz
+	}
+	ebBits, sz := binary.Uvarint(stream[pos:])
+	if sz <= 0 {
+		return h, 0, ErrCorrupt
+	}
+	pos += sz
+	h.Bound = math.Float64frombits(ebBits)
+	return h, pos, nil
+}
+
+// DecompressSlice decodes a stream produced by CompressSlice. The type
+// parameter must match the stream's recorded element type.
+func DecompressSlice[T Float](stream []byte) ([]T, []uint64, error) {
+	h, pos, err := ParseHeader(stream)
+	if err != nil {
+		return nil, nil, err
+	}
+	if h.DType != wantDType[T]() {
+		return nil, nil, fmt.Errorf("sz: %w: stream holds %s", core.ErrInvalidDType, h.DType)
+	}
+	radius64, sz := binary.Uvarint(stream[pos:])
+	if sz <= 0 || radius64 == 0 || radius64 > 1<<23 {
+		return nil, nil, ErrCorrupt
+	}
+	pos += sz
+	nOut, sz := binary.Uvarint(stream[pos:])
+	if sz <= 0 {
+		return nil, nil, ErrCorrupt
+	}
+	pos += sz
+	huffLen, sz := binary.Uvarint(stream[pos:])
+	if sz <= 0 {
+		return nil, nil, ErrCorrupt
+	}
+	pos += sz
+	body, err := lossless.Inflate(stream[pos:])
+	if err != nil {
+		return nil, nil, err
+	}
+	if huffLen > uint64(len(body)) {
+		return nil, nil, ErrCorrupt
+	}
+	codes, _, err := huffman.Decode(body[:huffLen])
+	if err != nil {
+		return nil, nil, err
+	}
+	outliers, err := floatsFrom[T](body[huffLen:], nOut)
+	if err != nil {
+		return nil, nil, err
+	}
+	outer, nx, ny, nz, err := geometry(h.Dims)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := outer * nx * ny * nz
+	if len(codes) != n {
+		return nil, nil, ErrCorrupt
+	}
+	radius := int64(radius64)
+	twoEb := 2 * h.Bound
+	recon := make([]T, n)
+	oi := 0
+	slice := nx * ny * nz
+	for o := 0; o < outer; o++ {
+		r := recon[o*slice : (o+1)*slice]
+		c := codes[o*slice : (o+1)*slice]
+		i := 0
+		for x := 0; x < nx; x++ {
+			for y := 0; y < ny; y++ {
+				for z := 0; z < nz; z++ {
+					code := c[i]
+					if code == 0 {
+						if oi >= len(outliers) {
+							return nil, nil, ErrCorrupt
+						}
+						r[i] = outliers[oi]
+						oi++
+					} else {
+						pred := lorenzo(r, x, y, z, ny, nz)
+						q := int64(code) - radius
+						r[i] = T(pred + float64(q)*twoEb)
+					}
+					i++
+				}
+			}
+		}
+	}
+	if oi != len(outliers) {
+		return nil, nil, ErrCorrupt
+	}
+	return recon, h.Dims, nil
+}
+
+func sliceRange[T Float](vals []T) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		f := float64(v)
+		if math.IsNaN(f) {
+			continue
+		}
+		if f < lo {
+			lo = f
+		}
+		if f > hi {
+			hi = f
+		}
+	}
+	if lo > hi {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+func dtypeByte[T Float]() byte {
+	var zero T
+	if _, ok := any(zero).(float32); ok {
+		return dtF32
+	}
+	return dtF64
+}
+
+func wantDType[T Float]() core.DType {
+	var zero T
+	if _, ok := any(zero).(float32); ok {
+		return core.DTypeFloat32
+	}
+	return core.DTypeFloat64
+}
+
+func floatBytes[T Float](vals []T) []byte {
+	var zero T
+	if _, ok := any(zero).(float32); ok {
+		out := make([]byte, 4*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(float32(v)))
+		}
+		return out
+	}
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(float64(v)))
+	}
+	return out
+}
+
+func floatsFrom[T Float](b []byte, n uint64) ([]T, error) {
+	var zero T
+	size := uint64(4)
+	if _, ok := any(zero).(float64); ok {
+		size = 8
+	}
+	if uint64(len(b)) < n*size {
+		return nil, ErrCorrupt
+	}
+	out := make([]T, n)
+	for i := uint64(0); i < n; i++ {
+		if size == 4 {
+			out[i] = T(math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:])))
+		} else {
+			out[i] = T(math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:])))
+		}
+	}
+	return out, nil
+}

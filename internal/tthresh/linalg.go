@@ -1,0 +1,220 @@
+// Package tthresh implements a Tucker/HOSVD-based lossy compressor in the
+// style of tthresh (Ballester-Ripoll et al.): the tensor is decomposed into
+// orthonormal factor matrices (eigenvectors of the Gram matrices of each
+// mode unfolding, computed with a cyclic Jacobi eigensolver) and a core
+// tensor whose coefficients are thresholded and quantized against a target
+// relative Frobenius error. Orthogonal invariance makes the error budget
+// analysis exact: discarded energy plus quantization energy stays below
+// (eps * ||X||_F)^2.
+package tthresh
+
+import "math"
+
+// jacobiEig computes the eigendecomposition of the symmetric matrix a
+// (n x n, row-major, destroyed) with the cyclic Jacobi method. It returns
+// eigenvalues (descending) and the matching orthonormal eigenvectors as
+// columns of v (v[i*n+j] = component i of eigenvector j).
+func jacobiEig(a []float64, n int) (vals []float64, v []float64) {
+	v = make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+	if n == 1 {
+		return []float64{a[0]}, v
+	}
+	for sweep := 0; sweep < 60; sweep++ {
+		off := 0.0
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				off += a[p*n+q] * a[p*n+q]
+			}
+		}
+		norm := 0.0
+		for i := 0; i < n*n; i++ {
+			norm += a[i] * a[i]
+		}
+		if off <= 1e-26*math.Max(norm, 1e-300) {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a[p*n+q]
+				if apq == 0 {
+					continue
+				}
+				app, aqq := a[p*n+p], a[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/columns p and q of a.
+				for k := 0; k < n; k++ {
+					akp, akq := a[k*n+p], a[k*n+q]
+					a[k*n+p] = c*akp - s*akq
+					a[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a[p*n+k], a[q*n+k]
+					a[p*n+k] = c*apk - s*aqk
+					a[q*n+k] = s*apk + c*aqk
+				}
+				// Accumulate the rotation into v.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k*n+p], v[k*n+q]
+					v[k*n+p] = c*vkp - s*vkq
+					v[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = a[i*n+i]
+	}
+	// Sort eigenpairs by descending eigenvalue (selection sort on columns).
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if vals[j] > vals[best] {
+				best = j
+			}
+		}
+		if best != i {
+			vals[i], vals[best] = vals[best], vals[i]
+			for k := 0; k < n; k++ {
+				v[k*n+i], v[k*n+best] = v[k*n+best], v[k*n+i]
+			}
+		}
+	}
+	return vals, v
+}
+
+// gram computes the Gram matrix of the mode-k unfolding of the 3-D tensor x
+// with dims (d0, d1, d2): G[i][j] = sum over all fibers of x_i * x_j along
+// mode k.
+func gram(x []float64, d0, d1, d2, mode int) []float64 {
+	var n int
+	switch mode {
+	case 0:
+		n = d0
+	case 1:
+		n = d1
+	default:
+		n = d2
+	}
+	g := make([]float64, n*n)
+	switch mode {
+	case 0:
+		stride := d1 * d2
+		for i := 0; i < d0; i++ {
+			xi := x[i*stride : (i+1)*stride]
+			for j := i; j < d0; j++ {
+				xj := x[j*stride : (j+1)*stride]
+				s := 0.0
+				for k := range xi {
+					s += xi[k] * xj[k]
+				}
+				g[i*n+j], g[j*n+i] = s, s
+			}
+		}
+	case 1:
+		for a := 0; a < d0; a++ {
+			base := a * d1 * d2
+			for i := 0; i < d1; i++ {
+				xi := x[base+i*d2 : base+(i+1)*d2]
+				for j := i; j < d1; j++ {
+					xj := x[base+j*d2 : base+(j+1)*d2]
+					s := 0.0
+					for k := range xi {
+						s += xi[k] * xj[k]
+					}
+					g[i*n+j] += s
+					if i != j {
+						g[j*n+i] += s
+					}
+				}
+			}
+		}
+	default:
+		rows := d0 * d1
+		for r := 0; r < rows; r++ {
+			row := x[r*d2 : (r+1)*d2]
+			for i := 0; i < d2; i++ {
+				for j := i; j < d2; j++ {
+					s := row[i] * row[j]
+					g[i*n+j] += s
+					if i != j {
+						g[j*n+i] += s
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// ttm multiplies the tensor x (dims d0,d1,d2) along the given mode by the
+// n x n matrix u: out_fiber = U^T * fiber when transpose is true, U * fiber
+// otherwise. u is row-major with u[i*n+j] = U[i][j].
+func ttm(x []float64, d0, d1, d2, mode int, u []float64, transpose bool) []float64 {
+	out := make([]float64, len(x))
+	var n int
+	switch mode {
+	case 0:
+		n = d0
+	case 1:
+		n = d1
+	default:
+		n = d2
+	}
+	fiber := make([]float64, n)
+	res := make([]float64, n)
+	apply := func(get func(int) float64, set func(int, float64)) {
+		for i := 0; i < n; i++ {
+			fiber[i] = get(i)
+		}
+		for j := 0; j < n; j++ {
+			s := 0.0
+			if transpose {
+				for i := 0; i < n; i++ {
+					s += u[i*n+j] * fiber[i]
+				}
+			} else {
+				for i := 0; i < n; i++ {
+					s += u[j*n+i] * fiber[i]
+				}
+			}
+			res[j] = s
+		}
+		for j := 0; j < n; j++ {
+			set(j, res[j])
+		}
+	}
+	switch mode {
+	case 0:
+		stride := d1 * d2
+		for rest := 0; rest < stride; rest++ {
+			apply(func(i int) float64 { return x[i*stride+rest] },
+				func(j int, v float64) { out[j*stride+rest] = v })
+		}
+	case 1:
+		for a := 0; a < d0; a++ {
+			base := a * d1 * d2
+			for c := 0; c < d2; c++ {
+				apply(func(i int) float64 { return x[base+i*d2+c] },
+					func(j int, v float64) { out[base+j*d2+c] = v })
+			}
+		}
+	default:
+		rows := d0 * d1
+		for r := 0; r < rows; r++ {
+			base := r * d2
+			apply(func(i int) float64 { return x[base+i] },
+				func(j int, v float64) { out[base+j] = v })
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package tthresh
+
+import (
+	"fmt"
+
+	"pressio/internal/core"
+)
+
+// plugin adapts tthresh to the framework. tthresh targets a relative
+// Frobenius-norm error ("tthresh:eps") rather than a pointwise bound —
+// another example of bound-semantics diversity the uniform interface must
+// surface through introspection rather than pretend away.
+type plugin struct {
+	eps   float64
+	level int32
+}
+
+func init() {
+	core.RegisterCompressor("tthresh", func() core.CompressorPlugin {
+		return &plugin{eps: 1e-3}
+	})
+}
+
+func (p *plugin) Prefix() string  { return "tthresh" }
+func (p *plugin) Version() string { return Version }
+
+func (p *plugin) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue("tthresh:eps", p.eps)
+	o.SetValue(core.KeyLossless, p.level)
+	return o
+}
+
+func (p *plugin) SetOptions(o *core.Options) error {
+	if v, err := o.GetFloat64("tthresh:eps"); err == nil {
+		p.eps = v
+	}
+	if v, err := o.GetInt32(core.KeyLossless); err == nil {
+		p.level = v
+	}
+	return nil
+}
+
+func (p *plugin) CheckOptions(o *core.Options) error {
+	clone := *p
+	if err := clone.SetOptions(o); err != nil {
+		return err
+	}
+	if clone.eps <= 0 || clone.eps >= 1 {
+		return fmt.Errorf("%w: tthresh:eps must be in (0,1)", core.ErrInvalidOption)
+	}
+	return nil
+}
+
+func (p *plugin) Configuration() *core.Options {
+	cfg := core.StandardConfiguration(core.ThreadSafetyMultiple, "experimental", Version, false)
+	cfg.SetValue("tthresh:error_norm", "frobenius_relative")
+	return cfg
+}
+
+func (p *plugin) CompressImpl(in, out *core.Data) error {
+	prm := Params{Eps: p.eps, LosslessLevel: int(p.level)}
+	var stream []byte
+	var err error
+	switch in.DType() {
+	case core.DTypeFloat32:
+		stream, err = CompressSlice(in.Float32s(), in.Dims(), prm)
+	case core.DTypeFloat64:
+		stream, err = CompressSlice(in.Float64s(), in.Dims(), prm)
+	default:
+		return fmt.Errorf("%w: tthresh supports float32/float64, got %s", core.ErrInvalidDType, in.DType())
+	}
+	if err != nil {
+		return err
+	}
+	out.Become(core.NewBytes(stream))
+	return nil
+}
+
+func (p *plugin) DecompressImpl(in, out *core.Data) error {
+	h, _, err := ParseHeader(in.Bytes())
+	if err != nil {
+		return err
+	}
+	switch h.DType {
+	case core.DTypeFloat32:
+		vals, dims, err := DecompressSlice[float32](in.Bytes())
+		if err != nil {
+			return err
+		}
+		out.Become(core.FromFloat32s(vals, dims...))
+	case core.DTypeFloat64:
+		vals, dims, err := DecompressSlice[float64](in.Bytes())
+		if err != nil {
+			return err
+		}
+		out.Become(core.FromFloat64s(vals, dims...))
+	default:
+		return ErrCorrupt
+	}
+	return nil
+}
+
+func (p *plugin) Clone() core.CompressorPlugin {
+	clone := *p
+	return &clone
+}

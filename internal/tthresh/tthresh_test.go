@@ -1,0 +1,303 @@
+package tthresh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pressio/internal/core"
+)
+
+func TestJacobiEigIdentity(t *testing.T) {
+	a := []float64{1, 0, 0, 0, 2, 0, 0, 0, 3}
+	vals, v := jacobiEig(append([]float64(nil), a...), 3)
+	want := []float64{3, 2, 1}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-12 {
+			t.Fatalf("eigenvalues %v", vals)
+		}
+	}
+	// Eigenvectors must be orthonormal.
+	checkOrthonormal(t, v, 3)
+}
+
+func checkOrthonormal(t *testing.T, v []float64, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dot := 0.0
+			for k := 0; k < n; k++ {
+				dot += v[k*n+i] * v[k*n+j]
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-9 {
+				t.Fatalf("columns %d,%d: dot %g", i, j, dot)
+			}
+		}
+	}
+}
+
+func TestJacobiEigRandomSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				x := rng.NormFloat64()
+				a[i*n+j], a[j*n+i] = x, x
+			}
+		}
+		orig := append([]float64(nil), a...)
+		vals, v := jacobiEig(a, n)
+		// Check A v_j = lambda_j v_j.
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				av := 0.0
+				for k := 0; k < n; k++ {
+					av += orig[i*n+k] * v[k*n+j]
+				}
+				if math.Abs(av-vals[j]*v[i*n+j]) > 1e-7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTTMInverseWithOrthogonal(t *testing.T) {
+	// For an orthogonal U, ttm(ttm(x, U^T), U) must recover x.
+	rng := rand.New(rand.NewSource(3))
+	d0, d1, d2 := 5, 6, 7
+	x := make([]float64, d0*d1*d2)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for mode, n := range []int{d0, d1, d2} {
+		g := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := rng.NormFloat64()
+				g[i*n+j], g[j*n+i] = v, v
+			}
+		}
+		_, u := jacobiEig(g, n)
+		y := ttm(x, d0, d1, d2, mode, u, true)
+		back := ttm(y, d0, d1, d2, mode, u, false)
+		for i := range x {
+			if math.Abs(back[i]-x[i]) > 1e-10 {
+				t.Fatalf("mode %d: elem %d %g vs %g", mode, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func frobRel(a, b []float32) float64 {
+	num, den := 0.0, 0.0
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		num += d * d
+		den += float64(a[i]) * float64(a[i])
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}
+
+func field(d0, d1, d2 int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, d0*d1*d2)
+	i := 0
+	for a := 0; a < d0; a++ {
+		for b := 0; b < d1; b++ {
+			for c := 0; c < d2; c++ {
+				out[i] = float32(math.Sin(float64(a)/3)*math.Cos(float64(b)/4)*math.Exp(-float64(c)/20) +
+					0.01*rng.NormFloat64())
+				i++
+			}
+		}
+	}
+	return out
+}
+
+func TestFrobeniusBoundHolds(t *testing.T) {
+	vals := field(12, 14, 16, 1)
+	dims := []uint64{12, 14, 16}
+	for _, eps := range []float64{0.1, 0.01, 1e-3} {
+		stream, err := CompressSlice(vals, dims, Params{Eps: eps})
+		if err != nil {
+			t.Fatalf("eps %g: %v", eps, err)
+		}
+		dec, outDims, err := DecompressSlice[float32](stream)
+		if err != nil {
+			t.Fatalf("eps %g: %v", eps, err)
+		}
+		if len(outDims) != 3 {
+			t.Fatalf("dims %v", outDims)
+		}
+		if got := frobRel(vals, dec); got > eps*1.01 {
+			t.Fatalf("eps %g: relative frobenius error %g", eps, got)
+		}
+	}
+}
+
+func TestBoundPropertyRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d0, d1, d2 := 2+rng.Intn(6), 2+rng.Intn(6), 2+rng.Intn(6)
+		vals := make([]float32, d0*d1*d2)
+		for i := range vals {
+			vals[i] = float32(rng.NormFloat64())
+		}
+		eps := math.Pow(10, -1-2*rng.Float64())
+		stream, err := CompressSlice(vals, []uint64{uint64(d0), uint64(d1), uint64(d2)}, Params{Eps: eps})
+		if err != nil {
+			return false
+		}
+		dec, _, err := DecompressSlice[float32](stream)
+		if err != nil {
+			return false
+		}
+		return frobRel(vals, dec) <= eps*1.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowRankDataCompressesWell(t *testing.T) {
+	// A rank-1 tensor should compress extremely well under HOSVD.
+	d := 24
+	vals := make([]float32, d*d*d)
+	i := 0
+	for a := 0; a < d; a++ {
+		for b := 0; b < d; b++ {
+			for c := 0; c < d; c++ {
+				vals[i] = float32(math.Sin(float64(a)) * math.Cos(float64(b)) * float64(c+1))
+				i++
+			}
+		}
+	}
+	stream, err := CompressSlice(vals, []uint64{uint64(d), uint64(d), uint64(d)}, Params{Eps: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(vals)*4) / float64(len(stream))
+	if ratio < 2 {
+		t.Fatalf("rank-1 tensor ratio %f too low", ratio)
+	}
+	dec, _, err := DecompressSlice[float32](stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := frobRel(vals, dec); got > 1e-4*1.01 {
+		t.Fatalf("error %g", got)
+	}
+}
+
+func TestLowerRanks(t *testing.T) {
+	vals := field(1, 8, 64, 2)
+	// 1-D.
+	stream, err := CompressSlice(vals[:64], []uint64{64}, Params{Eps: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec1, _, err := DecompressSlice[float32](stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frobRel(vals[:64], dec1) > 0.011 {
+		t.Fatal("1-D bound violated")
+	}
+	// 2-D.
+	stream, err = CompressSlice(vals, []uint64{8, 64}, Params{Eps: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec2, _, err := DecompressSlice[float32](stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frobRel(vals, dec2) > 0.011 {
+		t.Fatal("2-D bound violated")
+	}
+}
+
+func TestInvalidInputs(t *testing.T) {
+	vals := []float32{1, 2, 3, 4}
+	if _, err := CompressSlice(vals, []uint64{4}, Params{Eps: 0}); err == nil {
+		t.Fatal("expected eps error")
+	}
+	if _, err := CompressSlice(vals, []uint64{4}, Params{Eps: 2}); err == nil {
+		t.Fatal("expected eps error")
+	}
+	if _, err := CompressSlice(vals, []uint64{2, 2, 1, 1}, Params{Eps: 0.1}); err == nil {
+		t.Fatal("expected rank error")
+	}
+	if _, err := CompressSlice([]float32{1, float32(math.Inf(1))}, []uint64{2}, Params{Eps: 0.1}); err == nil {
+		t.Fatal("expected non-finite error")
+	}
+}
+
+func TestCorruptStreams(t *testing.T) {
+	vals := field(4, 5, 6, 3)
+	stream, err := CompressSlice(vals, []uint64{4, 5, 6}, Params{Eps: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 3, 6, 10} {
+		if _, _, err := DecompressSlice[float32](stream[:cut]); err == nil {
+			t.Fatalf("truncation %d: expected error", cut)
+		}
+	}
+	if _, _, err := DecompressSlice[float64](stream); err == nil {
+		t.Fatal("expected dtype mismatch")
+	}
+}
+
+func TestPluginRoundTrip(t *testing.T) {
+	vals := field(10, 10, 10, 4)
+	in := core.FromFloat32s(vals, 10, 10, 10)
+	c, err := core.NewCompressor("tthresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetOptions(core.NewOptions().SetValue("tthresh:eps", 0.01)); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := core.Decompress(c, comp, core.DTypeFloat32, 10, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := frobRel(vals, dec.Float32s()); got > 0.0101 {
+		t.Fatalf("error %g", got)
+	}
+	if err := c.CheckOptions(core.NewOptions().SetValue("tthresh:eps", 5.0)); err == nil {
+		t.Fatal("expected CheckOptions failure")
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	vals := field(32, 32, 32, 1)
+	dims := []uint64{32, 32, 32}
+	b.SetBytes(int64(len(vals) * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CompressSlice(vals, dims, Params{Eps: 1e-3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package zfp implements a transform-based error-bounded lossy compressor
+// in the style of zfp (Lindstrom, TVCG'14): data is partitioned into 4^d
+// blocks; each block is aligned to a common exponent, converted to fixed
+// point, run through a separable integer lifting transform, reordered by
+// total sequency, converted to negabinary, and coded one bit plane at a
+// time with group testing. Fixed-rate, fixed-precision and fixed-accuracy
+// modes are supported.
+//
+// Like the original, the transform works natively in Fortran dimension
+// order (fastest dimension first); the plugin translates from the
+// framework's C ordering. Partial blocks are padded, which is why passing a
+// dimension smaller than the block size wastes bits — the inefficiency the
+// paper quantifies in §V.
+package zfp
+
+import (
+	"pressio/internal/bitstream"
+)
+
+// nbmask is the negabinary conversion mask (...101010).
+const nbmask = 0xaaaaaaaaaaaaaaaa
+
+// fwdLift applies the forward integer lifting transform to four elements at
+// stride s, exactly as in the zfp reference implementation. The transform
+// is only approximately invertible (the inverse loses at most one integer
+// ulp), which the fixed-point guard bits absorb.
+func fwdLift(p []int64, off, s int) {
+	x, y, z, w := p[off], p[off+s], p[off+2*s], p[off+3*s]
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+	p[off], p[off+s], p[off+2*s], p[off+3*s] = x, y, z, w
+}
+
+// invLift applies the inverse lifting transform.
+func invLift(p []int64, off, s int) {
+	x, y, z, w := p[off], p[off+s], p[off+2*s], p[off+3*s]
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+	p[off], p[off+s], p[off+2*s], p[off+3*s] = x, y, z, w
+}
+
+// fwdXform applies the separable transform to a 4^d block (d = 1..3),
+// lifting along x (stride 1), then y (stride 4), then z (stride 16).
+func fwdXform(p []int64, d int) {
+	switch d {
+	case 1:
+		fwdLift(p, 0, 1)
+	case 2:
+		for y := 0; y < 4; y++ {
+			fwdLift(p, 4*y, 1)
+		}
+		for x := 0; x < 4; x++ {
+			fwdLift(p, x, 4)
+		}
+	case 3:
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				fwdLift(p, 4*y+16*z, 1)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(p, x+16*z, 4)
+			}
+		}
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				fwdLift(p, x+4*y, 16)
+			}
+		}
+	}
+}
+
+// invXform applies the inverse separable transform (z, then y, then x).
+func invXform(p []int64, d int) {
+	switch d {
+	case 1:
+		invLift(p, 0, 1)
+	case 2:
+		for x := 0; x < 4; x++ {
+			invLift(p, x, 4)
+		}
+		for y := 0; y < 4; y++ {
+			invLift(p, 4*y, 1)
+		}
+	case 3:
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				invLift(p, x+4*y, 16)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				invLift(p, x+16*z, 4)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				invLift(p, 4*y+16*z, 1)
+			}
+		}
+	}
+}
+
+// perms holds the sequency-order permutations: coefficients sorted by total
+// degree i+j+k so low-frequency (large) coefficients come first in the
+// embedded coding.
+var perms = [4][]int{nil, makePerm(1), makePerm(2), makePerm(3)}
+
+func makePerm(d int) []int {
+	size := 1 << (2 * d)
+	idx := make([]int, size)
+	for i := range idx {
+		idx[i] = i
+	}
+	degree := func(i int) int {
+		x := i & 3
+		y := (i >> 2) & 3
+		z := (i >> 4) & 3
+		return x + y + z
+	}
+	// Insertion sort by (degree, index): stable, tiny input.
+	for i := 1; i < size; i++ {
+		for j := i; j > 0; j-- {
+			a, b := idx[j-1], idx[j]
+			if degree(a) > degree(b) || (degree(a) == degree(b) && a > b) {
+				idx[j-1], idx[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return idx
+}
+
+// int64 <-> negabinary.
+func int2nb(x int64) uint64 { return (uint64(x) + nbmask) ^ nbmask }
+func nb2int(u uint64) int64 { return int64((u ^ nbmask) - nbmask) }
+
+// encodeInts performs the embedded bit-plane coding of the zfp reference
+// (encode_ints), transliterated from the C loops: for each plane from the
+// MSB, the first n bits (coefficients already known significant) are
+// emitted verbatim, and the remainder is group-tested and unary run-length
+// coded. It returns the number of bits written, never exceeding maxbits.
+func encodeInts(w *bitstream.Writer, data []uint64, intprec, maxprec uint, maxbits uint64) uint64 {
+	size := uint(len(data))
+	kmin := uint(0)
+	if intprec > maxprec {
+		kmin = intprec - maxprec
+	}
+	bits := maxbits
+	n := uint(0)
+	for k := intprec; bits > 0 && k > kmin; {
+		k--
+		// Step 1: extract bit plane k.
+		var x uint64
+		for i := uint(0); i < size; i++ {
+			x |= ((data[i] >> k) & 1) << i
+		}
+		// Step 2: encode the first n bits verbatim.
+		m := uint64(n)
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		w.WriteBits(x, uint(m))
+		x >>= m
+		// Step 3: group test + unary run-length encode the remainder.
+		for n < size && bits > 0 {
+			bits--
+			if x == 0 {
+				w.WriteBit(0)
+				break
+			}
+			w.WriteBit(1)
+			for n < size-1 && bits > 0 {
+				bits--
+				b := uint(x & 1)
+				w.WriteBit(b)
+				if b != 0 {
+					break // the one is consumed by the outer shift
+				}
+				x >>= 1
+				n++
+			}
+			x >>= 1
+			n++
+		}
+	}
+	return maxbits - bits
+}
+
+// decodeInts mirrors encodeInts.
+func decodeInts(r *bitstream.Reader, data []uint64, intprec, maxprec uint, maxbits uint64) uint64 {
+	size := uint(len(data))
+	for i := range data {
+		data[i] = 0
+	}
+	kmin := uint(0)
+	if intprec > maxprec {
+		kmin = intprec - maxprec
+	}
+	bits := maxbits
+	n := uint(0)
+	for k := intprec; bits > 0 && k > kmin; {
+		k--
+		m := uint64(n)
+		if m > bits {
+			m = bits
+		}
+		bits -= m
+		x := r.ReadBits(uint(m))
+		for n < size && bits > 0 {
+			bits--
+			if r.ReadBit() == 0 {
+				break
+			}
+			for n < size-1 && bits > 0 {
+				bits--
+				if r.ReadBit() != 0 {
+					break
+				}
+				n++
+			}
+			x |= uint64(1) << n
+			n++
+		}
+		for i := uint(0); x != 0; i, x = i+1, x>>1 {
+			data[i] |= (x & 1) << k
+		}
+	}
+	return maxbits - bits
+}

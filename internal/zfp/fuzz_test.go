@@ -1,0 +1,26 @@
+package zfp
+
+import "testing"
+
+// FuzzDecompressSlice drives the block decoder with arbitrary bytes: it
+// must never panic, and accepted streams must match their header's shape.
+func FuzzDecompressSlice(f *testing.F) {
+	good, _ := CompressSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8}, []uint64{2, 4},
+		Params{Mode: ModeFixedAccuracy, Tolerance: 0.1})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("ZFG1"))
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		vals, dims, err := DecompressSlice[float32](stream)
+		if err != nil {
+			return
+		}
+		n := uint64(1)
+		for _, d := range dims {
+			n *= d
+		}
+		if uint64(len(vals)) != n {
+			t.Fatalf("accepted stream with inconsistent shape: %d vs %v", len(vals), dims)
+		}
+	})
+}

@@ -1,0 +1,9 @@
+package zfp
+
+import "pressio/internal/bitstream"
+
+func newTestWriter() *bitstream.Writer { return bitstream.NewWriter(256) }
+
+func newTestReader(w *bitstream.Writer) *bitstream.Reader {
+	return bitstream.NewReader(w.Bytes())
+}

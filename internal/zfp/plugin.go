@@ -1,0 +1,165 @@
+package zfp
+
+import (
+	"fmt"
+
+	"pressio/internal/core"
+)
+
+// plugin adapts the codec to the framework. The generic error-bound options
+// map onto fixed-accuracy mode: "pressio:abs" sets the tolerance directly
+// and "pressio:rel" resolves against the input's value range at compress
+// time, the translation work native clients would otherwise hand-roll.
+type plugin struct {
+	mode      Mode
+	rate      float64
+	precision uint
+	tolerance float64
+	relBound  float64 // when > 0, resolve tolerance from the value range
+}
+
+func init() {
+	core.RegisterCompressor("zfp", func() core.CompressorPlugin {
+		return &plugin{mode: ModeFixedAccuracy, tolerance: 1e-3, rate: 16, precision: 32}
+	})
+}
+
+func (p *plugin) Prefix() string  { return "zfp" }
+func (p *plugin) Version() string { return Version }
+
+func (p *plugin) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue("zfp:mode", p.mode.String())
+	o.SetValue("zfp:rate", p.rate)
+	o.SetValue("zfp:precision", uint64(p.precision))
+	o.SetValue("zfp:accuracy", p.tolerance)
+	if p.relBound > 0 {
+		o.SetValue(core.KeyRel, p.relBound)
+		o.SetType(core.KeyAbs, core.OptDouble)
+	} else {
+		o.SetValue(core.KeyAbs, p.tolerance)
+		o.SetType(core.KeyRel, core.OptDouble)
+	}
+	return o
+}
+
+func (p *plugin) SetOptions(o *core.Options) error {
+	if s, err := o.GetString("zfp:mode"); err == nil {
+		m, err := ParseMode(s)
+		if err != nil {
+			return err
+		}
+		p.mode = m
+	}
+	if v, err := o.GetFloat64("zfp:rate"); err == nil {
+		p.rate = v
+		if !o.Has("zfp:mode") {
+			p.mode = ModeFixedRate
+		}
+	}
+	if v, err := o.GetUint64("zfp:precision"); err == nil {
+		p.precision = uint(v)
+		if !o.Has("zfp:mode") {
+			p.mode = ModeFixedPrecision
+		}
+	}
+	if v, err := o.GetFloat64("zfp:accuracy"); err == nil {
+		p.tolerance = v
+		p.relBound = 0
+		if !o.Has("zfp:mode") {
+			p.mode = ModeFixedAccuracy
+		}
+	}
+	if v, err := o.GetFloat64(core.KeyAbs); err == nil {
+		p.mode = ModeFixedAccuracy
+		p.tolerance = v
+		p.relBound = 0
+	}
+	if v, err := o.GetFloat64(core.KeyRel); err == nil {
+		p.mode = ModeFixedAccuracy
+		p.relBound = v
+	}
+	return nil
+}
+
+func (p *plugin) CheckOptions(o *core.Options) error {
+	clone := *p
+	if err := clone.SetOptions(o); err != nil {
+		return err
+	}
+	if _, err := resolve(clone.params(nil), 32, 64); err != nil && clone.relBound <= 0 {
+		return fmt.Errorf("%w: %v", core.ErrInvalidOption, err)
+	}
+	if clone.relBound < 0 {
+		return fmt.Errorf("%w: pressio:rel must be positive", core.ErrInvalidOption)
+	}
+	return nil
+}
+
+func (p *plugin) Configuration() *core.Options {
+	cfg := core.StandardConfiguration(core.ThreadSafetyMultiple, "stable", Version, false)
+	cfg.SetValue("zfp:modes", []string{"accuracy", "rate", "precision"})
+	return cfg
+}
+
+// params resolves the plugin state into codec Params for the given input
+// (needed to resolve value-range-relative bounds).
+func (p *plugin) params(in *core.Data) Params {
+	prm := Params{Mode: p.mode, Rate: p.rate, Precision: p.precision, Tolerance: p.tolerance}
+	if p.mode == ModeFixedAccuracy && p.relBound > 0 && in != nil {
+		lo, hi := core.ValueRange(in)
+		prm.Tolerance = p.relBound * (hi - lo)
+		if prm.Tolerance <= 0 {
+			prm.Tolerance = 1e-38
+		}
+	}
+	return prm
+}
+
+func (p *plugin) CompressImpl(in, out *core.Data) error {
+	prm := p.params(in)
+	var stream []byte
+	var err error
+	switch in.DType() {
+	case core.DTypeFloat32:
+		stream, err = CompressSlice(in.Float32s(), in.Dims(), prm)
+	case core.DTypeFloat64:
+		stream, err = CompressSlice(in.Float64s(), in.Dims(), prm)
+	default:
+		return fmt.Errorf("%w: zfp supports float32/float64, got %s", core.ErrInvalidDType, in.DType())
+	}
+	if err != nil {
+		return err
+	}
+	out.Become(core.NewBytes(stream))
+	return nil
+}
+
+func (p *plugin) DecompressImpl(in, out *core.Data) error {
+	h, _, _, err := ParseHeader(in.Bytes())
+	if err != nil {
+		return err
+	}
+	switch h.DType {
+	case core.DTypeFloat32:
+		vals, dims, err := DecompressSlice[float32](in.Bytes())
+		if err != nil {
+			return err
+		}
+		out.Become(core.FromFloat32s(vals, dims...))
+	case core.DTypeFloat64:
+		vals, dims, err := DecompressSlice[float64](in.Bytes())
+		if err != nil {
+			return err
+		}
+		out.Become(core.FromFloat64s(vals, dims...))
+	default:
+		return ErrCorrupt
+	}
+	return nil
+}
+
+func (p *plugin) Clone() core.CompressorPlugin {
+	clone := *p
+	return &clone
+}

@@ -1,0 +1,508 @@
+package zfp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"pressio/internal/bitstream"
+	"pressio/internal/core"
+)
+
+// Version is the compressor version reported through the plugin interface.
+const Version = "0.5.5-go"
+
+// ErrCorrupt reports a malformed zfp stream.
+var ErrCorrupt = errors.New("zfp: corrupt stream")
+
+// Float constrains the element types the codec accepts.
+type Float interface {
+	~float32 | ~float64
+}
+
+// Mode selects the zfp compression mode.
+type Mode int
+
+const (
+	// ModeFixedAccuracy bounds the pointwise absolute error by Tolerance.
+	ModeFixedAccuracy Mode = iota
+	// ModeFixedRate spends exactly Rate bits per value, giving fixed-size
+	// blocks (random access, no error bound).
+	ModeFixedRate
+	// ModeFixedPrecision keeps Precision bit planes per block (bounds the
+	// relative error).
+	ModeFixedPrecision
+)
+
+// String names the mode as used in plugin options.
+func (m Mode) String() string {
+	switch m {
+	case ModeFixedAccuracy:
+		return "accuracy"
+	case ModeFixedRate:
+		return "rate"
+	case ModeFixedPrecision:
+		return "precision"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses a mode name.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "accuracy", "abs":
+		return ModeFixedAccuracy, nil
+	case "rate":
+		return ModeFixedRate, nil
+	case "precision":
+		return ModeFixedPrecision, nil
+	default:
+		return 0, fmt.Errorf("%w: zfp mode %q", core.ErrInvalidOption, s)
+	}
+}
+
+// Params configures a compression call.
+type Params struct {
+	Mode      Mode
+	Rate      float64 // bits per value, ModeFixedRate
+	Precision uint    // bit planes, ModeFixedPrecision
+	Tolerance float64 // absolute error bound, ModeFixedAccuracy
+}
+
+// DefaultParams matches zfp's common default: fixed accuracy 1e-3.
+func DefaultParams() Params { return Params{Mode: ModeFixedAccuracy, Tolerance: 1e-3} }
+
+const (
+	magic    = "ZFG1"
+	ebits    = 12   // biased exponent field width
+	ebias    = 1086 // covers the double exponent range after frexp
+	hugeBits = uint64(1) << 60
+)
+
+// resolved holds the per-stream coding parameters derived from Params.
+type resolved struct {
+	maxbits uint64
+	maxprec uint
+	minexp  int
+	pad     bool // fixed-rate: pad every block to maxbits
+}
+
+func resolve(p Params, intprec uint, blockSize int) (resolved, error) {
+	switch p.Mode {
+	case ModeFixedRate:
+		if p.Rate <= 0 || p.Rate > float64(intprec)*2 {
+			return resolved{}, fmt.Errorf("zfp: rate %v out of range", p.Rate)
+		}
+		maxbits := uint64(p.Rate*float64(blockSize) + 0.5)
+		if min := uint64(ebits + 2); maxbits < min {
+			maxbits = min
+		}
+		return resolved{maxbits: maxbits, maxprec: intprec, minexp: -1075, pad: true}, nil
+	case ModeFixedPrecision:
+		if p.Precision == 0 || p.Precision > intprec {
+			return resolved{}, fmt.Errorf("zfp: precision %d out of range (1..%d)", p.Precision, intprec)
+		}
+		return resolved{maxbits: hugeBits, maxprec: p.Precision, minexp: -1075}, nil
+	case ModeFixedAccuracy:
+		if p.Tolerance <= 0 || math.IsNaN(p.Tolerance) || math.IsInf(p.Tolerance, 0) {
+			return resolved{}, fmt.Errorf("zfp: tolerance %v must be positive and finite", p.Tolerance)
+		}
+		minexp := int(math.Floor(math.Log2(p.Tolerance)))
+		return resolved{maxbits: hugeBits, maxprec: intprec, minexp: minexp}, nil
+	default:
+		return resolved{}, fmt.Errorf("zfp: unknown mode %d", p.Mode)
+	}
+}
+
+// blockPrecision computes the number of bit planes to code for a block with
+// maximum exponent emax, following the zfp reference precision() function.
+// The 2*(d+1) guard planes absorb transform round-off so the tolerance
+// holds.
+func (r resolved) blockPrecision(emax, d int) uint {
+	p := emax - r.minexp + 2*(d+1)
+	if p < 0 {
+		p = 0
+	}
+	if uint(p) > r.maxprec {
+		return r.maxprec
+	}
+	return uint(p)
+}
+
+// geometry maps C-order dims onto the codec's Fortran-order spatial extents
+// (x fastest) plus an outer batch count for rank > 3.
+func geometry(dims []uint64) (outer, sx, sy, sz, d int, err error) {
+	if len(dims) == 0 {
+		return 0, 0, 0, 0, 0, fmt.Errorf("zfp: %w: no dimensions", core.ErrInvalidDims)
+	}
+	for _, v := range dims {
+		if v == 0 {
+			return 0, 0, 0, 0, 0, fmt.Errorf("zfp: %w: zero extent", core.ErrInvalidDims)
+		}
+	}
+	outer, sx, sy, sz = 1, 1, 1, 1
+	switch len(dims) {
+	case 1:
+		sx, d = int(dims[0]), 1
+	case 2:
+		sy, sx, d = int(dims[0]), int(dims[1]), 2
+	case 3:
+		sz, sy, sx, d = int(dims[0]), int(dims[1]), int(dims[2]), 3
+	default:
+		for _, v := range dims[:len(dims)-3] {
+			outer *= int(v)
+		}
+		sz, sy, sx, d = int(dims[len(dims)-3]), int(dims[len(dims)-2]), int(dims[len(dims)-1]), 3
+	}
+	return outer, sx, sy, sz, d, nil
+}
+
+func intprecOf[T Float]() uint {
+	var zero T
+	if _, ok := any(zero).(float32); ok {
+		return 32
+	}
+	return 64
+}
+
+// CompressSlice compresses vals shaped dims (C order) and returns the
+// self-describing stream.
+func CompressSlice[T Float](vals []T, dims []uint64, p Params) ([]byte, error) {
+	outer, sx, sy, sz, d, err := geometry(dims)
+	if err != nil {
+		return nil, err
+	}
+	n := outer * sx * sy * sz
+	if n != len(vals) {
+		return nil, fmt.Errorf("zfp: %w: dims %v describe %d elements, have %d",
+			core.ErrInvalidDims, dims, n, len(vals))
+	}
+	intprec := intprecOf[T]()
+	blockSize := 1 << (2 * d)
+	res, err := resolve(p, intprec, blockSize)
+	if err != nil {
+		return nil, err
+	}
+
+	var hdr []byte
+	hdr = append(hdr, magic...)
+	if intprec == 32 {
+		hdr = append(hdr, 1)
+	} else {
+		hdr = append(hdr, 2)
+	}
+	hdr = append(hdr, byte(len(dims)))
+	for _, v := range dims {
+		hdr = binary.AppendUvarint(hdr, v)
+	}
+	hdr = append(hdr, byte(p.Mode))
+	hdr = binary.AppendUvarint(hdr, res.maxbits)
+	hdr = binary.AppendUvarint(hdr, uint64(res.maxprec))
+	hdr = binary.AppendUvarint(hdr, uint64(res.minexp+2048))
+
+	w := bitstream.NewWriter(n / 2)
+	fblock := make([]float64, blockSize)
+	iblock := make([]int64, blockSize)
+	ublock := make([]uint64, blockSize)
+
+	bx := (sx + 3) / 4
+	by := (sy + 3) / 4
+	bz := (sz + 3) / 4
+	sliceLen := sx * sy * sz
+	for o := 0; o < outer; o++ {
+		base := vals[o*sliceLen : (o+1)*sliceLen]
+		for z := 0; z < bz; z++ {
+			for y := 0; y < by; y++ {
+				for x := 0; x < bx; x++ {
+					gather(base, fblock, x*4, y*4, z*4, sx, sy, sz, d)
+					encodeBlock(w, fblock, iblock, ublock, intprec, d, res)
+				}
+			}
+		}
+	}
+	return append(hdr, w.Bytes()...), nil
+}
+
+// gather copies a 4^d block starting at (x0,y0,z0) into dst, replicating
+// edge values for partial blocks (the source of the padding inefficiency
+// for extents smaller than 4).
+func gather[T Float](src []T, dst []float64, x0, y0, z0, sx, sy, sz, d int) {
+	clamp := func(v, hi int) int {
+		if v >= hi {
+			return hi - 1
+		}
+		return v
+	}
+	switch d {
+	case 1:
+		for i := 0; i < 4; i++ {
+			dst[i] = float64(src[clamp(x0+i, sx)])
+		}
+	case 2:
+		for j := 0; j < 4; j++ {
+			yy := clamp(y0+j, sy)
+			for i := 0; i < 4; i++ {
+				dst[i+4*j] = float64(src[yy*sx+clamp(x0+i, sx)])
+			}
+		}
+	case 3:
+		for k := 0; k < 4; k++ {
+			zz := clamp(z0+k, sz)
+			for j := 0; j < 4; j++ {
+				yy := clamp(y0+j, sy)
+				row := (zz*sy + yy) * sx
+				for i := 0; i < 4; i++ {
+					dst[i+4*j+16*k] = float64(src[row+clamp(x0+i, sx)])
+				}
+			}
+		}
+	}
+}
+
+// scatter writes a decoded block back, skipping padded lanes.
+func scatter[T Float](dst []T, src []float64, x0, y0, z0, sx, sy, sz, d int) {
+	switch d {
+	case 1:
+		for i := 0; i < 4 && x0+i < sx; i++ {
+			dst[x0+i] = T(src[i])
+		}
+	case 2:
+		for j := 0; j < 4 && y0+j < sy; j++ {
+			for i := 0; i < 4 && x0+i < sx; i++ {
+				dst[(y0+j)*sx+x0+i] = T(src[i+4*j])
+			}
+		}
+	case 3:
+		for k := 0; k < 4 && z0+k < sz; k++ {
+			for j := 0; j < 4 && y0+j < sy; j++ {
+				row := ((z0+k)*sy + y0 + j) * sx
+				for i := 0; i < 4 && x0+i < sx; i++ {
+					dst[row+x0+i] = T(src[i+4*j+16*k])
+				}
+			}
+		}
+	}
+}
+
+func maxExponent(block []float64) (int, bool) {
+	maxAbs := 0.0
+	for _, v := range block {
+		a := math.Abs(v)
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 || math.IsInf(maxAbs, 0) || math.IsNaN(maxAbs) {
+		return 0, false
+	}
+	_, e := math.Frexp(maxAbs)
+	return e, true
+}
+
+// encodeBlock codes one gathered block.
+func encodeBlock(w *bitstream.Writer, fblock []float64, iblock []int64, ublock []uint64,
+	intprec uint, d int, res resolved) {
+	emax, nonzero := maxExponent(fblock)
+	var used uint64
+	if !nonzero {
+		w.WriteBit(0)
+		used = 1
+	} else {
+		w.WriteBit(1)
+		w.WriteBits(uint64(emax+ebias), ebits)
+		used = 1 + ebits
+		// Fixed point conversion with two guard bits.
+		scale := math.Ldexp(1, int(intprec)-2-emax)
+		for i, v := range fblock {
+			iblock[i] = int64(scale * v)
+		}
+		fwdXform(iblock, d)
+		perm := perms[d]
+		if intprec == 32 {
+			for i, pi := range perm {
+				ublock[i] = uint64((uint32(int32(iblock[pi])) + 0xaaaaaaaa) ^ 0xaaaaaaaa)
+			}
+		} else {
+			for i, pi := range perm {
+				ublock[i] = int2nb(iblock[pi])
+			}
+		}
+		budget := res.maxbits - used
+		used += encodeInts(w, ublock, intprec, res.blockPrecision(emax, d), budget)
+	}
+	if res.pad {
+		for used < res.maxbits {
+			chunk := res.maxbits - used
+			if chunk > 64 {
+				chunk = 64
+			}
+			w.WriteBits(0, uint(chunk))
+			used += chunk
+		}
+	}
+}
+
+// decodeBlock mirrors encodeBlock.
+func decodeBlock(r *bitstream.Reader, fblock []float64, iblock []int64, ublock []uint64,
+	intprec uint, d int, res resolved) {
+	var used uint64
+	if r.ReadBit() == 0 {
+		for i := range fblock {
+			fblock[i] = 0
+		}
+		used = 1
+	} else {
+		emax := int(r.ReadBits(ebits)) - ebias
+		used = 1 + ebits
+		budget := res.maxbits - used
+		used += decodeInts(r, ublock, intprec, res.blockPrecision(emax, d), budget)
+		perm := perms[d]
+		if intprec == 32 {
+			for i, pi := range perm {
+				iblock[pi] = int64(int32((uint32(ublock[i]) ^ 0xaaaaaaaa) - 0xaaaaaaaa))
+			}
+		} else {
+			for i, pi := range perm {
+				iblock[pi] = nb2int(ublock[i])
+			}
+		}
+		invXform(iblock, d)
+		scale := math.Ldexp(1, emax+2-int(intprec))
+		for i := range fblock {
+			fblock[i] = scale * float64(iblock[i])
+		}
+	}
+	if res.pad {
+		for used < res.maxbits {
+			chunk := res.maxbits - used
+			if chunk > 64 {
+				chunk = 64
+			}
+			r.ReadBits(uint(chunk))
+			used += chunk
+		}
+	}
+}
+
+// Header describes a compressed stream.
+type Header struct {
+	DType core.DType
+	Dims  []uint64
+	Mode  Mode
+}
+
+// ParseHeader reads the stream header, returning it and the offset of the
+// block payload.
+func ParseHeader(stream []byte) (Header, resolved, int, error) {
+	var h Header
+	if len(stream) < 7 || string(stream[:4]) != magic {
+		return h, resolved{}, 0, ErrCorrupt
+	}
+	switch stream[4] {
+	case 1:
+		h.DType = core.DTypeFloat32
+	case 2:
+		h.DType = core.DTypeFloat64
+	default:
+		return h, resolved{}, 0, ErrCorrupt
+	}
+	rank := int(stream[5])
+	if rank == 0 || rank > 16 {
+		return h, resolved{}, 0, ErrCorrupt
+	}
+	pos := 6
+	h.Dims = make([]uint64, rank)
+	total := uint64(1)
+	for i := range h.Dims {
+		v, sz := binary.Uvarint(stream[pos:])
+		if sz <= 0 || v == 0 || v > 1<<40 {
+			return h, resolved{}, 0, ErrCorrupt
+		}
+		h.Dims[i] = v
+		total *= v
+		if total > 1<<44 {
+			return h, resolved{}, 0, ErrCorrupt
+		}
+		pos += sz
+	}
+	if pos >= len(stream) {
+		return h, resolved{}, 0, ErrCorrupt
+	}
+	h.Mode = Mode(stream[pos])
+	pos++
+	var res resolved
+	maxbits, sz := binary.Uvarint(stream[pos:])
+	if sz <= 0 || maxbits == 0 {
+		return h, resolved{}, 0, ErrCorrupt
+	}
+	pos += sz
+	maxprec, sz := binary.Uvarint(stream[pos:])
+	if sz <= 0 || maxprec > 64 {
+		return h, resolved{}, 0, ErrCorrupt
+	}
+	pos += sz
+	minexpBiased, sz := binary.Uvarint(stream[pos:])
+	if sz <= 0 || minexpBiased > 4096 {
+		return h, resolved{}, 0, ErrCorrupt
+	}
+	pos += sz
+	res.maxbits = maxbits
+	res.maxprec = uint(maxprec)
+	res.minexp = int(minexpBiased) - 2048
+	res.pad = h.Mode == ModeFixedRate
+	return h, res, pos, nil
+}
+
+// DecompressSlice decodes a stream produced by CompressSlice.
+func DecompressSlice[T Float](stream []byte) ([]T, []uint64, error) {
+	h, res, pos, err := ParseHeader(stream)
+	if err != nil {
+		return nil, nil, err
+	}
+	want := core.DTypeFloat32
+	if intprecOf[T]() == 64 {
+		want = core.DTypeFloat64
+	}
+	if h.DType != want {
+		return nil, nil, fmt.Errorf("zfp: %w: stream holds %s", core.ErrInvalidDType, h.DType)
+	}
+	outer, sx, sy, sz, d, err := geometry(h.Dims)
+	if err != nil {
+		return nil, nil, err
+	}
+	n := outer * sx * sy * sz
+	// Every block costs at least one bit (the zero-block flag), so the
+	// block count of a genuine stream is bounded by the payload's bit
+	// length — rejecting 20-byte "bombs" that declare gigavoxel shapes.
+	blocks := uint64(outer) * ((uint64(sx) + 3) / 4) *
+		((uint64(sy) + 3) / 4) * ((uint64(sz) + 3) / 4)
+	if blocks > uint64(len(stream)-pos)*8+64 {
+		return nil, nil, fmt.Errorf("%w: %d blocks declared by a %d byte stream",
+			ErrCorrupt, blocks, len(stream)-pos)
+	}
+	intprec := intprecOf[T]()
+	blockSize := 1 << (2 * d)
+	out := make([]T, n)
+	r := bitstream.NewReader(stream[pos:])
+	fblock := make([]float64, blockSize)
+	iblock := make([]int64, blockSize)
+	ublock := make([]uint64, blockSize)
+	bx := (sx + 3) / 4
+	by := (sy + 3) / 4
+	bz := (sz + 3) / 4
+	sliceLen := sx * sy * sz
+	for o := 0; o < outer; o++ {
+		base := out[o*sliceLen : (o+1)*sliceLen]
+		for z := 0; z < bz; z++ {
+			for y := 0; y < by; y++ {
+				for x := 0; x < bx; x++ {
+					decodeBlock(r, fblock, iblock, ublock, intprec, d, res)
+					scatter(base, fblock, x*4, y*4, z*4, sx, sy, sz, d)
+				}
+			}
+		}
+	}
+	return out, h.Dims, nil
+}
