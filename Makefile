@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-2 gate: vet + race tests on the concurrency-sensitive packages +
+# the disabled-tracing overhead benchmark. See scripts/check.sh.
+check:
+	sh scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -17,6 +17,7 @@ import (
 	"pressio/internal/mgard"
 	"pressio/internal/sdrbench"
 	"pressio/internal/sz"
+	"pressio/internal/trace"
 	"pressio/internal/zfp"
 
 	_ "pressio/internal/lossless"
@@ -177,6 +178,67 @@ func BenchmarkVEmbedExternalProcess(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(res.OverheadPct, "overhead_%")
+	}
+}
+
+// --- Observability: dispatch overhead with tracing off ----------------------
+
+// The tracing layer promises near-zero cost when disabled: the wrapper's only
+// extra work on the Compress path is one atomic load. These benchmarks pin
+// that down with the noop compressor, where codec time is ~0 and any
+// dispatch overhead dominates. Compare BenchmarkDispatchDirectImpl (raw
+// plugin call, no wrapper) with BenchmarkDispatchWrappedUntraced (full
+// wrapper, tracing disabled); the per-op gap is the abstraction+gate cost.
+// BenchmarkDispatchWrappedTraced shows the price once collection is on.
+
+func dispatchFixture(b *testing.B) (*core.Compressor, *core.Data, *core.Data) {
+	c, err := core.NewCompressor("noop")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := core.FromFloat32s(make([]float32, 1024), 32, 32)
+	out := core.NewEmpty(core.DTypeByte, 0)
+	return c, in, out
+}
+
+func BenchmarkDispatchDirectImpl(b *testing.B) {
+	c, in, out := dispatchFixture(b)
+	impl := c.Plugin()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := impl.CompressImpl(in, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDispatchWrappedUntraced(b *testing.B) {
+	c, in, out := dispatchFixture(b)
+	trace.Disable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Compress(in, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDispatchWrappedTraced(b *testing.B) {
+	c, in, out := dispatchFixture(b)
+	trace.Enable()
+	defer func() {
+		trace.Disable()
+		trace.Reset()
+		trace.ResetTelemetry()
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Compress(in, out); err != nil {
+			b.Fatal(err)
+		}
+		if i%4096 == 0 {
+			trace.Reset() // keep the span buffer from saturating maxSpans
+		}
 	}
 }
 

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pressio/internal/trace"
+)
+
+// chromeDoc mirrors the trace_event JSON container for schema validation.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   *float64       `json:"ts"`
+		Dur  *float64       `json:"dur"`
+		Pid  *int           `json:"pid"`
+		Tid  *uint64        `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+// TestTracedChunkedSZRunProducesValidChromeTrace is the acceptance check
+// for `pressio-bench -experiment trace -trace=out.json`: the chunked SZ run
+// must yield a schema-valid Chrome trace_event file whose spans nest
+// wrapper -> plugin impl -> per-chunk work.
+func TestTracedChunkedSZRunProducesValidChromeTrace(t *testing.T) {
+	trace.Reset()
+	trace.ResetTelemetry()
+	defer func() {
+		trace.Disable()
+		trace.Reset()
+		trace.ResetTelemetry()
+	}()
+
+	if err := traceDemo(1, 42); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "out.json")
+	if err := trace.WriteChromeTraceFile(out); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace file holds no events")
+	}
+
+	// Schema: every event is a complete ("X") event with the required
+	// timing and track fields.
+	spanID := map[string]uint64{} // name -> one representative span id
+	parentOf := map[uint64]uint64{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "" || ev.Ph != "X" {
+			t.Fatalf("bad event: name=%q ph=%q", ev.Name, ev.Ph)
+		}
+		if ev.Ts == nil || ev.Dur == nil || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event %q missing ts/dur/pid/tid", ev.Name)
+		}
+		if *ev.Ts < 0 || *ev.Dur < 0 {
+			t.Fatalf("event %q has negative timing", ev.Name)
+		}
+		id, ok := ev.Args["span_id"].(float64)
+		if !ok {
+			t.Fatalf("event %q missing span_id arg", ev.Name)
+		}
+		parent, _ := ev.Args["parent_id"].(float64)
+		spanID[ev.Name] = uint64(id)
+		parentOf[uint64(id)] = uint64(parent)
+	}
+
+	// Nesting: wrapper -> plugin impl -> per-chunk spans, and chunk spans
+	// carry worker attribution.
+	for _, want := range []string{"pressio.compress", "chunking.compress_impl", "chunking.chunk", "sz.predict_quantize", "sz.encode"} {
+		if _, ok := spanID[want]; !ok {
+			t.Fatalf("trace missing %q span", want)
+		}
+	}
+	implIDs := map[uint64]bool{}
+	wrapperIDs := map[uint64]bool{}
+	for _, ev := range doc.TraceEvents {
+		id := uint64(ev.Args["span_id"].(float64))
+		switch ev.Name {
+		case "pressio.compress", "pressio.decompress":
+			wrapperIDs[id] = true
+		case "chunking.compress_impl", "chunking.decompress_impl":
+			implIDs[id] = true
+		}
+	}
+	chunks := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Name != "chunking.chunk" {
+			continue
+		}
+		chunks++
+		parent := uint64(ev.Args["parent_id"].(float64))
+		if !implIDs[parent] {
+			t.Fatalf("chunk span parented to %d, not a plugin impl span", parent)
+		}
+		if !wrapperIDs[parentOf[parent]] {
+			t.Fatal("plugin impl span not parented to the pressio wrapper span")
+		}
+		if _, ok := ev.Args["worker"]; !ok {
+			t.Fatal("chunk span missing worker attribution")
+		}
+	}
+	if chunks == 0 {
+		t.Fatal("no per-chunk spans recorded")
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run("nope", 1, 1, 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

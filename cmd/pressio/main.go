@@ -15,6 +15,9 @@
 //	pressio -compressor zfp -input x.npy -io npy -mode roundtrip \
 //	        -o pressio:abs=1e-4 -metrics size,time,error_stat
 //
+// Passing -trace=out.json records spans for the whole run and writes a
+// Chrome trace_event file on exit (see docs/OBSERVABILITY.md).
+//
 // It also hides a -worker mode implementing the external-process protocol
 // used by the §V embeddability experiment.
 package main
@@ -30,6 +33,7 @@ import (
 
 	"pressio/internal/core"
 	"pressio/internal/launch"
+	"pressio/internal/trace"
 
 	// Register the full plugin library.
 	_ "pressio/internal/bitgroom"
@@ -61,6 +65,7 @@ func main() {
 		dtypeFlag  = flag.String("dtype", "float32", "element type for non self-describing inputs")
 		metricsCSV = flag.String("metrics", "size,time", "comma separated metrics plugins")
 		optsJSON   = flag.String("options-json", "", "JSON file of typed options to apply")
+		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path")
 		list       = flag.Bool("list", false, "list registered plugins and exit")
 		worker     = flag.Bool("worker", false, "serve one external-process request on stdin/stdout")
 		delay      = flag.Duration("startup-delay", 0, "simulated initialization delay in worker mode")
@@ -69,10 +74,20 @@ func main() {
 	flag.Var(&opts, "o", "compressor option key=value (repeatable)")
 	flag.Parse()
 
+	if *traceOut != "" {
+		trace.Enable()
+	}
 	if err := run(*mode, *compressor, *input, *output, *ioName, *outIO,
 		*dimsFlag, *dtypeFlag, *metricsCSV, *optsJSON, *list, *worker, *delay, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pressio:", err)
 		os.Exit(1)
+	}
+	if *traceOut != "" {
+		if err := trace.WriteChromeTraceFile(*traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, "pressio: writing trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pressio: wrote %d spans to %s\n", trace.Len(), *traceOut)
 	}
 }
 

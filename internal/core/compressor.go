@@ -1,6 +1,11 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+
+	"pressio/internal/trace"
+)
 
 // ThreadSafety describes the concurrency contract of a plugin instance,
 // mirroring pressio_thread_safety. It is reported through Configuration()
@@ -140,6 +145,7 @@ func (c *Compressor) ThreadSafety() ThreadSafety {
 	cfg := c.impl.Configuration()
 	s, err := cfg.GetString(KeyThreadSafe)
 	if err != nil {
+		// Unspecified is a legitimate configuration; conservatively single.
 		return ThreadSafetySingle
 	}
 	switch s {
@@ -147,7 +153,12 @@ func (c *Compressor) ThreadSafety() ThreadSafety {
 		return ThreadSafetyMultiple
 	case "serialized":
 		return ThreadSafetySerialized
+	case "single":
+		return ThreadSafetySingle
 	default:
+		// A malformed declaration also coerces to single, but is a plugin
+		// bug worth surfacing: count it instead of swallowing it.
+		trace.CounterAdd(trace.CtrThreadSafetyMalformed, 1)
 		return ThreadSafetySingle
 	}
 }
@@ -179,6 +190,9 @@ func (c *Compressor) Compress(in, out *Data) error {
 	if out == nil {
 		return wrapPlugin(c.impl.Prefix(), fmt.Errorf("%w: compress output", ErrNilData))
 	}
+	if trace.Enabled() {
+		return c.compressTraced(in, out)
+	}
 	if c.metrics != nil {
 		c.metrics.BeginCompress(in)
 	}
@@ -187,6 +201,37 @@ func (c *Compressor) Compress(in, out *Data) error {
 		c.metrics.EndCompress(in, out, err)
 	}
 	return wrapPlugin(c.impl.Prefix(), err)
+}
+
+// compressTraced is the Compress path when tracing is enabled: the wrapper
+// span covers everything the abstraction adds (validation, metrics hooks,
+// error annotation) while the nested impl span covers only the plugin, so
+// wrapper minus impl is the per-call abstraction overhead the paper's §VI
+// quantifies.
+func (c *Compressor) compressTraced(in, out *Data) error {
+	prefix := c.impl.Prefix()
+	wrapper := trace.Start("pressio.compress",
+		trace.Str("plugin", prefix), trace.Uint("bytes_in", in.ByteLen()))
+	trace.CounterAdd(trace.CtrCompressCalls, 1)
+	trace.CounterAdd(trace.CtrCompressBytesIn, int64(in.ByteLen()))
+	if c.metrics != nil {
+		c.metrics.BeginCompress(in)
+	}
+	impl := trace.Start(prefix + ".compress_impl")
+	begin := time.Now()
+	err := c.impl.CompressImpl(in, out)
+	trace.ObserveDuration(trace.HistCompress, time.Since(begin))
+	impl.End()
+	if c.metrics != nil {
+		c.metrics.EndCompress(in, out, err)
+	}
+	if err != nil {
+		trace.CounterAdd(trace.PluginErrorKey(prefix), 1)
+	} else {
+		trace.CounterAdd(trace.CtrCompressBytesOut, int64(out.ByteLen()))
+	}
+	wrapper.End()
+	return wrapPlugin(prefix, err)
 }
 
 // Decompress decompresses in into out; out's dtype and dims serve as the
@@ -198,6 +243,9 @@ func (c *Compressor) Decompress(in, out *Data) error {
 	if out == nil {
 		return wrapPlugin(c.impl.Prefix(), fmt.Errorf("%w: decompress output", ErrNilData))
 	}
+	if trace.Enabled() {
+		return c.decompressTraced(in, out)
+	}
 	if c.metrics != nil {
 		c.metrics.BeginDecompress(in)
 	}
@@ -206,6 +254,33 @@ func (c *Compressor) Decompress(in, out *Data) error {
 		c.metrics.EndDecompress(in, out, err)
 	}
 	return wrapPlugin(c.impl.Prefix(), err)
+}
+
+// decompressTraced mirrors compressTraced for the decompression direction.
+func (c *Compressor) decompressTraced(in, out *Data) error {
+	prefix := c.impl.Prefix()
+	wrapper := trace.Start("pressio.decompress",
+		trace.Str("plugin", prefix), trace.Uint("bytes_in", in.ByteLen()))
+	trace.CounterAdd(trace.CtrDecompressCalls, 1)
+	trace.CounterAdd(trace.CtrDecompressBytesIn, int64(in.ByteLen()))
+	if c.metrics != nil {
+		c.metrics.BeginDecompress(in)
+	}
+	impl := trace.Start(prefix + ".decompress_impl")
+	begin := time.Now()
+	err := c.impl.DecompressImpl(in, out)
+	trace.ObserveDuration(trace.HistDecompress, time.Since(begin))
+	impl.End()
+	if c.metrics != nil {
+		c.metrics.EndDecompress(in, out, err)
+	}
+	if err != nil {
+		trace.CounterAdd(trace.PluginErrorKey(prefix), 1)
+	} else {
+		trace.CounterAdd(trace.CtrDecompressBytesOut, int64(out.ByteLen()))
+	}
+	wrapper.End()
+	return wrapPlugin(prefix, err)
 }
 
 // Clone returns an independent handle. The metrics plugin is cloned too so

@@ -6,102 +6,137 @@ import (
 	"sync"
 
 	"pressio/internal/core"
+	"pressio/internal/trace"
 )
+
+// manyWorkers resolves the worker count for a batch of n buffers under the
+// prototype's thread-safety contract.
+func manyWorkers(proto *core.Compressor, nthreads, n int) int {
+	workers := nthreads
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if proto.ThreadSafety() == core.ThreadSafetySingle {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// mergeWorkerMetrics collects each worker clone's metric results in worker
+// index order. Buffers are assigned to workers statically (worker w takes
+// buffers w, w+W, w+2W, ...), so both the per-worker measurements and this
+// merge are deterministic for a fixed worker count — scheduling cannot
+// reorder them. Later workers overwrite colliding keys, matching
+// Options.Merge semantics everywhere else in the framework.
+func mergeWorkerMetrics(workers []*core.Compressor) *core.Options {
+	merged := core.NewOptions()
+	for _, w := range workers {
+		if w != nil {
+			merged.Merge(w.MetricsResults())
+		}
+	}
+	return merged
+}
 
 // CompressMany is the "Many Independent" meta-compressor: it compresses
 // several buffers concurrently using clones of the prototype compressor
 // (embarrassingly parallel). It respects the prototype's declared thread
 // safety: "single" plugins are run serially.
 func CompressMany(proto *core.Compressor, bufs []*core.Data, nthreads int) ([]*core.Data, error) {
+	results, _, err := CompressManyWithMetrics(proto, bufs, nthreads)
+	return results, err
+}
+
+// CompressManyWithMetrics is CompressMany plus metric accounting: each
+// worker gets its own clone of the prototype's attached Metric (so no state
+// is shared across goroutines), and after the barrier the per-worker results
+// are merged in worker index order. Buffers are statically partitioned
+// across workers, which makes the merged Options deterministic for a fixed
+// worker count.
+func CompressManyWithMetrics(proto *core.Compressor, bufs []*core.Data, nthreads int) ([]*core.Data, *core.Options, error) {
 	if proto == nil {
-		return nil, fmt.Errorf("meta: %w: nil compressor", core.ErrNilData)
+		return nil, nil, fmt.Errorf("meta: %w: nil compressor", core.ErrNilData)
 	}
 	results := make([]*core.Data, len(bufs))
 	errs := make([]error, len(bufs))
-	workers := nthreads
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if proto.ThreadSafety() == core.ThreadSafetySingle {
-		workers = 1
-	}
-	if workers > len(bufs) {
-		workers = len(bufs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := manyWorkers(proto, nthreads, len(bufs))
+	clones := make([]*core.Compressor, workers)
+	parent := trace.Current()
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			worker := proto.Clone()
-			for i := range next {
+			clones[w] = worker
+			for i := w; i < len(bufs); i += workers {
+				sp := parent.StartChild("many.compress",
+					trace.Int("worker", int64(w)), trace.Int("buffer", int64(i)))
 				results[i], errs[i] = core.Compress(worker, bufs[i])
+				sp.End()
 			}
-		}()
+		}(w)
 	}
-	for i := range bufs {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return results, nil
+	return results, mergeWorkerMetrics(clones), nil
 }
 
 // DecompressMany is the inverse of CompressMany; hints supply the per-buffer
 // output dtype/dims the same way Decompress does.
 func DecompressMany(proto *core.Compressor, comps, hints []*core.Data, nthreads int) ([]*core.Data, error) {
+	results, _, err := DecompressManyWithMetrics(proto, comps, hints, nthreads)
+	return results, err
+}
+
+// DecompressManyWithMetrics mirrors CompressManyWithMetrics for the
+// decompression direction.
+func DecompressManyWithMetrics(proto *core.Compressor, comps, hints []*core.Data, nthreads int) ([]*core.Data, *core.Options, error) {
+	if proto == nil {
+		return nil, nil, fmt.Errorf("meta: %w: nil compressor", core.ErrNilData)
+	}
 	if len(comps) != len(hints) {
-		return nil, fmt.Errorf("meta: %w: %d streams, %d hints", core.ErrInvalidDims, len(comps), len(hints))
+		return nil, nil, fmt.Errorf("meta: %w: %d streams, %d hints", core.ErrInvalidDims, len(comps), len(hints))
 	}
 	results := make([]*core.Data, len(comps))
 	errs := make([]error, len(comps))
-	workers := nthreads
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if proto.ThreadSafety() == core.ThreadSafetySingle {
-		workers = 1
-	}
-	if workers > len(comps) {
-		workers = len(comps)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers := manyWorkers(proto, nthreads, len(comps))
+	clones := make([]*core.Compressor, workers)
+	parent := trace.Current()
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			worker := proto.Clone()
-			for i := range next {
+			clones[w] = worker
+			for i := w; i < len(comps); i += workers {
+				sp := parent.StartChild("many.decompress",
+					trace.Int("worker", int64(w)), trace.Int("buffer", int64(i)))
 				out := core.NewEmpty(hints[i].DType(), hints[i].Dims()...)
 				errs[i] = worker.Decompress(comps[i], out)
 				results[i] = out
+				sp.End()
 			}
-		}()
+		}(w)
 	}
-	for i := range comps {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return results, nil
+	return results, mergeWorkerMetrics(clones), nil
 }
 
 // Feedback maps the metric results of one buffer to option updates for the

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"pressio/internal/core"
+	"pressio/internal/trace"
 )
 
 // Version is the meta-compressor family version.
@@ -197,19 +198,26 @@ func (p *chunking) CompressImpl(in, out *core.Data) error {
 			workers = len(jobs)
 		}
 	}
+	// Chunk spans are parented under the enclosing compress_impl span (on
+	// the caller's goroutine) so traces show wrapper -> plugin -> chunk.
+	parent := trace.Current()
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			// Serialized children need one clone per worker; a fresh
 			// clone also isolates metrics state.
 			worker := comp.Clone()
 			for i := range next {
+				sp := parent.StartChild("chunking.chunk",
+					trace.Int("worker", int64(w)), trace.Int("chunk", int64(i)),
+					trace.Uint("rows", jobs[i].rows))
 				results[i], errs[i] = core.Compress(worker, jobs[i].chunk)
+				sp.End()
 			}
-		}()
+		}(w)
 	}
 	for i := range jobs {
 		next <- i
@@ -321,28 +329,35 @@ func (p *chunking) DecompressImpl(in, out *core.Data) error {
 	if !parallel {
 		workers = 1
 	}
+	parent := trace.Current()
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			worker := comp.Clone()
 			for i := range next {
 				s := spans[i]
+				sp := parent.StartChild("chunking.chunk",
+					trace.Int("worker", int64(w)), trace.Int("chunk", int64(i)),
+					trace.Uint("rows", s.rows))
 				chunkDims := append([]uint64{s.rows}, dims[1:]...)
 				dec, err := core.Decompress(worker, core.NewBytes(s.payload), dtype, chunkDims...)
 				if err != nil {
 					errs[i] = err
+					sp.End()
 					continue
 				}
 				if dec.ByteLen() != s.rows*rowBytes {
 					errs[i] = ErrCorrupt
+					sp.End()
 					continue
 				}
 				copy(result.Bytes()[s.dstOff:], dec.Bytes())
+				sp.End()
 			}
-		}()
+		}(w)
 	}
 	for i := range spans {
 		next <- i

@@ -181,6 +181,8 @@ func FormatNPY(d *core.Data) ([]byte, error) {
 }
 
 func (n *npy) Read(hint *core.Data) (*core.Data, error) {
+	sp := ioSpan("read", "npy", n.path)
+	defer sp.End()
 	b, err := os.ReadFile(n.path)
 	if err != nil {
 		return nil, err
@@ -189,6 +191,8 @@ func (n *npy) Read(hint *core.Data) (*core.Data, error) {
 }
 
 func (n *npy) Write(d *core.Data) error {
+	sp := ioSpan("write", "npy", n.path)
+	defer sp.End()
 	b, err := FormatNPY(d)
 	if err != nil {
 		return err

@@ -14,10 +14,20 @@ import (
 	"strings"
 
 	"pressio/internal/core"
+	"pressio/internal/trace"
 )
 
 // ErrFormat reports an unreadable file format.
 var ErrFormat = errors.New("pio: bad format")
+
+// ioSpan opens a span for one IO operation ("pio.read"/"pio.write") tagged
+// with the plugin and path; nil (free) when tracing is disabled.
+func ioSpan(op, plugin, path string) *trace.Span {
+	if !trace.Enabled() {
+		return nil
+	}
+	return trace.Start("pio."+op, trace.Str("io", plugin), trace.Str("path", path))
+}
 
 func init() {
 	core.RegisterIO("posix", func() core.IOPlugin { return &posix{} })
@@ -58,6 +68,8 @@ func (p *posix) Configuration() *core.Options {
 }
 
 func (p *posix) Read(hint *core.Data) (*core.Data, error) {
+	sp := ioSpan("read", "posix", p.path)
+	defer sp.End()
 	b, err := os.ReadFile(p.path)
 	if err != nil {
 		return nil, err
@@ -73,6 +85,8 @@ func (p *posix) Read(hint *core.Data) (*core.Data, error) {
 }
 
 func (p *posix) Write(d *core.Data) error {
+	sp := ioSpan("write", "posix", p.path)
+	defer sp.End()
 	return os.WriteFile(p.path, d.Bytes(), 0o644)
 }
 
@@ -100,6 +114,8 @@ func (c *csvIO) Configuration() *core.Options {
 }
 
 func (c *csvIO) Read(hint *core.Data) (*core.Data, error) {
+	sp := ioSpan("read", "csv", c.path)
+	defer sp.End()
 	f, err := os.Open(c.path)
 	if err != nil {
 		return nil, err
@@ -148,6 +164,8 @@ func (c *csvIO) Write(d *core.Data) error {
 	if !d.DType().Numeric() {
 		return fmt.Errorf("%w: cannot write %s as csv", core.ErrInvalidDType, d.DType())
 	}
+	sp := ioSpan("write", "csv", c.path)
+	defer sp.End()
 	f, err := os.Create(c.path)
 	if err != nil {
 		return err

@@ -20,6 +20,7 @@ import (
 	"pressio/internal/core"
 	"pressio/internal/huffman"
 	"pressio/internal/lossless"
+	"pressio/internal/trace"
 )
 
 // Version is the compressor version reported through the plugin interface.
@@ -181,6 +182,9 @@ func CompressSlice[T Float](vals []T, dims []uint64, p Params) ([]byte, error) {
 	recon := make([]T, n)
 	var outliers []T
 
+	// Stage spans expose where time goes inside the codec: the Lorenzo
+	// prediction + linear quantization sweep vs the entropy/lossless encode.
+	spPredict := trace.Start("sz.predict_quantize")
 	slice := nx * ny * nz
 	for o := 0; o < outer; o++ {
 		v := vals[o*slice : (o+1)*slice]
@@ -212,8 +216,12 @@ func CompressSlice[T Float](vals []T, dims []uint64, p Params) ([]byte, error) {
 		}
 	}
 
+	spPredict.End()
+
+	spEncode := trace.Start("sz.encode")
 	huff, err := huffman.Encode(codes, uint32(2*radius))
 	if err != nil {
+		spEncode.End()
 		return nil, err
 	}
 	outlierBytes := floatBytes(outliers)
@@ -234,6 +242,7 @@ func CompressSlice[T Float](vals []T, dims []uint64, p Params) ([]byte, error) {
 	body = append(body, huff...)
 	body = append(body, outlierBytes...)
 	packed, err := lossless.Deflate(body, p.LosslessLevel)
+	spEncode.End()
 	if err != nil {
 		return nil, err
 	}
@@ -312,18 +321,23 @@ func DecompressSlice[T Float](stream []byte) ([]T, []uint64, error) {
 		return nil, nil, ErrCorrupt
 	}
 	pos += sz
+	spDecode := trace.Start("sz.decode")
 	body, err := lossless.Inflate(stream[pos:])
 	if err != nil {
+		spDecode.End()
 		return nil, nil, err
 	}
 	if huffLen > uint64(len(body)) {
+		spDecode.End()
 		return nil, nil, ErrCorrupt
 	}
 	codes, _, err := huffman.Decode(body[:huffLen])
 	if err != nil {
+		spDecode.End()
 		return nil, nil, err
 	}
 	outliers, err := floatsFrom[T](body[huffLen:], nOut)
+	spDecode.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -338,6 +352,8 @@ func DecompressSlice[T Float](stream []byte) ([]T, []uint64, error) {
 	radius := int64(radius64)
 	twoEb := 2 * h.Bound
 	recon := make([]T, n)
+	spRecon := trace.Start("sz.reconstruct")
+	defer spRecon.End()
 	oi := 0
 	slice := nx * ny * nz
 	for o := 0; o < outer; o++ {

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleSpans() []SpanRecord {
+	return []SpanRecord{
+		{ID: 1, Parent: 0, Name: "pressio.compress", Goroutine: 1,
+			Start: 0, Duration: 100 * time.Microsecond,
+			Attrs: []Attr{Str("plugin", "chunking")}},
+		{ID: 2, Parent: 1, Name: "chunking.compress_impl", Goroutine: 1,
+			Start: 5 * time.Microsecond, Duration: 90 * time.Microsecond},
+		{ID: 3, Parent: 2, Name: "chunking.chunk", Goroutine: 7,
+			Start: 10 * time.Microsecond, Duration: 40 * time.Microsecond,
+			Attrs: []Attr{Int("worker", 0), Int("chunk", 0)}},
+	}
+}
+
+func TestChromeTraceSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("want 3 events, got %d", len(doc.TraceEvents))
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev["ph"] != "X" {
+			t.Fatalf("phase %v", ev["ph"])
+		}
+		if _, ok := ev["name"].(string); !ok {
+			t.Fatalf("missing name: %v", ev)
+		}
+		if _, ok := ev["ts"].(float64); !ok {
+			t.Fatalf("missing ts: %v", ev)
+		}
+		if _, ok := ev["dur"].(float64); !ok {
+			t.Fatalf("missing dur: %v", ev)
+		}
+	}
+}
+
+func TestChromeTracePreservesNesting(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]chromeEvent{}
+	for _, ev := range doc.TraceEvents {
+		byName[ev.Name] = ev
+	}
+	wrapper := byName["pressio.compress"]
+	impl := byName["chunking.compress_impl"]
+	chunk := byName["chunking.chunk"]
+	if impl.Args["parent_id"] != wrapper.Args["span_id"] {
+		t.Fatal("impl span not nested under wrapper")
+	}
+	if chunk.Args["parent_id"] != impl.Args["span_id"] {
+		t.Fatal("chunk span not nested under impl")
+	}
+	if wrapper.Args["plugin"] != "chunking" {
+		t.Fatalf("attr lost: %v", wrapper.Args)
+	}
+	if chunk.Tid != 7 {
+		t.Fatalf("goroutine track lost: %d", chunk.Tid)
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTree(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "pressio.compress") {
+		t.Fatalf("root first:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[1], "  ") || !strings.HasPrefix(lines[2], "    ") {
+		t.Fatalf("indentation lost:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "worker=0") {
+		t.Fatalf("attrs lost:\n%s", out)
+	}
+}
+
+func TestWriteTreeOrphanBecomesRoot(t *testing.T) {
+	spans := []SpanRecord{
+		{ID: 9, Parent: 12345, Name: "orphan", Duration: time.Microsecond},
+	}
+	var buf bytes.Buffer
+	if err := WriteTree(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "orphan") {
+		t.Fatal("orphan span vanished")
+	}
+}
+
+func TestRollupByName(t *testing.T) {
+	spans := []SpanRecord{
+		{ID: 1, Name: "a", Duration: 10 * time.Millisecond},
+		{ID: 2, Name: "a", Duration: 30 * time.Millisecond},
+		{ID: 3, Name: "b", Duration: 5 * time.Millisecond},
+	}
+	r := RollupByName(spans)
+	if r["a"].Count != 2 || r["a"].Total != 40*time.Millisecond {
+		t.Fatalf("rollup a = %+v", r["a"])
+	}
+	if r["a"].Min != 10*time.Millisecond || r["a"].Max != 30*time.Millisecond {
+		t.Fatalf("rollup a bounds = %+v", r["a"])
+	}
+	if r["a"].Mean() != 20*time.Millisecond {
+		t.Fatalf("rollup a mean = %s", r["a"].Mean())
+	}
+	if r["b"].Count != 1 {
+		t.Fatalf("rollup b = %+v", r["b"])
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	ResetTelemetry()
+	defer ResetTelemetry()
+	CounterAdd("summary.ctr", 7)
+	ObserveDuration("summary.lat", 3*time.Millisecond)
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, sampleSpans()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"pressio.compress", "summary.ctr", "summary.lat"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteChromeTraceFile(t *testing.T) {
+	Reset()
+	Enable()
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	Start("file.span").End()
+	path := t.TempDir() + "/out.json"
+	if err := WriteChromeTraceFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeFile
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 1 || doc.TraceEvents[0].Name != "file.span" {
+		t.Fatalf("file contents: %+v", doc.TraceEvents)
+	}
+}

@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The telemetry registry is the always-available half of the observability
+// layer: process-wide named counters and latency histograms. Unlike span
+// collection it has no global on/off switch — an atomic add on a registered
+// counter is cheap enough for cold and warm paths alike — but the framework
+// only drives the per-call compress/decompress instruments while tracing is
+// enabled, preserving the zero-cost-when-off contract on the hottest path.
+
+// Well-known registry keys. Components may mint their own names freely;
+// these are the ones the framework itself maintains.
+const (
+	// CtrCompressCalls counts Compressor.Compress invocations (traced runs).
+	CtrCompressCalls = "compress.calls"
+	// CtrCompressBytesIn accumulates uncompressed input bytes.
+	CtrCompressBytesIn = "compress.bytes_in"
+	// CtrCompressBytesOut accumulates compressed output bytes.
+	CtrCompressBytesOut = "compress.bytes_out"
+	// CtrDecompressCalls counts Compressor.Decompress invocations.
+	CtrDecompressCalls = "decompress.calls"
+	// CtrDecompressBytesIn accumulates compressed input bytes.
+	CtrDecompressBytesIn = "decompress.bytes_in"
+	// CtrDecompressBytesOut accumulates decompressed output bytes.
+	CtrDecompressBytesOut = "decompress.bytes_out"
+	// CtrThreadSafetyMalformed counts malformed "pressio:thread_safe"
+	// configuration strings that were silently coerced to "single".
+	CtrThreadSafetyMalformed = "core.thread_safety.malformed"
+	// CtrSpansDropped counts spans discarded because the buffer was full.
+	CtrSpansDropped = "trace.spans_dropped"
+	// HistCompress is the per-call plugin compress latency histogram.
+	HistCompress = "compress.latency"
+	// HistDecompress is the per-call plugin decompress latency histogram.
+	HistDecompress = "decompress.latency"
+)
+
+// PluginErrorKey names the per-plugin error counter ("plugin.sz.errors").
+func PluginErrorKey(prefix string) string { return "plugin." + prefix + ".errors" }
+
+// Counter is a monotonically adjustable int64 telemetry cell.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add adjusts the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// histBuckets is the number of power-of-two latency buckets: bucket i holds
+// observations with nanoseconds in [2^(i-1), 2^i) (bucket 0 holds 0ns).
+const histBuckets = 40
+
+// Histogram is a fixed-bucket exponential latency histogram, safe for
+// concurrent observation.
+type Histogram struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	maxNs   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for {
+		old := h.maxNs.Load()
+		if ns <= old || h.maxNs.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+}
+
+// HistogramSnapshot is an immutable copy of a histogram's state.
+type HistogramSnapshot struct {
+	// Count is the number of observations.
+	Count int64
+	// Sum is the total of all observed durations.
+	Sum time.Duration
+	// Max is the largest observed duration.
+	Max time.Duration
+	// Buckets[i] counts observations with nanoseconds in [2^(i-1), 2^i).
+	Buckets [histBuckets]int64
+}
+
+// Mean returns the average observed duration (0 when empty).
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(int64(s.Sum) / s.Count)
+}
+
+// Quantile returns an upper bound for the p-quantile (0 < p <= 1) derived
+// from the bucket boundaries — coarse (factor-of-two) but monotone.
+func (s HistogramSnapshot) Quantile(p float64) time.Duration {
+	if s.Count == 0 || p <= 0 {
+		return 0
+	}
+	target := int64(p * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i, n := range s.Buckets {
+		seen += n
+		if seen >= target {
+			return time.Duration(int64(1) << uint(i))
+		}
+	}
+	return s.Max
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sumNs.Load())
+	s.Max = time.Duration(h.maxNs.Load())
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+var (
+	regMu      sync.RWMutex
+	counters   = map[string]*Counter{}
+	histograms = map[string]*Histogram{}
+)
+
+// GetCounter returns the named counter, creating it on first use. The
+// returned pointer is stable for the process lifetime, so hot paths can
+// resolve once and Add repeatedly.
+func GetCounter(name string) *Counter {
+	regMu.RLock()
+	c := counters[name]
+	regMu.RUnlock()
+	if c != nil {
+		return c
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if c = counters[name]; c == nil {
+		c = &Counter{}
+		counters[name] = c
+	}
+	return c
+}
+
+// CounterAdd adjusts the named counter by n, creating it on first use.
+func CounterAdd(name string, n int64) { GetCounter(name).Add(n) }
+
+// CounterValue returns the named counter's value (0 when never touched).
+func CounterValue(name string) int64 {
+	regMu.RLock()
+	c := counters[name]
+	regMu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	return c.Value()
+}
+
+// GetHistogram returns the named histogram, creating it on first use.
+func GetHistogram(name string) *Histogram {
+	regMu.RLock()
+	h := histograms[name]
+	regMu.RUnlock()
+	if h != nil {
+		return h
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if h = histograms[name]; h == nil {
+		h = &Histogram{}
+		histograms[name] = h
+	}
+	return h
+}
+
+// ObserveDuration records d into the named histogram.
+func ObserveDuration(name string, d time.Duration) { GetHistogram(name).Observe(d) }
+
+// Counters returns a sorted-key snapshot of every registered counter.
+func Counters() map[string]int64 {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make(map[string]int64, len(counters))
+	for k, c := range counters {
+		out[k] = c.Value()
+	}
+	return out
+}
+
+// Histograms returns a snapshot of every registered histogram.
+func Histograms() map[string]HistogramSnapshot {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make(map[string]HistogramSnapshot, len(histograms))
+	for k, h := range histograms {
+		out[k] = h.snapshot()
+	}
+	return out
+}
+
+// CounterNames returns the registered counter names, sorted.
+func CounterNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(counters))
+	for k := range counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ResetTelemetry clears all counters and histograms (for tests and between
+// benchmark phases). Existing Counter/Histogram pointers remain usable but
+// are detached from the registry.
+func ResetTelemetry() {
+	regMu.Lock()
+	defer regMu.Unlock()
+	counters = map[string]*Counter{}
+	histograms = map[string]*Histogram{}
+}

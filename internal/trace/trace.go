@@ -1,0 +1,259 @@
+// Package trace is the observability layer of the framework: span-based
+// tracing plus a process-wide telemetry registry of counters and latency
+// histograms, built only on the standard library.
+//
+// The design goal is the same property the paper claims for the compression
+// abstraction itself — effectively zero overhead when unused. Tracing is off
+// by default; every instrumentation site in the hot paths is guarded by a
+// single atomic load (Enabled), so the disabled cost on a Compress dispatch
+// is one predictable branch (benchmarked in trace_test.go and the top-level
+// bench_test.go).
+//
+// Spans nest automatically within a goroutine: Start parents the new span
+// under the goroutine's innermost open span. Crossing a goroutine boundary
+// (e.g. the chunking meta-compressor handing chunks to workers) is explicit:
+// capture the parent with Current and call parent.StartChild from the
+// worker. All Span methods are nil-receiver safe, so call sites do not need
+// to re-check Enabled between Start and End.
+//
+// Completed spans accumulate in a bounded in-memory buffer; Snapshot copies
+// them out and the exporters in export.go render them as a Chrome
+// trace_event file (chrome://tracing, Perfetto) or a human-readable tree.
+package trace
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is a key/value annotation attached to a span (worker ids, plugin
+// names, byte counts). Values are stringified eagerly only when tracing is
+// enabled — constructors are cheap plain structs.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Str builds a string-valued attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer-valued attribute.
+func Int(key string, value int64) Attr { return Attr{Key: key, Value: value} }
+
+// Uint builds an unsigned-integer-valued attribute.
+func Uint(key string, value uint64) Attr { return Attr{Key: key, Value: value} }
+
+// Span is one timed region of the pipeline. A zero-duration of its methods
+// on a nil receiver makes disabled tracing transparent at call sites.
+type Span struct {
+	id        uint64
+	parent    uint64
+	name      string
+	attrs     []Attr
+	goroutine uint64
+	begin     time.Time
+	ended     atomic.Bool
+}
+
+// SpanRecord is the immutable form of a completed span, as returned by
+// Snapshot and consumed by the exporters.
+type SpanRecord struct {
+	// ID uniquely identifies the span within the process.
+	ID uint64
+	// Parent is the enclosing span's ID, or 0 for a root span.
+	Parent uint64
+	// Name is the region name, conventionally "<component>.<operation>".
+	Name string
+	// Attrs are the annotations supplied at Start.
+	Attrs []Attr
+	// Goroutine is the id of the goroutine the span ran on.
+	Goroutine uint64
+	// Start is the offset from the trace epoch (process start or last
+	// Reset).
+	Start time.Duration
+	// Duration is the span's wall-clock extent.
+	Duration time.Duration
+}
+
+// maxSpans bounds the completed-span buffer; beyond it spans are counted as
+// dropped (see the "trace.spans_dropped" counter) rather than retained.
+const maxSpans = 1 << 20
+
+var (
+	enabled atomic.Bool
+	nextID  atomic.Uint64
+
+	mu     sync.Mutex
+	epoch  = time.Now()
+	spans  []SpanRecord
+	stacks = map[uint64][]*Span{}
+)
+
+// Enabled reports whether span collection is on. This is the single check
+// every instrumentation site performs; it compiles to one atomic load.
+func Enabled() bool { return enabled.Load() }
+
+// Enable turns span collection on.
+func Enable() { enabled.Store(true) }
+
+// Disable turns span collection off. Spans already open still record when
+// ended; new Start calls return nil.
+func Disable() { enabled.Store(false) }
+
+// SetEnabled sets the collection state explicitly.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// goroutineID extracts the numeric id from the runtime's one-line stack
+// header ("goroutine 123 [running]:"). It costs on the order of a
+// microsecond and only runs while tracing is enabled.
+func goroutineID() uint64 {
+	var buf [40]byte
+	n := runtime.Stack(buf[:], false)
+	// Skip "goroutine " (10 bytes) and parse digits.
+	var id uint64
+	for _, c := range buf[10:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// Start opens a span named name, parented under the current goroutine's
+// innermost open span (if any). It returns nil when tracing is disabled.
+func Start(name string, attrs ...Attr) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	return start(name, attrs, 0, false)
+}
+
+// Current returns the current goroutine's innermost open span, or nil.
+// Use it to capture a parent before handing work to other goroutines.
+func Current() *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	gid := goroutineID()
+	mu.Lock()
+	defer mu.Unlock()
+	st := stacks[gid]
+	if len(st) == 0 {
+		return nil
+	}
+	return st[len(st)-1]
+}
+
+// StartChild opens a span explicitly parented under s, on the calling
+// goroutine (which may differ from s's). A nil receiver starts a root span,
+// so workers can call parent.StartChild unconditionally.
+func (s *Span) StartChild(name string, attrs ...Attr) *Span {
+	if !enabled.Load() {
+		return nil
+	}
+	var parent uint64
+	if s != nil {
+		parent = s.id
+	}
+	return start(name, attrs, parent, true)
+}
+
+func start(name string, attrs []Attr, parent uint64, explicitParent bool) *Span {
+	gid := goroutineID()
+	sp := &Span{
+		id:        nextID.Add(1),
+		parent:    parent,
+		name:      name,
+		attrs:     attrs,
+		goroutine: gid,
+		begin:     time.Now(),
+	}
+	mu.Lock()
+	st := stacks[gid]
+	if !explicitParent && len(st) > 0 {
+		sp.parent = st[len(st)-1].id
+	}
+	stacks[gid] = append(st, sp)
+	mu.Unlock()
+	return sp
+}
+
+// End closes the span, recording it into the completed-span buffer. It is
+// nil-safe and idempotent.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	end := time.Now()
+	rec := SpanRecord{
+		ID:        s.id,
+		Parent:    s.parent,
+		Name:      s.name,
+		Attrs:     s.attrs,
+		Goroutine: s.goroutine,
+		Duration:  end.Sub(s.begin),
+	}
+	mu.Lock()
+	rec.Start = s.begin.Sub(epoch)
+	// Pop the span from its goroutine's stack. It is normally at the top;
+	// out-of-order ends (overlapping manual spans) splice it out wherever
+	// it sits so the stack cannot leak.
+	st := stacks[s.goroutine]
+	for i := len(st) - 1; i >= 0; i-- {
+		if st[i] == s {
+			st = append(st[:i], st[i+1:]...)
+			break
+		}
+	}
+	if len(st) == 0 {
+		delete(stacks, s.goroutine)
+	} else {
+		stacks[s.goroutine] = st
+	}
+	if len(spans) < maxSpans {
+		spans = append(spans, rec)
+		mu.Unlock()
+		return
+	}
+	mu.Unlock()
+	CounterAdd(CtrSpansDropped, 1)
+}
+
+// Name returns the span's name (empty for nil), mainly for tests and
+// instrumentation that labels child work after its parent.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Snapshot returns a copy of all completed spans since the last Reset,
+// ordered by completion time.
+func Snapshot() []SpanRecord {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]SpanRecord, len(spans))
+	copy(out, spans)
+	return out
+}
+
+// Len reports the number of completed spans currently buffered.
+func Len() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return len(spans)
+}
+
+// Reset discards all completed spans and open-span bookkeeping and restarts
+// the trace epoch. Telemetry counters are unaffected (see ResetTelemetry).
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	spans = nil
+	stacks = map[uint64][]*Span{}
+	epoch = time.Now()
+}

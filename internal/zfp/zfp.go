@@ -8,6 +8,7 @@ import (
 
 	"pressio/internal/bitstream"
 	"pressio/internal/core"
+	"pressio/internal/trace"
 )
 
 // Version is the compressor version reported through the plugin interface.
@@ -207,6 +208,9 @@ func CompressSlice[T Float](vals []T, dims []uint64, p Params) ([]byte, error) {
 	iblock := make([]int64, blockSize)
 	ublock := make([]uint64, blockSize)
 
+	// The gather/transform/encode sweep is zfp's entire hot loop; one stage
+	// span suffices to attribute codec time in a pipeline trace.
+	sp := trace.Start("zfp.encode_blocks")
 	bx := (sx + 3) / 4
 	by := (sy + 3) / 4
 	bz := (sz + 3) / 4
@@ -222,6 +226,7 @@ func CompressSlice[T Float](vals []T, dims []uint64, p Params) ([]byte, error) {
 			}
 		}
 	}
+	sp.End()
 	return append(hdr, w.Bytes()...), nil
 }
 
@@ -489,6 +494,7 @@ func DecompressSlice[T Float](stream []byte) ([]T, []uint64, error) {
 	fblock := make([]float64, blockSize)
 	iblock := make([]int64, blockSize)
 	ublock := make([]uint64, blockSize)
+	sp := trace.Start("zfp.decode_blocks")
 	bx := (sx + 3) / 4
 	by := (sy + 3) / 4
 	bz := (sz + 3) / 4
@@ -504,5 +510,6 @@ func DecompressSlice[T Float](stream []byte) ([]T, []uint64, error) {
 			}
 		}
 	}
+	sp.End()
 	return out, h.Dims, nil
 }

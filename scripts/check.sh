@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tier-2 quality gate: build + vet the whole module, race-test the
+# concurrency-sensitive packages (the tracing layer, the parallel
+# meta-compressors, and the core wrapper), and run the disabled-tracing
+# overhead benchmark that guards the "near-zero cost when off" promise.
+#
+# Usage: scripts/check.sh   (or: make check)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race (trace, meta, core)"
+go test -race ./internal/trace/... ./internal/meta/... ./internal/core/...
+
+echo "==> disabled-tracing overhead benchmark"
+go test -run '^$' -bench 'BenchmarkStartDisabled' -benchtime 100ms ./internal/trace/
+go test -run '^$' -bench 'BenchmarkDispatchDirectImpl|BenchmarkDispatchWrappedUntraced' -benchtime 100ms .
+
+echo "==> check OK"
