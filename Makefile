@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench
+.PHONY: build test lint check bench
 
 build:
 	$(GO) build ./...
@@ -8,8 +8,15 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-2 gate: vet + race tests on the concurrency-sensitive packages +
-# the disabled-tracing overhead benchmark. See scripts/check.sh.
+# Static analysis: pressiolint enforces the plugin invariants (option-key
+# constants, init-time registration, thread-safety honesty, handled errors,
+# deterministic codecs). See docs/STATIC_ANALYSIS.md.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/pressiolint ./...
+
+# Tier-2 gate: vet + pressiolint + race tests on the concurrency-sensitive
+# packages + the disabled-tracing overhead benchmark. See scripts/check.sh.
 check:
 	sh scripts/check.sh
 

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"pressio/internal/analysis"
+)
+
+// TestMainCleanPackage runs the CLI in-process over this package, which must
+// be lint-clean, and expects exit code 0 with no output.
+func TestMainCleanPackage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := analysis.Main([]string{"."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("clean run printed diagnostics:\n%s", stdout.String())
+	}
+}
+
+// TestMainJSONFindings runs the CLI over a deliberately broken fixture tree
+// and checks the exit code, the JSON shape, and the diagnostic fields.
+func TestMainJSONFindings(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := analysis.Main(
+		[]string{"-json", "-run", "forbidden", "../../internal/analysis/testdata/src/forbidden_bad/..."},
+		&stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, stderr.String())
+	}
+	var report struct {
+		Diagnostics []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"diagnostics"`
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, stdout.String())
+	}
+	if report.Count == 0 || report.Count != len(report.Diagnostics) {
+		t.Fatalf("count = %d with %d diagnostics", report.Count, len(report.Diagnostics))
+	}
+	for _, d := range report.Diagnostics {
+		if d.Analyzer != "forbidden" {
+			t.Errorf("-run forbidden returned a %q diagnostic", d.Analyzer)
+		}
+		if d.File == "" || d.Line == 0 || d.Col == 0 || d.Message == "" {
+			t.Errorf("diagnostic missing fields: %+v", d)
+		}
+		if !strings.HasSuffix(d.File, ".go") {
+			t.Errorf("diagnostic file %q is not a Go file path", d.File)
+		}
+	}
+}
+
+// TestMainUsageErrors checks the conditions that must exit 2: unknown
+// analyzers, unknown flags and unresolvable package patterns.
+func TestMainUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-run", "nosuch", "."},
+		{"-definitely-not-a-flag"},
+		{"./does/not/exist"},
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if code := analysis.Main(args, &stdout, &stderr); code != 2 {
+			t.Errorf("Main(%v) = %d, want 2", args, code)
+		}
+	}
+}
+
+// TestMainAnalyzerList checks -analyzers prints one line per analyzer.
+func TestMainAnalyzerList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := analysis.Main([]string{"-analyzers"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"optionkeys", "registration", "threadsafe", "errcheck", "forbidden"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-analyzers output missing %q:\n%s", name, stdout.String())
+		}
+	}
+}

@@ -1,0 +1,353 @@
+// Package analysis implements pressiolint, the project's static-analysis
+// suite. It is a from-scratch analyzer driver built only on the standard
+// library (go/parser, go/ast, go/types — no golang.org/x/tools) that loads
+// every package in the module and enforces the plugin invariants the
+// LibPressio architecture relies on: declared option-key constants, init-time
+// plugin registration, honest pressio:thread_safe declarations, handled
+// errors on the compression hot path, and deterministic, embeddable codec
+// packages. See docs/STATIC_ANALYSIS.md.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Diagnostic is one finding, addressable by file position. File is relative
+// to the base directory passed to Run (the module root for CLI runs).
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the diagnostic in the canonical
+// "file:line:col [analyzer] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check run over every analyzed package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:ignore
+	// suppressions.
+	Name string
+	// Doc is a one-line description shown by pressiolint -analyzers.
+	Doc string
+	// Run reports findings for pass.Pkg through pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{OptionKeys, Registration, ThreadSafe, ErrCheck, Forbidden}
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	// Facts holds module-wide information gathered before analyzers run
+	// (currently the registered plugin names).
+	Facts *Facts
+
+	base  string
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		File:     relTo(p.base, position.Filename),
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func relTo(base, filename string) string {
+	if base == "" {
+		return filepath.ToSlash(filename)
+	}
+	rel, err := filepath.Rel(base, filename)
+	if err != nil {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
+}
+
+// Plugin registration kinds, matching the core.Register* entry points.
+const (
+	kindCompressor = "compressor"
+	kindMetric     = "metric"
+	kindIO         = "io"
+)
+
+// registerFuncs maps the registration entry-point names to the plugin kind
+// they register. Matching is by callee name so fixture packages can model
+// registration without importing internal/core.
+var registerFuncs = map[string]string{
+	"RegisterCompressor": kindCompressor,
+	"RegisterMetric":     kindMetric,
+	"RegisterIO":         kindIO,
+}
+
+// RegSite is one Register* call observed anywhere in the analyzed set.
+type RegSite struct {
+	// Kind is "compressor", "metric" or "io".
+	Kind string
+	// Name is the registered plugin name when it is a string literal, ""
+	// when computed dynamically.
+	Name string
+	// PkgPath is the import path of the registering package.
+	PkgPath string
+	// Pos locates the call.
+	Pos token.Pos
+	// Func is the enclosing top-level function name ("init" for conforming
+	// registrations, "" for registrations in var initializers).
+	Func string
+	// FactoryType is the plugin implementation type name when the factory
+	// argument is a func literal returning &T{...}; "" when unresolvable.
+	FactoryType string
+}
+
+// Facts is the module-wide context shared by all analyzers.
+type Facts struct {
+	// Sites lists every Register* call seen across the analyzed packages.
+	Sites []RegSite
+	// Registered is the set of plugin names registered with a literal name,
+	// across all kinds. The optionkeys analyzer treats these as the known
+	// option-key prefixes.
+	Registered map[string]bool
+}
+
+// gatherFacts scans every package for plugin registrations before the
+// analyzers run, so per-package passes can consult module-wide state.
+func gatherFacts(pkgs []*Package) *Facts {
+	facts := &Facts{Registered: make(map[string]bool)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fn, enclosing := "", ""
+				var body ast.Node = decl
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					fn = fd.Name.Name
+					if fd.Recv == nil {
+						enclosing = fn
+					} else {
+						enclosing = "method " + fn
+					}
+					if fd.Body == nil {
+						continue
+					}
+					body = fd.Body
+				}
+				ast.Inspect(body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					kind, ok := registerFuncs[calleeName(call)]
+					if !ok {
+						return true
+					}
+					site := RegSite{
+						Kind:    kind,
+						PkgPath: pkg.Path,
+						Pos:     call.Pos(),
+						Func:    enclosing,
+					}
+					if len(call.Args) > 0 {
+						if v, ok := stringLit(call.Args[0]); ok {
+							site.Name = v
+							facts.Registered[v] = true
+						}
+					}
+					if len(call.Args) > 1 {
+						site.FactoryType = factoryTypeName(call.Args[1])
+					}
+					facts.Sites = append(facts.Sites, site)
+					return true
+				})
+			}
+		}
+	}
+	return facts
+}
+
+// calleeName extracts the bare called name from pkg.F(...), recv.F(...) or
+// F(...) call forms.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// stringLit unquotes e when it is a string literal.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	v, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return v, true
+}
+
+// factoryTypeName resolves the implementation type of a registration factory
+// written as func() T { return &impl{...} } (the dominant idiom); "" when the
+// factory delegates to a constructor or closure the analyzer cannot see
+// through.
+func factoryTypeName(e ast.Expr) string {
+	fl, ok := e.(*ast.FuncLit)
+	if !ok || fl.Body == nil || len(fl.Body.List) != 1 {
+		return ""
+	}
+	ret, ok := fl.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return ""
+	}
+	expr := ret.Results[0]
+	if un, ok := expr.(*ast.UnaryExpr); ok && un.Op == token.AND {
+		expr = un.X
+	}
+	cl, ok := expr.(*ast.CompositeLit)
+	if !ok {
+		return ""
+	}
+	if id, ok := cl.Type.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// Run executes the given analyzers over the packages, applies //lint:ignore
+// suppressions, and returns the surviving diagnostics sorted by position.
+// base is the directory diagnostics are relativized against.
+func Run(pkgs []*Package, analyzers []*Analyzer, base string) []Diagnostic {
+	facts := gatherFacts(pkgs)
+	var diags []Diagnostic
+	var sups []suppression
+	for _, pkg := range pkgs {
+		s, malformed := collectSuppressions(pkg, base)
+		sups = append(sups, s...)
+		diags = append(diags, malformed...)
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Facts: facts, base: base, diags: &diags})
+		}
+	}
+	diags = filterSuppressed(diags, sups)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	analyzer string // analyzer name or "all"
+	file     string // relative to the run base, like Diagnostic.File
+	line     int
+}
+
+// collectSuppressions parses //lint:ignore <analyzer> <reason> comments. A
+// suppression silences matching diagnostics on its own line or on the line
+// directly below (comment-above-statement style). Ignore directives missing
+// the analyzer or the reason are themselves reported under the "lint"
+// pseudo-analyzer so suppressions stay auditable.
+func collectSuppressions(pkg *Package, base string) ([]suppression, []Diagnostic) {
+	var sups []suppression
+	var malformed []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "lint:ignore")
+				if !ok {
+					continue
+				}
+				position := pkg.Fset.Position(c.Pos())
+				file := relTo(base, position.Filename)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					malformed = append(malformed, Diagnostic{
+						File:     file,
+						Line:     position.Line,
+						Col:      position.Column,
+						Analyzer: "lint",
+						Message:  `malformed ignore directive: want "//lint:ignore <analyzer> <reason>"`,
+					})
+					continue
+				}
+				sups = append(sups, suppression{
+					analyzer: fields[0],
+					file:     file,
+					line:     position.Line,
+				})
+			}
+		}
+	}
+	return sups, malformed
+}
+
+// filterSuppressed drops diagnostics covered by a suppression.
+func filterSuppressed(diags []Diagnostic, sups []suppression) []Diagnostic {
+	if len(sups) == 0 {
+		return diags
+	}
+	type key struct {
+		file string
+		line int
+	}
+	index := make(map[key][]string)
+	for _, s := range sups {
+		index[key{s.file, s.line}] = append(index[key{s.file, s.line}], s.analyzer)
+	}
+	matches := func(d Diagnostic, line int) bool {
+		for _, name := range index[key{d.File, line}] {
+			if name == d.Analyzer || name == "all" {
+				return true
+			}
+		}
+		return false
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != "lint" && (matches(d, d.Line) || matches(d, d.Line-1)) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "internal/sz/plugin.go", Line: 12, Col: 3, Analyzer: "errcheck", Message: "boom"}
+	want := "internal/sz/plugin.go:12:3 [errcheck] boom"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestAnalyzersStable(t *testing.T) {
+	want := []string{"optionkeys", "registration", "threadsafe", "errcheck", "forbidden"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+}
+
+// TestExpandSkipsTestdata checks that wildcard expansion prunes testdata (so
+// module-wide CLI runs never load the deliberately broken fixtures) while the
+// fixtures stay addressable when the pattern points inside testdata.
+func TestExpandSkipsTestdata(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := loader.Expand(root, []string{"./internal/analysis/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dir := range dirs {
+		if strings.Contains(filepath.ToSlash(dir), "/testdata/") {
+			t.Errorf("wildcard expansion included fixture directory %s", dir)
+		}
+	}
+
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", "errcheck_bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := loader.Expand(root, []string{abs})
+	if err != nil {
+		t.Fatalf("explicit fixture pattern: %v", err)
+	}
+	if len(explicit) != 1 {
+		t.Errorf("explicit fixture pattern matched %d dirs, want 1", len(explicit))
+	}
+}
+
+// TestGatherFacts loads a fixture and checks the module-wide facts pass picks
+// up literal registration names — the optionkeys analyzer's prefix source.
+func TestGatherFacts(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("internal", "analysis", "testdata", "src", "optionkeys_bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := gatherFacts([]*Package{pkg})
+	if !facts.Registered["demo"] {
+		t.Errorf("facts missed the literal registration of %q; got %v", "demo", facts.Registered)
+	}
+	if len(facts.Sites) != 1 {
+		t.Fatalf("got %d registration sites, want 1", len(facts.Sites))
+	}
+	site := facts.Sites[0]
+	if site.Kind != kindCompressor || site.Func != "init" || site.FactoryType != "plugin" {
+		t.Errorf("site = %+v, want compressor registered from init with factory type plugin", site)
+	}
+}
+
+// TestLoadDirModuleRootRelative checks LoadDir resolves relative paths
+// against the module root and that fixtures typecheck without soft errors.
+func TestLoadDirModuleRootRelative(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir("internal/analysis/testdata/src/errcheck_bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := loader.ModulePath + "/internal/analysis/testdata/src/errcheck_bad"; pkg.Path != want {
+		t.Errorf("pkg.Path = %q, want %q", pkg.Path, want)
+	}
+	if len(pkg.TypeErrors) != 0 {
+		t.Errorf("fixture should typecheck cleanly, got %v", pkg.TypeErrors)
+	}
+}

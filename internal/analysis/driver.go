@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// jsonReport is the -json output shape: an object (not a bare array) so
+// future fields — timing, suppressed counts — can be added compatibly.
+type jsonReport struct {
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	Count       int          `json:"count"`
+}
+
+// Main is the pressiolint entry point, factored out of cmd/pressiolint so
+// tests can drive the CLI in-process. It returns the process exit code:
+// 0 clean, 1 diagnostics reported, 2 usage or load failure.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pressiolint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	runList := fs.String("run", "", "comma-separated analyzer subset (default: all)")
+	listOnly := fs.Bool("analyzers", false, "list analyzers and exit")
+	verbose := fs.Bool("v", false, "print soft type-check warnings to stderr")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: pressiolint [-json] [-run a,b] [-v] [packages]")
+		fmt.Fprintln(stderr, "packages are directories; a trailing /... recurses (default ./...)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := Analyzers()
+	if *listOnly {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *runList != "" {
+		byName := make(map[string]*Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runList, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "pressiolint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "pressiolint:", err)
+		return 2
+	}
+	root, err := FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "pressiolint:", err)
+		return 2
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "pressiolint:", err)
+		return 2
+	}
+	dirs, err := loader.Expand(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "pressiolint:", err)
+		return 2
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintln(stderr, "pressiolint:", err)
+			return 2
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if *verbose {
+		for _, pkg := range pkgs {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(stderr, "pressiolint: typecheck %s: %v\n", pkg.Path, terr)
+			}
+		}
+	}
+
+	diags := Run(pkgs, analyzers, root)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReport{Diagnostics: diags, Count: len(diags)}); err != nil {
+			fmt.Fprintln(stderr, "pressiolint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errcheckMethods are the calls whose errors must not be silently dropped:
+// the compression hot path (Compress/Decompress and the plugin Impl
+// variants), configuration application (SetOptions/CheckOptions — a dropped
+// error here means the caller believes a bound was applied when it was not),
+// and io.Closer.Close. Note that Options.Set is deliberately not listed: it
+// returns the receiver for chaining, not an error, so discarding its result
+// is the idiom, and the configuration invariant lives with SetOptions.
+var errcheckMethods = map[string]bool{
+	"Compress":       true,
+	"Decompress":     true,
+	"CompressImpl":   true,
+	"DecompressImpl": true,
+	"SetOptions":     true,
+	"CheckOptions":   true,
+	"Close":          true,
+}
+
+// ErrCheck is the errcheck-lite analyzer: a bare expression statement that
+// calls one of the watched methods and discards a result set containing an
+// error is flagged. `_ = f.Close()` and `defer f.Close()` are accepted — the
+// first is an explicit acknowledgment, the second is the standard cleanup
+// idiom whose error the surrounding function has usually already superseded.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "errors from Compress/Decompress/SetOptions/Close must not be discarded",
+	Run:  runErrCheck,
+}
+
+func runErrCheck(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			if !errcheckMethods[name] {
+				return true
+			}
+			if !returnsError(pass.Pkg, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"result of %s contains an error that is discarded: handle it or assign it explicitly",
+				name)
+			return true
+		})
+	}
+}
+
+// returnsError reports whether the call's result set includes an error. When
+// type information is unavailable the watched names are trusted: every
+// watched method in this codebase returns an error.
+func returnsError(pkg *Package, call *ast.CallExpr) bool {
+	if pkg.Info == nil {
+		return true
+	}
+	tv, ok := pkg.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && t.String() == "error"
+}

@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// codecPackages names the codec hot-path packages held to the determinism
+// and embeddability bar: identical inputs must produce identical streams
+// (the paper's reproducibility claim), and the codecs must be usable as a
+// library inside HDF5 filters and MPI jobs without writing to stdout or
+// killing the process.
+var codecPackages = map[string]bool{
+	"sz": true, "zfp": true, "fpzip": true, "mgard": true,
+	"tthresh": true, "bitgroom": true, "huffman": true, "rangecoder": true,
+}
+
+// Forbidden flags nondeterminism and embeddability hazards in codec
+// packages: math/rand imports (seeded or not, randomness does not belong in
+// a codec), time.Now (wall-clock–dependent output or control flow),
+// fmt.Print* (stdout chatter from library code), and panic (codecs must
+// return errors; a corrupt stream must never kill the host process).
+var Forbidden = &Analyzer{
+	Name: "forbidden",
+	Doc:  "no math/rand, time.Now, fmt.Print* or panic in codec hot-path packages",
+	Run:  runForbidden,
+}
+
+func runForbidden(pass *Pass) {
+	if !isCodecPackage(pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, ok := stringLit(imp.Path)
+			if !ok {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"codec package imports %s: compression must be deterministic, derive decisions from the input",
+					path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "panic" {
+					pass.Reportf(call.Pos(),
+						"panic in codec hot path: return an error so corrupt streams cannot kill an embedding process")
+				}
+			case *ast.SelectorExpr:
+				pkgPath, ok := importedPackage(pass.Pkg, f, fun)
+				if !ok {
+					return true
+				}
+				switch {
+				case pkgPath == "time" && fun.Sel.Name == "Now":
+					pass.Reportf(call.Pos(),
+						"time.Now in codec hot path: output and control flow must not depend on the wall clock (timing belongs to the time metric)")
+				case pkgPath == "fmt" && (fun.Sel.Name == "Print" || fun.Sel.Name == "Printf" || fun.Sel.Name == "Println"):
+					pass.Reportf(call.Pos(),
+						"fmt.%s in codec hot path: library code must not write to stdout (use the printer metric or return data)",
+						fun.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isCodecPackage reports whether any segment of the import path names a
+// codec package (so fixtures under testdata/src/.../sz are covered too).
+func isCodecPackage(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if codecPackages[seg] {
+			return true
+		}
+	}
+	return false
+}
+
+// importedPackage resolves sel's qualifier to an imported package path,
+// preferring type information (immune to shadowing) and falling back to the
+// file's import table.
+func importedPackage(pkg *Package, f *ast.File, sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if pkg.Info != nil {
+		if obj := pkg.Info.ObjectOf(id); obj != nil {
+			pn, ok := obj.(*types.PkgName)
+			if !ok {
+				return "", false
+			}
+			return pn.Imported().Path(), true
+		}
+	}
+	for _, imp := range f.Imports {
+		path, ok := stringLit(imp.Path)
+		if !ok {
+			continue
+		}
+		local := path[strings.LastIndexByte(path, '/')+1:]
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		if local == id.Name {
+			return path, true
+		}
+	}
+	return "", false
+}

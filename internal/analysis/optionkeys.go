@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// optionMethods are the Options accessors whose first argument is an option
+// key. Matching is by method name plus (when type information is available)
+// a receiver type named Options, so fixture packages can model the API.
+var optionMethods = map[string]bool{
+	"Set": true, "SetValue": true, "SetType": true,
+	"Get": true, "Has": true, "Delete": true,
+	"GetInt32": true, "GetInt64": true, "GetUint64": true, "GetFloat64": true,
+	"GetString": true, "GetStrings": true, "GetData": true, "GetUserPtr": true,
+}
+
+var (
+	// reGenericKey matches exactly one well-known "pressio:*" option key,
+	// e.g. "pressio:abs". Prose that merely mentions a key ("pressio: error")
+	// contains spaces and does not match.
+	reGenericKey = regexp.MustCompile(`^pressio:[a-z0-9_]+$`)
+	// rePluginKey matches a plugin-prefixed key like "zfp:rate".
+	rePluginKey = regexp.MustCompile(`^[a-z0-9_]+:[a-z0-9_]+$`)
+)
+
+// OptionKeys enforces the option-key naming contract: the generic "pressio:*"
+// keys must be spelled via the constants internal/core declares (one source
+// of truth for the cross-compressor vocabulary), and a plugin-prefixed key
+// used with the Options API more than once per package must be hoisted into a
+// named constant instead of being duplicated as ad-hoc literals that can
+// silently drift apart.
+var OptionKeys = &Analyzer{
+	Name: "optionkeys",
+	Doc:  `"pressio:*" and duplicated plugin-prefixed option keys must be named constants`,
+	Run:  runOptionKeys,
+}
+
+func runOptionKeys(pass *Pass) {
+	constRanges := constDeclRanges(pass.Pkg)
+	dups := make(map[string][]token.Pos)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				v, ok := stringLit(n)
+				if !ok || !reGenericKey.MatchString(v) {
+					return true
+				}
+				if insideRange(n.Pos(), constRanges) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "ad-hoc %q literal: use the declared core.Key* constant", v)
+			case *ast.CallExpr:
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || !optionMethods[sel.Sel.Name] || len(n.Args) == 0 {
+					return true
+				}
+				v, ok := stringLit(n.Args[0])
+				if !ok || !rePluginKey.MatchString(v) {
+					return true
+				}
+				prefix := v[:strings.IndexByte(v, ':')]
+				if prefix == "pressio" {
+					return true // handled by the generic-key rule above
+				}
+				if !pass.Facts.Registered[prefix] {
+					return true // not a plugin key (e.g. a CSV header name)
+				}
+				if !receiverIsOptions(pass.Pkg, sel.X) {
+					return true
+				}
+				dups[v] = append(dups[v], n.Args[0].Pos())
+			}
+			return true
+		})
+	}
+	keys := make([]string, 0, len(dups))
+	for v, positions := range dups {
+		if len(positions) > 1 {
+			keys = append(keys, v)
+		}
+	}
+	sort.Strings(keys)
+	for _, v := range keys {
+		for _, pos := range dups[v] {
+			pass.Reportf(pos, "option key %q is spelled as a literal %d times in this package: hoist it into a named constant",
+				v, len(dups[v]))
+		}
+	}
+}
+
+// constDeclRanges collects the source extents of const declarations; key
+// literals inside them are the declarations the analyzer demands, not
+// violations.
+func constDeclRanges(pkg *Package) [][2]token.Pos {
+	var ranges [][2]token.Pos
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if gd, ok := n.(*ast.GenDecl); ok && gd.Tok == token.CONST {
+				ranges = append(ranges, [2]token.Pos{gd.Pos(), gd.End()})
+			}
+			return true
+		})
+	}
+	return ranges
+}
+
+func insideRange(pos token.Pos, ranges [][2]token.Pos) bool {
+	for _, r := range ranges {
+		if pos >= r[0] && pos <= r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// receiverIsOptions reports whether expr statically has the *Options (or
+// Options) type. Without type information it conservatively answers true so
+// the analyzer still works on partially checked packages.
+func receiverIsOptions(pkg *Package, expr ast.Expr) bool {
+	if pkg.Info == nil {
+		return true
+	}
+	tv, ok := pkg.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Options"
+}

@@ -1,0 +1,25 @@
+// Package errcheck_bad discards errors from the watched hot-path methods.
+// The explicit `_ =` acknowledgment and the `defer Close` cleanup idiom must
+// stay unflagged.
+package errcheck_bad
+
+import "errors"
+
+type compressor struct{}
+
+func (c *compressor) Compress() error        { return nil }
+func (c *compressor) SetOptions(v int) error { return errors.New("unsupported") }
+
+type file struct{}
+
+func (f *file) Close() error { return nil }
+
+func run() {
+	c := &compressor{}
+	f := &file{}
+	c.Compress()
+	c.SetOptions(1)
+	f.Close()
+	_ = c.Compress()
+	defer f.Close()
+}

@@ -1,0 +1,24 @@
+// Package errcheck_suppressed waives each discarded error with
+// //lint:ignore; the analyzer must report nothing.
+package errcheck_suppressed
+
+import "errors"
+
+type compressor struct{}
+
+func (c *compressor) Compress() error        { return nil }
+func (c *compressor) SetOptions(v int) error { return errors.New("unsupported") }
+
+type file struct{}
+
+func (f *file) Close() error { return nil }
+
+func run() {
+	c := &compressor{}
+	f := &file{}
+	//lint:ignore errcheck fixture demonstrates comment-above suppression
+	c.Compress()
+	c.SetOptions(1) //lint:ignore errcheck fixture demonstrates same-line suppression
+	//lint:ignore all fixture demonstrates the "all" wildcard
+	f.Close()
+}

@@ -1,0 +1,21 @@
+// Package sz sits on a codec-named path segment, so the forbidden analyzer
+// holds it to the determinism and embeddability bar; every construct below
+// violates it.
+package sz
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func compress(data []byte) []byte {
+	start := time.Now()
+	fmt.Println("compressing", len(data))
+	if len(data) == 0 {
+		panic("empty input")
+	}
+	noise := byte(rand.Intn(256))
+	_ = start
+	return append(data, noise)
+}

@@ -1,0 +1,25 @@
+// Package sz carries the same forbidden-construct violations as the
+// forbidden_bad fixture, each waived with //lint:ignore; the analyzer must
+// report nothing.
+package sz
+
+import (
+	"fmt"
+
+	//lint:ignore forbidden fixture demonstrates suppressing the import rule
+	"math/rand"
+	"time"
+)
+
+func compress(data []byte) []byte {
+	start := time.Now() //lint:ignore forbidden fixture wall-clock read is test-only
+	//lint:ignore forbidden fixture demonstrates comment-above suppression
+	fmt.Println("compressing", len(data))
+	if len(data) == 0 {
+		//lint:ignore forbidden fixture unreachable guard kept for symmetry
+		panic("empty input")
+	}
+	noise := byte(rand.Intn(256))
+	_ = start
+	return append(data, noise)
+}

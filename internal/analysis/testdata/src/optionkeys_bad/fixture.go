@@ -1,0 +1,41 @@
+// Package optionkeys_bad models the Options API locally (the analyzer
+// matches by method name and a receiver type named Options) and violates
+// both optionkeys rules: a raw "pressio:*" literal outside a const
+// declaration, and a plugin-prefixed key duplicated across call sites.
+package optionkeys_bad
+
+// Options mirrors core.Options closely enough for the analyzer's receiver
+// type check.
+type Options struct{ m map[string]any }
+
+func NewOptions() *Options { return &Options{m: map[string]any{}} }
+
+func (o *Options) SetValue(key string, v any) *Options { o.m[key] = v; return o }
+
+func (o *Options) GetFloat64(key string) (float64, bool) {
+	v, ok := o.m[key].(float64)
+	return v, ok
+}
+
+type plugin struct{ rate float64 }
+
+// RegisterCompressor stands in for core.RegisterCompressor; the facts pass
+// matches registration calls by callee name.
+func RegisterCompressor(name string, factory func() *plugin) {}
+
+func init() {
+	RegisterCompressor("demo", func() *plugin { return &plugin{} })
+}
+
+func defaults() *Options {
+	o := NewOptions()
+	o.SetValue("demo:rate", 16.0)
+	o.SetValue("pressio:abs", 1e-3)
+	return o
+}
+
+func apply(p *plugin, o *Options) {
+	if v, ok := o.GetFloat64("demo:rate"); ok {
+		p.rate = v
+	}
+}

@@ -1,0 +1,40 @@
+// Package optionkeys_suppressed carries the same violations as
+// optionkeys_bad, each waived with //lint:ignore — plus one malformed
+// directive, which must itself be reported under the "lint" pseudo-analyzer.
+package optionkeys_suppressed
+
+type Options struct{ m map[string]any }
+
+func NewOptions() *Options { return &Options{m: map[string]any{}} }
+
+func (o *Options) SetValue(key string, v any) *Options { o.m[key] = v; return o }
+
+func (o *Options) GetFloat64(key string) (float64, bool) {
+	v, ok := o.m[key].(float64)
+	return v, ok
+}
+
+type plugin struct{ rate float64 }
+
+func RegisterCompressor(name string, factory func() *plugin) {}
+
+func init() {
+	RegisterCompressor("demo", func() *plugin { return &plugin{} })
+}
+
+func defaults() *Options {
+	o := NewOptions()
+	//lint:ignore optionkeys fixture demonstrates comment-above suppression
+	o.SetValue("demo:rate", 16.0)
+	o.SetValue("pressio:abs", 1e-3) //lint:ignore optionkeys fixture demonstrates same-line suppression
+	return o
+}
+
+func apply(p *plugin, o *Options) {
+	if v, ok := o.GetFloat64("demo:rate"); ok { //lint:ignore optionkeys fixture second duplicate site
+		p.rate = v
+	}
+}
+
+//lint:ignore optionkeys
+func missingReason() {}

@@ -1,0 +1,60 @@
+// Package registration_bad violates the registration contract in every way
+// the analyzer distinguishes: an unregistered metric implementation, a
+// duplicate in-package name, a registered name that contradicts Prefix(),
+// registration outside init, and registration from a package-level
+// initializer. Register* stand-ins are declared locally; the facts pass
+// matches by callee name.
+package registration_bad
+
+type CompressorIface interface{ Prefix() string }
+
+type MetricIface interface{ Prefix() string }
+
+func RegisterCompressor(name string, factory func() CompressorIface) bool { return true }
+
+func RegisterMetric(name string, factory func() MetricIface) bool { return true }
+
+// alpha is a well-formed compressor implementation.
+type alpha struct{}
+
+func (a *alpha) Prefix() string                { return "alpha" }
+func (a *alpha) CompressImpl(in []byte) []byte { return in }
+func (a *alpha) DecompressImpl(in []byte) []byte {
+	return in
+}
+
+// beta's Prefix disagrees with the name it is registered under.
+type beta struct{}
+
+func (b *beta) Prefix() string                  { return "beta" }
+func (b *beta) CompressImpl(in []byte) []byte   { return in }
+func (b *beta) DecompressImpl(in []byte) []byte { return in }
+
+// gamma's prefix is computed, so no Prefix/name cross-check applies to it.
+type gamma struct{ name string }
+
+func (g *gamma) Prefix() string { return g.name }
+
+// orphanMetric implements the metric method set but is never registered.
+type orphanMetric struct{}
+
+func (m *orphanMetric) Prefix() string        { return "orphan" }
+func (m *orphanMetric) BeginCompress()        {}
+func (m *orphanMetric) EndCompress()          {}
+func (m *orphanMetric) Results() map[int]bool { return nil }
+
+func init() {
+	RegisterCompressor("dup", func() CompressorIface { return &alpha{} })
+	RegisterCompressor("dup", func() CompressorIface { return &alpha{} })
+	RegisterCompressor("alpha", func() CompressorIface { return &beta{} })
+}
+
+// lateRegister registers outside init: the plugin is invisible until someone
+// happens to call this.
+func lateRegister() {
+	RegisterCompressor("late", func() CompressorIface { return &gamma{name: "late"} })
+}
+
+// Registration as a side effect of package-level variable initialization runs
+// at an order the registry cannot rely on.
+var _ = RegisterCompressor("varinit", func() CompressorIface { return &gamma{name: "varinit"} })

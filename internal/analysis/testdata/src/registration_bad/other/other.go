@@ -1,0 +1,18 @@
+// Package other registers a compressor under a name the parent fixture
+// package already claimed, exercising the cross-package duplicate rule
+// (reported here, in the path-wise later package).
+package other
+
+type CompressorIface interface{ Prefix() string }
+
+func RegisterCompressor(name string, factory func() CompressorIface) {}
+
+type dup struct{}
+
+func (d *dup) Prefix() string                  { return "dup" }
+func (d *dup) CompressImpl(in []byte) []byte   { return in }
+func (d *dup) DecompressImpl(in []byte) []byte { return in }
+
+func init() {
+	RegisterCompressor("dup", func() CompressorIface { return &dup{} })
+}

@@ -1,0 +1,27 @@
+// Package registration_suppressed repeats two registration violations with
+// //lint:ignore waivers; the analyzer must report nothing.
+package registration_suppressed
+
+type CompressorIface interface{ Prefix() string }
+
+func RegisterCompressor(name string, factory func() CompressorIface) {}
+
+type gamma struct{ name string }
+
+func (g *gamma) Prefix() string { return g.name }
+
+// orphan implements a metric but is deliberately unregistered here (the
+// package registers no metrics at all, so the orphan rule would fire).
+//
+//lint:ignore registration fixture keeps an unregistered implementation on purpose
+type orphan struct{}
+
+func (o *orphan) Prefix() string        { return "orphan" }
+func (o *orphan) BeginCompress()        {}
+func (o *orphan) EndCompress()          {}
+func (o *orphan) Results() map[int]bool { return nil }
+
+func lateRegister() {
+	//lint:ignore registration fixture demonstrates waiving the init rule
+	RegisterCompressor("late", func() CompressorIface { return &gamma{name: "late"} })
+}

@@ -1,0 +1,50 @@
+// Package threadsafe_bad declares thread_safe=multiple through a local
+// StandardConfiguration model, then writes package-level state from plugin
+// code without a lock — the exact race the analyzer exists to catch. The
+// mutex-guarded writer and the init-time write must stay unflagged.
+package threadsafe_bad
+
+import "sync"
+
+const ThreadSafetyMultiple = "multiple"
+
+type Options struct{}
+
+func StandardConfiguration(level, stability, version string, shared bool) *Options {
+	return &Options{}
+}
+
+var (
+	calls   int
+	mu      sync.Mutex
+	guarded int
+	table   = map[string]int{}
+)
+
+type plugin struct{}
+
+func (p *plugin) Configuration() *Options {
+	return StandardConfiguration(ThreadSafetyMultiple, "stable", "1.0.0", false)
+}
+
+func (p *plugin) CompressImpl(in []byte) []byte {
+	calls++
+	table["compress"] = calls
+	return in
+}
+
+func (p *plugin) record() {
+	mu.Lock()
+	defer mu.Unlock()
+	guarded++
+}
+
+func init() {
+	calls = 0
+}
+
+func localOnly() {
+	n := 0
+	n++
+	_ = n
+}

@@ -1,0 +1,25 @@
+// Package threadsafe_suppressed waives the unguarded package-level writes
+// with //lint:ignore; the analyzer must report nothing.
+package threadsafe_suppressed
+
+const ThreadSafetyMultiple = "multiple"
+
+type Options struct{}
+
+func StandardConfiguration(level, stability, version string, shared bool) *Options {
+	return &Options{}
+}
+
+var calls int
+
+type plugin struct{}
+
+func (p *plugin) Configuration() *Options {
+	return StandardConfiguration(ThreadSafetyMultiple, "stable", "1.0.0", false)
+}
+
+func (p *plugin) CompressImpl(in []byte) []byte {
+	//lint:ignore threadsafe fixture counter is only read in tests, torn reads acceptable
+	calls++
+	return in
+}

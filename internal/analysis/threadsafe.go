@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pressio/internal/core"
+)
+
+// ThreadSafe checks that a package whose plugins declare
+// pressio:thread_safe of "serialized" or better does not mutate package-level
+// state without synchronization. "serialized" promises that distinct
+// instances may run concurrently, and "multiple" that a single instance may —
+// so any bare write to a package-level variable from plugin code is a data
+// race waiting for the `many` meta-compressor or sz_omp to schedule it. The
+// check is a static complement to the -race stress tests: an assignment to a
+// package-level variable inside a function that never takes a lock is flagged.
+var ThreadSafe = &Analyzer{
+	Name: "threadsafe",
+	Doc:  "packages declaring pressio:thread_safe >= serialized must guard package-level writes",
+	Run:  runThreadSafe,
+}
+
+func runThreadSafe(pass *Pass) {
+	level := declaredSafety(pass.Pkg)
+	if level == "" {
+		return
+	}
+	if pass.Pkg.Info == nil || pass.Pkg.Types == nil {
+		return // needs object resolution to identify package-level variables
+	}
+	scope := pass.Pkg.Types.Scope()
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Recv == nil && fd.Name.Name == "init" {
+				continue // single-threaded by the runtime's init contract
+			}
+			locks := lockPositions(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				var targets []ast.Expr
+				switch st := n.(type) {
+				case *ast.AssignStmt:
+					targets = st.Lhs
+				case *ast.IncDecStmt:
+					targets = []ast.Expr{st.X}
+				default:
+					return true
+				}
+				for _, lhs := range targets {
+					id := rootIdent(lhs)
+					if id == nil {
+						continue
+					}
+					obj := pass.Pkg.Info.ObjectOf(id)
+					v, ok := obj.(*types.Var)
+					if !ok || v.Parent() != scope {
+						continue
+					}
+					if guarded(locks, lhs.Pos()) {
+						continue
+					}
+					pass.Reportf(lhs.Pos(),
+						"package declares thread_safe=%s but %s writes package-level %s without holding a lock",
+						level, fd.Name.Name, id.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// declaredSafety scans for thread-safety declarations: a
+// StandardConfiguration(core.ThreadSafetyMultiple|Serialized, ...) call or an
+// explicit SetValue(core.KeyThreadSafe, "multiple"|"serialized"). It returns
+// the strongest declared level at or above "serialized", or "".
+func declaredSafety(pkg *Package) string {
+	level := ""
+	upgrade := func(l string) {
+		if l == "multiple" || (l == "serialized" && level == "") {
+			level = l
+		}
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch calleeName(call) {
+			case "StandardConfiguration":
+				if len(call.Args) == 0 {
+					return true
+				}
+				ast.Inspect(call.Args[0], func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						switch id.Name {
+						case "ThreadSafetyMultiple":
+							upgrade("multiple")
+						case "ThreadSafetySerialized":
+							upgrade("serialized")
+						}
+					}
+					return true
+				})
+			case "SetValue":
+				if len(call.Args) != 2 {
+					return true
+				}
+				if !isThreadSafeKey(call.Args[0]) {
+					return true
+				}
+				if v, ok := stringLit(call.Args[1]); ok && (v == "multiple" || v == "serialized") {
+					upgrade(v)
+				}
+			}
+			return true
+		})
+	}
+	return level
+}
+
+// isThreadSafeKey matches the pressio:thread_safe key expressed either as the
+// core.KeyThreadSafe constant or (in packages that cannot import core) a
+// literal with its value.
+func isThreadSafeKey(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == "KeyThreadSafe"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "KeyThreadSafe"
+	case *ast.BasicLit:
+		v, ok := stringLit(e)
+		return ok && v == core.KeyThreadSafe
+	}
+	return false
+}
+
+// lockPositions collects the positions of .Lock()/.RLock()/.Do() calls in a
+// function body. A write later in the source than any of them is considered
+// guarded — a deliberately coarse rule: the analyzer flags lock-free writers,
+// not lock-ordering bugs, which remain the -race tests' job.
+func lockPositions(body *ast.BlockStmt) []token.Pos {
+	var locks []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Lock", "RLock", "Do":
+				locks = append(locks, call.Pos())
+			}
+		}
+		return true
+	})
+	return locks
+}
+
+func guarded(locks []token.Pos, pos token.Pos) bool {
+	for _, l := range locks {
+		if l < pos {
+			return true
+		}
+	}
+	return false
+}
+
+// rootIdent walks to the base identifier of an assignable expression:
+// x, x.f, x[i], (*x).f all root at x.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -243,7 +243,7 @@ func Embed(worker string, workerArgs []string, scale int, seed int64) (EmbedResu
 	// only meaningful when compression time dominates a process spawn, as
 	// it does at the paper's dataset sizes.
 	cloud := sdrbench.HurricaneCloud(32*scale, 64*scale, 64*scale, seed)
-	opts := map[string]string{"pressio:rel": "1e-3"}
+	opts := map[string]string{core.KeyRel: "1e-3"}
 
 	// In-process.
 	c, err := core.NewCompressor("sz_threadsafe")

@@ -6,8 +6,13 @@ import (
 	"pressio/internal/core"
 )
 
+// Option keys the fpzip plugin owns.
+const (
+	keyPrec = "fpzip:prec"
+)
+
 // plugin adapts fpzip to the framework. fpzip has no absolute error bound
-// mode; its single knob is "fpzip:prec" (0 = lossless), so it demonstrates
+// mode; its single knob is keyPrec (0 = lossless), so it demonstrates
 // a plugin whose options do not include the generic pressio:abs — clients
 // discover that through introspection instead of crashing at runtime.
 type plugin struct {
@@ -23,12 +28,12 @@ func (p *plugin) Version() string { return Version }
 
 func (p *plugin) Options() *core.Options {
 	o := core.NewOptions()
-	o.SetValue("fpzip:prec", p.prec)
+	o.SetValue(keyPrec, p.prec)
 	return o
 }
 
 func (p *plugin) SetOptions(o *core.Options) error {
-	if v, err := o.GetUint64("fpzip:prec"); err == nil {
+	if v, err := o.GetUint64(keyPrec); err == nil {
 		if v > 64 {
 			return fmt.Errorf("%w: fpzip:prec %d > 64", core.ErrInvalidOption, v)
 		}

@@ -8,6 +8,16 @@ import (
 	"pressio/internal/core"
 )
 
+// Option keys the injector and switch meta-compressors own.
+const (
+	keyFaultFaults       = "fault_injector:faults"
+	keyFaultSeed         = "fault_injector:seed"
+	keyNoiseDistribution = "noise_injector:distribution"
+	keyNoiseScale        = "noise_injector:scale"
+	keyNoiseSeed         = "noise_injector:seed"
+	keySwitchActive      = "switch:active"
+)
+
 func init() {
 	core.RegisterCompressor("fault_injector", func() core.CompressorPlugin {
 		return &faultInjector{child: newChild("fault_injector", "sz_threadsafe"), nFaults: 1}
@@ -34,17 +44,17 @@ func (p *faultInjector) Version() string { return Version }
 
 func (p *faultInjector) Options() *core.Options {
 	o := core.NewOptions()
-	o.SetValue("fault_injector:faults", p.nFaults)
-	o.SetValue("fault_injector:seed", p.seed)
+	o.SetValue(keyFaultFaults, p.nFaults)
+	o.SetValue(keyFaultSeed, p.seed)
 	p.describe(o)
 	return o
 }
 
 func (p *faultInjector) SetOptions(o *core.Options) error {
-	if v, err := o.GetUint64("fault_injector:faults"); err == nil {
+	if v, err := o.GetUint64(keyFaultFaults); err == nil {
 		p.nFaults = v
 	}
-	if v, err := o.GetInt64("fault_injector:seed"); err == nil {
+	if v, err := o.GetInt64(keyFaultSeed); err == nil {
 		p.seed = v
 	}
 	return p.applyOptions(o)
@@ -105,27 +115,27 @@ func (p *noiseInjector) Version() string { return Version }
 
 func (p *noiseInjector) Options() *core.Options {
 	o := core.NewOptions()
-	o.SetValue("noise_injector:distribution", p.dist)
-	o.SetValue("noise_injector:scale", p.scale)
-	o.SetValue("noise_injector:seed", p.seed)
+	o.SetValue(keyNoiseDistribution, p.dist)
+	o.SetValue(keyNoiseScale, p.scale)
+	o.SetValue(keyNoiseSeed, p.seed)
 	p.describe(o)
 	return o
 }
 
 func (p *noiseInjector) SetOptions(o *core.Options) error {
-	if v, err := o.GetString("noise_injector:distribution"); err == nil {
+	if v, err := o.GetString(keyNoiseDistribution); err == nil {
 		if v != "gaussian" && v != "uniform" {
 			return fmt.Errorf("%w: noise distribution %q", core.ErrInvalidOption, v)
 		}
 		p.dist = v
 	}
-	if v, err := o.GetFloat64("noise_injector:scale"); err == nil {
+	if v, err := o.GetFloat64(keyNoiseScale); err == nil {
 		if v < 0 || math.IsNaN(v) {
 			return fmt.Errorf("%w: noise scale %v", core.ErrInvalidOption, v)
 		}
 		p.scale = v
 	}
-	if v, err := o.GetInt64("noise_injector:seed"); err == nil {
+	if v, err := o.GetInt64(keyNoiseSeed); err == nil {
 		p.seed = v
 	}
 	return p.applyOptions(o)
@@ -188,7 +198,7 @@ func (p *noiseInjector) Clone() core.CompressorPlugin {
 }
 
 // switchMeta dispatches to one of several child compressors selected at
-// runtime by the "switch:active" option, which is how optimizers search
+// runtime by the keySwitchActive option, which is how optimizers search
 // across compressor *types* with a single configuration knob.
 type switchMeta struct {
 	active string
@@ -221,7 +231,7 @@ func (p *switchMeta) current() (*core.Compressor, error) {
 
 func (p *switchMeta) Options() *core.Options {
 	o := core.NewOptions()
-	o.SetValue("switch:active", p.active)
+	o.SetValue(keySwitchActive, p.active)
 	if c, err := p.current(); err == nil {
 		o.Merge(c.Options())
 	}
@@ -229,7 +239,7 @@ func (p *switchMeta) Options() *core.Options {
 }
 
 func (p *switchMeta) SetOptions(o *core.Options) error {
-	if v, err := o.GetString("switch:active"); err == nil {
+	if v, err := o.GetString(keySwitchActive); err == nil {
 		p.active = v
 	}
 	if p.saved == nil {
@@ -245,7 +255,7 @@ func (p *switchMeta) SetOptions(o *core.Options) error {
 }
 
 func (p *switchMeta) CheckOptions(o *core.Options) error {
-	if v, err := o.GetString("switch:active"); err == nil {
+	if v, err := o.GetString(keySwitchActive); err == nil {
 		if _, err := core.NewCompressor(v); err != nil {
 			return err
 		}

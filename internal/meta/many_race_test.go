@@ -1,0 +1,77 @@
+package meta
+
+import (
+	"sync"
+	"testing"
+
+	"pressio/internal/core"
+)
+
+// TestManyStressSharedThreadSafePlugin hammers CompressManyWithMetrics and
+// DecompressManyWithMetrics with one shared prototype whose plugin declares
+// pressio:thread_safe=multiple (sz_threadsafe). Several batches run
+// concurrently, each fanning out over its own worker pool, so under
+// `go test -race` this exercises exactly the promise the declaration makes:
+// clones of the same plugin, and clones of its attached metric, running in
+// parallel without sharing mutable state. It is the dynamic complement to
+// pressiolint's static threadsafe analyzer.
+func TestManyStressSharedThreadSafePlugin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	proto, err := core.NewCompressor("sz_threadsafe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proto.SetOptions(core.NewOptions().SetValue(core.KeyAbs, 0.05)); err != nil {
+		t.Fatal(err)
+	}
+	if proto.ThreadSafety() != core.ThreadSafetyMultiple {
+		t.Fatalf("sz_threadsafe declares %v, want ThreadSafetyMultiple", proto.ThreadSafety())
+	}
+	proto.SetMetrics(&tallyMetric{})
+
+	const (
+		batches    = 8
+		buffers    = 12
+		iterations = 3
+		workers    = 4
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, batches)
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			bufs := make([]*core.Data, buffers)
+			hints := make([]*core.Data, buffers)
+			for i := range bufs {
+				bufs[i] = smooth([]uint64{24, 24}, int64(1000*b+i))
+				hints[i] = core.NewEmpty(core.DTypeFloat32, 24, 24)
+			}
+			for it := 0; it < iterations; it++ {
+				comps, _, err := CompressManyWithMetrics(proto, bufs, workers)
+				if err != nil {
+					errc <- err
+					return
+				}
+				decs, _, err := DecompressManyWithMetrics(proto, comps, hints, workers)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for i := range bufs {
+					if worst := maxErr(bufs[i], decs[i]); worst > 0.05 {
+						t.Errorf("batch %d iter %d buffer %d: bound violated: %g", b, it, i, worst)
+						return
+					}
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

@@ -18,6 +18,12 @@ import (
 	"pressio/internal/trace"
 )
 
+// Option keys the chunking meta-compressor owns.
+const (
+	keyChunkRows     = "chunking:chunk_rows"
+	keyChunkNThreads = "chunking:nthreads"
+)
+
 // Version is the meta-compressor family version.
 const Version = "1.0.0"
 
@@ -112,21 +118,21 @@ func (p *chunking) Version() string { return Version }
 
 func (p *chunking) Options() *core.Options {
 	o := core.NewOptions()
-	o.SetValue("chunking:chunk_rows", p.chunkRows)
-	o.SetValue("chunking:nthreads", p.nthreads)
+	o.SetValue(keyChunkRows, p.chunkRows)
+	o.SetValue(keyChunkNThreads, p.nthreads)
 	o.SetValue(core.KeyNThreads, p.nthreads)
 	p.describe(o)
 	return o
 }
 
 func (p *chunking) SetOptions(o *core.Options) error {
-	if v, err := o.GetUint64("chunking:chunk_rows"); err == nil {
+	if v, err := o.GetUint64(keyChunkRows); err == nil {
 		p.chunkRows = v
 	}
 	if v, err := o.GetInt32(core.KeyNThreads); err == nil {
 		p.nthreads = v
 	}
-	if v, err := o.GetInt32("chunking:nthreads"); err == nil {
+	if v, err := o.GetInt32(keyChunkNThreads); err == nil {
 		p.nthreads = v
 	}
 	return p.applyOptions(o)

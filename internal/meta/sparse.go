@@ -9,6 +9,11 @@ import (
 	"pressio/internal/lossless"
 )
 
+// Option keys the sparse meta-compressor owns.
+const (
+	keySparseThreshold = "sparse:threshold"
+)
+
 func init() {
 	core.RegisterCompressor("sparse", func() core.CompressorPlugin {
 		return &sparse{child: newChild("sparse", "sz_threadsafe")}
@@ -35,13 +40,13 @@ func (p *sparse) Version() string { return Version }
 
 func (p *sparse) Options() *core.Options {
 	o := core.NewOptions()
-	o.SetValue("sparse:threshold", p.threshold)
+	o.SetValue(keySparseThreshold, p.threshold)
 	p.describe(o)
 	return o
 }
 
 func (p *sparse) SetOptions(o *core.Options) error {
-	if v, err := o.GetFloat64("sparse:threshold"); err == nil {
+	if v, err := o.GetFloat64(keySparseThreshold); err == nil {
 		if v < 0 || math.IsNaN(v) {
 			return fmt.Errorf("%w: sparse:threshold must be >= 0", core.ErrInvalidOption)
 		}

@@ -8,6 +8,14 @@ import (
 	"pressio/internal/core"
 )
 
+// Option keys the shape-transform meta-compressors own.
+const (
+	keyTransposeAxes = "transpose:axes"
+	keyResizeDims    = "resize:dims"
+	keySampleStride  = "sample:stride"
+	keyQuantizerStep = "linear_quantizer:step"
+)
+
 func init() {
 	core.RegisterCompressor("transpose", func() core.CompressorPlugin {
 		return &transpose{child: newChild("transpose", "sz_threadsafe")}
@@ -98,13 +106,13 @@ func (p *transpose) Options() *core.Options {
 	o := core.NewOptions()
 	permData := core.NewData(core.DTypeUint64, uint64(len(p.perm)))
 	copy(permData.Uint64s(), p.perm)
-	o.Set("transpose:axes", core.NewOption(permData))
+	o.Set(keyTransposeAxes, core.NewOption(permData))
 	p.describe(o)
 	return o
 }
 
 func (p *transpose) SetOptions(o *core.Options) error {
-	if d, err := o.GetData("transpose:axes"); err == nil {
+	if d, err := o.GetData(keyTransposeAxes); err == nil {
 		if d.DType() != core.DTypeUint64 {
 			return fmt.Errorf("%w: transpose:axes must be uint64 data", core.ErrInvalidOption)
 		}
@@ -234,13 +242,13 @@ func (p *resize) Options() *core.Options {
 	o := core.NewOptions()
 	dimsData := core.NewData(core.DTypeUint64, uint64(len(p.newDims)))
 	copy(dimsData.Uint64s(), p.newDims)
-	o.Set("resize:dims", core.NewOption(dimsData))
+	o.Set(keyResizeDims, core.NewOption(dimsData))
 	p.describe(o)
 	return o
 }
 
 func (p *resize) SetOptions(o *core.Options) error {
-	if d, err := o.GetData("resize:dims"); err == nil {
+	if d, err := o.GetData(keyResizeDims); err == nil {
 		if d.DType() != core.DTypeUint64 {
 			return fmt.Errorf("%w: resize:dims must be uint64 data", core.ErrInvalidOption)
 		}
@@ -361,13 +369,13 @@ func (p *sample) Version() string { return Version }
 
 func (p *sample) Options() *core.Options {
 	o := core.NewOptions()
-	o.SetValue("sample:stride", p.stride)
+	o.SetValue(keySampleStride, p.stride)
 	p.describe(o)
 	return o
 }
 
 func (p *sample) SetOptions(o *core.Options) error {
-	if v, err := o.GetUint64("sample:stride"); err == nil {
+	if v, err := o.GetUint64(keySampleStride); err == nil {
 		if v == 0 {
 			return fmt.Errorf("%w: sample:stride must be >= 1", core.ErrInvalidOption)
 		}
@@ -566,7 +574,7 @@ func (p *linQuant) Version() string { return Version }
 
 func (p *linQuant) Options() *core.Options {
 	o := core.NewOptions()
-	o.SetValue("linear_quantizer:step", p.step)
+	o.SetValue(keyQuantizerStep, p.step)
 	o.SetValue(core.KeyAbs, p.step/2)
 	p.describe(o)
 	return o
@@ -576,7 +584,7 @@ func (p *linQuant) SetOptions(o *core.Options) error {
 	if v, err := o.GetFloat64(core.KeyAbs); err == nil {
 		p.step = 2 * v
 	}
-	if v, err := o.GetFloat64("linear_quantizer:step"); err == nil {
+	if v, err := o.GetFloat64(keyQuantizerStep); err == nil {
 		p.step = v
 	}
 	if p.step <= 0 || math.IsNaN(p.step) || math.IsInf(p.step, 0) {

@@ -7,6 +7,12 @@ import (
 	"pressio/internal/core"
 )
 
+// Option keys the distribution metrics own.
+const (
+	keyKLBins      = "kl_divergence:bins"
+	keyDiffPDFBins = "diff_pdf:bins"
+)
+
 // ksTest computes the two-sample Kolmogorov-Smirnov statistic between the
 // original and decompressed value distributions, with the asymptotic
 // p-value, testing the hypothesis that compression preserved the
@@ -107,11 +113,11 @@ func newKL() *kl { return &kl{bins: 64} }
 func (m *kl) Prefix() string { return "kl_divergence" }
 
 func (m *kl) Options() *core.Options {
-	return core.NewOptions().SetValue("kl_divergence:bins", m.bins)
+	return core.NewOptions().SetValue(keyKLBins, m.bins)
 }
 
 func (m *kl) SetOptions(o *core.Options) error {
-	if v, err := o.GetUint64("kl_divergence:bins"); err == nil && v >= 2 && v <= 1<<20 {
+	if v, err := o.GetUint64(keyKLBins); err == nil && v >= 2 && v <= 1<<20 {
 		m.bins = v
 	}
 	return nil
@@ -194,11 +200,11 @@ func newDiffPDF() *diffPDF { return &diffPDF{bins: 64} }
 func (m *diffPDF) Prefix() string { return "diff_pdf" }
 
 func (m *diffPDF) Options() *core.Options {
-	return core.NewOptions().SetValue("diff_pdf:bins", m.bins)
+	return core.NewOptions().SetValue(keyDiffPDFBins, m.bins)
 }
 
 func (m *diffPDF) SetOptions(o *core.Options) error {
-	if v, err := o.GetUint64("diff_pdf:bins"); err == nil && v >= 2 && v <= 1<<20 {
+	if v, err := o.GetUint64(keyDiffPDFBins); err == nil && v >= 2 && v <= 1<<20 {
 		m.bins = v
 	}
 	return nil
@@ -246,7 +252,7 @@ func (m *diffPDF) Results() *core.Options {
 		o.Set("diff_pdf:pdf", core.NewOption(core.FromFloat64s(m.pdf)))
 		o.SetValue("diff_pdf:min_diff", m.lo)
 		o.SetValue("diff_pdf:max_diff", m.hi)
-		o.SetValue("diff_pdf:bins", m.bins)
+		o.SetValue(keyDiffPDFBins, m.bins)
 	}
 	return o
 }

@@ -6,6 +6,12 @@ import (
 	"pressio/internal/core"
 )
 
+// Result and option keys these metrics own.
+const (
+	keyPSNR           = "error_stat:psnr"
+	keyAutocorrMaxLag = "autocorrelation:max_lag"
+)
+
 // errorStat computes descriptive error statistics in a single pass over the
 // data: min/max/average error, MSE, RMSE, PSNR, value range, and the
 // maximum value-range-relative error.
@@ -72,9 +78,9 @@ func (m *errorStat) Results() *core.Options {
 	if rng := m.valHi - m.valLo; rng > 0 {
 		o.SetValue("error_stat:max_rel_error", m.maxAbs/rng)
 		if mse > 0 {
-			o.SetValue("error_stat:psnr", 20*math.Log10(rng)-10*math.Log10(mse))
+			o.SetValue(keyPSNR, 20*math.Log10(rng)-10*math.Log10(mse))
 		} else {
-			o.SetValue("error_stat:psnr", math.Inf(1))
+			o.SetValue(keyPSNR, math.Inf(1))
 		}
 	}
 	return o
@@ -156,12 +162,12 @@ func (m *autocorr) Prefix() string { return "autocorrelation" }
 
 func (m *autocorr) Options() *core.Options {
 	o := core.NewOptions()
-	o.SetValue("autocorrelation:max_lag", uint64(len(m.lags)))
+	o.SetValue(keyAutocorrMaxLag, uint64(len(m.lags)))
 	return o
 }
 
 func (m *autocorr) SetOptions(o *core.Options) error {
-	if v, err := o.GetUint64("autocorrelation:max_lag"); err == nil && v > 0 && v < 1<<20 {
+	if v, err := o.GetUint64(keyAutocorrMaxLag); err == nil && v > 0 && v < 1<<20 {
 		m.lags = m.lags[:0]
 		for l := uint64(1); l <= v; l++ {
 			m.lags = append(m.lags, l)

@@ -6,6 +6,12 @@ import (
 	"pressio/internal/core"
 )
 
+// Option keys the mask metric owns.
+const (
+	keyMaskMetric = "mask:metric"
+	keyMaskMask   = "mask:mask"
+)
+
 func init() {
 	core.RegisterMetric("mask", func() core.Metric { return newMasked() })
 	core.RegisterMetric("critical_points", func() core.Metric { return &criticalPoints{} })
@@ -14,8 +20,8 @@ func init() {
 // masked wraps another metric, removing masked points from both the
 // original and decompressed data before delegating — the paper's "masked"
 // metrics module (e.g. exclude fill values or a detector's dead pixels
-// from error statistics). Options: "mask:metric" names the wrapped metric,
-// "mask:mask" is a uint8 Data where nonzero marks points to EXCLUDE.
+// from error statistics). Options: keyMaskMetric names the wrapped metric,
+// keyMaskMask is a uint8 Data where nonzero marks points to EXCLUDE.
 type masked struct {
 	childName string
 	child     core.Metric
@@ -29,8 +35,8 @@ func (m *masked) Prefix() string { return "mask" }
 
 func (m *masked) Options() *core.Options {
 	o := core.NewOptions()
-	o.SetValue("mask:metric", m.childName)
-	o.SetType("mask:mask", core.OptData)
+	o.SetValue(keyMaskMetric, m.childName)
+	o.SetType(keyMaskMask, core.OptData)
 	if m.child != nil {
 		o.Merge(m.child.Options())
 	}
@@ -38,11 +44,11 @@ func (m *masked) Options() *core.Options {
 }
 
 func (m *masked) SetOptions(o *core.Options) error {
-	if v, err := o.GetString("mask:metric"); err == nil && v != m.childName {
+	if v, err := o.GetString(keyMaskMetric); err == nil && v != m.childName {
 		m.childName = v
 		m.child = nil
 	}
-	if d, err := o.GetData("mask:mask"); err == nil {
+	if d, err := o.GetData(keyMaskMask); err == nil {
 		if d.DType() != core.DTypeUint8 && d.DType() != core.DTypeByte {
 			return fmt.Errorf("%w: mask:mask must be uint8 data", core.ErrInvalidOption)
 		}

@@ -8,6 +8,14 @@ import (
 	"pressio/internal/core"
 )
 
+// Option and result keys these metrics own.
+const (
+	keySpatialThreshold = "spatial_error:threshold"
+	keyKthK             = "kth_error:k"
+	keyROIStart         = "region_of_interest:start"
+	keyROIEnd           = "region_of_interest:end"
+)
+
 // spatialError reports the percentage of elements whose absolute error
 // exceeds a threshold (the paper's "Spatial Error" module).
 type spatialError struct {
@@ -23,11 +31,11 @@ func newSpatialError() *spatialError { return &spatialError{threshold: 1e-4} }
 func (m *spatialError) Prefix() string { return "spatial_error" }
 
 func (m *spatialError) Options() *core.Options {
-	return core.NewOptions().SetValue("spatial_error:threshold", m.threshold)
+	return core.NewOptions().SetValue(keySpatialThreshold, m.threshold)
 }
 
 func (m *spatialError) SetOptions(o *core.Options) error {
-	if v, err := o.GetFloat64("spatial_error:threshold"); err == nil {
+	if v, err := o.GetFloat64(keySpatialThreshold); err == nil {
 		if v < 0 {
 			return fmt.Errorf("%w: spatial_error:threshold must be >= 0", core.ErrInvalidOption)
 		}
@@ -60,7 +68,7 @@ func (m *spatialError) Results() *core.Options {
 	if m.computed {
 		o.SetValue("spatial_error:percent", m.percent)
 		o.SetValue("spatial_error:count", m.count)
-		o.SetValue("spatial_error:threshold", m.threshold)
+		o.SetValue(keySpatialThreshold, m.threshold)
 	}
 	return o
 }
@@ -81,11 +89,11 @@ func newKthError() *kthError { return &kthError{k: 1} }
 func (m *kthError) Prefix() string { return "kth_error" }
 
 func (m *kthError) Options() *core.Options {
-	return core.NewOptions().SetValue("kth_error:k", m.k)
+	return core.NewOptions().SetValue(keyKthK, m.k)
 }
 
 func (m *kthError) SetOptions(o *core.Options) error {
-	if v, err := o.GetUint64("kth_error:k"); err == nil {
+	if v, err := o.GetUint64(keyKthK); err == nil {
 		if v == 0 {
 			return fmt.Errorf("%w: kth_error:k must be >= 1", core.ErrInvalidOption)
 		}
@@ -115,7 +123,7 @@ func (m *kthError) Results() *core.Options {
 	o := core.NewOptions()
 	if m.computed {
 		o.SetValue("kth_error:value", m.value)
-		o.SetValue("kth_error:k", m.k)
+		o.SetValue(keyKthK, m.k)
 	}
 	return o
 }
@@ -138,19 +146,19 @@ func (m *regionOfInterest) Prefix() string { return "region_of_interest" }
 
 func (m *regionOfInterest) Options() *core.Options {
 	o := core.NewOptions()
-	o.SetType("region_of_interest:start", core.OptData)
-	o.SetType("region_of_interest:end", core.OptData)
+	o.SetType(keyROIStart, core.OptData)
+	o.SetType(keyROIEnd, core.OptData)
 	return o
 }
 
 func (m *regionOfInterest) SetOptions(o *core.Options) error {
-	if d, err := o.GetData("region_of_interest:start"); err == nil {
+	if d, err := o.GetData(keyROIStart); err == nil {
 		if d.DType() != core.DTypeUint64 {
 			return fmt.Errorf("%w: region_of_interest:start must be uint64 data", core.ErrInvalidOption)
 		}
 		m.start = append([]uint64(nil), d.Uint64s()...)
 	}
-	if d, err := o.GetData("region_of_interest:end"); err == nil {
+	if d, err := o.GetData(keyROIEnd); err == nil {
 		if d.DType() != core.DTypeUint64 {
 			return fmt.Errorf("%w: region_of_interest:end must be uint64 data", core.ErrInvalidOption)
 		}

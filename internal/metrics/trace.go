@@ -5,6 +5,11 @@ import (
 	"pressio/internal/trace"
 )
 
+// Option keys the trace metric owns.
+const (
+	keyTraceEnabled = "trace:enabled"
+)
+
 func init() {
 	core.RegisterMetric("trace", func() core.Metric { return &traceMetric{enable: 1} })
 }
@@ -13,11 +18,11 @@ func init() {
 // "trace" metrics plugin to a compressor and its Results() report span
 // rollups, telemetry counters, and latency histograms as introspectable
 // Options — no new client API needed. Attaching it (or setting
-// "trace:enabled"=1) turns global span collection on; the underlying trace
+// keyTraceEnabled=1) turns global span collection on; the underlying trace
 // buffer and registry are process-wide, which the plugin advertises by
 // behaving like a view rather than a per-instance store.
 type traceMetric struct {
-	// enable mirrors the "trace:enabled" option; non-zero switches global
+	// enable mirrors the keyTraceEnabled option; non-zero switches global
 	// span collection on at the first hook.
 	enable int32
 }
@@ -25,11 +30,11 @@ type traceMetric struct {
 func (m *traceMetric) Prefix() string { return "trace" }
 
 func (m *traceMetric) Options() *core.Options {
-	return core.NewOptions().SetValue("trace:enabled", m.enable)
+	return core.NewOptions().SetValue(keyTraceEnabled, m.enable)
 }
 
 func (m *traceMetric) SetOptions(o *core.Options) error {
-	if v, err := o.GetInt32("trace:enabled"); err == nil {
+	if v, err := o.GetInt32(keyTraceEnabled); err == nil {
 		m.enable = v
 		trace.SetEnabled(v != 0)
 	}

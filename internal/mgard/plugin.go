@@ -6,6 +6,11 @@ import (
 	"pressio/internal/core"
 )
 
+// Option keys the mgard plugin owns.
+const (
+	keyTolerance = "mgard:tolerance"
+)
+
 // plugin adapts the multilevel compressor to the framework.
 type plugin struct {
 	bound core.BoundConfig
@@ -24,7 +29,7 @@ func (p *plugin) Version() string { return Version }
 func (p *plugin) Options() *core.Options {
 	o := core.NewOptions()
 	p.bound.Describe("mgard", o)
-	o.SetValue("mgard:tolerance", p.bound.Bound)
+	o.SetValue(keyTolerance, p.bound.Bound)
 	o.SetValue(core.KeyLossless, p.level)
 	return o
 }
@@ -33,7 +38,7 @@ func (p *plugin) SetOptions(o *core.Options) error {
 	if err := p.bound.ApplyOptions("mgard", o); err != nil {
 		return err
 	}
-	if v, err := o.GetFloat64("mgard:tolerance"); err == nil {
+	if v, err := o.GetFloat64(keyTolerance); err == nil {
 		p.bound = core.BoundConfig{Mode: core.BoundAbs, Bound: v}
 	}
 	if v, err := o.GetInt32(core.KeyLossless); err == nil {

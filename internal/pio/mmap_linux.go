@@ -68,11 +68,11 @@ func (m *mmapIO) Write(d *core.Data) error {
 		return err
 	}
 	if _, err := f.Write(d.Bytes()); err != nil {
-		f.Close()
+		_ = f.Close() // the write error is the one worth reporting
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // likewise: surface the sync failure
 		return err
 	}
 	return f.Close()

@@ -17,6 +17,16 @@ import (
 	"pressio/internal/trace"
 )
 
+// Option keys the iota and select IO plugins own.
+const (
+	keyIotaDims    = "iota:dims"
+	keyIotaDType   = "iota:dtype"
+	keyIotaStart   = "iota:start"
+	keySelectIO    = "select:io"
+	keySelectStart = "select:start"
+	keySelectEnd   = "select:end"
+)
+
 // ErrFormat reports an unreadable file format.
 var ErrFormat = errors.New("pio: bad format")
 
@@ -229,27 +239,27 @@ func (i *iota) Options() *core.Options {
 	o := core.NewOptions()
 	dimsData := core.NewData(core.DTypeUint64, uint64(len(i.dims)))
 	copy(dimsData.Uint64s(), i.dims)
-	o.Set("iota:dims", core.NewOption(dimsData))
-	o.SetValue("iota:dtype", i.dtype.String())
-	o.SetValue("iota:start", i.start)
+	o.Set(keyIotaDims, core.NewOption(dimsData))
+	o.SetValue(keyIotaDType, i.dtype.String())
+	o.SetValue(keyIotaStart, i.start)
 	return o
 }
 
 func (i *iota) SetOptions(o *core.Options) error {
-	if d, err := o.GetData("iota:dims"); err == nil {
+	if d, err := o.GetData(keyIotaDims); err == nil {
 		if d.DType() != core.DTypeUint64 {
 			return fmt.Errorf("%w: iota:dims must be uint64 data", core.ErrInvalidOption)
 		}
 		i.dims = append([]uint64(nil), d.Uint64s()...)
 	}
-	if s, err := o.GetString("iota:dtype"); err == nil {
+	if s, err := o.GetString(keyIotaDType); err == nil {
 		dt, err := core.ParseDType(s)
 		if err != nil {
 			return err
 		}
 		i.dtype = dt
 	}
-	if v, err := o.GetFloat64("iota:start"); err == nil {
+	if v, err := o.GetFloat64(keyIotaStart); err == nil {
 		i.start = v
 	}
 	return nil
@@ -342,24 +352,24 @@ func (s *selectIO) Prefix() string { return "select" }
 
 func (s *selectIO) Options() *core.Options {
 	o := core.NewOptions()
-	o.SetValue("select:io", s.io)
-	o.SetType("select:start", core.OptData)
-	o.SetType("select:end", core.OptData)
+	o.SetValue(keySelectIO, s.io)
+	o.SetType(keySelectStart, core.OptData)
+	o.SetType(keySelectEnd, core.OptData)
 	return o
 }
 
 func (s *selectIO) SetOptions(o *core.Options) error {
-	if v, err := o.GetString("select:io"); err == nil {
+	if v, err := o.GetString(keySelectIO); err == nil {
 		s.io = v
 		s.child = nil
 	}
-	if d, err := o.GetData("select:start"); err == nil {
+	if d, err := o.GetData(keySelectStart); err == nil {
 		if d.DType() != core.DTypeUint64 {
 			return fmt.Errorf("%w: select:start must be uint64 data", core.ErrInvalidOption)
 		}
 		s.start = append([]uint64(nil), d.Uint64s()...)
 	}
-	if d, err := o.GetData("select:end"); err == nil {
+	if d, err := o.GetData(keySelectEnd); err == nil {
 		if d.DType() != core.DTypeUint64 {
 			return fmt.Errorf("%w: select:end must be uint64 data", core.ErrInvalidOption)
 		}

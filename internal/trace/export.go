@@ -68,7 +68,7 @@ func WriteChromeTraceFile(path string) error {
 		return err
 	}
 	if err := WriteChromeTrace(f, Snapshot()); err != nil {
-		f.Close()
+		_ = f.Close() // the encode error is the one worth reporting
 		return err
 	}
 	return f.Close()

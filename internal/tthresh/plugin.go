@@ -6,8 +6,13 @@ import (
 	"pressio/internal/core"
 )
 
+// Option keys the tthresh plugin owns.
+const (
+	keyEps = "tthresh:eps"
+)
+
 // plugin adapts tthresh to the framework. tthresh targets a relative
-// Frobenius-norm error ("tthresh:eps") rather than a pointwise bound —
+// Frobenius-norm error (keyEps) rather than a pointwise bound —
 // another example of bound-semantics diversity the uniform interface must
 // surface through introspection rather than pretend away.
 type plugin struct {
@@ -26,13 +31,13 @@ func (p *plugin) Version() string { return Version }
 
 func (p *plugin) Options() *core.Options {
 	o := core.NewOptions()
-	o.SetValue("tthresh:eps", p.eps)
+	o.SetValue(keyEps, p.eps)
 	o.SetValue(core.KeyLossless, p.level)
 	return o
 }
 
 func (p *plugin) SetOptions(o *core.Options) error {
-	if v, err := o.GetFloat64("tthresh:eps"); err == nil {
+	if v, err := o.GetFloat64(keyEps); err == nil {
 		p.eps = v
 	}
 	if v, err := o.GetInt32(core.KeyLossless); err == nil {

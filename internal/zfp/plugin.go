@@ -18,6 +18,14 @@ type plugin struct {
 	relBound  float64 // when > 0, resolve tolerance from the value range
 }
 
+// Option keys the zfp plugin owns, declared once so spellings cannot drift.
+const (
+	keyMode      = "zfp:mode"
+	keyRate      = "zfp:rate"
+	keyPrecision = "zfp:precision"
+	keyAccuracy  = "zfp:accuracy"
+)
+
 func init() {
 	core.RegisterCompressor("zfp", func() core.CompressorPlugin {
 		return &plugin{mode: ModeFixedAccuracy, tolerance: 1e-3, rate: 16, precision: 32}
@@ -29,10 +37,10 @@ func (p *plugin) Version() string { return Version }
 
 func (p *plugin) Options() *core.Options {
 	o := core.NewOptions()
-	o.SetValue("zfp:mode", p.mode.String())
-	o.SetValue("zfp:rate", p.rate)
-	o.SetValue("zfp:precision", uint64(p.precision))
-	o.SetValue("zfp:accuracy", p.tolerance)
+	o.SetValue(keyMode, p.mode.String())
+	o.SetValue(keyRate, p.rate)
+	o.SetValue(keyPrecision, uint64(p.precision))
+	o.SetValue(keyAccuracy, p.tolerance)
 	if p.relBound > 0 {
 		o.SetValue(core.KeyRel, p.relBound)
 		o.SetType(core.KeyAbs, core.OptDouble)
@@ -44,29 +52,29 @@ func (p *plugin) Options() *core.Options {
 }
 
 func (p *plugin) SetOptions(o *core.Options) error {
-	if s, err := o.GetString("zfp:mode"); err == nil {
+	if s, err := o.GetString(keyMode); err == nil {
 		m, err := ParseMode(s)
 		if err != nil {
 			return err
 		}
 		p.mode = m
 	}
-	if v, err := o.GetFloat64("zfp:rate"); err == nil {
+	if v, err := o.GetFloat64(keyRate); err == nil {
 		p.rate = v
-		if !o.Has("zfp:mode") {
+		if !o.Has(keyMode) {
 			p.mode = ModeFixedRate
 		}
 	}
-	if v, err := o.GetUint64("zfp:precision"); err == nil {
+	if v, err := o.GetUint64(keyPrecision); err == nil {
 		p.precision = uint(v)
-		if !o.Has("zfp:mode") {
+		if !o.Has(keyMode) {
 			p.mode = ModeFixedPrecision
 		}
 	}
-	if v, err := o.GetFloat64("zfp:accuracy"); err == nil {
+	if v, err := o.GetFloat64(keyAccuracy); err == nil {
 		p.tolerance = v
 		p.relBound = 0
-		if !o.Has("zfp:mode") {
+		if !o.Has(keyMode) {
 			p.mode = ModeFixedAccuracy
 		}
 	}

@@ -1,6 +1,6 @@
 #!/bin/sh
-# Tier-2 quality gate: build + vet the whole module, race-test the
-# concurrency-sensitive packages (the tracing layer, the parallel
+# Tier-2 quality gate: build + vet + pressiolint the whole module, race-test
+# the concurrency-sensitive packages (the tracing layer, the parallel
 # meta-compressors, and the core wrapper), and run the disabled-tracing
 # overhead benchmark that guards the "near-zero cost when off" promise.
 #
@@ -14,6 +14,9 @@ go build ./...
 
 echo "==> go vet ./..."
 go vet ./...
+
+echo "==> pressiolint ./..."
+go run ./cmd/pressiolint ./...
 
 echo "==> go test -race (trace, meta, core)"
 go test -race ./internal/trace/... ./internal/meta/... ./internal/core/...
