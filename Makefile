@@ -10,7 +10,10 @@ test:
 
 # Static analysis: pressiolint enforces the plugin invariants (option-key
 # constants, init-time registration, thread-safety honesty, handled errors,
-# deterministic codecs). See docs/STATIC_ANALYSIS.md.
+# deterministic codecs) plus the flow-sensitive rules (lock pairing, buffer
+# ownership, option/type consistency, error-path write ordering). Use
+# `-json` or `-sarif` for machine-readable output. See
+# docs/STATIC_ANALYSIS.md.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/pressiolint ./...

@@ -45,9 +45,13 @@ type Analyzer struct {
 	Run func(pass *Pass)
 }
 
-// Analyzers returns the full suite in stable order.
+// Analyzers returns the full suite in stable order: the five syntactic
+// checks, then the four flow-sensitive ones built on the CFG/dataflow layer.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{OptionKeys, Registration, ThreadSafe, ErrCheck, Forbidden}
+	return []*Analyzer{
+		OptionKeys, Registration, ThreadSafe, ErrCheck, Forbidden,
+		LockCheck, BufAlias, OptionTypes, ErrFlow,
+	}
 }
 
 // Pass carries one analyzer's view of one package.

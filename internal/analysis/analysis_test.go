@@ -15,7 +15,10 @@ func TestDiagnosticString(t *testing.T) {
 }
 
 func TestAnalyzersStable(t *testing.T) {
-	want := []string{"optionkeys", "registration", "threadsafe", "errcheck", "forbidden"}
+	want := []string{
+		"optionkeys", "registration", "threadsafe", "errcheck", "forbidden",
+		"lockcheck", "bufalias", "optiontypes", "errflow",
+	}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,422 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the generic half of the flow-sensitive layer: a forward
+// worklist solver over the CFGs built in cfg.go, plus the two reusable fact
+// domains the analyzers share — reaching definitions and the small helpers
+// for walking statements without descending into nested function literals.
+// Analyzers define a FlowProblem (entry fact, transfer, join) and read the
+// solved per-block facts back; path-sensitivity comes from the join: a fact
+// that differs between two predecessors merges per the problem's lattice
+// instead of being decided by source order.
+
+// FlowProblem is one forward dataflow problem. Facts are opaque to the
+// solver; nil is the bottom element ("block not reached yet") and Join is
+// never called with nil arguments.
+type FlowProblem interface {
+	// EntryFact is the fact at function entry.
+	EntryFact() any
+	// Transfer applies one statement/expression node. It must treat fact as
+	// immutable and return a fresh value when the node changes it.
+	Transfer(fact any, n ast.Node) any
+	// Join merges facts flowing in from two predecessors (the lattice join:
+	// union for may-analyses, intersection for must-analyses).
+	Join(a, b any) any
+	// Equal reports whether two facts are the same, bounding the fixpoint
+	// iteration.
+	Equal(a, b any) bool
+}
+
+// FlowResult holds the solved facts at the entry and exit of every block.
+// Unreachable blocks keep nil facts.
+type FlowResult struct {
+	In  map[*Block]any
+	Out map[*Block]any
+}
+
+// Solve runs the worklist algorithm to a fixpoint. Termination is the
+// problem's responsibility: Join must be monotone over a finite lattice
+// (all the in-tree domains are finite sets of syntactic positions or
+// objects).
+func Solve(cfg *CFG, p FlowProblem) *FlowResult {
+	res := &FlowResult{In: make(map[*Block]any), Out: make(map[*Block]any)}
+	res.In[cfg.Entry] = p.EntryFact()
+
+	work := make([]*Block, 0, len(cfg.Blocks))
+	queued := make(map[*Block]bool)
+	push := func(b *Block) {
+		if !queued[b] {
+			queued[b] = true
+			work = append(work, b)
+		}
+	}
+	push(cfg.Entry)
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		queued[blk] = false
+
+		in := res.In[blk]
+		if blk != cfg.Entry {
+			in = nil
+			for _, pred := range blk.Preds {
+				out := res.Out[pred]
+				if out == nil {
+					continue
+				}
+				if in == nil {
+					in = out
+				} else {
+					in = p.Join(in, out)
+				}
+			}
+			if in == nil {
+				continue // not reached yet
+			}
+			res.In[blk] = in
+		}
+		out := in
+		for _, n := range blk.Nodes {
+			out = p.Transfer(out, n)
+		}
+		if old, ok := res.Out[blk]; !ok || !p.Equal(old, out) {
+			res.Out[blk] = out
+			for _, s := range blk.Succs {
+				push(s)
+			}
+		}
+	}
+	return res
+}
+
+// WalkFacts replays the transfer function over every reachable block,
+// calling visit with the fact holding immediately BEFORE each node. This is
+// how analyzers inspect program points inside blocks after solving.
+func WalkFacts(cfg *CFG, p FlowProblem, res *FlowResult, visit func(fact any, n ast.Node)) {
+	for _, blk := range cfg.Blocks {
+		fact, ok := res.In[blk]
+		if !ok || fact == nil {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			visit(fact, n)
+			fact = p.Transfer(fact, n)
+		}
+	}
+}
+
+// ExitFact returns the joined fact at the synthetic exit block (nil when no
+// path reaches the end of the function, e.g. an infinite loop).
+func ExitFact(res *FlowResult, cfg *CFG) any {
+	return res.In[cfg.Exit]
+}
+
+// ---------------------------------------------------------------------------
+// Reaching definitions
+
+// Definition is one assignment (or declaration) of a variable that may
+// reach a program point.
+type Definition struct {
+	// Pos locates the defining assignment.
+	Pos token.Pos
+	// Rhs is the defining expression; nil for definitions with no single
+	// expression (var declarations without initializers, ++/--, parameters).
+	Rhs ast.Expr
+	// Param marks the entry-seeded definition of a parameter, whose value is
+	// caller-controlled (unlike a zero-valued var declaration, which also
+	// has a nil Rhs).
+	Param bool
+}
+
+// ReachingDefs is the classic reaching-definitions domain over go/types
+// variable objects: at each point, the set of definitions of each local
+// variable that may have produced its current value. Assignments to a whole
+// variable kill prior definitions (strong update — the object is a single
+// variable, not an alias set).
+type ReachingDefs struct {
+	Info *types.Info
+	// Params seed entry definitions (parameters are defined at entry).
+	Params []*types.Var
+}
+
+// rdFact maps a variable to the set of its possibly-current definitions.
+type rdFact map[*types.Var]map[Definition]bool
+
+func (r *ReachingDefs) EntryFact() any {
+	f := rdFact{}
+	for _, p := range r.Params {
+		f[p] = map[Definition]bool{{Pos: p.Pos(), Param: true}: true}
+	}
+	return f
+}
+
+func (r *ReachingDefs) Transfer(fact any, n ast.Node) any {
+	f := fact.(rdFact)
+	var out rdFact
+	gen := func(v *types.Var, d Definition) {
+		if out == nil {
+			out = make(rdFact, len(f)+1)
+			for k, s := range f {
+				out[k] = s
+			}
+		}
+		out[v] = map[Definition]bool{d: true}
+	}
+	inspectNoFuncLit(n, func(m ast.Node) bool {
+		switch st := m.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue // x.f = ..., x[i] = ...: not a whole-variable def
+				}
+				v := r.varOf(id)
+				if v == nil {
+					continue
+				}
+				var rhs ast.Expr
+				if len(st.Rhs) == len(st.Lhs) {
+					rhs = st.Rhs[i]
+				} else if len(st.Rhs) == 1 {
+					rhs = st.Rhs[0]
+				}
+				gen(v, Definition{Pos: lhs.Pos(), Rhs: rhs})
+			}
+		case *ast.IncDecStmt:
+			if id, ok := st.X.(*ast.Ident); ok {
+				if v := r.varOf(id); v != nil {
+					gen(v, Definition{Pos: st.Pos()})
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range st.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					v := r.varOf(name)
+					if v == nil {
+						continue
+					}
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					gen(v, Definition{Pos: name.Pos(), Rhs: rhs})
+				}
+			}
+		}
+		return true
+	})
+	if out == nil {
+		return f
+	}
+	return out
+}
+
+func (r *ReachingDefs) varOf(id *ast.Ident) *types.Var {
+	if r.Info == nil {
+		return nil
+	}
+	obj := r.Info.ObjectOf(id)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	return v
+}
+
+func (r *ReachingDefs) Join(a, b any) any {
+	fa, fb := a.(rdFact), b.(rdFact)
+	out := make(rdFact, len(fa))
+	for v, defs := range fa {
+		out[v] = defs
+	}
+	for v, defs := range fb {
+		if cur, ok := out[v]; ok {
+			merged := make(map[Definition]bool, len(cur)+len(defs))
+			for d := range cur {
+				merged[d] = true
+			}
+			for d := range defs {
+				merged[d] = true
+			}
+			out[v] = merged
+		} else {
+			out[v] = defs
+		}
+	}
+	return out
+}
+
+func (r *ReachingDefs) Equal(a, b any) bool {
+	fa, fb := a.(rdFact), b.(rdFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for v, da := range fa {
+		db, ok := fb[v]
+		if !ok || len(da) != len(db) {
+			return false
+		}
+		for d := range da {
+			if !db[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// DefsOf returns the reaching definitions of the variable named by id in
+// the given fact (nil when unknown).
+func (r *ReachingDefs) DefsOf(fact any, id *ast.Ident) map[Definition]bool {
+	if fact == nil {
+		return nil
+	}
+	v := r.varOf(id)
+	if v == nil {
+		return nil
+	}
+	return fact.(rdFact)[v]
+}
+
+// ---------------------------------------------------------------------------
+// Function units and shared walking helpers
+
+// FuncUnit is one analyzable function body: a declared function/method or a
+// function literal. Literals are separate units because their bodies do not
+// execute where they appear.
+type FuncUnit struct {
+	// Name labels diagnostics: the declared name, or "function literal".
+	Name string
+	// Decl is the enclosing FuncDecl (nil for literals not inside one).
+	Decl *ast.FuncDecl
+	// Lit is non-nil for function-literal units.
+	Lit *ast.FuncLit
+	// Body is the unit's block.
+	Body *ast.BlockStmt
+	// OnceGuard is the rendered receiver of x.Do(unit) when the literal is
+	// the argument of a Do call (sync.Once idiom): the unit runs with that
+	// guard conceptually held.
+	OnceGuard string
+}
+
+// funcUnits enumerates every function body in a file: declarations plus all
+// nested function literals (each exactly once, tagged with its enclosing
+// declaration when there is one).
+func funcUnits(f *ast.File) []FuncUnit {
+	var units []FuncUnit
+	for _, decl := range f.Decls {
+		fd, isFunc := decl.(*ast.FuncDecl)
+		if isFunc && fd.Body != nil {
+			units = append(units, FuncUnit{Name: fd.Name.Name, Decl: fd, Body: fd.Body})
+		}
+		encl := fd
+		if !isFunc {
+			encl = nil
+		}
+		ast.Inspect(decl, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok || lit.Body == nil {
+				return true
+			}
+			name := "function literal"
+			if encl != nil {
+				name = "function literal in " + encl.Name.Name
+			}
+			units = append(units, FuncUnit{Name: name, Decl: encl, Lit: lit, Body: lit.Body})
+			return true
+		})
+	}
+	// Tag Once.Do-style guarded literals.
+	for _, decl := range f.Decls {
+		ast.Inspect(decl, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Do" {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			for i := range units {
+				if units[i].Lit == lit {
+					units[i].OnceGuard = exprKey(sel.X)
+				}
+			}
+			return true
+		})
+	}
+	return units
+}
+
+// inspectNoFuncLit walks n like ast.Inspect but does not descend into
+// function literals: their bodies execute elsewhere, so their statements
+// must not leak into the enclosing unit's transfer functions. The FuncLit
+// node itself is still visited.
+func inspectNoFuncLit(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if !f(m) {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != n {
+			return false
+		}
+		return true
+	})
+}
+
+// exprKey renders an lvalue-ish expression as a stable intra-function key:
+// mu -> "mu", p.mu -> "p.mu", global.mu -> "global.mu". Unrenderable
+// expressions yield "".
+func exprKey(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprKey(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	case *ast.ParenExpr:
+		return exprKey(x.X)
+	case *ast.StarExpr:
+		return exprKey(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return exprKey(x.X)
+		}
+	case *ast.IndexExpr:
+		base := exprKey(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "[...]"
+	}
+	return ""
+}
+
+// cfgName labels a unit's CFG for dumps and diagnostics.
+func cfgName(fset *token.FileSet, u FuncUnit) string {
+	if u.Lit == nil {
+		return u.Name
+	}
+	pos := fset.Position(u.Lit.Pos())
+	return fmt.Sprintf("%s at line %d", u.Name, pos.Line)
+}

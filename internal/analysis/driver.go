@@ -23,11 +23,12 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pressiolint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	sarifOut := fs.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0")
 	runList := fs.String("run", "", "comma-separated analyzer subset (default: all)")
 	listOnly := fs.Bool("analyzers", false, "list analyzers and exit")
 	verbose := fs.Bool("v", false, "print soft type-check warnings to stderr")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: pressiolint [-json] [-run a,b] [-v] [packages]")
+		fmt.Fprintln(stderr, "usage: pressiolint [-json|-sarif] [-run a,b] [-v] [packages]")
 		fmt.Fprintln(stderr, "packages are directories; a trailing /... recurses (default ./...)")
 		fs.PrintDefaults()
 	}
@@ -99,14 +100,20 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	}
 
 	diags := Run(pkgs, analyzers, root)
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		if err := WriteSARIF(stdout, analyzers, diags); err != nil {
+			fmt.Fprintln(stderr, "pressiolint:", err)
+			return 2
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(jsonReport{Diagnostics: diags, Count: len(diags)}); err != nil {
 			fmt.Fprintln(stderr, "pressiolint:", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}

@@ -28,6 +28,14 @@ var goldenCases = []struct {
 	{"errcheck_suppressed", "errcheck"},
 	{"forbidden_bad", "forbidden"},
 	{"forbidden_suppressed", "forbidden"},
+	{"lockcheck_bad", "lockcheck"},
+	{"lockcheck_suppressed", "lockcheck"},
+	{"bufalias_bad", "bufalias"},
+	{"bufalias_suppressed", "bufalias"},
+	{"optiontypes_bad", "optiontypes"},
+	{"optiontypes_suppressed", "optiontypes"},
+	{"errflow_bad", "errflow"},
+	{"errflow_suppressed", "errflow"},
 }
 
 func analyzerByName(t *testing.T, name string) *Analyzer {

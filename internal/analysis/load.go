@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed and type-checked package. Test files
@@ -86,8 +87,54 @@ func modulePath(gomod string) (string, error) {
 	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
 }
 
-// NewLoader builds a loader rooted at the module containing moduleRoot.
+// The standard-library importer is process-global: type-checking GOROOT from
+// source dominates whole-module lint time, and the results are identical for
+// every Loader in the process (GOROOT does not change underneath us). Sharing
+// one importer means the stdlib is checked at most once per process instead
+// of once per Loader — every CLI invocation, golden-test case and benchmark
+// iteration after the first reuses the cache. The stdlib packages carry
+// positions in their own private FileSet; that is fine because diagnostics
+// only ever point into module sources, which live in the Loader's FileSet.
+var (
+	stdImporterOnce sync.Once
+	stdImporter     types.Importer
+)
+
+// sharedStdImporter returns the lazily-built global GOROOT source importer.
+func sharedStdImporter() types.Importer {
+	stdImporterOnce.Do(func() {
+		stdImporter = &lockedImporter{
+			imp: importer.ForCompiler(token.NewFileSet(), "source", nil),
+		}
+	})
+	return stdImporter
+}
+
+// lockedImporter serializes access to the wrapped importer: the go/importer
+// source implementation mutates its package cache on Import and is not safe
+// for concurrent use, but the global importer may be reached from parallel
+// tests.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.Import(path)
+}
+
+// NewLoader builds a loader rooted at the module containing moduleRoot. All
+// loaders share the process-global standard-library importer.
 func NewLoader(moduleRoot string) (*Loader, error) {
+	return newLoaderWithStd(moduleRoot, sharedStdImporter())
+}
+
+// newLoaderWithStd is NewLoader with an explicit standard-library importer,
+// so benchmarks can measure a cold (per-loader) importer against the shared
+// one.
+func newLoaderWithStd(moduleRoot string, std types.Importer) (*Loader, error) {
 	root, err := filepath.Abs(moduleRoot)
 	if err != nil {
 		return nil, err
@@ -96,12 +143,11 @@ func NewLoader(moduleRoot string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
 	return &Loader{
-		Fset:       fset,
+		Fset:       token.NewFileSet(),
 		ModuleRoot: root,
 		ModulePath: mod,
-		std:        importer.ForCompiler(fset, "source", nil),
+		std:        std,
 		pkgs:       make(map[string]*Package),
 		loading:    make(map[string]bool),
 	}, nil

@@ -1,0 +1,351 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockCheck verifies the lock-pairing half of the thread-safety contract
+// path-sensitively: every mu.Lock() / mu.RLock() must be matched by the
+// corresponding Unlock on ALL paths out of the function. The old syntactic
+// threadsafe scan only asked "is there a lock earlier in the source"; a
+// missing Unlock hidden behind one branch (an early return inside the
+// critical section) sailed through it. LockCheck builds the function's CFG,
+// runs a may-analysis whose facts are the set of still-unreleased
+// acquisition sites, and reports any acquisition that reaches the exit
+// block. A `defer mu.Unlock()` (direct or inside a deferred closure)
+// releases on every path by construction and is the preferred fix.
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "every Lock/RLock must be paired with an Unlock/RUnlock on all paths out of the function",
+	Run:  runLockCheck,
+}
+
+// lockOp classifies one mutex call site.
+type lockOp struct {
+	key     string // rendered receiver, e.g. "mu", "p.mu", "global.mu"
+	read    bool   // RLock/RUnlock
+	acquire bool   // Lock/RLock vs Unlock/RUnlock
+}
+
+// classifyLockCall recognizes <recv>.Lock/Unlock/RLock/RUnlock() calls on
+// mutex-like receivers. The receiver must render to a stable key and (when
+// type information is available) have a mutex-like type, so unrelated
+// Lock methods (e.g. a file-locking API) are left alone.
+func classifyLockCall(pkg *Package, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return lockOp{}, false
+	}
+	var op lockOp
+	switch sel.Sel.Name {
+	case "Lock":
+		op = lockOp{acquire: true}
+	case "Unlock":
+		op = lockOp{}
+	case "RLock":
+		op = lockOp{read: true, acquire: true}
+	case "RUnlock":
+		op = lockOp{read: true}
+	default:
+		return lockOp{}, false
+	}
+	op.key = exprKey(sel.X)
+	if op.key == "" {
+		return lockOp{}, false
+	}
+	if !mutexLikeRecv(pkg, sel.X) {
+		return lockOp{}, false
+	}
+	return op, true
+}
+
+// mutexLikeRecv reports whether the expression's static type looks like a
+// lock (sync.Mutex, sync.RWMutex, sync.Locker, or any type whose name ends
+// in Mutex or Locker — fixtures model the API locally). Without type
+// information it answers true: the method-name filter already did the
+// heavy lifting.
+func mutexLikeRecv(pkg *Package, e ast.Expr) bool {
+	if pkg.Info == nil {
+		return true
+	}
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	name := named.Obj().Name()
+	return strings.HasSuffix(name, "Mutex") || strings.HasSuffix(name, "Locker") || name == "Once"
+}
+
+// ---------------------------------------------------------------------------
+// May-unreleased analysis (lockcheck)
+
+// acqSite is one acquisition that has not (yet) been released.
+type acqSite struct {
+	key  string
+	read bool
+	pos  token.Pos
+}
+
+// lockPairFact is the may-analysis fact: acquisitions possibly still held,
+// plus the lock keys for which a deferred release is registered (a later
+// Lock of such a key is already paired).
+type lockPairFact struct {
+	pending  map[acqSite]bool
+	deferred map[string]bool // key + "/r" marker for read locks
+}
+
+func deferKey(key string, read bool) string {
+	if read {
+		return key + "/r"
+	}
+	return key
+}
+
+func (f lockPairFact) clone() lockPairFact {
+	out := lockPairFact{
+		pending:  make(map[acqSite]bool, len(f.pending)),
+		deferred: make(map[string]bool, len(f.deferred)),
+	}
+	for k := range f.pending {
+		out.pending[k] = true
+	}
+	for k := range f.deferred {
+		out.deferred[k] = true
+	}
+	return out
+}
+
+type lockPairProblem struct {
+	pkg *Package
+}
+
+func (p *lockPairProblem) EntryFact() any {
+	return lockPairFact{pending: map[acqSite]bool{}, deferred: map[string]bool{}}
+}
+
+func (p *lockPairProblem) Transfer(fact any, n ast.Node) any {
+	f := fact.(lockPairFact)
+	out := f
+	mutated := false
+	ensure := func() {
+		if !mutated {
+			out = f.clone()
+			mutated = true
+		}
+	}
+	release := func(key string, read bool) {
+		ensure()
+		for site := range out.pending {
+			if site.key == key && site.read == read {
+				delete(out.pending, site)
+			}
+		}
+	}
+	if def, ok := n.(*ast.DeferStmt); ok {
+		// defer mu.Unlock() — or a deferred closure that unlocks — releases
+		// on every path out of the function.
+		for _, op := range deferredReleases(p.pkg, def) {
+			release(op.key, op.read)
+			ensure()
+			out.deferred[deferKey(op.key, op.read)] = true
+		}
+		return out
+	}
+	inspectNoFuncLit(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, ok := classifyLockCall(p.pkg, call)
+		if !ok {
+			return true
+		}
+		if op.acquire {
+			if out.deferred[deferKey(op.key, op.read)] {
+				return true // already paired by a registered deferred release
+			}
+			ensure()
+			out.pending[acqSite{key: op.key, read: op.read, pos: call.Pos()}] = true
+		} else {
+			release(op.key, op.read)
+		}
+		return true
+	})
+	return out
+}
+
+// deferredReleases lists the unlock operations a defer statement registers:
+// the direct `defer mu.Unlock()` form and unlocks inside `defer func(){...}()`.
+func deferredReleases(pkg *Package, def *ast.DeferStmt) []lockOp {
+	var ops []lockOp
+	if op, ok := classifyLockCall(pkg, def.Call); ok && !op.acquire {
+		ops = append(ops, op)
+	}
+	if lit, ok := def.Call.Fun.(*ast.FuncLit); ok && lit.Body != nil {
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if op, ok := classifyLockCall(pkg, call); ok && !op.acquire {
+					ops = append(ops, op)
+				}
+			}
+			return true
+		})
+	}
+	return ops
+}
+
+func (p *lockPairProblem) Join(a, b any) any {
+	fa, fb := a.(lockPairFact), b.(lockPairFact)
+	out := fa.clone()
+	for k := range fb.pending {
+		out.pending[k] = true
+	}
+	for k := range fb.deferred {
+		out.deferred[k] = true
+	}
+	return out
+}
+
+func (p *lockPairProblem) Equal(a, b any) bool {
+	fa, fb := a.(lockPairFact), b.(lockPairFact)
+	if len(fa.pending) != len(fb.pending) || len(fa.deferred) != len(fb.deferred) {
+		return false
+	}
+	for k := range fa.pending {
+		if !fb.pending[k] {
+			return false
+		}
+	}
+	for k := range fa.deferred {
+		if !fb.deferred[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func runLockCheck(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, unit := range funcUnits(f) {
+			cfg := BuildCFG(cfgName(pass.Pkg.Fset, unit), unit.Body)
+			problem := &lockPairProblem{pkg: pass.Pkg}
+			res := Solve(cfg, problem)
+			exit := ExitFact(res, cfg)
+			if exit == nil {
+				continue // no path reaches the end (e.g. infinite loop)
+			}
+			leaks := exit.(lockPairFact)
+			var sites []acqSite
+			for site := range leaks.pending {
+				sites = append(sites, site)
+			}
+			sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+			for _, site := range sites {
+				lockName, unlockName := "Lock", "Unlock"
+				if site.read {
+					lockName, unlockName = "RLock", "RUnlock"
+				}
+				pass.Reportf(site.pos,
+					"%s.%s() is not released on every path out of %s: add the missing %s or prefer defer %s.%s()",
+					site.key, lockName, cfg.Name, unlockName, site.key, unlockName)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Must-held analysis (shared with the threadsafe analyzer)
+
+// heldFact is the must-analysis fact: the set of lock keys held on EVERY
+// path reaching a point. Join is set intersection.
+type heldFact map[string]bool
+
+type heldLocksProblem struct {
+	pkg   *Package
+	entry heldFact
+}
+
+// newHeldLocksProblem prepares the must-held problem for one unit. A
+// function literal passed to x.Do(...) starts with the Once guard held —
+// the runtime serializes it.
+func newHeldLocksProblem(pkg *Package, unit FuncUnit) *heldLocksProblem {
+	entry := heldFact{}
+	if unit.OnceGuard != "" {
+		entry[unit.OnceGuard] = true
+	}
+	return &heldLocksProblem{pkg: pkg, entry: entry}
+}
+
+func (p *heldLocksProblem) EntryFact() any { return p.entry }
+
+func (p *heldLocksProblem) Transfer(fact any, n ast.Node) any {
+	f := fact.(heldFact)
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return f // a deferred Unlock releases at exit; the lock stays held here
+	}
+	out := f
+	mutated := false
+	ensure := func() {
+		if !mutated {
+			out = make(heldFact, len(f))
+			for k := range f {
+				out[k] = true
+			}
+			mutated = true
+		}
+	}
+	inspectNoFuncLit(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		op, ok := classifyLockCall(p.pkg, call)
+		if !ok {
+			return true
+		}
+		ensure()
+		if op.acquire {
+			out[op.key] = true
+		} else {
+			delete(out, op.key)
+		}
+		return true
+	})
+	return out
+}
+
+func (p *heldLocksProblem) Join(a, b any) any {
+	fa, fb := a.(heldFact), b.(heldFact)
+	out := make(heldFact)
+	for k := range fa {
+		if fb[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (p *heldLocksProblem) Equal(a, b any) bool {
+	fa, fb := a.(heldFact), b.(heldFact)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for k := range fa {
+		if !fb[k] {
+			return false
+		}
+	}
+	return true
+}

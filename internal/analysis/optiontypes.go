@@ -1,0 +1,488 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"pressio/internal/core"
+)
+
+// OptionTypes cross-checks a plugin's option surface: the type an option is
+// declared with in Options() must be readable by the getter SetOptions()
+// uses for the same key (identical, or a lossless implicit widening), and
+// every option declared in Options() must actually be consumed somewhere in
+// SetOptions() — a declared-but-never-read key is a dead option that
+// silently ignores user configuration. Keys are resolved flow-sensitively:
+// constant expressions fold via go/types, `p.name + ":suffix"` normalizes to
+// a prefix wildcard, and local key variables resolve through reaching
+// definitions on the method's CFG. The dead-option check stands down when
+// the options object escapes into a helper (e.g. BoundConfig.ApplyOptions)
+// whose reads this intraprocedural pass cannot see.
+var OptionTypes = &Analyzer{
+	Name: "optiontypes",
+	Doc:  "option types declared in Options() must match the types read in SetOptions(); dead options are diagnosed",
+	Run:  runOptionTypes,
+}
+
+// getterTypes maps Options getter methods to the option kind they demand.
+// Get/Has/Delete read a key without constraining its type.
+var getterTypes = map[string]core.OptionType{
+	"GetInt64":   core.OptInt64,
+	"GetInt32":   core.OptInt32,
+	"GetUint64":  core.OptUint64,
+	"GetFloat64": core.OptDouble,
+	"GetString":  core.OptString,
+	"GetStrings": core.OptStrings,
+	"GetData":    core.OptData,
+	"GetUserPtr": core.OptUserPtr,
+}
+
+// untypedReads read a key without demanding a kind.
+var untypedReads = map[string]bool{"Get": true, "Has": true, "Delete": true}
+
+// optTypeNames resolves OptXxx identifiers appearing as SetType/TypedOption
+// arguments.
+var optTypeNames = map[string]core.OptionType{
+	"OptInt8": core.OptInt8, "OptInt16": core.OptInt16,
+	"OptInt32": core.OptInt32, "OptInt64": core.OptInt64,
+	"OptUint8": core.OptUint8, "OptUint16": core.OptUint16,
+	"OptUint32": core.OptUint32, "OptUint64": core.OptUint64,
+	"OptFloat": core.OptFloat, "OptDouble": core.OptDouble,
+	"OptString": core.OptString, "OptStrings": core.OptStrings,
+	"OptData": core.OptData, "OptUserPtr": core.OptUserPtr,
+}
+
+// optDecl is one key declared in Options().
+type optDecl struct {
+	pos      token.Pos
+	typ      core.OptionType
+	typKnown bool
+}
+
+// optRead is one key consumed in SetOptions().
+type optRead struct {
+	pos   token.Pos
+	typ   core.OptionType
+	typed bool
+}
+
+func runOptionTypes(pass *Pass) {
+	if pass.Pkg.Info == nil {
+		return // key folding and value typing need go/types
+	}
+	type pair struct {
+		options    *ast.FuncDecl
+		setOptions *ast.FuncDecl
+	}
+	byRecv := map[string]*pair{}
+	order := []string{}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recv := recvTypeKey(fd)
+			if recv == "" {
+				continue
+			}
+			switch fd.Name.Name {
+			case "Options", "SetOptions":
+				if byRecv[recv] == nil {
+					byRecv[recv] = &pair{}
+					order = append(order, recv)
+				}
+				if fd.Name.Name == "Options" {
+					byRecv[recv].options = fd
+				} else {
+					byRecv[recv].setOptions = fd
+				}
+			}
+		}
+	}
+	sort.Strings(order)
+	for _, recv := range order {
+		p := byRecv[recv]
+		if p.options == nil || p.setOptions == nil {
+			continue
+		}
+		checkOptionSurface(pass, recv, p.options, p.setOptions)
+	}
+}
+
+// recvTypeKey renders the receiver base type name of a method declaration.
+func recvTypeKey(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+func checkOptionSurface(pass *Pass, recv string, optFn, setFn *ast.FuncDecl) {
+	declared, declDynamic := collectDeclared(pass, optFn)
+	reads, readEscapes, readDynamic := collectReads(pass, setFn)
+
+	// Type agreement between each declared key and each typed read of it.
+	keys := make([]string, 0, len(reads))
+	for k := range reads {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		decl, ok := declared[key]
+		if !ok || !decl.typKnown {
+			continue
+		}
+		for _, read := range reads[key] {
+			if !read.typed || widensTo(decl.typ, read.typ) {
+				continue
+			}
+			pass.Reportf(read.pos,
+				"option %s is declared as %s in (%s).Options but SetOptions reads it as %s: declare and read compatible types",
+				displayKey(key), decl.typ, recv, read.typ)
+		}
+	}
+
+	// Dead options: declared keys never consumed. Unknown reads (escaping
+	// options object, unfoldable keys) make the read set incomplete, so the
+	// check stands down rather than guess.
+	if readEscapes || readDynamic || declDynamic {
+		return
+	}
+	keys = keys[:0]
+	for k := range declared {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if _, ok := reads[key]; ok {
+			continue
+		}
+		pass.Reportf(declared[key].pos,
+			"option %s is declared in (%s).Options but never read in SetOptions: dead option (honor it or drop it)",
+			displayKey(key), recv)
+	}
+}
+
+// collectDeclared walks Options() with reaching definitions and gathers
+// every key passed to SetValue/SetType/Set, with the option type implied by
+// the value expression. declDynamic reports keys that could not be folded.
+func collectDeclared(pass *Pass, fd *ast.FuncDecl) (map[string]optDecl, bool) {
+	declared := map[string]optDecl{}
+	dynamic := false
+	walkWithDefs(pass, fd, func(rd *ReachingDefs, fact any, call *ast.CallExpr) {
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) < 1 {
+			return
+		}
+		var typ core.OptionType
+		typKnown := false
+		switch sel.Sel.Name {
+		case "SetValue":
+			if len(call.Args) == 2 {
+				typ, typKnown = optionTypeOfGoType(exprType(pass, call.Args[1]))
+			}
+		case "SetType":
+			if len(call.Args) == 2 {
+				typ, typKnown = optTypeFromExpr(call.Args[1])
+			}
+		case "Set":
+			if len(call.Args) == 2 {
+				typ, typKnown = optTypeOfOptionExpr(pass, call.Args[1])
+			}
+		default:
+			return
+		}
+		key, ok := foldKey(pass, rd, fact, call.Args[0])
+		if !ok {
+			dynamic = true
+			return
+		}
+		if prev, exists := declared[key]; !exists || (!prev.typKnown && typKnown) {
+			declared[key] = optDecl{pos: call.Args[0].Pos(), typ: typ, typKnown: typKnown}
+		}
+	})
+	return declared, dynamic
+}
+
+// collectReads walks SetOptions() and gathers every key consumed through the
+// options parameter's getters. escapes reports the parameter being handed to
+// another function (its reads are invisible); dynamic reports unfoldable keys.
+func collectReads(pass *Pass, fd *ast.FuncDecl) (map[string][]optRead, bool, bool) {
+	reads := map[string][]optRead{}
+	escapes := false
+	dynamic := false
+	param := optionsParam(pass, fd)
+	walkWithDefs(pass, fd, func(rd *ReachingDefs, fact any, call *ast.CallExpr) {
+		// Does any argument forward the options parameter?
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && param != nil &&
+				pass.Pkg.Info.ObjectOf(id) == param {
+				escapes = true
+			}
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || len(call.Args) < 1 {
+			return
+		}
+		typ, typed := getterTypes[sel.Sel.Name]
+		if !typed && !untypedReads[sel.Sel.Name] {
+			return
+		}
+		// The receiver must be the options parameter (or any expression when
+		// the parameter could not be identified).
+		if param != nil {
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || pass.Pkg.Info.ObjectOf(id) != param {
+				return
+			}
+		}
+		key, ok := foldKey(pass, rd, fact, call.Args[0])
+		if !ok {
+			dynamic = true
+			return
+		}
+		reads[key] = append(reads[key], optRead{pos: call.Pos(), typ: typ, typed: typed})
+	})
+	return reads, escapes, dynamic
+}
+
+// optionsParam finds the *Options (pointer-typed) parameter of SetOptions.
+func optionsParam(pass *Pass, fd *ast.FuncDecl) types.Object {
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Pkg.Info.ObjectOf(name)
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Pointer); ok {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// walkWithDefs solves reaching definitions over fd's body and visits every
+// call expression with the incoming fact, without descending into nested
+// function literals.
+func walkWithDefs(pass *Pass, fd *ast.FuncDecl, visit func(rd *ReachingDefs, fact any, call *ast.CallExpr)) {
+	rd := &ReachingDefs{Info: pass.Pkg.Info, Params: paramVars(pass, fd)}
+	cfg := BuildCFG(fd.Name.Name, fd.Body)
+	res := Solve(cfg, rd)
+	WalkFacts(cfg, rd, res, func(fact any, n ast.Node) {
+		inspectNoFuncLit(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				visit(rd, fact, call)
+			}
+			return true
+		})
+	})
+}
+
+// paramVars lists the declared parameter (and receiver) objects of fd.
+func paramVars(pass *Pass, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if v, ok := pass.Pkg.Info.ObjectOf(name).(*types.Var); ok {
+					out = append(out, v)
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return out
+}
+
+// foldKey normalizes an option-key expression to a comparable string:
+// constants fold to their value, `<non-const> + ":suffix"` normalizes to the
+// wildcard "*:suffix" (the plugin-prefix idiom), and local variables resolve
+// through their reaching definitions when unambiguous.
+func foldKey(pass *Pass, rd *ReachingDefs, fact any, e ast.Expr) (string, bool) {
+	if s, ok := constString(pass, e); ok {
+		return s, true
+	}
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return foldKey(pass, rd, fact, x.X)
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD {
+			if suffix, ok := constString(pass, x.Y); ok {
+				return "*" + suffix, true
+			}
+		}
+	case *ast.Ident:
+		defs := rd.DefsOf(fact, x)
+		if len(defs) == 1 {
+			for d := range defs {
+				if d.Rhs != nil {
+					return foldKey(pass, rd, fact, d.Rhs)
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// constString evaluates e as a compile-time string constant.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// displayKey renders a normalized key for diagnostics, spelling the prefix
+// wildcard out.
+func displayKey(key string) string {
+	if len(key) > 0 && key[0] == '*' {
+		return "<prefix>" + key[1:]
+	}
+	return key
+}
+
+// optionTypeOfGoType maps a Go value type to the OptionType NewOption would
+// assign it.
+func optionTypeOfGoType(t types.Type) (core.OptionType, bool) {
+	if t == nil {
+		return core.OptUnset, false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Int8:
+			return core.OptInt8, true
+		case types.Int16:
+			return core.OptInt16, true
+		case types.Int32:
+			return core.OptInt32, true
+		case types.Int64, types.Int, types.UntypedInt:
+			return core.OptInt64, true
+		case types.Uint8:
+			return core.OptUint8, true
+		case types.Uint16:
+			return core.OptUint16, true
+		case types.Uint32:
+			return core.OptUint32, true
+		case types.Uint64, types.Uint, types.Uintptr:
+			return core.OptUint64, true
+		case types.Float32:
+			return core.OptFloat, true
+		case types.Float64, types.UntypedFloat:
+			return core.OptDouble, true
+		case types.String, types.UntypedString:
+			return core.OptString, true
+		}
+	case *types.Slice:
+		if b, ok := u.Elem().Underlying().(*types.Basic); ok && b.Kind() == types.String {
+			return core.OptStrings, true
+		}
+	case *types.Pointer:
+		if named, ok := u.Elem().(*types.Named); ok && named.Obj().Name() == "Data" {
+			return core.OptData, true
+		}
+	}
+	return core.OptUnset, false
+}
+
+// optTypeFromExpr resolves an OptXxx identifier or selector.
+func optTypeFromExpr(e ast.Expr) (core.OptionType, bool) {
+	name := ""
+	switch x := e.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	}
+	t, ok := optTypeNames[name]
+	return t, ok
+}
+
+// optTypeOfOptionExpr resolves the kind of an Option-valued expression:
+// NewOption(v) takes v's Go type, TypedOption(OptXxx) names it directly.
+func optTypeOfOptionExpr(pass *Pass, e ast.Expr) (core.OptionType, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return core.OptUnset, false
+	}
+	switch calleeName(call) {
+	case "NewOption":
+		return optionTypeOfGoType(exprType(pass, call.Args[0]))
+	case "TypedOption":
+		return optTypeFromExpr(call.Args[0])
+	}
+	return core.OptUnset, false
+}
+
+func exprType(pass *Pass, e ast.Expr) types.Type {
+	tv, ok := pass.Pkg.Info.Types[e]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// widensTo reports whether an option declared as `from` can be read with a
+// getter demanding `to` without any possible loss: identical kinds, integer
+// widening that preserves every value, exactly-representable float widening,
+// or string -> strings.
+func widensTo(from, to core.OptionType) bool {
+	if from == to {
+		return true
+	}
+	type intSpec struct {
+		bits   int
+		signed bool
+	}
+	ints := map[core.OptionType]intSpec{
+		core.OptInt8: {8, true}, core.OptInt16: {16, true},
+		core.OptInt32: {32, true}, core.OptInt64: {64, true},
+		core.OptUint8: {8, false}, core.OptUint16: {16, false},
+		core.OptUint32: {32, false}, core.OptUint64: {64, false},
+	}
+	src, srcInt := ints[from]
+	dst, dstInt := ints[to]
+	switch {
+	case srcInt && dstInt:
+		if src.signed == dst.signed {
+			return dst.bits >= src.bits
+		}
+		// unsigned -> strictly wider signed is lossless; signed -> unsigned
+		// never is.
+		return !src.signed && dst.signed && dst.bits > src.bits
+	case srcInt && to == core.OptDouble:
+		return src.bits <= 32 // every value exactly representable in float64
+	case srcInt && to == core.OptFloat:
+		return src.bits <= 16
+	case from == core.OptFloat && to == core.OptDouble:
+		return true
+	case from == core.OptString && to == core.OptStrings:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+// Package cfgfixtures holds function shapes exercising the CFG builder's
+// edge cases: goto (backward and forward), labeled break/continue, select
+// with and without default, fallthrough, and defer inside loops. The golden
+// dumps live in testdata/golden/cfg_dumps.txt; regenerate with
+// go test ./internal/analysis -run TestCFGDumps -update.
+package cfgfixtures
+
+import "sync"
+
+var mu sync.Mutex
+
+func gotoBackward(n int) int {
+	total := 0
+retry:
+	total += n
+	n--
+	if n > 0 {
+		goto retry
+	}
+	return total
+}
+
+func gotoForward(fail bool) int {
+	if fail {
+		goto out
+	}
+	mu.Lock()
+	mu.Unlock()
+out:
+	return 0
+}
+
+func labeledBreakContinue(grid [][]int) int {
+	sum := 0
+outer:
+	for i := 0; i < len(grid); i++ {
+		for _, v := range grid[i] {
+			if v < 0 {
+				continue outer
+			}
+			if v == 0 {
+				break outer
+			}
+			sum += v
+		}
+	}
+	return sum
+}
+
+func selectWithDefault(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return -1
+	}
+}
+
+func selectNoDefault(a, b chan int, done chan struct{}) int {
+	for {
+		select {
+		case v := <-a:
+			return v
+		case v := <-b:
+			return v
+		case <-done:
+			break
+		}
+	}
+}
+
+func deferInLoop(files []string) error {
+	for _, f := range files {
+		mu.Lock()
+		defer mu.Unlock()
+		if f == "" {
+			return nil
+		}
+	}
+	return nil
+}
+
+func fallthroughChain(v int) string {
+	out := ""
+	switch v {
+	case 0:
+		out += "zero "
+		fallthrough
+	case 1:
+		out += "small"
+	default:
+		out = "big"
+	}
+	return out
+}

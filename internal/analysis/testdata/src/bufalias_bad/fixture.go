@@ -1,0 +1,51 @@
+// Package bufalias_bad models the Data buffer API locally and violates the
+// buffer-ownership contract three ways: stashing the caller's input in
+// receiver state, stashing it in package state, and returning a slice that
+// aliases it. The copying variants (append into a fresh slice) must stay
+// unflagged, as must a buffer that is tainted and then rebound to a copy.
+package bufalias_bad
+
+// Data models the core buffer: a dtype-tagged byte slice.
+type Data struct {
+	buf  []byte
+	dims []uint64
+}
+
+func (d *Data) Bytes() []byte    { return d.buf }
+func (d *Data) Become(src *Data) { d.buf, d.dims = src.buf, src.dims }
+
+// NewBytes wraps b without copying.
+func NewBytes(b []byte) *Data { return &Data{buf: b, dims: []uint64{uint64(len(b))}} }
+
+var lastInput []byte
+
+type plugin struct {
+	scratch []byte
+	held    *Data
+}
+
+// CompressImpl retains the caller's buffer twice: in a receiver field and in
+// a package-level variable.
+func (p *plugin) CompressImpl(in, out *Data) error {
+	p.scratch = in.Bytes()
+	lastInput = in.Bytes()[:4]
+	out.Become(NewBytes(append([]byte(nil), in.Bytes()...)))
+	return nil
+}
+
+// Decompress returns a view of the input: the caller may mutate the input
+// afterwards and corrupt what it believes is decompressed output.
+func (p *plugin) Decompress(in, out *Data) []byte {
+	view := in.Bytes()
+	return view[2:]
+}
+
+// DecompressImpl copies before storing and rebinds the tainted local to the
+// copy before letting it escape: clean.
+func (p *plugin) DecompressImpl(in, out *Data) error {
+	buf := in.Bytes()
+	buf = append([]byte(nil), buf...)
+	p.scratch = buf
+	out.Become(NewBytes(buf))
+	return nil
+}

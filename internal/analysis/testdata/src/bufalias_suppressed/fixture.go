@@ -1,0 +1,20 @@
+// Package bufalias_suppressed waives a deliberate input retention with
+// //lint:ignore; the analyzer must report nothing. (The cache documents that
+// callers hand over ownership of the buffer.)
+package bufalias_suppressed
+
+type Data struct {
+	buf []byte
+}
+
+func (d *Data) Bytes() []byte { return d.buf }
+
+type plugin struct {
+	cache []byte
+}
+
+func (p *plugin) CompressImpl(in, out *Data) error {
+	//lint:ignore bufalias this codec documents take-ownership semantics for its input
+	p.cache = in.Bytes()
+	return nil
+}

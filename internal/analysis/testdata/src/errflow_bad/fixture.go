@@ -1,0 +1,50 @@
+// Package errflow_bad writes the output buffer before the last fallible
+// step: the short-input error path returns with a header already installed
+// in out, handing the caller partially-written output. The clean orderings
+// (validate first, write last; provably-nil error returns) must stay
+// unflagged.
+package errflow_bad
+
+import "errors"
+
+type Data struct {
+	buf  []byte
+	dims []uint64
+}
+
+func (d *Data) Bytes() []byte     { return d.buf }
+func (d *Data) ByteLen() uint64   { return uint64(len(d.buf)) }
+func (d *Data) SetBytes(b []byte) { d.buf = b }
+func (d *Data) Become(src *Data)  { d.buf, d.dims = src.buf, src.dims }
+
+var errShort = errors.New("short input")
+
+type plugin struct{}
+
+// DecompressImpl installs the header into out before validating the body:
+// the error return leaves partial output behind.
+func (p *plugin) DecompressImpl(in, out *Data) error {
+	out.SetBytes(in.Bytes()[:4])
+	if len(in.Bytes()) < 8 {
+		return errShort
+	}
+	out.SetBytes(in.Bytes()[4:])
+	return nil
+}
+
+// decodeInto returns an error variable that is provably nil on the only
+// path reaching the return: clean despite the write.
+func decodeInto(raw []byte, out *Data) error {
+	var err error
+	out.SetBytes(raw)
+	return err
+}
+
+// CompressImpl validates everything before touching out: clean.
+func (p *plugin) CompressImpl(in, out *Data) error {
+	if in.ByteLen() == 0 {
+		return errShort
+	}
+	out.SetBytes(in.Bytes())
+	return nil
+}

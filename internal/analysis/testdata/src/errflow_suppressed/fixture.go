@@ -1,0 +1,27 @@
+// Package errflow_suppressed waives a partial-output error return with
+// //lint:ignore; the analyzer must report nothing. (The format streams
+// directly into out by design and documents that failed calls leave it
+// undefined.)
+package errflow_suppressed
+
+import "errors"
+
+type Data struct {
+	buf []byte
+}
+
+func (d *Data) Bytes() []byte     { return d.buf }
+func (d *Data) SetBytes(b []byte) { d.buf = b }
+
+var errTruncated = errors.New("truncated stream")
+
+type plugin struct{}
+
+func (p *plugin) DecompressImpl(in, out *Data) error {
+	out.SetBytes(in.Bytes())
+	if len(in.Bytes()) == 0 {
+		//lint:ignore errflow streaming codec: out is documented as undefined after an error
+		return errTruncated
+	}
+	return nil
+}

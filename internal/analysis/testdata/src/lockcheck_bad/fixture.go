@@ -1,0 +1,77 @@
+// Package lockcheck_bad holds lock-pairing bugs that are invisible to a
+// syntactic scan: every Lock has an Unlock *somewhere* in the function, but
+// a branch escapes the critical section without releasing. Only the
+// CFG-based may-analysis sees the leaking path. The balanced, deferred and
+// loop-local critical sections must stay unflagged.
+package lockcheck_bad
+
+import "sync"
+
+var (
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	hits int
+)
+
+// leakOnEarlyReturn has an Unlock below the return, so "is there an Unlock
+// after the Lock in source order" passes — but the fail branch exits with mu
+// held.
+func leakOnEarlyReturn(fail bool) int {
+	mu.Lock()
+	hits++
+	if fail {
+		return -1
+	}
+	mu.Unlock()
+	return hits
+}
+
+// leakReadLock releases on the miss path only; the hit path returns with the
+// read lock held.
+func leakReadLock(m map[string]int, key string) int {
+	rw.RLock()
+	v, ok := m[key]
+	if !ok {
+		rw.RUnlock()
+		return 0
+	}
+	return v
+}
+
+// balanced releases on its single path: clean.
+func balanced() {
+	mu.Lock()
+	hits++
+	mu.Unlock()
+}
+
+// deferred releases on every path by construction: clean despite the early
+// return.
+func deferred(limit int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	hits++
+	if hits > limit {
+		return limit
+	}
+	return hits
+}
+
+// deferredClosure unlocks inside a deferred function literal: clean.
+func deferredClosure() {
+	mu.Lock()
+	defer func() {
+		hits++
+		mu.Unlock()
+	}()
+}
+
+// loopLocked opens and closes the critical section on every iteration: the
+// back edge carries no pending acquisition.
+func loopLocked(keys []string) {
+	for range keys {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+	}
+}

@@ -1,0 +1,21 @@
+// Package lockcheck_suppressed waives a deliberate lock leak with
+// //lint:ignore; the analyzer must report nothing. (The leak is real: the
+// lock is handed off to a goroutine that releases it later.)
+package lockcheck_suppressed
+
+import "sync"
+
+var (
+	mu    sync.Mutex
+	state int
+)
+
+func handoff(release chan struct{}) {
+	//lint:ignore lockcheck ownership transfers to the goroutine below, which releases after the signal
+	mu.Lock()
+	state++
+	go func() {
+		<-release
+		mu.Unlock()
+	}()
+}

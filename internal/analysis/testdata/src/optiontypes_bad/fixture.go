@@ -1,0 +1,62 @@
+// Package optiontypes_bad models the Options API locally and breaks the
+// declared/read contract twice: a string-declared option is read with an
+// integer getter, and an int64-declared option is read with a narrowing
+// int32 getter. It also declares an option SetOptions never consumes (dead).
+// The widening read (int32 declared, int64 getter), the wildcard-prefix
+// keys and the reaching-definition key variable must all resolve cleanly.
+package optiontypes_bad
+
+type OptionType int
+
+const (
+	OptInt32 OptionType = iota
+	OptDouble
+	OptString
+)
+
+type Option struct{ t OptionType }
+
+type Options struct{ m map[string]Option }
+
+func NewOptions() *Options { return &Options{m: map[string]Option{}} }
+
+func (o *Options) SetValue(key string, v any) *Options       { return o }
+func (o *Options) SetType(key string, t OptionType) *Options { return o }
+func (o *Options) GetInt64(key string) (int64, error)        { return 0, nil }
+func (o *Options) GetInt32(key string) (int32, error)        { return 0, nil }
+func (o *Options) GetFloat64(key string) (float64, error)    { return 0, nil }
+
+type plugin struct {
+	name  string
+	level int32
+	big   int64
+	ratio float64
+	mode  string
+}
+
+func (p *plugin) Options() *Options {
+	o := NewOptions()
+	o.SetValue("fix:level", p.level)
+	o.SetValue("fix:big", p.big)
+	o.SetValue(p.name+":ratio", p.ratio)
+	key := p.name + ":mode"
+	o.SetValue(key, p.mode)
+	o.SetType("fix:unused", OptDouble)
+	return o
+}
+
+func (p *plugin) SetOptions(o *Options) error {
+	if v, err := o.GetInt64("fix:level"); err == nil { // int32 -> int64 widens: clean
+		p.level = int32(v)
+	}
+	if v, err := o.GetInt32("fix:big"); err == nil { // int64 -> int32 narrows: flagged
+		p.big = int64(v)
+	}
+	if v, err := o.GetFloat64(p.name + ":ratio"); err == nil { // double -> double: clean
+		p.ratio = v
+	}
+	if v, err := o.GetInt64(p.name + ":mode"); err == nil { // string read as int64: flagged
+		p.big = v
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+// Package optiontypes_suppressed waives a type mismatch and a dead option
+// with //lint:ignore; the analyzer must report nothing.
+package optiontypes_suppressed
+
+type Options struct{ m map[string]int }
+
+func NewOptions() *Options { return &Options{m: map[string]int{}} }
+
+func (o *Options) SetValue(key string, v any) *Options { return o }
+func (o *Options) GetInt64(key string) (int64, error)  { return 0, nil }
+
+type plugin struct {
+	mode  string
+	extra float64
+}
+
+func (p *plugin) Options() *Options {
+	o := NewOptions()
+	o.SetValue("fix:mode", p.mode)
+	//lint:ignore optiontypes reserved for the next format revision, intentionally not yet consumed
+	o.SetValue("fix:extra", p.extra)
+	return o
+}
+
+func (p *plugin) SetOptions(o *Options) error {
+	//lint:ignore optiontypes legacy readers sent this key as a stringified integer
+	if v, err := o.GetInt64("fix:mode"); err == nil {
+		p.extra = float64(v)
+	}
+	return nil
+}

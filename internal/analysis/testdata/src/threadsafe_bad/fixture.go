@@ -39,6 +39,28 @@ func (p *plugin) record() {
 	guarded++
 }
 
+// reset writes guarded inside the critical section (clean) but calls after
+// releasing the lock — the old syntactic scan blessed any write below a
+// Lock() in source order; the flow-sensitive check flags it.
+func (p *plugin) reset() {
+	mu.Lock()
+	guarded = 0
+	mu.Unlock()
+	calls = 0
+}
+
+// maybeLocked only takes the lock on the slow path, so the write is not
+// guarded on EVERY path reaching it: flagged.
+func (p *plugin) maybeLocked(fast bool) {
+	if !fast {
+		mu.Lock()
+	}
+	guarded++
+	if !fast {
+		mu.Unlock()
+	}
+}
+
 func init() {
 	calls = 0
 }

@@ -2,7 +2,6 @@ package analysis
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 
 	"pressio/internal/core"
@@ -12,13 +11,18 @@ import (
 // pressio:thread_safe of "serialized" or better does not mutate package-level
 // state without synchronization. "serialized" promises that distinct
 // instances may run concurrently, and "multiple" that a single instance may —
-// so any bare write to a package-level variable from plugin code is a data
-// race waiting for the `many` meta-compressor or sz_omp to schedule it. The
-// check is a static complement to the -race stress tests: an assignment to a
-// package-level variable inside a function that never takes a lock is flagged.
+// so any unguarded write to a package-level variable from plugin code is a
+// data race waiting for the `many` meta-compressor or sz_omp to schedule it.
+//
+// The guard test is flow-sensitive: the function's CFG is solved with the
+// must-held lock analysis (lockcheck.go), and a write is accepted only when
+// at least one lock is held on EVERY path reaching it. The earlier syntactic
+// version accepted any write textually below a Lock() call — which blessed
+// writes after the Unlock and writes on branches that skip the Lock; those
+// now flag. The check remains a static complement to the -race stress tests.
 var ThreadSafe = &Analyzer{
 	Name: "threadsafe",
-	Doc:  "packages declaring pressio:thread_safe >= serialized must guard package-level writes",
+	Doc:  "packages declaring pressio:thread_safe >= serialized must hold a lock on every path to a package-level write",
 	Run:  runThreadSafe,
 }
 
@@ -32,16 +36,15 @@ func runThreadSafe(pass *Pass) {
 	}
 	scope := pass.Pkg.Types.Scope()
 	for _, f := range pass.Pkg.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if fd.Recv == nil && fd.Name.Name == "init" {
+		for _, unit := range funcUnits(f) {
+			if unit.Decl != nil && unit.Decl.Recv == nil && unit.Decl.Name.Name == "init" {
 				continue // single-threaded by the runtime's init contract
 			}
-			locks := lockPositions(fd.Body)
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
+			cfg := BuildCFG(cfgName(pass.Pkg.Fset, unit), unit.Body)
+			problem := newHeldLocksProblem(pass.Pkg, unit)
+			res := Solve(cfg, problem)
+			WalkFacts(cfg, problem, res, func(fact any, n ast.Node) {
+				held := fact.(heldFact)
 				var targets []ast.Expr
 				switch st := n.(type) {
 				case *ast.AssignStmt:
@@ -49,7 +52,10 @@ func runThreadSafe(pass *Pass) {
 				case *ast.IncDecStmt:
 					targets = []ast.Expr{st.X}
 				default:
-					return true
+					return
+				}
+				if len(held) > 0 {
+					return // some lock is held on every path to this write
 				}
 				for _, lhs := range targets {
 					id := rootIdent(lhs)
@@ -61,14 +67,10 @@ func runThreadSafe(pass *Pass) {
 					if !ok || v.Parent() != scope {
 						continue
 					}
-					if guarded(locks, lhs.Pos()) {
-						continue
-					}
 					pass.Reportf(lhs.Pos(),
-						"package declares thread_safe=%s but %s writes package-level %s without holding a lock",
-						level, fd.Name.Name, id.Name)
+						"package declares thread_safe=%s but %s writes package-level %s without holding a lock on every path",
+						level, cfg.Name, id.Name)
 				}
-				return true
 			})
 		}
 	}
@@ -136,37 +138,6 @@ func isThreadSafeKey(e ast.Expr) bool {
 	case *ast.BasicLit:
 		v, ok := stringLit(e)
 		return ok && v == core.KeyThreadSafe
-	}
-	return false
-}
-
-// lockPositions collects the positions of .Lock()/.RLock()/.Do() calls in a
-// function body. A write later in the source than any of them is considered
-// guarded — a deliberately coarse rule: the analyzer flags lock-free writers,
-// not lock-ordering bugs, which remain the -race tests' job.
-func lockPositions(body *ast.BlockStmt) []token.Pos {
-	var locks []token.Pos
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-			switch sel.Sel.Name {
-			case "Lock", "RLock", "Do":
-				locks = append(locks, call.Pos())
-			}
-		}
-		return true
-	})
-	return locks
-}
-
-func guarded(locks []token.Pos, pos token.Pos) bool {
-	for _, l := range locks {
-		if l < pos {
-			return true
-		}
 	}
 	return false
 }

@@ -15,7 +15,7 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> pressiolint ./..."
+echo "==> pressiolint ./... (all nine analyzers)"
 go run ./cmd/pressiolint ./...
 
 echo "==> go test -race (trace, meta, core)"
