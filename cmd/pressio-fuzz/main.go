@@ -15,8 +15,10 @@ import (
 	"strings"
 
 	"pressio/internal/core"
+	"pressio/internal/resilience"
 
 	_ "pressio/internal/bitgroom"
+	_ "pressio/internal/faultinject"
 	_ "pressio/internal/fpzip"
 	_ "pressio/internal/lossless"
 	_ "pressio/internal/meta"
@@ -53,6 +55,19 @@ func main() {
 	fmt.Println("ok: no findings")
 }
 
+// shapeChanging plugins discard elements by design (decimation), so a
+// round-trip length change is their contract, not a finding.
+var shapeChanging = map[string]bool{"sample": true}
+
+// faultInjecting plugins corrupt their own streams or inject errors on
+// purpose; a failed decompress is expected behavior. Panics still count —
+// the recover handler reports them regardless.
+var faultInjecting = map[string]bool{
+	"fault_injector": true,
+	"faultinject":    true,
+	"noise_injector": true,
+}
+
 func fuzzCompressor(name string, iters int, seed int64, maxElems int) int {
 	rng := rand.New(rand.NewSource(seed))
 	findings := 0
@@ -81,10 +96,12 @@ func fuzzCompressor(name string, iters int, seed int64, maxElems int) int {
 			}
 			dec := core.NewEmpty(in.DType(), in.Dims()...)
 			if err := c.Decompress(comp, dec); err != nil {
-				report("iteration %d: compressed ok but decompress failed: %v", i, err)
+				if !faultInjecting[name] {
+					report("iteration %d: compressed ok but decompress failed: %v", i, err)
+				}
 				return
 			}
-			if dec.Len() != in.Len() {
+			if dec.Len() != in.Len() && !shapeChanging[name] {
 				report("iteration %d: length changed %d -> %d", i, in.Len(), dec.Len())
 			}
 			// Bit-flip the stream: decompression may fail but must not
@@ -95,10 +112,63 @@ func fuzzCompressor(name string, iters int, seed int64, maxElems int) int {
 				corrupt.Bytes()[bit/8] ^= 1 << (bit % 8)
 				_ = c.Decompress(corrupt, core.NewEmpty(in.DType(), in.Dims()...))
 			}
+			// Frame passes: wrap the stream in an integrity frame, then
+			// truncate or corrupt it and decompress through the
+			// frame-validated path, which must reject every mutation with an
+			// error — never a panic, never silent acceptance of a flipped
+			// payload.
+			fuzzFrames(rng, c, in, comp, report)
 		}()
 	}
 	fmt.Printf("%-18s %d iterations, %d findings\n", name, iters, findings)
 	return findings
+}
+
+// fuzzFrames exercises the integrity-frame validation path: a valid frame
+// must decode and decompress; truncated frames and payload bit flips must
+// fail frame validation with an error. A finding is reported when corruption
+// slips through undetected. Panics unwind to the caller's recover, which
+// reports them.
+func fuzzFrames(rng *rand.Rand, c *core.Compressor, in, comp *core.Data, report func(string, ...any)) {
+	framed, err := resilience.EncodeFrame(c.Prefix(), in.DType(), in.Dims(), comp.Bytes())
+	if err != nil {
+		report("frame encode failed: %v", err)
+		return
+	}
+	f, err := resilience.DecodeFrame(framed)
+	if err != nil {
+		report("pristine frame rejected: %v", err)
+		return
+	}
+	if err := c.Decompress(core.NewBytes(f.Payload), core.NewEmpty(in.DType(), in.Dims()...)); err != nil {
+		if !faultInjecting[c.Prefix()] {
+			report("pristine framed payload failed to decompress: %v", err)
+		}
+	}
+	// Truncation at a random point must be rejected, never panic.
+	n := rng.Intn(len(framed))
+	if _, err := resilience.DecodeFrame(framed[:n]); err == nil {
+		report("truncated frame (%d of %d bytes) accepted", n, len(framed))
+	}
+	// A bit flip anywhere in the payload region must be caught by the CRC.
+	if comp.ByteLen() > 0 {
+		mut := append([]byte(nil), framed...)
+		start := len(mut) - int(comp.ByteLen())
+		bit := start*8 + rng.Intn(int(comp.ByteLen())*8)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if _, err := resilience.DecodeFrame(mut); err == nil {
+			report("payload bit flip at %d accepted by frame validation", bit)
+		}
+	}
+	// An arbitrary bit flip anywhere in the frame may land in the header;
+	// decode must return (error or not) without panicking, and if it decodes
+	// the payload must still pass the checksum before reaching the decoder.
+	mut := append([]byte(nil), framed...)
+	bit := rng.Intn(len(mut) * 8)
+	mut[bit/8] ^= 1 << (bit % 8)
+	if g, err := resilience.DecodeFrame(mut); err == nil {
+		_ = c.Decompress(core.NewBytes(g.Payload), core.NewEmpty(g.DType, g.Dims...))
+	}
 }
 
 func randomData(rng *rand.Rand, maxElems int) *core.Data {

@@ -37,12 +37,14 @@ import (
 
 	// Register the full plugin library.
 	_ "pressio/internal/bitgroom"
+	_ "pressio/internal/faultinject"
 	_ "pressio/internal/fpzip"
 	_ "pressio/internal/lossless"
 	_ "pressio/internal/meta"
 	_ "pressio/internal/metrics"
 	_ "pressio/internal/mgard"
 	_ "pressio/internal/pio"
+	_ "pressio/internal/resilience"
 	_ "pressio/internal/sz"
 	_ "pressio/internal/tthresh"
 	_ "pressio/internal/zfp"
@@ -55,21 +57,23 @@ func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
 
 func main() {
 	var (
-		mode       = flag.String("mode", "compress", "compress, decompress, roundtrip, or options")
-		compressor = flag.String("compressor", "sz", "compressor plugin name")
-		input      = flag.String("input", "", "input path")
-		output     = flag.String("output", "", "output path (optional for roundtrip)")
-		ioName     = flag.String("io", "posix", "io plugin for the input (posix, npy, csv, h5lite, iota)")
-		outIO      = flag.String("output-io", "posix", "io plugin for the output")
-		dimsFlag   = flag.String("dims", "", "comma separated dims for non self-describing inputs")
-		dtypeFlag  = flag.String("dtype", "float32", "element type for non self-describing inputs")
-		metricsCSV = flag.String("metrics", "size,time", "comma separated metrics plugins")
-		optsJSON   = flag.String("options-json", "", "JSON file of typed options to apply")
-		traceOut   = flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path")
-		list       = flag.Bool("list", false, "list registered plugins and exit")
-		worker     = flag.Bool("worker", false, "serve one external-process request on stdin/stdout")
-		delay      = flag.Duration("startup-delay", 0, "simulated initialization delay in worker mode")
-		opts       stringList
+		mode        = flag.String("mode", "compress", "compress, decompress, roundtrip, or options")
+		compressor  = flag.String("compressor", "sz", "compressor plugin name")
+		input       = flag.String("input", "", "input path")
+		output      = flag.String("output", "", "output path (optional for roundtrip)")
+		ioName      = flag.String("io", "posix", "io plugin for the input (posix, npy, csv, h5lite, iota)")
+		outIO       = flag.String("output-io", "posix", "io plugin for the output")
+		dimsFlag    = flag.String("dims", "", "comma separated dims for non self-describing inputs")
+		dtypeFlag   = flag.String("dtype", "float32", "element type for non self-describing inputs")
+		metricsCSV  = flag.String("metrics", "size,time", "comma separated metrics plugins")
+		optsJSON    = flag.String("options-json", "", "JSON file of typed options to apply")
+		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path")
+		guardFlag   = flag.Bool("guard", false, "wrap the compressor in the guard meta-compressor (panic containment, deadlines, retries; tune with -o guard:...)")
+		fallbackCSV = flag.String("fallback", "", "comma separated backup compressors tried in order when the primary fails (tune with -o fallback:...)")
+		list        = flag.Bool("list", false, "list registered plugins and exit")
+		worker      = flag.Bool("worker", false, "serve one external-process request on stdin/stdout")
+		delay       = flag.Duration("startup-delay", 0, "simulated initialization delay in worker mode")
+		opts        stringList
 	)
 	flag.Var(&opts, "o", "compressor option key=value (repeatable)")
 	flag.Parse()
@@ -77,7 +81,8 @@ func main() {
 	if *traceOut != "" {
 		trace.Enable()
 	}
-	if err := run(*mode, *compressor, *input, *output, *ioName, *outIO,
+	comp, opts := applyResilienceFlags(*compressor, *guardFlag, *fallbackCSV, opts)
+	if err := run(*mode, comp, *input, *output, *ioName, *outIO,
 		*dimsFlag, *dtypeFlag, *metricsCSV, *optsJSON, *list, *worker, *delay, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pressio:", err)
 		os.Exit(1)
@@ -89,6 +94,24 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "pressio: wrote %d spans to %s\n", trace.Len(), *traceOut)
 	}
+}
+
+// applyResilienceFlags translates the -guard and -fallback convenience flags
+// into the equivalent meta-compressor composition: -fallback turns the
+// selected compressor into the first tier of a fallback chain, and -guard
+// wraps the result (chain included) in the guard meta-compressor. Options
+// are appended in -o form so explicit -o flags can still override them.
+func applyResilienceFlags(compressor string, guard bool, fallbackCSV string, opts stringList) (string, stringList) {
+	out := opts
+	if fallbackCSV != "" {
+		out = append(stringList{"fallback:compressors=" + compressor + "," + fallbackCSV}, out...)
+		compressor = "fallback"
+	}
+	if guard {
+		out = append(stringList{"guard:compressor=" + compressor}, out...)
+		compressor = "guard"
+	}
+	return compressor, out
 }
 
 func run(mode, compressor, input, output, ioName, outIO, dimsFlag, dtypeFlag,

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestApplyResilienceFlags(t *testing.T) {
+	name, opts := applyResilienceFlags("sz", false, "", stringList{"pressio:abs=0.01"})
+	if name != "sz" || len(opts) != 1 {
+		t.Errorf("no flags: got %q %v", name, opts)
+	}
+	name, opts = applyResilienceFlags("sz", true, "", nil)
+	if name != "guard" || len(opts) != 1 || opts[0] != "guard:compressor=sz" {
+		t.Errorf("-guard: got %q %v", name, opts)
+	}
+	name, opts = applyResilienceFlags("sz", false, "zfp,noop", nil)
+	if name != "fallback" || len(opts) != 1 || opts[0] != "fallback:compressors=sz,zfp,noop" {
+		t.Errorf("-fallback: got %q %v", name, opts)
+	}
+	name, opts = applyResilienceFlags("sz", true, "noop", stringList{"pressio:abs=0.01"})
+	if name != "guard" || len(opts) != 3 {
+		t.Fatalf("-guard -fallback: got %q %v", name, opts)
+	}
+	if opts[0] != "guard:compressor=fallback" || opts[1] != "fallback:compressors=sz,noop" {
+		t.Errorf("composition options: %v", opts)
+	}
+	// User-supplied -o flags stay last so they win in the key=value map.
+	if opts[2] != "pressio:abs=0.01" {
+		t.Errorf("user option not last: %v", opts)
+	}
+}
+
+func TestRunGuardedFallbackRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.bin")
+	out := filepath.Join(dir, "x.out")
+	vals := writeSample(t, in, 32*32)
+	name, opts := applyResilienceFlags("sz_threadsafe", true, "noop", stringList{"pressio:abs=0.01"})
+	err := run("roundtrip", name, in, out, "posix", "posix", "32,32", "float32",
+		"size", "", false, false, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 4*len(vals) {
+		t.Fatalf("output size %d", len(raw))
+	}
+	for i := range vals {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		if math.Abs(float64(got-vals[i])) > 0.01 {
+			t.Fatalf("elem %d bound violated", i)
+		}
+	}
+}
+
+func TestRunGuardedCompressWritesFrame(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x.bin")
+	comp := filepath.Join(dir, "x.lpfr")
+	writeSample(t, in, 24*24)
+	name, opts := applyResilienceFlags("sz_threadsafe", true, "", stringList{
+		"guard:frame=1", "pressio:abs=0.01"})
+	err := run("compress", name, in, comp, "posix", "posix", "24,24", "float32",
+		"size", "", false, false, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 4 || string(raw[:4]) != "LPFR" {
+		t.Fatalf("guarded compress did not write an integrity frame (got % x)", raw[:min(8, len(raw))])
+	}
+	out := filepath.Join(dir, "x.out")
+	err = run("decompress", name, comp, out, "posix", "posix", "24,24", "float32",
+		"", "", false, false, 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oi, err := os.Stat(out)
+	if err != nil || oi.Size() != 4*24*24 {
+		t.Fatalf("decompressed size %v err %v", oi, err)
+	}
+}

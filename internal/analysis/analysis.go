@@ -45,11 +45,11 @@ type Analyzer struct {
 	Run func(pass *Pass)
 }
 
-// Analyzers returns the full suite in stable order: the five syntactic
+// Analyzers returns the full suite in stable order: the six syntactic
 // checks, then the four flow-sensitive ones built on the CFG/dataflow layer.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
-		OptionKeys, Registration, ThreadSafe, ErrCheck, Forbidden,
+		OptionKeys, Registration, ThreadSafe, ErrCheck, Forbidden, PanicFree,
 		LockCheck, BufAlias, OptionTypes, ErrFlow,
 	}
 }

@@ -17,7 +17,7 @@ func TestDiagnosticString(t *testing.T) {
 func TestAnalyzersStable(t *testing.T) {
 	want := []string{
 		"optionkeys", "registration", "threadsafe", "errcheck", "forbidden",
-		"lockcheck", "bufalias", "optiontypes", "errflow",
+		"panicfree", "lockcheck", "bufalias", "optiontypes", "errflow",
 	}
 	got := Analyzers()
 	if len(got) != len(want) {

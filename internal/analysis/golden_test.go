@@ -28,6 +28,8 @@ var goldenCases = []struct {
 	{"errcheck_suppressed", "errcheck"},
 	{"forbidden_bad", "forbidden"},
 	{"forbidden_suppressed", "forbidden"},
+	{"panicfree_bad", "panicfree"},
+	{"panicfree_suppressed", "panicfree"},
 	{"lockcheck_bad", "lockcheck"},
 	{"lockcheck_suppressed", "lockcheck"},
 	{"bufalias_bad", "bufalias"},

@@ -1,0 +1,62 @@
+// Package panicfree_bad exercises the panicfree analyzer: a registered
+// compressor panicking from CompressImpl and DecompressImpl (including
+// inside a nested closure) must be flagged, while panics in unregistered
+// implementations, helper methods, and non-plugin types must not. The
+// Register* stand-in is declared locally; the facts pass matches by callee
+// name.
+package panicfree_bad
+
+type CompressorIface interface{ Prefix() string }
+
+func RegisterCompressor(name string, factory func() CompressorIface) {}
+
+// throwing is registered and panics on both hot paths.
+type throwing struct{}
+
+func (t *throwing) Prefix() string { return "throwing" }
+
+func (t *throwing) CompressImpl(in []byte) []byte {
+	if len(in) == 0 {
+		panic("empty input")
+	}
+	return in
+}
+
+func (t *throwing) DecompressImpl(in []byte) []byte {
+	check := func() {
+		panic("corrupt stream")
+	}
+	check()
+	return in
+}
+
+// helper panics are outside the checked methods: the analyzer only claims
+// the direct bodies, so this stays silent (the errflow suite owns deeper
+// call-graph reasoning).
+func (t *throwing) validate() {
+	panic("helper panic is not flagged")
+}
+
+// orphan matches the compressor method set but is never registered, so its
+// panic is unreachable through the registry and not reported here (the
+// registration analyzer flags the orphan itself).
+type orphan struct{}
+
+func (o *orphan) Prefix() string { return "orphan" }
+
+func (o *orphan) CompressImpl(in []byte) []byte {
+	panic("unregistered")
+}
+
+func (o *orphan) DecompressImpl(in []byte) []byte { return in }
+
+// notAPlugin shares a method name but not the plugin method set.
+type notAPlugin struct{}
+
+func (n *notAPlugin) CompressImpl(in []byte) []byte {
+	panic("no Prefix, not a plugin")
+}
+
+func init() {
+	RegisterCompressor("throwing", func() CompressorIface { return &throwing{} })
+}

@@ -1,0 +1,30 @@
+// Package panicfree_suppressed repeats the panicfree violation with
+// //lint:ignore waivers — the deliberate-fault-injector case; the analyzer
+// must report nothing.
+package panicfree_suppressed
+
+type CompressorIface interface{ Prefix() string }
+
+func RegisterCompressor(name string, factory func() CompressorIface) {}
+
+// chaos injects panics on purpose; each one carries a waiver.
+type chaos struct{}
+
+func (c *chaos) Prefix() string { return "chaos" }
+
+func (c *chaos) CompressImpl(in []byte) []byte {
+	if len(in) == 0 {
+		//lint:ignore panicfree fixture fault injector panics by design
+		panic("injected")
+	}
+	return in
+}
+
+func (c *chaos) DecompressImpl(in []byte) []byte {
+	//lint:ignore panicfree fixture demonstrates comment-above suppression
+	panic("injected")
+}
+
+func init() {
+	RegisterCompressor("chaos", func() CompressorIface { return &chaos{} })
+}

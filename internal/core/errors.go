@@ -26,7 +26,51 @@ var (
 	ErrNotImplemented = errors.New("not implemented")
 	// ErrNilData indicates a nil Data argument where one is required.
 	ErrNilData = errors.New("nil data")
+	// ErrTransient classifies a failure as retryable: the same call may
+	// succeed if repeated (resource pressure, a flaky worker, a timeout).
+	// Producers mark errors with Transient(); consumers test with
+	// IsTransient. Errors not so marked are permanent by default.
+	ErrTransient = errors.New("transient failure")
+	// ErrTimeout indicates an operation exceeded its deadline. Timeouts are
+	// transient by definition: IsTransient reports true for them without an
+	// explicit Transient wrapper.
+	ErrTimeout = errors.New("operation timed out")
+	// ErrPanicked indicates a plugin panicked and the panic was converted to
+	// an error at the framework boundary (the guard meta-compressor).
+	// Panics signal bugs or corrupt state, so they are permanent.
+	ErrPanicked = errors.New("plugin panicked")
 )
+
+// transientError marks its wrapped error as transient while preserving the
+// original message and errors.Is/As chain.
+type transientError struct {
+	err error
+}
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Is lets errors.Is(err, ErrTransient) succeed without making ErrTransient
+// part of the message chain.
+func (e *transientError) Is(target error) bool { return target == ErrTransient }
+
+// Transient marks err as retryable. It returns nil for nil and is idempotent.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrTransient) {
+		return err
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err is marked retryable — explicitly via
+// Transient/ErrTransient or implicitly by being a timeout. The check sees
+// through PluginError and fmt.Errorf %w wrapping.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, ErrTimeout)
+}
 
 // PluginError attaches the name of the plugin that produced an error, so
 // errors surfacing through deeply composed meta-compressors still identify

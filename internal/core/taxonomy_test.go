@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"pressio/internal/trace"
+)
+
+// declPlugin is a fakePlugin whose thread-safety declaration is an arbitrary
+// string, for exercising the coercion paths of Compressor.ThreadSafety.
+type declPlugin struct {
+	*fakePlugin
+	decl    string
+	declSet bool
+}
+
+func (d *declPlugin) Configuration() *Options {
+	cfg := NewOptions()
+	if d.declSet {
+		cfg.SetValue(KeyThreadSafe, d.decl)
+	}
+	return cfg
+}
+
+func TestThreadSafetyDeclarations(t *testing.T) {
+	for decl, want := range map[string]ThreadSafety{
+		"single":     ThreadSafetySingle,
+		"serialized": ThreadSafetySerialized,
+		"multiple":   ThreadSafetyMultiple,
+	} {
+		c := NewCompressorFromPlugin(&declPlugin{fakePlugin: newFake(), decl: decl, declSet: true})
+		before := trace.CounterValue(trace.CtrThreadSafetyMalformed)
+		if got := c.ThreadSafety(); got != want {
+			t.Errorf("declaration %q: got %v, want %v", decl, got, want)
+		}
+		if d := trace.CounterValue(trace.CtrThreadSafetyMalformed) - before; d != 0 {
+			t.Errorf("declaration %q counted as malformed", decl)
+		}
+	}
+}
+
+func TestThreadSafetyMalformedCoercesToSingleAndCounts(t *testing.T) {
+	for _, decl := range []string{"yes", "MULTIPLE", "thread-safe", ""} {
+		c := NewCompressorFromPlugin(&declPlugin{fakePlugin: newFake(), decl: decl, declSet: true})
+		before := trace.CounterValue(trace.CtrThreadSafetyMalformed)
+		if got := c.ThreadSafety(); got != ThreadSafetySingle {
+			t.Errorf("malformed declaration %q: got %v, want conservative single", decl, got)
+		}
+		if d := trace.CounterValue(trace.CtrThreadSafetyMalformed) - before; d != 1 {
+			t.Errorf("malformed declaration %q: counter delta %d, want 1", decl, d)
+		}
+	}
+}
+
+func TestThreadSafetyUnspecifiedIsSingleNotMalformed(t *testing.T) {
+	c := NewCompressorFromPlugin(&declPlugin{fakePlugin: newFake()})
+	before := trace.CounterValue(trace.CtrThreadSafetyMalformed)
+	if got := c.ThreadSafety(); got != ThreadSafetySingle {
+		t.Errorf("unspecified declaration: got %v, want single", got)
+	}
+	if d := trace.CounterValue(trace.CtrThreadSafetyMalformed) - before; d != 0 {
+		t.Error("unspecified declaration counted as malformed; it is legitimate")
+	}
+}
+
+func TestTransientHelpers(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) != nil")
+	}
+	base := errors.New("disk hiccup")
+	te := Transient(base)
+	if !IsTransient(te) {
+		t.Error("Transient-marked error not IsTransient")
+	}
+	if !errors.Is(te, ErrTransient) {
+		t.Error("Transient-marked error does not match ErrTransient")
+	}
+	if !errors.Is(te, base) {
+		t.Error("Transient mark hides the underlying error")
+	}
+	if IsTransient(base) {
+		t.Error("unmarked error reported transient")
+	}
+	// Wrapping in more context keeps the classification.
+	wrapped := fmt.Errorf("outer: %w", te)
+	if !IsTransient(wrapped) {
+		t.Error("fmt.Errorf wrap lost the transient mark")
+	}
+	// Timeouts are implicitly transient; panics are not.
+	if !IsTransient(fmt.Errorf("x: %w", ErrTimeout)) {
+		t.Error("ErrTimeout not transient")
+	}
+	if IsTransient(fmt.Errorf("x: %w", ErrPanicked)) {
+		t.Error("ErrPanicked must be permanent")
+	}
+}
+
+// transientFake fails every compress with a transient-marked error, to prove
+// the classification survives the framework's wrapPlugin annotation.
+type transientFake struct{ *fakePlugin }
+
+func (f *transientFake) CompressImpl(in, out *Data) error {
+	return Transient(errors.New("injected"))
+}
+
+func TestTaxonomySurvivesWrapPlugin(t *testing.T) {
+	c := NewCompressorFromPlugin(&transientFake{newFake()})
+	err := c.Compress(NewBytes([]byte{1, 2, 3}), NewEmpty(DTypeByte, 0))
+	if err == nil {
+		t.Fatal("compress should fail")
+	}
+	var pe *PluginError
+	if !errors.As(err, &pe) || pe.Plugin != "fake" {
+		t.Errorf("error %v not annotated with the plugin prefix", err)
+	}
+	if !IsTransient(err) {
+		t.Errorf("transient classification lost through wrapPlugin: %v", err)
+	}
+	if !errors.Is(err, ErrTransient) {
+		t.Errorf("errors.Is(err, ErrTransient) false through wrapPlugin: %v", err)
+	}
+}

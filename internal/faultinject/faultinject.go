@@ -1,0 +1,280 @@
+// Package faultinject is the deterministic chaos substrate for the
+// resilience layer: a compressor plugin and an IO wrapper that misbehave on
+// purpose — transient and permanent errors, panics, delays, and bit flips in
+// the compressed stream — with per-operation probabilities driven by a
+// seeded PRNG, so every failure schedule is reproducible. It registers like
+// any other plugin, which means the guard and fallback meta-compressors (and
+// any future policy code) can be driven to their failure paths through the
+// same generic interface production code uses.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pressio/internal/core"
+	"pressio/internal/trace"
+)
+
+// Option keys the faultinject compressor plugin owns.
+const (
+	keyCompressor    = "faultinject:compressor"
+	keySeed          = "faultinject:seed"
+	keyErrorRate     = "faultinject:error_rate"
+	keyPermanentRate = "faultinject:permanent_error_rate"
+	keyPanicRate     = "faultinject:panic_rate"
+	keyDelayRate     = "faultinject:delay_rate"
+	keyDelayMS       = "faultinject:delay_ms"
+	keyBitflipRate   = "faultinject:bitflip_rate"
+)
+
+// Trace counters the injector maintains, one per fault kind, so chaos tests
+// can reconcile what was injected against what the resilience layer reports
+// having handled. trace.CtrFaultsInjected aggregates all kinds.
+const (
+	CtrErrors   = "faultinject.errors"
+	CtrPanics   = "faultinject.panics"
+	CtrDelays   = "faultinject.delays"
+	CtrBitflips = "faultinject.bitflips"
+)
+
+// Version is the faultinject plugin version.
+const Version = "1.0.0"
+
+func init() {
+	core.RegisterCompressor("faultinject", func() core.CompressorPlugin {
+		return &plugin{childName: "sz_threadsafe", rates: Rates{Seed: 1}}
+	})
+}
+
+// Rates configures the per-operation fault probabilities. Each rate is the
+// probability (0..1) that the corresponding fault fires on one call; draws
+// happen in a fixed order (delay, panic, transient error, permanent error,
+// bit flip) so a given seed and configuration replays the same schedule.
+type Rates struct {
+	Seed      int64
+	Error     float64 // transient error (core.IsTransient reports true)
+	Permanent float64 // permanent error
+	Panic     float64 // panic with a recognizable message
+	Delay     float64 // sleep DelayMS before operating
+	DelayMS   int64
+	Bitflip   float64 // flip one random bit of the compressed stream
+}
+
+func checkRate(key string, v float64) error {
+	if v < 0 || v > 1 {
+		return fmt.Errorf("%w: %s %v not in [0,1]", core.ErrInvalidOption, key, v)
+	}
+	return nil
+}
+
+// plugin wraps a child compressor with the fault schedule. The PRNG is
+// per-instance behind a mutex; clones derive fresh deterministic seeds so a
+// cloned fleet (e.g. CompressMany workers) stays reproducible per clone.
+type plugin struct {
+	childName string
+	comp      *core.Compressor
+	saved     *core.Options
+	rates     Rates
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	clones int64
+}
+
+func (p *plugin) Prefix() string  { return "faultinject" }
+func (p *plugin) Version() string { return Version }
+
+func (p *plugin) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue(keyCompressor, p.childName)
+	o.SetValue(keySeed, p.rates.Seed)
+	o.SetValue(keyErrorRate, p.rates.Error)
+	o.SetValue(keyPermanentRate, p.rates.Permanent)
+	o.SetValue(keyPanicRate, p.rates.Panic)
+	o.SetValue(keyDelayRate, p.rates.Delay)
+	o.SetValue(keyDelayMS, p.rates.DelayMS)
+	o.SetValue(keyBitflipRate, p.rates.Bitflip)
+	if p.comp != nil {
+		o.Merge(p.comp.Options())
+	}
+	return o
+}
+
+func (p *plugin) SetOptions(o *core.Options) error {
+	if v, err := o.GetString(keyCompressor); err == nil && v != p.childName {
+		p.childName = v
+		p.comp = nil
+	}
+	if v, err := o.GetInt64(keySeed); err == nil && v != p.rates.Seed {
+		p.rates.Seed = v
+		p.mu.Lock()
+		p.rng = nil // reseed lazily from the new seed
+		p.mu.Unlock()
+	}
+	for _, r := range []struct {
+		key string
+		dst *float64
+	}{
+		{keyErrorRate, &p.rates.Error},
+		{keyPermanentRate, &p.rates.Permanent},
+		{keyPanicRate, &p.rates.Panic},
+		{keyDelayRate, &p.rates.Delay},
+		{keyBitflipRate, &p.rates.Bitflip},
+	} {
+		if v, err := o.GetFloat64(r.key); err == nil {
+			if err := checkRate(r.key, v); err != nil {
+				return err
+			}
+			*r.dst = v
+		}
+	}
+	if v, err := o.GetInt64(keyDelayMS); err == nil {
+		if v < 0 {
+			return fmt.Errorf("%w: %s %d", core.ErrInvalidOption, keyDelayMS, v)
+		}
+		p.rates.DelayMS = v
+	}
+	if p.saved == nil {
+		p.saved = core.NewOptions()
+	}
+	p.saved.Merge(o)
+	if p.comp != nil {
+		return p.comp.SetOptions(o)
+	}
+	return nil
+}
+
+func (p *plugin) CheckOptions(o *core.Options) error {
+	clone := &plugin{childName: p.childName, rates: p.rates}
+	if p.saved != nil {
+		clone.saved = p.saved.Clone()
+	}
+	return clone.SetOptions(o)
+}
+
+func (p *plugin) Configuration() *core.Options {
+	return core.StandardConfiguration(core.ThreadSafetySerialized, "experimental", Version, false)
+}
+
+func (p *plugin) get() (*core.Compressor, error) {
+	if p.comp == nil {
+		comp, err := core.NewCompressor(p.childName)
+		if err != nil {
+			return nil, err
+		}
+		if p.saved != nil {
+			if err := comp.SetOptions(p.saved); err != nil {
+				return nil, err
+			}
+		}
+		p.comp = comp
+	}
+	return p.comp, nil
+}
+
+// roll draws one uniform variate from the instance PRNG.
+func (p *plugin) roll() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.rates.Seed))
+	}
+	return p.rng.Float64()
+}
+
+// bit draws a bit position in [0, n) from the instance PRNG.
+func (p *plugin) bit(n int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.rates.Seed))
+	}
+	return p.rng.Intn(n)
+}
+
+// inject runs the pre-operation faults (delay, panic, errors) for one call.
+// It panics when the panic fault fires — the whole point is testing that the
+// guard boundary converts it — and otherwise returns the injected error or
+// nil.
+func (p *plugin) inject(op string) error {
+	if p.rates.Delay > 0 && p.roll() < p.rates.Delay {
+		trace.CounterAdd(CtrDelays, 1)
+		trace.CounterAdd(trace.CtrFaultsInjected, 1)
+		time.Sleep(time.Duration(p.rates.DelayMS) * time.Millisecond)
+	}
+	if p.rates.Panic > 0 && p.roll() < p.rates.Panic {
+		trace.CounterAdd(CtrPanics, 1)
+		trace.CounterAdd(trace.CtrFaultsInjected, 1)
+		panic(fmt.Sprintf("faultinject: injected panic in %s", op))
+	}
+	if p.rates.Error > 0 && p.roll() < p.rates.Error {
+		trace.CounterAdd(CtrErrors, 1)
+		trace.CounterAdd(trace.CtrFaultsInjected, 1)
+		return core.Transient(fmt.Errorf("faultinject: injected transient failure in %s", op))
+	}
+	if p.rates.Permanent > 0 && p.roll() < p.rates.Permanent {
+		trace.CounterAdd(CtrErrors, 1)
+		trace.CounterAdd(trace.CtrFaultsInjected, 1)
+		return fmt.Errorf("faultinject: injected permanent failure in %s", op)
+	}
+	return nil
+}
+
+func (p *plugin) CompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	if err := p.inject("compress"); err != nil {
+		return err
+	}
+	inner, err := core.Compress(comp, in)
+	if err != nil {
+		return err
+	}
+	if p.rates.Bitflip > 0 && inner.ByteLen() > 0 && p.roll() < p.rates.Bitflip {
+		trace.CounterAdd(CtrBitflips, 1)
+		trace.CounterAdd(trace.CtrFaultsInjected, 1)
+		buf := append([]byte(nil), inner.Bytes()...)
+		pos := p.bit(len(buf) * 8)
+		buf[pos/8] ^= 1 << (pos % 8)
+		out.Become(core.NewBytes(buf))
+		return nil
+	}
+	out.Become(inner)
+	return nil
+}
+
+func (p *plugin) DecompressImpl(in, out *core.Data) error {
+	comp, err := p.get()
+	if err != nil {
+		return err
+	}
+	if err := p.inject("decompress"); err != nil {
+		return err
+	}
+	return comp.Decompress(in, out)
+}
+
+// Clone derives an independent instance whose PRNG is seeded from the parent
+// seed and a per-parent clone counter, so a fleet of clones is collectively
+// deterministic without sharing a schedule.
+func (p *plugin) Clone() core.CompressorPlugin {
+	p.mu.Lock()
+	p.clones++
+	seq := p.clones
+	p.mu.Unlock()
+	rates := p.rates
+	rates.Seed = p.rates.Seed*0x9e3779b9 + seq
+	clone := &plugin{childName: p.childName, rates: rates}
+	if p.saved != nil {
+		clone.saved = p.saved.Clone()
+	}
+	if p.comp != nil {
+		clone.comp = p.comp.Clone()
+	}
+	return clone
+}

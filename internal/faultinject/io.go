@@ -1,0 +1,215 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pressio/internal/core"
+	"pressio/internal/trace"
+)
+
+// Option keys the faultinject IO wrapper owns.
+const (
+	keyIOChild       = "faultinject_io:io"
+	keyIOSeed        = "faultinject_io:seed"
+	keyIOErrorRate   = "faultinject_io:error_rate"
+	keyIODelayRate   = "faultinject_io:delay_rate"
+	keyIODelayMS     = "faultinject_io:delay_ms"
+	keyIOBitflipRate = "faultinject_io:bitflip_rate"
+)
+
+func init() {
+	core.RegisterIO("faultinject", func() core.IOPlugin {
+		return &ioPlugin{childName: "posix", seed: 1}
+	})
+}
+
+// ioPlugin wraps a child IO plugin with the same deterministic fault
+// schedule the compressor injector uses: transient errors, delays, and bit
+// flips in the bytes read. It lets IO-level failure handling (retry-on-read,
+// integrity validation of frames loaded from disk) be tested without real
+// storage faults.
+type ioPlugin struct {
+	childName string
+	child     core.IOPlugin
+	saved     *core.Options
+
+	seed        int64
+	errorRate   float64
+	delayRate   float64
+	delayMS     int64
+	bitflipRate float64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (p *ioPlugin) Prefix() string { return "faultinject" }
+
+func (p *ioPlugin) get() (core.IOPlugin, error) {
+	if p.child == nil {
+		child, err := core.NewIO(p.childName)
+		if err != nil {
+			return nil, err
+		}
+		if p.saved != nil {
+			if err := child.SetOptions(p.saved); err != nil {
+				return nil, err
+			}
+		}
+		p.child = child
+	}
+	return p.child, nil
+}
+
+func (p *ioPlugin) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue(keyIOChild, p.childName)
+	o.SetValue(keyIOSeed, p.seed)
+	o.SetValue(keyIOErrorRate, p.errorRate)
+	o.SetValue(keyIODelayRate, p.delayRate)
+	o.SetValue(keyIODelayMS, p.delayMS)
+	o.SetValue(keyIOBitflipRate, p.bitflipRate)
+	if p.child != nil {
+		o.Merge(p.child.Options())
+	}
+	return o
+}
+
+func (p *ioPlugin) SetOptions(o *core.Options) error {
+	if v, err := o.GetString(keyIOChild); err == nil && v != p.childName {
+		p.childName = v
+		p.child = nil
+	}
+	if v, err := o.GetInt64(keyIOSeed); err == nil && v != p.seed {
+		p.seed = v
+		p.mu.Lock()
+		p.rng = nil
+		p.mu.Unlock()
+	}
+	for _, r := range []struct {
+		key string
+		dst *float64
+	}{
+		{keyIOErrorRate, &p.errorRate},
+		{keyIODelayRate, &p.delayRate},
+		{keyIOBitflipRate, &p.bitflipRate},
+	} {
+		if v, err := o.GetFloat64(r.key); err == nil {
+			if err := checkRate(r.key, v); err != nil {
+				return err
+			}
+			*r.dst = v
+		}
+	}
+	if v, err := o.GetInt64(keyIODelayMS); err == nil {
+		if v < 0 {
+			return fmt.Errorf("%w: %s %d", core.ErrInvalidOption, keyIODelayMS, v)
+		}
+		p.delayMS = v
+	}
+	if p.saved == nil {
+		p.saved = core.NewOptions()
+	}
+	p.saved.Merge(o)
+	if p.child != nil {
+		return p.child.SetOptions(o)
+	}
+	return nil
+}
+
+func (p *ioPlugin) Configuration() *core.Options {
+	return core.StandardConfiguration(core.ThreadSafetySerialized, "experimental", Version, false)
+}
+
+func (p *ioPlugin) roll() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.seed))
+	}
+	return p.rng.Float64()
+}
+
+func (p *ioPlugin) bit(n int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(p.seed))
+	}
+	return p.rng.Intn(n)
+}
+
+func (p *ioPlugin) inject(op string) error {
+	if p.delayRate > 0 && p.roll() < p.delayRate {
+		trace.CounterAdd(CtrDelays, 1)
+		trace.CounterAdd(trace.CtrFaultsInjected, 1)
+		time.Sleep(time.Duration(p.delayMS) * time.Millisecond)
+	}
+	if p.errorRate > 0 && p.roll() < p.errorRate {
+		trace.CounterAdd(CtrErrors, 1)
+		trace.CounterAdd(trace.CtrFaultsInjected, 1)
+		return core.Transient(fmt.Errorf("faultinject: injected transient IO failure in %s", op))
+	}
+	return nil
+}
+
+func (p *ioPlugin) Read(hint *core.Data) (*core.Data, error) {
+	child, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.inject("read"); err != nil {
+		return nil, err
+	}
+	d, err := child.Read(hint)
+	if err != nil {
+		return nil, err
+	}
+	if p.bitflipRate > 0 && d.ByteLen() > 0 && p.roll() < p.bitflipRate {
+		trace.CounterAdd(CtrBitflips, 1)
+		trace.CounterAdd(trace.CtrFaultsInjected, 1)
+		buf := append([]byte(nil), d.Bytes()...)
+		pos := p.bit(len(buf) * 8)
+		buf[pos/8] ^= 1 << (pos % 8)
+		flipped := core.NewBytes(buf)
+		if d.DType() != core.DTypeByte || d.NumDims() != 1 {
+			if reshaped, err := core.NewMove(d.DType(), buf, d.Dims()...); err == nil {
+				flipped = reshaped
+			}
+		}
+		return flipped, nil
+	}
+	return d, nil
+}
+
+func (p *ioPlugin) Write(d *core.Data) error {
+	child, err := p.get()
+	if err != nil {
+		return err
+	}
+	if err := p.inject("write"); err != nil {
+		return err
+	}
+	return child.Write(d)
+}
+
+func (p *ioPlugin) Clone() core.IOPlugin {
+	clone := &ioPlugin{
+		childName:   p.childName,
+		seed:        p.seed*0x9e3779b9 + 1,
+		errorRate:   p.errorRate,
+		delayRate:   p.delayRate,
+		delayMS:     p.delayMS,
+		bitflipRate: p.bitflipRate,
+	}
+	if p.saved != nil {
+		clone.saved = p.saved.Clone()
+	}
+	if p.child != nil {
+		clone.child = p.child.Clone()
+	}
+	return clone
+}

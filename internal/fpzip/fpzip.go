@@ -339,6 +339,16 @@ func DecompressSlice[T Float](stream []byte) ([]T, []uint64, error) {
 		return nil, nil, err
 	}
 	n := outer * nx * ny * nz
+	// The adaptive residual coder tops out near ~400 decoded values per
+	// payload byte even on constant data where the Lorenzo prediction is
+	// exact, so a genuine stream can never declare vastly more elements
+	// than its payload carries. Rejecting anything past a wide margin of
+	// that ratio stops decompression bombs: a dozen-byte stream must not
+	// buy seconds of decode work and gigabytes of output.
+	if uint64(n) > (uint64(len(stream)-pos)+2)*2048 {
+		return nil, nil, fmt.Errorf("%w: %d values declared by a %d byte payload",
+			ErrCorrupt, n, len(stream)-pos)
+	}
 	out := make([]T, n)
 	dec := rangecoder.NewDecoder(stream[pos:])
 	cdr := newCoder()

@@ -1,0 +1,75 @@
+package fpzip
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDecompressSlice drives the predictive decoder with arbitrary bytes:
+// it must never panic, and whenever it accepts a stream the decoded value
+// count must match the header's declared shape. (Runs its seed corpus under
+// plain `go test`; use `go test -fuzz=FuzzDecompressSlice ./internal/fpzip`
+// to explore further.)
+func FuzzDecompressSlice(f *testing.F) {
+	good, _ := CompressSlice([]float32{1, 2, 3, 4, 5, 6}, []uint64{2, 3}, Params{})
+	f.Add(good)
+	lossy, _ := CompressSlice([]float32{0.5, -0.25, 3.25, 8}, []uint64{4}, Params{Precision: 16})
+	f.Add(lossy)
+	f.Add([]byte{})
+	f.Add([]byte("FPZ1"))
+	if len(good) > 8 {
+		f.Add(good[:8])
+		trunc := append([]byte{}, good...)
+		f.Add(trunc[:len(trunc)-2])
+	}
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		vals, dims, err := DecompressSlice[float32](stream)
+		if err != nil {
+			return
+		}
+		n := uint64(1)
+		for _, d := range dims {
+			n *= d
+		}
+		if uint64(len(vals)) != n {
+			t.Fatalf("accepted stream with inconsistent shape: %d vals vs dims %v", len(vals), dims)
+		}
+	})
+}
+
+// FuzzCompressRoundTrip feeds arbitrary float32 bit patterns through a
+// full-precision compress/decompress cycle, which must be lossless
+// bit-for-bit (including NaN payloads and infinities).
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 128, 63, 0, 0, 0, 64}) // [1.0, 2.0]
+	f.Add(make([]byte, 32))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 4 || len(raw) > 1<<14 {
+			return
+		}
+		n := len(raw) / 4
+		vals := make([]float32, n)
+		for i := range vals {
+			bits := uint32(raw[4*i]) | uint32(raw[4*i+1])<<8 |
+				uint32(raw[4*i+2])<<16 | uint32(raw[4*i+3])<<24
+			vals[i] = math.Float32frombits(bits)
+		}
+		stream, err := CompressSlice(vals, []uint64{uint64(n)}, Params{})
+		if err != nil {
+			t.Fatalf("lossless compress rejected valid input: %v", err)
+		}
+		dec, _, err := DecompressSlice[float32](stream)
+		if err != nil {
+			t.Fatalf("decompress of own stream failed: %v", err)
+		}
+		if len(dec) != n {
+			t.Fatalf("length changed: %d -> %d", n, len(dec))
+		}
+		for i := range vals {
+			if math.Float32bits(vals[i]) != math.Float32bits(dec[i]) {
+				t.Fatalf("elem %d: %08x became %08x (lossless mode must be exact)",
+					i, math.Float32bits(vals[i]), math.Float32bits(dec[i]))
+			}
+		}
+	})
+}

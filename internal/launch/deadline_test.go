@@ -1,0 +1,66 @@
+package launch
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"pressio/internal/core"
+)
+
+// stallScript writes a worker stub that reads nothing and sleeps far past
+// any test deadline — the pathological external tool the Deadline field
+// exists for.
+func stallScript(t *testing.T) string {
+	t.Helper()
+	if runtime.GOOS == "windows" {
+		t.Skip("stalling-worker stub is a shell script")
+	}
+	path := filepath.Join(t.TempDir(), "stall.sh")
+	if err := os.WriteFile(path, []byte("#!/bin/sh\nsleep 60\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestExternalDeadlineKillsStalledWorker(t *testing.T) {
+	e := &External{Binary: stallScript(t), Deadline: 100 * time.Millisecond}
+	start := time.Now()
+	_, _, err := e.Compress("noop", nil, sample())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("stalled worker returned success")
+	}
+	if !errors.Is(err, core.ErrTimeout) {
+		t.Errorf("error %v does not wrap core.ErrTimeout", err)
+	}
+	if !core.IsTransient(err) {
+		t.Error("worker timeout must classify as transient")
+	}
+	if elapsed > 10*time.Second {
+		t.Errorf("deadline did not kill the worker: call took %s", elapsed)
+	}
+}
+
+func TestExternalNoDeadlineStillErrorsOnBadWorker(t *testing.T) {
+	// A worker that exits immediately without the protocol handshake must
+	// fail as a protocol/worker error, not a timeout.
+	path := filepath.Join(t.TempDir(), "exit.sh")
+	if runtime.GOOS == "windows" {
+		t.Skip("worker stub is a shell script")
+	}
+	if err := os.WriteFile(path, []byte("#!/bin/sh\nexit 3\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	e := &External{Binary: path}
+	_, _, err := e.Compress("noop", nil, sample())
+	if err == nil {
+		t.Fatal("broken worker returned success")
+	}
+	if errors.Is(err, core.ErrTimeout) {
+		t.Errorf("non-timeout failure misreported as timeout: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ package launch
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -273,6 +274,11 @@ type External struct {
 	// StartupDelay simulates expensive worker initialization (e.g. an
 	// MPI-launched compressor); zero for a plain process spawn.
 	StartupDelay time.Duration
+	// Deadline bounds one whole worker exchange (spawn, write, compute,
+	// read). When it passes the subprocess is killed and the call returns an
+	// error wrapping core.ErrTimeout, which classifies as transient so a
+	// guard layer may retry. Zero means no deadline.
+	Deadline time.Duration
 }
 
 // Compress runs one compression in the worker and reports the total
@@ -290,13 +296,28 @@ func (e *External) Compress(compressor string, opts map[string]string, in *core.
 	if e.StartupDelay > 0 {
 		args = append(args, fmt.Sprintf("-startup-delay=%s", e.StartupDelay))
 	}
-	cmd := exec.Command(e.Binary, args...)
+	ctx := context.Background()
+	if e.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.Deadline)
+		defer cancel()
+	}
+	cmd := exec.CommandContext(ctx, e.Binary, args...)
+	if e.Deadline > 0 {
+		// Without this, Run blocks past the kill while any grandchild that
+		// inherited the stdout pipe keeps it open.
+		cmd.WaitDelay = 100 * time.Millisecond
+	}
 	cmd.Stdin = &reqBuf
 	var out bytes.Buffer
 	var errBuf bytes.Buffer
 	cmd.Stdout = &out
 	cmd.Stderr = &errBuf
 	if err := cmd.Run(); err != nil {
+		if ctx.Err() == context.DeadlineExceeded {
+			return nil, 0, fmt.Errorf("launch: %w: worker exceeded deadline %s (killed)",
+				core.ErrTimeout, e.Deadline)
+		}
 		return nil, 0, fmt.Errorf("launch: worker failed: %v: %s", err, errBuf.String())
 	}
 	d, err := readData(&bufReader{&out})

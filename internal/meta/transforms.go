@@ -526,17 +526,34 @@ func (p *deltaMeta) DecompressImpl(in, out *core.Data) error {
 	}
 	pos := 6
 	dims := make([]uint64, rank)
+	total := uint64(1)
 	for i := range dims {
 		v, sz := binary.Uvarint(b[pos:])
-		if sz <= 0 || v == 0 {
+		if sz <= 0 || v == 0 || v > 1<<40 {
 			return ErrCorrupt
 		}
 		dims[i] = v
+		total *= v
+		if total > 1<<44 {
+			return ErrCorrupt
+		}
 		pos += sz
+	}
+	// A lossless child expands by at most ~three decimal orders of
+	// magnitude, so a header whose declared shape dwarfs the embedded
+	// stream is a decompression bomb, not a valid product of
+	// CompressImpl — reject it before allocating the output.
+	if total*uint64(dtype.Size()) > (uint64(len(b)-pos)+2)*4096 {
+		return ErrCorrupt
 	}
 	dec, err := core.Decompress(comp, core.NewBytes(b[pos:]), dtype, dims...)
 	if err != nil {
 		return err
+	}
+	if dec.DType() != dtype || dec.Len() != total {
+		// A corrupt inner stream can make the child hand back an opaque
+		// byte buffer of the wrong size; the typed views below would panic.
+		return ErrCorrupt
 	}
 	switch dtype {
 	case core.DTypeFloat64:
@@ -650,12 +667,17 @@ func (p *linQuant) DecompressImpl(in, out *core.Data) error {
 	}
 	pos := 6
 	dims := make([]uint64, rank)
+	total := uint64(1)
 	for i := range dims {
 		v, sz := binary.Uvarint(b[pos:])
-		if sz <= 0 || v == 0 {
+		if sz <= 0 || v == 0 || v > 1<<40 {
 			return ErrCorrupt
 		}
 		dims[i] = v
+		total *= v
+		if total > 1<<44 {
+			return ErrCorrupt
+		}
 		pos += sz
 	}
 	stepBits, sz := binary.Uvarint(b[pos:])
@@ -674,6 +696,11 @@ func (p *linQuant) DecompressImpl(in, out *core.Data) error {
 	payload := decPayload.Bytes()
 	count, sz := binary.Uvarint(payload)
 	if sz <= 0 || count > uint64(len(payload)) {
+		return ErrCorrupt
+	}
+	if count != total {
+		// Corruption can desynchronize the embedded code count from the
+		// declared shape; FromFloat64s would panic on the mismatch.
 		return ErrCorrupt
 	}
 	off := sz

@@ -12,6 +12,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"pressio/internal/core"
 	"pressio/internal/trace"
@@ -29,6 +30,21 @@ const (
 
 // ErrFormat reports an unreadable file format.
 var ErrFormat = errors.New("pio: bad format")
+
+// classify maps an OS-level IO error into the shared core taxonomy: busy,
+// interrupted, and deadline conditions are marked transient (a retrying
+// caller such as the guard meta-compressor may succeed on the next attempt),
+// while missing files, permission problems, and format errors stay permanent.
+func classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN) ||
+		errors.Is(err, syscall.EBUSY) || errors.Is(err, os.ErrDeadlineExceeded) {
+		return core.Transient(err)
+	}
+	return err
+}
 
 // ioSpan opens a span for one IO operation ("pio.read"/"pio.write") tagged
 // with the plugin and path; nil (free) when tracing is disabled.
@@ -82,7 +98,7 @@ func (p *posix) Read(hint *core.Data) (*core.Data, error) {
 	defer sp.End()
 	b, err := os.ReadFile(p.path)
 	if err != nil {
-		return nil, err
+		return nil, classify(err)
 	}
 	if hint != nil && hint.DType() != core.DTypeUnset && hint.NumDims() > 0 {
 		d, err := core.NewMove(hint.DType(), b, hint.Dims()...)
@@ -97,7 +113,7 @@ func (p *posix) Read(hint *core.Data) (*core.Data, error) {
 func (p *posix) Write(d *core.Data) error {
 	sp := ioSpan("write", "posix", p.path)
 	defer sp.End()
-	return os.WriteFile(p.path, d.Bytes(), 0o644)
+	return classify(os.WriteFile(p.path, d.Bytes(), 0o644))
 }
 
 func (p *posix) Clone() core.IOPlugin {

@@ -1,0 +1,64 @@
+package resilience
+
+import (
+	"time"
+)
+
+// Backoff computes capped-exponential retry delays with deterministic
+// jitter. It is a value type: plugins embed one per instance and Clone gets
+// an independent copy, so no state is shared across goroutines.
+type Backoff struct {
+	// Initial is the delay before the first retry (default 1ms).
+	Initial time.Duration
+	// Max caps the exponential growth (default 250ms).
+	Max time.Duration
+	// Jitter in [0,1] is the fraction of each delay that is randomized
+	// (default 0 — fully deterministic).
+	Jitter float64
+	// Seed drives the jitter PRNG so retry schedules are reproducible.
+	Seed int64
+}
+
+// splitmix64 is the tiny deterministic PRNG behind the jitter: good enough
+// dispersion for de-synchronizing retries, no global state, no allocation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Delay returns the sleep before retry attempt (0-based). The base delay is
+// Initial*2^attempt capped at Max; Jitter replaces up to that fraction of
+// the delay with a seeded pseudo-random amount, so concurrent retriers with
+// different seeds spread out while a fixed seed reproduces exactly.
+func (b Backoff) Delay(attempt int) time.Duration {
+	initial := b.Initial
+	if initial <= 0 {
+		initial = time.Millisecond
+	}
+	max := b.Max
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	d := initial
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if b.Jitter > 0 {
+		j := b.Jitter
+		if j > 1 {
+			j = 1
+		}
+		span := float64(d) * j
+		r := splitmix64(uint64(b.Seed) ^ splitmix64(uint64(attempt)))
+		// Map r into [0, span): the jittered delay is d - span + [0, span),
+		// i.e. "equal jitter" biased low so the cap is never exceeded.
+		frac := float64(r%(1<<53)) / float64(uint64(1)<<53)
+		d = time.Duration(float64(d) - span + span*frac)
+	}
+	return d
+}

@@ -1,0 +1,176 @@
+package resilience
+
+import (
+	"testing"
+
+	"pressio/internal/core"
+	"pressio/internal/faultinject"
+	"pressio/internal/meta"
+	"pressio/internal/trace"
+
+	_ "pressio/internal/lossless"
+	_ "pressio/internal/sz"
+)
+
+// TestChaosCompressManyCompletes is the acceptance test for the resilience
+// layer: CompressMany over a substrate injecting 30% transient errors and 5%
+// panics must complete every item by degrading to the lossless tier, no
+// panic may escape the Compressor boundary (the test binary would crash),
+// and the trace counters must account for every injected fault.
+func TestChaosCompressManyCompletes(t *testing.T) {
+	const items = 64
+	bufs := make([]*core.Data, items)
+	for i := range bufs {
+		bufs[i] = sine(uint64(32 + i))
+	}
+
+	proto := newFallbackComp(t, core.NewOptions().
+		SetValue("fallback:compressors", "faultinject,noop").
+		SetValue("faultinject:compressor", "sz_threadsafe").
+		SetValue("faultinject:error_rate", 0.30).
+		SetValue("faultinject:panic_rate", 0.05).
+		SetValue("faultinject:seed", int64(2026)).
+		SetValue(core.KeyAbs, 0.01))
+	// Warm up the prototype so its tiers are instantiated: CompressMany then
+	// clones live plugin instances, and each faultinject clone derives a
+	// distinct deterministic seed instead of replaying one schedule per
+	// worker.
+	if _, err := core.Compress(proto, sine(16)); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+
+	before := map[string]int64{}
+	for _, k := range []string{
+		faultinject.CtrErrors, faultinject.CtrPanics,
+		trace.CtrGuardPanics, trace.CtrFallbackEngaged, trace.CtrFallbackExhausted,
+		trace.FallbackTierKey("faultinject"), trace.FallbackTierKey("noop"),
+	} {
+		before[k] = trace.CounterValue(k)
+	}
+	delta := func(k string) int64 { return trace.CounterValue(k) - before[k] }
+
+	results, err := meta.CompressMany(proto, bufs, 4)
+	if err != nil {
+		t.Fatalf("CompressMany over flaky substrate failed: %v", err)
+	}
+	if len(results) != items {
+		t.Fatalf("got %d results, want %d", len(results), items)
+	}
+	for i, r := range results {
+		if r == nil || !r.HasData() {
+			t.Fatalf("item %d did not complete", i)
+		}
+		if !IsFramed(r.Bytes()) {
+			t.Fatalf("item %d is not framed", i)
+		}
+	}
+
+	injErrors, injPanics := delta(faultinject.CtrErrors), delta(faultinject.CtrPanics)
+	if injErrors == 0 {
+		t.Error("no transient errors injected; chaos substrate inert (rates misconfigured?)")
+	}
+	if injPanics == 0 {
+		t.Error("no panics injected; chaos substrate inert (rates misconfigured?)")
+	}
+	// Every injected fault downed the preferred tier exactly once, and every
+	// downed call was served by the next tier: faults == fallbacks engaged.
+	if got := delta(trace.CtrFallbackEngaged); got != injErrors+injPanics {
+		t.Errorf("CtrFallbackEngaged = %d, want %d (errors %d + panics %d)",
+			got, injErrors+injPanics, injErrors, injPanics)
+	}
+	// Every injected panic was recovered at the framework boundary.
+	if got := delta(trace.CtrGuardPanics); got != injPanics {
+		t.Errorf("CtrGuardPanics = %d, want %d", got, injPanics)
+	}
+	// Per-tier service counters partition the batch.
+	served := delta(trace.FallbackTierKey("faultinject")) + delta(trace.FallbackTierKey("noop"))
+	if served != items {
+		t.Errorf("tier counters sum to %d, want %d", served, items)
+	}
+	if got := delta(trace.CtrFallbackExhausted); got != 0 {
+		t.Errorf("CtrFallbackExhausted = %d, want 0 (noop tier never fails)", got)
+	}
+
+	// Drain the faults and verify every stream decodes: a consumer with the
+	// same chain but zero fault rates routes each frame to its producer.
+	consumer := newFallbackComp(t, core.NewOptions().
+		SetValue("fallback:compressors", "faultinject,noop").
+		SetValue("faultinject:compressor", "sz_threadsafe").
+		SetValue(core.KeyAbs, 0.01))
+	for i, r := range results {
+		out := core.NewEmpty(core.DTypeUnset)
+		if err := consumer.Decompress(r, out); err != nil {
+			t.Fatalf("item %d failed to decompress: %v", i, err)
+		}
+		if out.Len() != bufs[i].Len() {
+			t.Fatalf("item %d: %d elements became %d", i, bufs[i].Len(), out.Len())
+		}
+		if got := worstAbs(t, bufs[i], out); got > 0.01 {
+			t.Fatalf("item %d: max abs error %g exceeds bound", i, got)
+		}
+	}
+}
+
+// TestChaosGuardedFallbackComposition exercises the full composition the
+// docs recommend — guard{fallback{flaky, noop}} — so retries, degradation,
+// and framing all engage in one pipeline. Faults are transient-only here:
+// the decompress path has no lossless backup (only the producing tier can
+// decode a frame), so recovery there is the guard's retry loop, which by
+// design does not retry panics. Panic containment is covered above.
+func TestChaosGuardedFallbackComposition(t *testing.T) {
+	c := newGuard(t, core.NewOptions().
+		SetValue("guard:compressor", "fallback").
+		SetValue("fallback:compressors", "faultinject,noop").
+		SetValue("faultinject:compressor", "sz_threadsafe").
+		SetValue("faultinject:error_rate", 0.30).
+		SetValue("faultinject:seed", int64(7)).
+		SetValue("guard:max_retries", uint64(8)).
+		SetValue("guard:backoff_initial_ms", int64(1)).
+		SetValue("guard:backoff_max_ms", int64(2)).
+		SetValue(core.KeyAbs, 0.01))
+	for i := 0; i < 32; i++ {
+		in := sine(uint64(24 + i))
+		comp, err := core.Compress(c, in)
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		out := core.NewEmpty(core.DTypeUnset)
+		if err := c.Decompress(comp, out); err != nil {
+			t.Fatalf("call %d decompress: %v", i, err)
+		}
+		if got := worstAbs(t, in, out); got > 0.01 {
+			t.Fatalf("call %d: max abs error %g", i, got)
+		}
+	}
+}
+
+// TestChaosDeterminism: the same seed must replay the same fault schedule,
+// so two identical single-threaded runs inject identical fault counts.
+func TestChaosDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		e0 := trace.CounterValue(faultinject.CtrErrors)
+		p0 := trace.CounterValue(faultinject.CtrPanics)
+		c := newFallbackComp(t, core.NewOptions().
+			SetValue("fallback:compressors", "faultinject,noop").
+			SetValue("faultinject:compressor", "noop").
+			SetValue("faultinject:error_rate", 0.4).
+			SetValue("faultinject:panic_rate", 0.1).
+			SetValue("faultinject:seed", int64(99)))
+		for i := 0; i < 40; i++ {
+			if _, err := core.Compress(c, sine(16)); err != nil {
+				t.Fatalf("call %d: %v", i, err)
+			}
+		}
+		return trace.CounterValue(faultinject.CtrErrors) - e0,
+			trace.CounterValue(faultinject.CtrPanics) - p0
+	}
+	e1, p1 := run()
+	e2, p2 := run()
+	if e1 != e2 || p1 != p2 {
+		t.Errorf("fault schedule not reproducible: run1 (%d errors, %d panics) vs run2 (%d, %d)",
+			e1, p1, e2, p2)
+	}
+	if e1 == 0 && p1 == 0 {
+		t.Error("seeded schedule injected nothing")
+	}
+}

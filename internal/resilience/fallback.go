@@ -1,0 +1,326 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"pressio/internal/core"
+	"pressio/internal/trace"
+)
+
+// Option keys the fallback meta-compressor owns.
+const (
+	keyFallbackCompressors = "fallback:compressors"
+	keyFallbackDeadlineMS  = "fallback:deadline_ms"
+	keyFallbackVerify      = "fallback:verify"
+	keyFallbackVerifyAbs   = "fallback:verify_abs"
+	keyFallbackFrame       = "fallback:frame"
+	keyFallbackLastTier    = "fallback:last_tier"
+)
+
+func init() {
+	core.RegisterCompressor("fallback", func() core.CompressorPlugin {
+		return newFallback("sz_threadsafe,zfp,noop")
+	})
+}
+
+func newFallback(chain string) *fallback {
+	p := &fallback{frame: true}
+	p.setChain(chain)
+	return p
+}
+
+// fallback is the graceful-degradation meta-compressor: an ordered chain of
+// tiers tried in preference order. A tier that errors, panics, exceeds the
+// per-tier deadline, or fails the optional round-trip verification gate is
+// skipped and the next tier serves the call. Streams are framed (see
+// frame.go) with the producing tier's prefix so decompression routes back to
+// the tier that actually compressed each buffer — a chain can therefore mix
+// tiers freely across a batch and still decompress everything.
+type fallback struct {
+	tiers      []childComp
+	saved      *core.Options
+	deadlineMS int64
+	verify     bool
+	verifyAbs  float64
+	frame      bool
+	lastTier   string
+}
+
+func (p *fallback) Prefix() string  { return "fallback" }
+func (p *fallback) Version() string { return Version }
+
+func (p *fallback) chain() string {
+	names := make([]string, len(p.tiers))
+	for i := range p.tiers {
+		names[i] = p.tiers[i].name
+	}
+	return strings.Join(names, ",")
+}
+
+func (p *fallback) setChain(csv string) {
+	p.tiers = p.tiers[:0]
+	for _, name := range strings.Split(csv, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			p.tiers = append(p.tiers, childComp{name: name})
+		}
+	}
+}
+
+func (p *fallback) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue(keyFallbackCompressors, p.chain())
+	o.SetValue(keyFallbackDeadlineMS, p.deadlineMS)
+	o.SetValue(keyFallbackVerify, boolOpt(p.verify))
+	o.SetValue(keyFallbackVerifyAbs, p.verifyAbs)
+	o.SetValue(keyFallbackFrame, boolOpt(p.frame))
+	o.SetValue(keyFallbackLastTier, p.lastTier)
+	for i := range p.tiers {
+		if p.tiers[i].comp != nil {
+			o.Merge(p.tiers[i].comp.Options())
+		}
+	}
+	return o
+}
+
+func (p *fallback) SetOptions(o *core.Options) error {
+	if v, err := o.GetString(keyFallbackCompressors); err == nil && v != p.chain() {
+		p.setChain(v)
+	}
+	if v, err := o.GetInt64(keyFallbackDeadlineMS); err == nil {
+		if v < 0 {
+			return fmt.Errorf("%w: %s %d", core.ErrInvalidOption, keyFallbackDeadlineMS, v)
+		}
+		p.deadlineMS = v
+	}
+	if v, err := o.GetInt32(keyFallbackVerify); err == nil {
+		p.verify = v != 0
+	}
+	if v, err := o.GetFloat64(keyFallbackVerifyAbs); err == nil {
+		if v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("%w: %s %v", core.ErrInvalidOption, keyFallbackVerifyAbs, v)
+		}
+		p.verifyAbs = v
+	}
+	if v, err := o.GetInt32(keyFallbackFrame); err == nil {
+		p.frame = v != 0
+	}
+	if p.saved == nil {
+		p.saved = core.NewOptions()
+	}
+	p.saved.Merge(o)
+	for i := range p.tiers {
+		if p.tiers[i].comp != nil {
+			if err := p.tiers[i].comp.SetOptions(o); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (p *fallback) CheckOptions(o *core.Options) error {
+	clone := p.cloneFallback()
+	return clone.SetOptions(o)
+}
+
+func (p *fallback) Configuration() *core.Options {
+	cfg := core.StandardConfiguration(core.ThreadSafetySerialized, "stable", Version, false)
+	cfg.SetValue("fallback:known", core.SupportedCompressors())
+	return cfg
+}
+
+func (p *fallback) deadline() time.Duration {
+	return time.Duration(p.deadlineMS) * time.Millisecond
+}
+
+func (p *fallback) CompressImpl(in, out *core.Data) error {
+	if len(p.tiers) == 0 {
+		return fmt.Errorf("%w: %s", core.ErrMissingOption, keyFallbackCompressors)
+	}
+	var tierErrs []error
+	for i := range p.tiers {
+		comp, err := p.tiers[i].get(p.saved)
+		if err != nil {
+			tierErrs = append(tierErrs, err)
+			continue
+		}
+		var result *core.Data
+		err = runGuarded(p.deadline(), func() error {
+			tmp := core.NewEmpty(core.DTypeByte, 0)
+			if err := comp.Compress(in, tmp); err != nil {
+				return err
+			}
+			result = tmp
+			return nil
+		})
+		if err == nil && p.verify {
+			if err = p.verifyRoundTrip(comp, in, result); err != nil {
+				trace.CounterAdd(trace.CtrFallbackVerifyFailed, 1)
+			}
+		}
+		if err != nil {
+			tierErrs = append(tierErrs, fmt.Errorf("tier %s: %w", p.tiers[i].name, err))
+			continue
+		}
+		prefix := comp.Prefix()
+		p.lastTier = prefix
+		trace.CounterAdd(trace.FallbackTierKey(prefix), 1)
+		if i > 0 {
+			trace.CounterAdd(trace.CtrFallbackEngaged, 1)
+		}
+		if p.frame {
+			framed, err := EncodeFrame(prefix, in.DType(), in.Dims(), result.Bytes())
+			if err != nil {
+				return err
+			}
+			trace.CounterAdd(trace.CtrFrameWritten, 1)
+			out.Become(core.NewBytes(framed))
+			return nil
+		}
+		out.Become(result)
+		return nil
+	}
+	trace.CounterAdd(trace.CtrFallbackExhausted, 1)
+	return fmt.Errorf("fallback: all %d tiers failed: %w", len(p.tiers), errors.Join(tierErrs...))
+}
+
+// verifyRoundTrip is the optional error-bound gate: the candidate stream is
+// decompressed (under the same guarded execution) and compared against the
+// input. With fallback:verify_abs > 0 the max pointwise absolute error must
+// stay within the bound; with no bound the decompression merely has to
+// succeed with the right shape. A tier that cannot honor the bound on this
+// input degrades to the next tier instead of silently shipping bad data.
+func (p *fallback) verifyRoundTrip(comp *core.Compressor, in, stream *core.Data) error {
+	dec := core.NewEmpty(in.DType(), in.Dims()...)
+	err := runGuarded(p.deadline(), func() error {
+		return comp.Decompress(core.NewBytes(stream.Bytes()), dec)
+	})
+	if err != nil {
+		return fmt.Errorf("round-trip verification: %w", err)
+	}
+	if dec.Len() != in.Len() {
+		return fmt.Errorf("round-trip verification: %w: %d elements became %d",
+			core.ErrInvalidDims, in.Len(), dec.Len())
+	}
+	if p.verifyAbs > 0 && in.DType().Numeric() {
+		if maxErr := maxAbsError(in, dec); maxErr > p.verifyAbs {
+			return fmt.Errorf("round-trip verification: max abs error %g exceeds bound %g",
+				maxErr, p.verifyAbs)
+		}
+	}
+	return nil
+}
+
+// maxAbsError computes the max pointwise |a-b|; non-finite pairs count as 0
+// when both sides agree and +Inf when they diverge.
+func maxAbsError(a, b *core.Data) float64 {
+	av, bv := a.AsFloat64s(), b.AsFloat64s()
+	if len(av) != len(bv) {
+		return math.Inf(1)
+	}
+	maxErr := 0.0
+	for i := range av {
+		x, y := av[i], bv[i]
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			if x != y && !(math.IsNaN(x) && math.IsNaN(y)) {
+				return math.Inf(1)
+			}
+			continue
+		}
+		if d := math.Abs(x - y); d > maxErr {
+			maxErr = d
+		}
+	}
+	return maxErr
+}
+
+func (p *fallback) DecompressImpl(in, out *core.Data) error {
+	if len(p.tiers) == 0 {
+		return fmt.Errorf("%w: %s", core.ErrMissingOption, keyFallbackCompressors)
+	}
+	b := in.Bytes()
+	if IsFramed(b) {
+		f, err := DecodeFrame(b)
+		if err != nil {
+			trace.CounterAdd(trace.CtrFrameCorrupt, 1)
+			return err
+		}
+		return p.decompressVia(f, out)
+	}
+	// Unframed stream (fallback:frame was off at compress time): the
+	// producing tier is unrecorded, so probe the chain in preference order.
+	var tierErrs []error
+	for i := range p.tiers {
+		comp, err := p.tiers[i].get(p.saved)
+		if err != nil {
+			tierErrs = append(tierErrs, err)
+			continue
+		}
+		tmp := core.NewEmpty(out.DType(), out.Dims()...)
+		err = runGuarded(p.deadline(), func() error {
+			return comp.Decompress(core.NewBytes(b), tmp)
+		})
+		if err == nil {
+			p.lastTier = comp.Prefix()
+			out.Become(tmp)
+			return nil
+		}
+		tierErrs = append(tierErrs, fmt.Errorf("tier %s: %w", p.tiers[i].name, err))
+	}
+	trace.CounterAdd(trace.CtrFallbackExhausted, 1)
+	return fmt.Errorf("fallback: no tier decompressed the stream: %w", errors.Join(tierErrs...))
+}
+
+// decompressVia routes a framed stream back to the tier that produced it.
+func (p *fallback) decompressVia(f Frame, out *core.Data) error {
+	for i := range p.tiers {
+		comp, err := p.tiers[i].get(p.saved)
+		if err != nil {
+			continue
+		}
+		if comp.Prefix() != f.Prefix && p.tiers[i].name != f.Prefix {
+			continue
+		}
+		target := out
+		if out.DType() == core.DTypeUnset || out.NumDims() == 0 {
+			target = core.NewEmpty(f.DType, f.Dims...)
+		}
+		err = runGuarded(p.deadline(), func() error {
+			return comp.Decompress(core.NewBytes(f.Payload), target)
+		})
+		if err != nil {
+			return err
+		}
+		p.lastTier = comp.Prefix()
+		if target != out {
+			out.Become(target)
+		}
+		return nil
+	}
+	return fmt.Errorf("resilience: %w: frame produced by %q which is not in the chain %q",
+		core.ErrCorrupt, f.Prefix, p.chain())
+}
+
+func (p *fallback) cloneFallback() *fallback {
+	clone := &fallback{
+		deadlineMS: p.deadlineMS,
+		verify:     p.verify,
+		verifyAbs:  p.verifyAbs,
+		frame:      p.frame,
+		lastTier:   p.lastTier,
+	}
+	clone.tiers = make([]childComp, len(p.tiers))
+	for i := range p.tiers {
+		clone.tiers[i] = p.tiers[i].clone()
+	}
+	if p.saved != nil {
+		clone.saved = p.saved.Clone()
+	}
+	return clone
+}
+
+func (p *fallback) Clone() core.CompressorPlugin { return p.cloneFallback() }

@@ -1,0 +1,160 @@
+package resilience
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"pressio/internal/core"
+)
+
+// The integrity frame is an optional self-describing container around a
+// compressed payload. It exists so that a corrupted or mismatched stream is
+// rejected deterministically at the framework boundary — with a checksum
+// mismatch error — instead of being fed into a decoder whose behaviour on
+// garbage is at best an error and at worst a crash.
+//
+// Byte layout (all multi-byte integers are uvarints except the CRC):
+//
+//	offset  size  field
+//	0       4     magic "LPFR"
+//	4       1     version (currently 1)
+//	5       1     dtype byte (core.DType of the uncompressed data)
+//	6       1     rank (number of dims, <= 16)
+//	7       var   dims, one uvarint per dimension
+//	var     var   producing plugin prefix: uvarint length + bytes (<= 64)
+//	var     var   payload length, uvarint
+//	var     4     CRC32-C (Castagnoli) of the payload, little-endian
+//	var     n     payload (the wrapped compressor's stream)
+//
+// The dtype/dims of the *uncompressed* data ride along so a frame-aware
+// reader can reconstruct the decompression hint without a side channel, and
+// the plugin prefix lets a fallback chain route the stream back to the tier
+// that produced it.
+
+// FrameMagic identifies an integrity-checked frame.
+const FrameMagic = "LPFR"
+
+// frameVersion is the current frame layout version.
+const frameVersion = 1
+
+// maxFramePrefix bounds the recorded plugin prefix length.
+const maxFramePrefix = 64
+
+// maxFrameRank bounds the recorded rank, matching the framework-wide limit.
+const maxFrameRank = 16
+
+// castagnoli is the CRC32-C table (same polynomial iSCSI and ext4 use);
+// hash/crc32 uses SSE4.2/ARMv8 instructions for it where available.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Frame is a decoded integrity frame.
+type Frame struct {
+	// Prefix names the plugin that produced Payload.
+	Prefix string
+	// DType and Dims describe the uncompressed data (the decompression
+	// hint).
+	DType core.DType
+	Dims  []uint64
+	// Payload is the wrapped compressed stream, aliasing the input buffer.
+	Payload []byte
+}
+
+// EncodeFrame wraps payload in an integrity frame.
+func EncodeFrame(prefix string, dtype core.DType, dims []uint64, payload []byte) ([]byte, error) {
+	if len(prefix) == 0 || len(prefix) > maxFramePrefix {
+		return nil, fmt.Errorf("resilience: %w: frame prefix length %d", core.ErrInvalidOption, len(prefix))
+	}
+	if len(dims) > maxFrameRank {
+		return nil, fmt.Errorf("resilience: %w: rank %d exceeds %d", core.ErrInvalidDims, len(dims), maxFrameRank)
+	}
+	out := make([]byte, 0, len(FrameMagic)+3+len(prefix)+16+len(payload))
+	out = append(out, FrameMagic...)
+	out = append(out, frameVersion, byte(dtype), byte(len(dims)))
+	for _, d := range dims {
+		out = binary.AppendUvarint(out, d)
+	}
+	out = binary.AppendUvarint(out, uint64(len(prefix)))
+	out = append(out, prefix...)
+	out = binary.AppendUvarint(out, uint64(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, castagnoli))
+	out = append(out, payload...)
+	return out, nil
+}
+
+// IsFramed reports whether b starts with the frame magic.
+func IsFramed(b []byte) bool {
+	return len(b) >= len(FrameMagic) && string(b[:len(FrameMagic)]) == FrameMagic
+}
+
+// corrupt builds the canonical frame-corruption error.
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("resilience: %w: "+format, append([]any{core.ErrCorrupt}, args...)...)
+}
+
+// DecodeFrame parses and validates a frame: magic, version, bounded header
+// fields, exact payload length, and the CRC32-C checksum. Every rejection is
+// an error wrapping core.ErrCorrupt; DecodeFrame never panics on arbitrary
+// input (it is fuzzed).
+func DecodeFrame(b []byte) (Frame, error) {
+	var f Frame
+	if !IsFramed(b) {
+		return f, corrupt("missing frame magic")
+	}
+	if len(b) < len(FrameMagic)+3 {
+		return f, corrupt("truncated frame header")
+	}
+	if v := b[4]; v != frameVersion {
+		return f, corrupt("unsupported frame version %d", v)
+	}
+	f.DType = core.DType(b[5])
+	rank := int(b[6])
+	if rank > maxFrameRank {
+		return f, corrupt("rank %d exceeds %d", rank, maxFrameRank)
+	}
+	pos := len(FrameMagic) + 3
+	f.Dims = make([]uint64, rank)
+	total := uint64(1)
+	for i := range f.Dims {
+		v, n := binary.Uvarint(b[pos:])
+		if n <= 0 {
+			return f, corrupt("truncated dims")
+		}
+		f.Dims[i] = v
+		if v > 0 {
+			total *= v
+		}
+		if total > 1<<48 {
+			return f, corrupt("declared shape too large")
+		}
+		pos += n
+	}
+	plen, n := binary.Uvarint(b[pos:])
+	if n <= 0 || plen == 0 || plen > maxFramePrefix {
+		return f, corrupt("bad prefix length")
+	}
+	pos += n
+	if uint64(len(b)-pos) < plen {
+		return f, corrupt("truncated prefix")
+	}
+	f.Prefix = string(b[pos : pos+int(plen)])
+	pos += int(plen)
+	payloadLen, n := binary.Uvarint(b[pos:])
+	if n <= 0 {
+		return f, corrupt("truncated payload length")
+	}
+	pos += n
+	if len(b)-pos < 4 {
+		return f, corrupt("truncated checksum")
+	}
+	sum := binary.LittleEndian.Uint32(b[pos:])
+	pos += 4
+	if uint64(len(b)-pos) != payloadLen {
+		return f, corrupt("payload is %d bytes, header declares %d", len(b)-pos, payloadLen)
+	}
+	f.Payload = b[pos:]
+	if got := crc32.Checksum(f.Payload, castagnoli); got != sum {
+		return f, corrupt("checksum mismatch: payload %08x, header %08x", got, sum)
+	}
+	return f, nil
+}

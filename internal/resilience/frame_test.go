@@ -1,0 +1,135 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+
+	"pressio/internal/core"
+)
+
+func mustEncode(t *testing.T, prefix string, dtype core.DType, dims []uint64, payload []byte) []byte {
+	t.Helper()
+	b, err := EncodeFrame(prefix, dtype, dims, payload)
+	if err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	return b
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	b := mustEncode(t, "sz_threadsafe", core.DTypeFloat32, []uint64{300, 200, 10}, payload)
+	if !IsFramed(b) {
+		t.Fatal("encoded frame does not report IsFramed")
+	}
+	f, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if f.Prefix != "sz_threadsafe" {
+		t.Errorf("prefix = %q", f.Prefix)
+	}
+	if f.DType != core.DTypeFloat32 {
+		t.Errorf("dtype = %v", f.DType)
+	}
+	if len(f.Dims) != 3 || f.Dims[0] != 300 || f.Dims[1] != 200 || f.Dims[2] != 10 {
+		t.Errorf("dims = %v", f.Dims)
+	}
+	if string(f.Payload) != string(payload) {
+		t.Errorf("payload = %x", f.Payload)
+	}
+}
+
+func TestFrameEmptyPayloadAndRankZero(t *testing.T) {
+	b := mustEncode(t, "noop", core.DTypeByte, nil, nil)
+	f, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if len(f.Dims) != 0 || len(f.Payload) != 0 {
+		t.Errorf("dims=%v payload=%x", f.Dims, f.Payload)
+	}
+}
+
+func TestEncodeFrameRejectsBadHeaders(t *testing.T) {
+	if _, err := EncodeFrame("", core.DTypeByte, nil, nil); err == nil {
+		t.Error("empty prefix accepted")
+	}
+	long := make([]byte, maxFramePrefix+1)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if _, err := EncodeFrame(string(long), core.DTypeByte, nil, nil); err == nil {
+		t.Error("oversized prefix accepted")
+	}
+	if _, err := EncodeFrame("ok", core.DTypeByte, make([]uint64, maxFrameRank+1), nil); err == nil {
+		t.Error("oversized rank accepted")
+	}
+}
+
+// TestFrameTruncationsNeverPanic decodes every prefix of a valid frame; all
+// but the full frame must fail with an error wrapping core.ErrCorrupt, and
+// none may panic.
+func TestFrameTruncationsNeverPanic(t *testing.T) {
+	b := mustEncode(t, "zfp", core.DTypeFloat64, []uint64{64, 64}, []byte("payload-bytes"))
+	for n := 0; n < len(b); n++ {
+		_, err := DecodeFrame(b[:n])
+		if err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", n)
+		}
+		if !errors.Is(err, core.ErrCorrupt) {
+			t.Fatalf("truncation to %d: error %v does not wrap ErrCorrupt", n, err)
+		}
+	}
+}
+
+// TestFramePayloadCorruptionDetected flips every bit of the payload region
+// in turn; the CRC must catch each flip.
+func TestFramePayloadCorruptionDetected(t *testing.T) {
+	payload := []byte("four score and seven years ago")
+	b := mustEncode(t, "sz", core.DTypeFloat32, []uint64{10}, payload)
+	start := len(b) - len(payload)
+	for bit := start * 8; bit < len(b)*8; bit++ {
+		mut := append([]byte(nil), b...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if _, err := DecodeFrame(mut); !errors.Is(err, core.ErrCorrupt) {
+			t.Fatalf("payload bit flip %d undetected (err=%v)", bit, err)
+		}
+	}
+}
+
+// TestFrameHeaderMutationNeverPanics flips every bit of the whole frame;
+// decoding may succeed only if the mutation landed in a spot the format does
+// not define (there are none today), but it must never panic.
+func TestFrameHeaderMutationNeverPanics(t *testing.T) {
+	b := mustEncode(t, "fpzip", core.DTypeFloat32, []uint64{5, 5}, []byte{1, 2, 3})
+	for bit := 0; bit < len(b)*8; bit++ {
+		mut := append([]byte(nil), b...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		_, _ = DecodeFrame(mut) // must not panic
+	}
+}
+
+func TestDecodeFrameRejectsVersionAndMagic(t *testing.T) {
+	b := mustEncode(t, "noop", core.DTypeByte, nil, []byte{9})
+	bad := append([]byte(nil), b...)
+	bad[0] = 'X'
+	if _, err := DecodeFrame(bad); !errors.Is(err, core.ErrCorrupt) {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte(nil), b...)
+	bad[4] = frameVersion + 1
+	if _, err := DecodeFrame(bad); !errors.Is(err, core.ErrCorrupt) {
+		t.Error("future version accepted")
+	}
+	if _, err := DecodeFrame(nil); !errors.Is(err, core.ErrCorrupt) {
+		t.Error("nil input accepted")
+	}
+}
+
+func TestDecodeFrameRejectsHugeShape(t *testing.T) {
+	b := mustEncode(t, "noop", core.DTypeFloat64, []uint64{1 << 30, 1 << 30}, nil)
+	if _, err := DecodeFrame(b); !errors.Is(err, core.ErrCorrupt) {
+		t.Errorf("absurd declared shape accepted (err=%v)", err)
+	}
+}

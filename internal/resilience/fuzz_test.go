@@ -1,0 +1,49 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+
+	"pressio/internal/core"
+)
+
+// FuzzDecodeFrame asserts the frame validator's contract on arbitrary
+// bytes: it never panics, every rejection wraps core.ErrCorrupt, and an
+// accepted frame survives an encode/decode round trip unchanged.
+func FuzzDecodeFrame(f *testing.F) {
+	valid, err := EncodeFrame("sz_threadsafe", core.DTypeFloat32, []uint64{128, 64}, []byte("stream"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3])
+	f.Add(valid[:7])
+	f.Add([]byte(FrameMagic))
+	f.Add([]byte{})
+	empty, err := EncodeFrame("noop", core.DTypeByte, nil, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		frame, err := DecodeFrame(b)
+		if err != nil {
+			if !errors.Is(err, core.ErrCorrupt) {
+				t.Fatalf("rejection %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		re, err := EncodeFrame(frame.Prefix, frame.DType, frame.Dims, frame.Payload)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		again, err := DecodeFrame(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if again.Prefix != frame.Prefix || again.DType != frame.DType ||
+			len(again.Dims) != len(frame.Dims) || string(again.Payload) != string(frame.Payload) {
+			t.Fatalf("frame fields changed across round trip: %+v vs %+v", frame, again)
+		}
+	})
+}

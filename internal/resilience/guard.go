@@ -1,0 +1,241 @@
+package resilience
+
+import (
+	"fmt"
+	"time"
+
+	"pressio/internal/core"
+	"pressio/internal/trace"
+)
+
+// Option keys the guard meta-compressor owns.
+const (
+	keyGuardCompressor       = "guard:compressor"
+	keyGuardDeadlineMS       = "guard:deadline_ms"
+	keyGuardMaxRetries       = "guard:max_retries"
+	keyGuardBackoffInitialMS = "guard:backoff_initial_ms"
+	keyGuardBackoffMaxMS     = "guard:backoff_max_ms"
+	keyGuardBackoffJitter    = "guard:backoff_jitter"
+	keyGuardSeed             = "guard:seed"
+	keyGuardFrame            = "guard:frame"
+)
+
+// Version is the resilience meta-compressor family version.
+const Version = "1.0.0"
+
+func init() {
+	core.RegisterCompressor("guard", func() core.CompressorPlugin {
+		return &guard{child: childComp{name: "sz_threadsafe"}, maxRetries: 2}
+	})
+}
+
+// guard wraps any child compressor with the containment policy a production
+// pipeline wants at every plugin boundary: panics become errors, a watchdog
+// enforces a per-call deadline, transient failures are retried with capped
+// exponential backoff and deterministic jitter, and (optionally) the
+// compressed stream is wrapped in an integrity-checked frame validated
+// before decompression.
+type guard struct {
+	child      childComp
+	saved      *core.Options
+	deadlineMS int64
+	maxRetries uint64
+	backoffCfg Backoff
+	frame      bool
+}
+
+func (p *guard) Prefix() string  { return "guard" }
+func (p *guard) Version() string { return Version }
+
+func (p *guard) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue(keyGuardCompressor, p.child.name)
+	o.SetValue(keyGuardDeadlineMS, p.deadlineMS)
+	o.SetValue(keyGuardMaxRetries, p.maxRetries)
+	o.SetValue(keyGuardBackoffInitialMS, int64(p.backoffCfg.Initial/time.Millisecond))
+	o.SetValue(keyGuardBackoffMaxMS, int64(p.backoffCfg.Max/time.Millisecond))
+	o.SetValue(keyGuardBackoffJitter, p.backoffCfg.Jitter)
+	o.SetValue(keyGuardSeed, p.backoffCfg.Seed)
+	o.SetValue(keyGuardFrame, boolOpt(p.frame))
+	if p.child.comp != nil {
+		o.Merge(p.child.comp.Options())
+	}
+	return o
+}
+
+func (p *guard) SetOptions(o *core.Options) error {
+	if v, err := o.GetString(keyGuardCompressor); err == nil && v != p.child.name {
+		p.child = childComp{name: v}
+	}
+	if v, err := o.GetInt64(keyGuardDeadlineMS); err == nil {
+		if v < 0 {
+			return fmt.Errorf("%w: %s %d", core.ErrInvalidOption, keyGuardDeadlineMS, v)
+		}
+		p.deadlineMS = v
+	}
+	if v, err := o.GetUint64(keyGuardMaxRetries); err == nil {
+		if v > 1<<16 {
+			return fmt.Errorf("%w: %s %d", core.ErrInvalidOption, keyGuardMaxRetries, v)
+		}
+		p.maxRetries = v
+	}
+	if v, err := o.GetInt64(keyGuardBackoffInitialMS); err == nil {
+		p.backoffCfg.Initial = time.Duration(v) * time.Millisecond
+	}
+	if v, err := o.GetInt64(keyGuardBackoffMaxMS); err == nil {
+		p.backoffCfg.Max = time.Duration(v) * time.Millisecond
+	}
+	if v, err := o.GetFloat64(keyGuardBackoffJitter); err == nil {
+		if v < 0 || v > 1 {
+			return fmt.Errorf("%w: %s %v not in [0,1]", core.ErrInvalidOption, keyGuardBackoffJitter, v)
+		}
+		p.backoffCfg.Jitter = v
+	}
+	if v, err := o.GetInt64(keyGuardSeed); err == nil {
+		p.backoffCfg.Seed = v
+	}
+	if v, err := o.GetInt32(keyGuardFrame); err == nil {
+		p.frame = v != 0
+	}
+	if p.saved == nil {
+		p.saved = core.NewOptions()
+	}
+	p.saved.Merge(o)
+	if p.child.comp != nil {
+		return p.child.comp.SetOptions(o)
+	}
+	return nil
+}
+
+func (p *guard) CheckOptions(o *core.Options) error {
+	clone := p.cloneGuard()
+	return clone.SetOptions(o)
+}
+
+func (p *guard) Configuration() *core.Options {
+	cfg := core.StandardConfiguration(core.ThreadSafetySerialized, "stable", Version, false)
+	cfg.SetValue("guard:resilient", int32(1))
+	return cfg
+}
+
+// deadline converts the configured per-call deadline (0 = none).
+func (p *guard) deadline() time.Duration {
+	return time.Duration(p.deadlineMS) * time.Millisecond
+}
+
+// withRetries runs one attempt function under the retry policy: transient
+// failures (core.IsTransient — explicit marks and timeouts) are re-attempted
+// up to guard:max_retries times with backoff between attempts; permanent
+// failures and exhausted budgets return immediately.
+func (p *guard) withRetries(attempt func() error) error {
+	budget := int(p.maxRetries)
+	var err error
+	for try := 0; ; try++ {
+		err = attempt()
+		if err == nil || try >= budget || !core.IsTransient(err) {
+			return err
+		}
+		trace.CounterAdd(trace.CtrGuardRetries, 1)
+		time.Sleep(p.backoffCfg.Delay(try))
+	}
+}
+
+func (p *guard) CompressImpl(in, out *core.Data) error {
+	comp, err := p.child.get(p.saved)
+	if err != nil {
+		return err
+	}
+	var result *core.Data
+	err = p.withRetries(func() error {
+		tmp := core.NewEmpty(core.DTypeByte, 0)
+		if err := runGuarded(p.deadline(), func() error { return comp.Compress(in, tmp) }); err != nil {
+			return err
+		}
+		result = tmp
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if p.frame {
+		framed, err := EncodeFrame(comp.Prefix(), in.DType(), in.Dims(), result.Bytes())
+		if err != nil {
+			return err
+		}
+		trace.CounterAdd(trace.CtrFrameWritten, 1)
+		out.Become(core.NewBytes(framed))
+		return nil
+	}
+	out.Become(result)
+	return nil
+}
+
+func (p *guard) DecompressImpl(in, out *core.Data) error {
+	comp, err := p.child.get(p.saved)
+	if err != nil {
+		return err
+	}
+	payload := in.Bytes()
+	target := out
+	if p.frame || IsFramed(payload) {
+		f, err := DecodeFrame(payload)
+		if err != nil {
+			trace.CounterAdd(trace.CtrFrameCorrupt, 1)
+			return err
+		}
+		switch {
+		case f.Prefix == comp.Prefix():
+			payload = f.Payload
+		case p.frame:
+			// The guard wrapped this stream itself, so a mismatched producer
+			// is corruption, not composition.
+			return fmt.Errorf("resilience: %w: frame produced by %q, guard child is %q",
+				core.ErrCorrupt, f.Prefix, comp.Prefix())
+		default:
+			// Auto-detected frame from a different producer: leave the frame
+			// intact for a frame-aware child (e.g. a fallback chain that
+			// routes on the recorded tier prefix).
+		}
+		if out.DType() == core.DTypeUnset || out.NumDims() == 0 {
+			// The frame self-describes the decompressed shape; use it when
+			// the caller provided no hint.
+			target = core.NewEmpty(f.DType, f.Dims...)
+		}
+	}
+	err = p.withRetries(func() error {
+		return runGuarded(p.deadline(), func() error {
+			return comp.Decompress(core.NewBytes(payload), target)
+		})
+	})
+	if err != nil {
+		return err
+	}
+	if target != out {
+		out.Become(target)
+	}
+	return nil
+}
+
+func (p *guard) cloneGuard() *guard {
+	clone := &guard{
+		child:      p.child.clone(),
+		deadlineMS: p.deadlineMS,
+		maxRetries: p.maxRetries,
+		backoffCfg: p.backoffCfg,
+		frame:      p.frame,
+	}
+	if p.saved != nil {
+		clone.saved = p.saved.Clone()
+	}
+	return clone
+}
+
+func (p *guard) Clone() core.CompressorPlugin { return p.cloneGuard() }
+
+// boolOpt renders a bool as the int32 0/1 convention options use.
+func boolOpt(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,227 @@
+package resilience
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pressio/internal/core"
+	"pressio/internal/faultinject"
+	"pressio/internal/trace"
+
+	_ "pressio/internal/lossless"
+	_ "pressio/internal/sz"
+	_ "pressio/internal/zfp"
+)
+
+// sine fills a smooth float32 field SZ-family compressors handle well.
+func sine(dims ...uint64) *core.Data {
+	total := uint64(1)
+	for _, d := range dims {
+		total *= d
+	}
+	vals := make([]float32, total)
+	for i := range vals {
+		vals[i] = float32(25 * math.Sin(float64(i)/40))
+	}
+	return core.FromFloat32s(vals, dims...)
+}
+
+func worstAbs(t *testing.T, a, b *core.Data) float64 {
+	t.Helper()
+	av, bv := a.AsFloat64s(), b.AsFloat64s()
+	if len(av) != len(bv) {
+		t.Fatalf("length mismatch: %d vs %d", len(av), len(bv))
+	}
+	worst := 0.0
+	for i := range av {
+		if d := math.Abs(av[i] - bv[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func newGuard(t *testing.T, opts *core.Options) *core.Compressor {
+	t.Helper()
+	c, err := core.NewCompressor("guard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetOptions(opts); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGuardRoundTripWithFrame(t *testing.T) {
+	in := sine(32, 32)
+	c := newGuard(t, core.NewOptions().
+		SetValue("guard:compressor", "sz_threadsafe").
+		SetValue("guard:frame", int32(1)).
+		SetValue(core.KeyAbs, 0.01))
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsFramed(comp.Bytes()) {
+		t.Fatal("guard:frame=1 produced an unframed stream")
+	}
+	// The frame self-describes dtype/dims, so decompress needs no hint.
+	out := core.NewEmpty(core.DTypeUnset)
+	if err := c.Decompress(comp, out); err != nil {
+		t.Fatal(err)
+	}
+	if got := worstAbs(t, in, out); got > 0.01 {
+		t.Errorf("max abs error %g exceeds bound", got)
+	}
+
+	// A guard configured without framing still detects and unwraps a framed
+	// stream on decompress.
+	plain := newGuard(t, core.NewOptions().
+		SetValue("guard:compressor", "sz_threadsafe").
+		SetValue(core.KeyAbs, 0.01))
+	out2, err := core.Decompress(plain, comp, core.DTypeFloat32, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := worstAbs(t, in, out2); got > 0.01 {
+		t.Errorf("frameless-guard decompress error %g exceeds bound", got)
+	}
+}
+
+func TestGuardContainsPanics(t *testing.T) {
+	before := trace.CounterValue(trace.CtrGuardPanics)
+	c := newGuard(t, core.NewOptions().
+		SetValue("guard:compressor", "faultinject").
+		SetValue("faultinject:compressor", "noop").
+		SetValue("faultinject:panic_rate", 1.0))
+	_, err := core.Compress(c, sine(16))
+	if err == nil {
+		t.Fatal("compress over always-panicking child succeeded")
+	}
+	if !errors.Is(err, core.ErrPanicked) {
+		t.Errorf("error %v does not wrap ErrPanicked", err)
+	}
+	if core.IsTransient(err) {
+		t.Error("recovered panic classified transient; panics must be permanent")
+	}
+	if got := trace.CounterValue(trace.CtrGuardPanics) - before; got < 1 {
+		t.Errorf("CtrGuardPanics delta = %d, want >= 1", got)
+	}
+}
+
+func TestGuardRetriesExhaustBudget(t *testing.T) {
+	beforeRetries := trace.CounterValue(trace.CtrGuardRetries)
+	beforeInjected := trace.CounterValue(faultinject.CtrErrors)
+	c := newGuard(t, core.NewOptions().
+		SetValue("guard:compressor", "faultinject").
+		SetValue("faultinject:compressor", "noop").
+		SetValue("faultinject:error_rate", 1.0).
+		SetValue("guard:max_retries", uint64(3)).
+		SetValue("guard:backoff_initial_ms", int64(1)).
+		SetValue("guard:backoff_max_ms", int64(2)))
+	_, err := core.Compress(c, sine(16))
+	if err == nil {
+		t.Fatal("compress over always-failing child succeeded")
+	}
+	if !core.IsTransient(err) {
+		t.Errorf("injected transient error lost its classification: %v", err)
+	}
+	if got := trace.CounterValue(trace.CtrGuardRetries) - beforeRetries; got != 3 {
+		t.Errorf("CtrGuardRetries delta = %d, want 3 (budget exhausted)", got)
+	}
+	if got := trace.CounterValue(faultinject.CtrErrors) - beforeInjected; got != 4 {
+		t.Errorf("injected errors = %d, want 4 (initial try + 3 retries)", got)
+	}
+}
+
+func TestGuardRetriesEventuallySucceed(t *testing.T) {
+	beforeRetries := trace.CounterValue(trace.CtrGuardRetries)
+	beforeInjected := trace.CounterValue(faultinject.CtrErrors)
+	c := newGuard(t, core.NewOptions().
+		SetValue("guard:compressor", "faultinject").
+		SetValue("faultinject:compressor", "noop").
+		SetValue("faultinject:error_rate", 0.5).
+		SetValue("faultinject:seed", int64(3)).
+		SetValue("guard:max_retries", uint64(16)).
+		SetValue("guard:backoff_initial_ms", int64(1)).
+		SetValue("guard:backoff_max_ms", int64(2)))
+	in := sine(16)
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatalf("compress with retry budget failed: %v", err)
+	}
+	retries := trace.CounterValue(trace.CtrGuardRetries) - beforeRetries
+	injected := trace.CounterValue(faultinject.CtrErrors) - beforeInjected
+	if retries != injected {
+		t.Errorf("retries (%d) != injected transient errors (%d): every failure must be retried", retries, injected)
+	}
+	out, err := core.Decompress(c, comp, core.DTypeFloat32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := worstAbs(t, in, out); got != 0 {
+		t.Errorf("noop round trip not exact: max err %g", got)
+	}
+}
+
+func TestGuardDeadline(t *testing.T) {
+	before := trace.CounterValue(trace.CtrGuardTimeouts)
+	c := newGuard(t, core.NewOptions().
+		SetValue("guard:compressor", "faultinject").
+		SetValue("faultinject:compressor", "noop").
+		SetValue("faultinject:delay_rate", 1.0).
+		SetValue("faultinject:delay_ms", int64(2000)).
+		SetValue("guard:deadline_ms", int64(25)))
+	_, err := core.Compress(c, sine(16))
+	if err == nil {
+		t.Fatal("compress over stalling child succeeded before deadline")
+	}
+	if !errors.Is(err, core.ErrTimeout) {
+		t.Errorf("error %v does not wrap ErrTimeout", err)
+	}
+	if !core.IsTransient(err) {
+		t.Error("timeout must classify as transient")
+	}
+	if got := trace.CounterValue(trace.CtrGuardTimeouts) - before; got < 1 {
+		t.Errorf("CtrGuardTimeouts delta = %d, want >= 1", got)
+	}
+}
+
+func TestGuardRejectsCorruptedFrame(t *testing.T) {
+	in := sine(24, 24)
+	c := newGuard(t, core.NewOptions().
+		SetValue("guard:compressor", "sz_threadsafe").
+		SetValue("guard:frame", int32(1)).
+		SetValue(core.KeyAbs, 0.01))
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), comp.Bytes()...)
+	mut[len(mut)-1] ^= 0xff
+	before := trace.CounterValue(trace.CtrFrameCorrupt)
+	_, err = core.Decompress(c, core.NewBytes(mut), core.DTypeFloat32, 24, 24)
+	if !errors.Is(err, core.ErrCorrupt) {
+		t.Errorf("corrupted frame error = %v, want ErrCorrupt", err)
+	}
+	if got := trace.CounterValue(trace.CtrFrameCorrupt) - before; got != 1 {
+		t.Errorf("CtrFrameCorrupt delta = %d, want 1", got)
+	}
+}
+
+func TestGuardRejectsForeignFrame(t *testing.T) {
+	framed, err := EncodeFrame("zfp", core.DTypeFloat32, []uint64{8}, []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newGuard(t, core.NewOptions().
+		SetValue("guard:compressor", "sz_threadsafe").
+		SetValue("guard:frame", int32(1)).
+		SetValue(core.KeyAbs, 0.01))
+	_, err = core.Decompress(c, core.NewBytes(framed), core.DTypeFloat32, 8)
+	if !errors.Is(err, core.ErrCorrupt) {
+		t.Errorf("foreign frame error = %v, want ErrCorrupt", err)
+	}
+}

@@ -35,6 +35,31 @@ const (
 	CtrThreadSafetyMalformed = "core.thread_safety.malformed"
 	// CtrSpansDropped counts spans discarded because the buffer was full.
 	CtrSpansDropped = "trace.spans_dropped"
+	// CtrGuardRetries counts transient failures the guard meta-compressor
+	// retried (one increment per re-attempt, not per call).
+	CtrGuardRetries = "resilience.guard.retries"
+	// CtrGuardPanics counts panics recovered at the guard boundary and
+	// converted to errors.
+	CtrGuardPanics = "resilience.guard.panics_recovered"
+	// CtrGuardTimeouts counts guarded calls cancelled by the watchdog
+	// deadline.
+	CtrGuardTimeouts = "resilience.guard.timeouts"
+	// CtrFrameWritten counts integrity frames emitted on compress.
+	CtrFrameWritten = "resilience.frame.written"
+	// CtrFrameCorrupt counts frames rejected before decompression (bad
+	// magic, truncation, or CRC32-C mismatch).
+	CtrFrameCorrupt = "resilience.frame.corrupt"
+	// CtrFallbackEngaged counts calls served by a tier other than the first
+	// in a fallback chain.
+	CtrFallbackEngaged = "resilience.fallback.engaged"
+	// CtrFallbackExhausted counts calls on which every fallback tier failed.
+	CtrFallbackExhausted = "resilience.fallback.exhausted"
+	// CtrFallbackVerifyFailed counts compressions rejected by the fallback
+	// round-trip verification gate.
+	CtrFallbackVerifyFailed = "resilience.fallback.verify_failed"
+	// CtrFaultsInjected counts faults (errors, panics, delays, bit flips)
+	// the faultinject plugin deliberately introduced.
+	CtrFaultsInjected = "faultinject.faults"
 	// HistCompress is the per-call plugin compress latency histogram.
 	HistCompress = "compress.latency"
 	// HistDecompress is the per-call plugin decompress latency histogram.
@@ -43,6 +68,10 @@ const (
 
 // PluginErrorKey names the per-plugin error counter ("plugin.sz.errors").
 func PluginErrorKey(prefix string) string { return "plugin." + prefix + ".errors" }
+
+// FallbackTierKey names the per-tier served-call counter
+// ("resilience.fallback.tier.sz").
+func FallbackTierKey(prefix string) string { return "resilience.fallback.tier." + prefix }
 
 // Counter is a monotonically adjustable int64 telemetry cell.
 type Counter struct {

@@ -436,10 +436,21 @@ func ParseHeader(stream []byte) (Header, resolved, int, error) {
 		return h, resolved{}, 0, ErrCorrupt
 	}
 	h.Mode = Mode(stream[pos])
+	if h.Mode != ModeFixedAccuracy && h.Mode != ModeFixedRate && h.Mode != ModeFixedPrecision {
+		return h, resolved{}, 0, ErrCorrupt
+	}
 	pos++
 	var res resolved
 	maxbits, sz := binary.Uvarint(stream[pos:])
 	if sz <= 0 || maxbits == 0 {
+		return h, resolved{}, 0, ErrCorrupt
+	}
+	// Fixed-rate streams pad every block out to maxbits, so an unbounded
+	// value turns decoding into a near-infinite spin. Genuine encoders emit
+	// at most 2*intprec bits per value over a <=64-value block and at least
+	// ebits+2 bits total (the floor resolve enforces, which also keeps the
+	// per-block budget subtraction from underflowing).
+	if h.Mode == ModeFixedRate && (maxbits < ebits+2 || maxbits > 2*64*64) {
 		return h, resolved{}, 0, ErrCorrupt
 	}
 	pos += sz

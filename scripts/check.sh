@@ -1,8 +1,10 @@
 #!/bin/sh
 # Tier-2 quality gate: build + vet + pressiolint the whole module, race-test
 # the concurrency-sensitive packages (the tracing layer, the parallel
-# meta-compressors, and the core wrapper), and run the disabled-tracing
-# overhead benchmark that guards the "near-zero cost when off" promise.
+# meta-compressors, and the core wrapper), run the deterministic chaos tests
+# of the resilience layer, smoke-fuzz the stream decoders, and run the
+# disabled-tracing overhead benchmark that guards the "near-zero cost when
+# off" promise.
 #
 # Usage: scripts/check.sh   (or: make check)
 set -eu
@@ -15,11 +17,20 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> pressiolint ./... (all nine analyzers)"
+echo "==> pressiolint ./... (all ten analyzers)"
 go run ./cmd/pressiolint ./...
 
 echo "==> go test -race (trace, meta, core)"
 go test -race ./internal/trace/... ./internal/meta/... ./internal/core/...
+
+echo "==> chaos tests under race detector (resilience, faultinject)"
+go test -race -run 'TestChaos' ./internal/resilience/ ./internal/faultinject/
+
+echo "==> fuzz smoke (decoders, 5s each; corpora replay known crashers)"
+go test -fuzz 'FuzzDecompressSlice' -fuzztime 5s ./internal/sz/
+go test -fuzz 'FuzzDecompressSlice' -fuzztime 5s ./internal/zfp/
+go test -fuzz 'FuzzDecompressSlice' -fuzztime 5s ./internal/fpzip/
+go test -fuzz 'FuzzDecodeFrame' -fuzztime 5s ./internal/resilience/
 
 echo "==> disabled-tracing overhead benchmark"
 go test -run '^$' -bench 'BenchmarkStartDisabled' -benchtime 100ms ./internal/trace/
