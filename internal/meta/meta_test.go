@@ -1,6 +1,8 @@
 package meta
 
 import (
+	"encoding/binary"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -295,6 +297,32 @@ func TestLinearQuantizerBound(t *testing.T) {
 	ratio := float64(in.ByteLen()) / float64(comp.ByteLen())
 	if ratio < 2 {
 		t.Fatalf("quantizer ratio %f too low", ratio)
+	}
+}
+
+// TestTransformHeadersRejectOverflowingDims: delta_encoding and
+// linear_quantizer headers whose dims product wraps uint64 (2^24 * 2^40 ≡ 0)
+// must fail the shape check itself, not rely on downstream length mismatches.
+func TestTransformHeadersRejectOverflowingDims(t *testing.T) {
+	for _, tc := range []struct {
+		name, magic string
+	}{
+		{"delta_encoding", deltaMagic},
+		{"linear_quantizer", linQuantMagic},
+	} {
+		var b []byte
+		b = append(b, tc.magic...)
+		b = append(b, byte(core.DTypeFloat32), 2)
+		b = binary.AppendUvarint(b, 1<<24)
+		b = binary.AppendUvarint(b, 1<<40)
+		c, err := core.NewCompressor(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = core.Decompress(c, core.NewBytes(b), core.DTypeFloat32, 4)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: overflowing dims error = %v, want ErrCorrupt", tc.name, err)
+		}
 	}
 }
 

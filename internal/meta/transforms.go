@@ -533,10 +533,12 @@ func (p *deltaMeta) DecompressImpl(in, out *core.Data) error {
 			return ErrCorrupt
 		}
 		dims[i] = v
-		total *= v
-		if total > 1<<44 {
+		// Overflow-safe running product: reject before multiplying so a
+		// wrapped uint64 can never sneak past the shape bound.
+		if total > (1<<44)/v {
 			return ErrCorrupt
 		}
+		total *= v
 		pos += sz
 	}
 	// A lossless child expands by at most ~three decimal orders of
@@ -674,10 +676,12 @@ func (p *linQuant) DecompressImpl(in, out *core.Data) error {
 			return ErrCorrupt
 		}
 		dims[i] = v
-		total *= v
-		if total > 1<<44 {
+		// Overflow-safe running product: reject before multiplying so a
+		// wrapped uint64 can never sneak past the shape bound.
+		if total > (1<<44)/v {
 			return ErrCorrupt
 		}
+		total *= v
 		pos += sz
 	}
 	stepBits, sz := binary.Uvarint(b[pos:])

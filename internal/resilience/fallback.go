@@ -163,6 +163,12 @@ func (p *fallback) CompressImpl(in, out *core.Data) error {
 			}
 		}
 		if err != nil {
+			if errors.Is(err, core.ErrTimeout) {
+				// The timed-out call still runs detached on this instance (Go
+				// cannot kill a goroutine); drop it so later calls build a
+				// fresh child instead of sharing state with the zombie.
+				p.tiers[i].comp = nil
+			}
 			tierErrs = append(tierErrs, fmt.Errorf("tier %s: %w", p.tiers[i].name, err))
 			continue
 		}
@@ -269,6 +275,9 @@ func (p *fallback) DecompressImpl(in, out *core.Data) error {
 			out.Become(tmp)
 			return nil
 		}
+		if errors.Is(err, core.ErrTimeout) {
+			p.tiers[i].comp = nil
+		}
 		tierErrs = append(tierErrs, fmt.Errorf("tier %s: %w", p.tiers[i].name, err))
 	}
 	trace.CounterAdd(trace.CtrFallbackExhausted, 1)
@@ -277,29 +286,44 @@ func (p *fallback) DecompressImpl(in, out *core.Data) error {
 
 // decompressVia routes a framed stream back to the tier that produced it.
 func (p *fallback) decompressVia(f Frame, out *core.Data) error {
+	var getErrs []error
 	for i := range p.tiers {
 		comp, err := p.tiers[i].get(p.saved)
 		if err != nil {
+			if p.tiers[i].name == f.Prefix {
+				// The frame names this tier; a failure to build it is a
+				// configuration problem, not stream corruption.
+				getErrs = append(getErrs, fmt.Errorf("tier %s: %w", p.tiers[i].name, err))
+			}
 			continue
 		}
 		if comp.Prefix() != f.Prefix && p.tiers[i].name != f.Prefix {
 			continue
 		}
-		target := out
-		if out.DType() == core.DTypeUnset || out.NumDims() == 0 {
-			target = core.NewEmpty(f.DType, f.Dims...)
+		hintDT, hintDims := out.DType(), out.Dims()
+		if hintDT == core.DTypeUnset || len(hintDims) == 0 {
+			hintDT, hintDims = f.DType, f.Dims
 		}
+		// Decompress into a fresh buffer, not the caller's out: a timed-out
+		// call keeps running detached and must not share a target with
+		// whatever the caller does next.
+		target := core.NewEmpty(hintDT, hintDims...)
 		err = runGuarded(p.deadline(), func() error {
 			return comp.Decompress(core.NewBytes(f.Payload), target)
 		})
 		if err != nil {
+			if errors.Is(err, core.ErrTimeout) {
+				p.tiers[i].comp = nil
+			}
 			return err
 		}
 		p.lastTier = comp.Prefix()
-		if target != out {
-			out.Become(target)
-		}
+		out.Become(target)
 		return nil
+	}
+	if len(getErrs) > 0 {
+		return fmt.Errorf("fallback: tier for frame producer %q failed to instantiate: %w",
+			f.Prefix, errors.Join(getErrs...))
 	}
 	return fmt.Errorf("resilience: %w: frame produced by %q which is not in the chain %q",
 		core.ErrCorrupt, f.Prefix, p.chain())

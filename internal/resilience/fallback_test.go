@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"pressio/internal/core"
@@ -175,6 +176,28 @@ func TestFallbackRejectsCorruptFrame(t *testing.T) {
 	}
 	if got := trace.CounterValue(trace.CtrFrameCorrupt) - before; got != 1 {
 		t.Errorf("CtrFrameCorrupt delta = %d, want 1", got)
+	}
+}
+
+// TestFallbackFrameTierInstantiationError: when the frame's producer IS in
+// the chain but that tier fails to instantiate, the error must report the
+// instantiation failure, not masquerade as stream corruption.
+func TestFallbackFrameTierInstantiationError(t *testing.T) {
+	framed, err := EncodeFrame("no_such_plugin", core.DTypeFloat32, []uint64{4}, []byte{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newFallbackComp(t, core.NewOptions().
+		SetValue("fallback:compressors", "no_such_plugin,noop"))
+	_, err = core.Decompress(c, core.NewBytes(framed), core.DTypeFloat32, 4)
+	if err == nil {
+		t.Fatal("frame for uninstantiable tier decompressed successfully")
+	}
+	if errors.Is(err, core.ErrCorrupt) {
+		t.Errorf("instantiation failure misreported as corruption: %v", err)
+	}
+	if !strings.Contains(err.Error(), "no_such_plugin") {
+		t.Errorf("error %v does not name the failing tier", err)
 	}
 }
 

@@ -120,12 +120,17 @@ func DecodeFrame(b []byte) (Frame, error) {
 		if n <= 0 {
 			return f, corrupt("truncated dims")
 		}
+		if v > 1<<48 {
+			return f, corrupt("declared dim too large")
+		}
 		f.Dims[i] = v
 		if v > 0 {
+			// Overflow-safe running product: reject before multiplying so a
+			// wrapped uint64 can never sneak past the shape bound.
+			if total > (1<<48)/v {
+				return f, corrupt("declared shape too large")
+			}
 			total *= v
-		}
-		if total > 1<<48 {
-			return f, corrupt("declared shape too large")
 		}
 		pos += n
 	}

@@ -133,3 +133,21 @@ func TestDecodeFrameRejectsHugeShape(t *testing.T) {
 		t.Errorf("absurd declared shape accepted (err=%v)", err)
 	}
 }
+
+// TestDecodeFrameRejectsOverflowingShape: dims whose product wraps uint64
+// (2^33 * 2^33 ≡ 4, 2^24 * 2^40 ≡ 0) must still be rejected — the running
+// product has to be checked before it can overflow — as must a single dim
+// over the shape cap.
+func TestDecodeFrameRejectsOverflowingShape(t *testing.T) {
+	for _, dims := range [][]uint64{
+		{1 << 33, 1 << 33},
+		{1 << 24, 1 << 40},
+		{1<<48 + 1},
+		{1 << 63, 1 << 63, 4},
+	} {
+		b := mustEncode(t, "noop", core.DTypeFloat64, dims, nil)
+		if _, err := DecodeFrame(b); !errors.Is(err, core.ErrCorrupt) {
+			t.Errorf("overflowing dims %v accepted (err=%v)", dims, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package resilience
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -123,42 +124,60 @@ func (p *guard) deadline() time.Duration {
 	return time.Duration(p.deadlineMS) * time.Millisecond
 }
 
-// withRetries runs one attempt function under the retry policy: transient
-// failures (core.IsTransient — explicit marks and timeouts) are re-attempted
-// up to guard:max_retries times with backoff between attempts; permanent
-// failures and exhausted budgets return immediately.
-func (p *guard) withRetries(attempt func() error) error {
+// withRetries instantiates the child and runs one attempt function under the
+// retry policy: transient failures (core.IsTransient — explicit marks and
+// timeouts) are re-attempted up to guard:max_retries times with backoff
+// between attempts; permanent failures and exhausted budgets return
+// immediately. After a watchdog timeout the timed-out call keeps running
+// detached on the old child instance (Go cannot kill a goroutine), so that
+// instance is discarded and the retry — like every later call — gets a
+// freshly constructed child. Attempts must therefore write only into buffers
+// they allocate themselves and publish results on success, never share a
+// target with a previous attempt.
+func (p *guard) withRetries(attempt func(comp *core.Compressor) error) error {
+	comp, err := p.child.get(p.saved)
+	if err != nil {
+		return err
+	}
 	budget := int(p.maxRetries)
-	var err error
 	for try := 0; ; try++ {
-		err = attempt()
+		err = attempt(comp)
+		if errors.Is(err, core.ErrTimeout) {
+			// The timed-out call is still running detached on this instance;
+			// discard it even when returning, so no later call shares it.
+			p.child.comp = nil
+		}
 		if err == nil || try >= budget || !core.IsTransient(err) {
 			return err
 		}
 		trace.CounterAdd(trace.CtrGuardRetries, 1)
+		if p.child.comp == nil {
+			var gerr error
+			if comp, gerr = p.child.get(p.saved); gerr != nil {
+				return gerr
+			}
+		}
 		time.Sleep(p.backoffCfg.Delay(try))
 	}
 }
 
 func (p *guard) CompressImpl(in, out *core.Data) error {
-	comp, err := p.child.get(p.saved)
-	if err != nil {
-		return err
-	}
 	var result *core.Data
-	err = p.withRetries(func() error {
+	var prefix string
+	err := p.withRetries(func(comp *core.Compressor) error {
 		tmp := core.NewEmpty(core.DTypeByte, 0)
 		if err := runGuarded(p.deadline(), func() error { return comp.Compress(in, tmp) }); err != nil {
 			return err
 		}
 		result = tmp
+		prefix = comp.Prefix()
 		return nil
 	})
 	if err != nil {
 		return err
 	}
 	if p.frame {
-		framed, err := EncodeFrame(comp.Prefix(), in.DType(), in.Dims(), result.Bytes())
+		framed, err := EncodeFrame(prefix, in.DType(), in.Dims(), result.Bytes())
 		if err != nil {
 			return err
 		}
@@ -176,43 +195,57 @@ func (p *guard) DecompressImpl(in, out *core.Data) error {
 		return err
 	}
 	payload := in.Bytes()
-	target := out
+	hintDT, hintDims := out.DType(), out.Dims()
 	if p.frame || IsFramed(payload) {
 		f, err := DecodeFrame(payload)
-		if err != nil {
+		switch {
+		case err != nil && !p.frame:
+			// guard:frame is off, so this payload was only suspected to be a
+			// frame from its first four bytes. A raw child stream can collide
+			// with the magic; treat an undecodable "frame" as that collision
+			// and hand the raw payload to the child unchanged.
+		case err != nil:
 			trace.CounterAdd(trace.CtrFrameCorrupt, 1)
 			return err
-		}
-		switch {
-		case f.Prefix == comp.Prefix():
-			payload = f.Payload
-		case p.frame:
-			// The guard wrapped this stream itself, so a mismatched producer
-			// is corruption, not composition.
-			return fmt.Errorf("resilience: %w: frame produced by %q, guard child is %q",
-				core.ErrCorrupt, f.Prefix, comp.Prefix())
 		default:
-			// Auto-detected frame from a different producer: leave the frame
-			// intact for a frame-aware child (e.g. a fallback chain that
-			// routes on the recorded tier prefix).
-		}
-		if out.DType() == core.DTypeUnset || out.NumDims() == 0 {
-			// The frame self-describes the decompressed shape; use it when
-			// the caller provided no hint.
-			target = core.NewEmpty(f.DType, f.Dims...)
+			switch {
+			case f.Prefix == comp.Prefix():
+				payload = f.Payload
+			case p.frame:
+				// The guard wrapped this stream itself, so a mismatched
+				// producer is corruption, not composition.
+				return fmt.Errorf("resilience: %w: frame produced by %q, guard child is %q",
+					core.ErrCorrupt, f.Prefix, comp.Prefix())
+			default:
+				// Auto-detected frame from a different producer: leave the
+				// frame intact for a frame-aware child (e.g. a fallback chain
+				// that routes on the recorded tier prefix).
+			}
+			if hintDT == core.DTypeUnset || len(hintDims) == 0 {
+				// The frame self-describes the decompressed shape; use it
+				// when the caller provided no hint.
+				hintDT, hintDims = f.DType, f.Dims
+			}
 		}
 	}
-	err = p.withRetries(func() error {
-		return runGuarded(p.deadline(), func() error {
-			return comp.Decompress(core.NewBytes(payload), target)
-		})
+	// Each attempt decompresses into its own buffer: after a timeout the
+	// abandoned call may still be writing its target, so a shared one would
+	// race with the retry.
+	var result *core.Data
+	err = p.withRetries(func(comp *core.Compressor) error {
+		tmp := core.NewEmpty(hintDT, hintDims...)
+		if err := runGuarded(p.deadline(), func() error {
+			return comp.Decompress(core.NewBytes(payload), tmp)
+		}); err != nil {
+			return err
+		}
+		result = tmp
+		return nil
 	})
 	if err != nil {
 		return err
 	}
-	if target != out {
-		out.Become(target)
-	}
+	out.Become(result)
 	return nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"pressio/internal/core"
 	"pressio/internal/faultinject"
@@ -186,6 +187,61 @@ func TestGuardDeadline(t *testing.T) {
 	}
 	if got := trace.CounterValue(trace.CtrGuardTimeouts) - before; got < 1 {
 		t.Errorf("CtrGuardTimeouts delta = %d, want >= 1", got)
+	}
+}
+
+// TestGuardTimeoutRetryIsolation: a timed-out call keeps running detached
+// (Go cannot kill a goroutine), so each retry must use a freshly built child
+// and its own target buffer. Under -race this test fails if a retry ever
+// shares state with an abandoned attempt.
+func TestGuardTimeoutRetryIsolation(t *testing.T) {
+	in := sine(256)
+	c := newGuard(t, core.NewOptions().
+		SetValue("guard:compressor", "faultinject").
+		SetValue("faultinject:compressor", "noop").
+		SetValue("faultinject:delay_rate", 1.0).
+		SetValue("faultinject:delay_ms", int64(60)).
+		SetValue("guard:deadline_ms", int64(10)).
+		SetValue("guard:max_retries", uint64(3)).
+		SetValue("guard:backoff_initial_ms", int64(1)).
+		SetValue("guard:backoff_max_ms", int64(2)))
+	if _, err := core.Compress(c, in); !errors.Is(err, core.ErrTimeout) {
+		t.Errorf("compress error = %v, want ErrTimeout", err)
+	}
+	noop, err := core.NewCompressor("noop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := core.Compress(noop, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := core.NewEmpty(core.DTypeFloat32, 256)
+	if err := c.Decompress(plain, out); !errors.Is(err, core.ErrTimeout) {
+		t.Errorf("decompress error = %v, want ErrTimeout", err)
+	}
+	// Let the abandoned attempts drain so their (isolated) writes finish
+	// inside the test's race-detection window.
+	time.Sleep(150 * time.Millisecond)
+}
+
+// TestGuardFrameMagicCollision: with guard:frame off, a raw child stream that
+// merely starts with the 4-byte frame magic must not be rejected as a corrupt
+// frame — the payload is handed to the child unchanged.
+func TestGuardFrameMagicCollision(t *testing.T) {
+	raw := append([]byte(FrameMagic), 'x', 'y', 'z', 0, 1, 2, 3)
+	in := core.NewBytes(append([]byte(nil), raw...))
+	c := newGuard(t, core.NewOptions().SetValue("guard:compressor", "noop"))
+	comp, err := core.Compress(c, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := core.NewEmpty(core.DTypeByte, uint64(len(raw)))
+	if err := c.Decompress(comp, out); err != nil {
+		t.Fatalf("magic-colliding raw stream rejected: %v", err)
+	}
+	if string(out.Bytes()) != string(raw) {
+		t.Errorf("round trip mangled payload: %x", out.Bytes())
 	}
 }
 
