@@ -33,6 +33,7 @@ import (
 
 	"pressio/internal/core"
 	"pressio/internal/launch"
+	"pressio/internal/service"
 	"pressio/internal/trace"
 
 	// Register the full plugin library.
@@ -70,6 +71,7 @@ func main() {
 		traceOut    = flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this path")
 		guardFlag   = flag.Bool("guard", false, "wrap the compressor in the guard meta-compressor (panic containment, deadlines, retries; tune with -o guard:...)")
 		fallbackCSV = flag.String("fallback", "", "comma separated backup compressors tried in order when the primary fails (tune with -o fallback:...)")
+		breakerFlag = flag.Bool("breaker", false, "wrap the composition in the circuit-breaker meta-compressor (tune with -o breaker:...)")
 		list        = flag.Bool("list", false, "list registered plugins and exit")
 		worker      = flag.Bool("worker", false, "serve one external-process request on stdin/stdout")
 		delay       = flag.Duration("startup-delay", 0, "simulated initialization delay in worker mode")
@@ -81,7 +83,7 @@ func main() {
 	if *traceOut != "" {
 		trace.Enable()
 	}
-	comp, opts := applyResilienceFlags(*compressor, *guardFlag, *fallbackCSV, opts)
+	comp, opts := applyResilienceFlags(*compressor, *guardFlag, *fallbackCSV, *breakerFlag, opts)
 	if err := run(*mode, comp, *input, *output, *ioName, *outIO,
 		*dimsFlag, *dtypeFlag, *metricsCSV, *optsJSON, *list, *worker, *delay, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "pressio:", err)
@@ -96,22 +98,14 @@ func main() {
 	}
 }
 
-// applyResilienceFlags translates the -guard and -fallback convenience flags
-// into the equivalent meta-compressor composition: -fallback turns the
-// selected compressor into the first tier of a fallback chain, and -guard
-// wraps the result (chain included) in the guard meta-compressor. Options
-// are appended in -o form so explicit -o flags can still override them.
-func applyResilienceFlags(compressor string, guard bool, fallbackCSV string, opts stringList) (string, stringList) {
-	out := opts
-	if fallbackCSV != "" {
-		out = append(stringList{"fallback:compressors=" + compressor + "," + fallbackCSV}, out...)
-		compressor = "fallback"
-	}
-	if guard {
-		out = append(stringList{"guard:compressor=" + compressor}, out...)
-		compressor = "guard"
-	}
-	return compressor, out
+// applyResilienceFlags translates the -guard, -fallback and -breaker
+// convenience flags into the equivalent meta-compressor composition via the
+// shared service.ComposeResilience helper, so pressio and pressiod agree on
+// the wrapping order: breaker{guard{fallback{codec}}}. Synthesised options
+// are prepended in -o form so explicit -o flags can still override them.
+func applyResilienceFlags(compressor string, guard bool, fallbackCSV string, breaker bool, opts stringList) (string, stringList) {
+	name, out := service.ComposeResilience(compressor, guard, fallbackCSV, breaker, opts)
+	return name, stringList(out)
 }
 
 func run(mode, compressor, input, output, ioName, outIO, dimsFlag, dtypeFlag,

@@ -1,0 +1,311 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pressio/internal/core"
+	"pressio/internal/launch"
+	"pressio/internal/service"
+	"pressio/internal/trace"
+)
+
+// config collects everything the daemon needs to serve: which compressor
+// stack to build, how much concurrency and memory to admit, and how long a
+// drain may take.
+type config struct {
+	addr         string
+	compressor   string
+	guard        bool
+	fallbackCSV  string
+	breaker      bool
+	options      []string
+	concurrency  int
+	memBudget    int64
+	queueDepth   int
+	reqTimeout   time.Duration
+	drainTimeout time.Duration
+	lameDuck     time.Duration
+}
+
+// daemon is the compression service: a pool of compressor clones behind two
+// bulkhead compartments (compress and decompress are isolated workload
+// classes), an HTTP front end, and a graceful-drain lifecycle.
+type daemon struct {
+	cfg        config
+	name       string // composed compressor name (breaker outermost)
+	srv        *http.Server
+	ln         net.Listener
+	pool       chan *core.Compressor
+	compress   *service.Admission
+	decompress *service.Admission
+
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	// started/finished account for every data-plane request the server began
+	// processing; drain is correct iff they are equal when run returns.
+	started  atomic.Int64
+	finished atomic.Int64
+}
+
+// newDaemon builds the compressor pool and bulkheads. The resilience flags
+// compose exactly as in the pressio CLI: breaker{guard{fallback{codec}}}.
+func newDaemon(cfg config) (*daemon, error) {
+	if cfg.concurrency < 1 {
+		return nil, fmt.Errorf("concurrency %d must be >= 1", cfg.concurrency)
+	}
+	name, opts := service.ComposeResilience(cfg.compressor, cfg.guard, cfg.fallbackCSV, cfg.breaker, cfg.options)
+	base, err := core.NewCompressor(name)
+	if err != nil {
+		return nil, err
+	}
+	kv := map[string]string{}
+	for _, o := range opts {
+		k, v, ok := strings.Cut(o, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad option %q: want key=value", o)
+		}
+		kv[k] = v
+	}
+	if err := launch.ApplyStringOptions(base, kv); err != nil {
+		return nil, err
+	}
+	d := &daemon{cfg: cfg, name: name}
+	// Clones share breaker scope state by construction, so one worker's
+	// failures trip the circuit for the whole pool.
+	d.pool = make(chan *core.Compressor, cfg.concurrency)
+	d.pool <- base
+	for i := 1; i < cfg.concurrency; i++ {
+		d.pool <- base.Clone()
+	}
+	if d.compress, err = service.NewBulkhead("compress", cfg.memBudget, cfg.queueDepth, nil); err != nil {
+		return nil, err
+	}
+	if d.decompress, err = service.NewBulkhead("decompress", cfg.memBudget, cfg.queueDepth, nil); err != nil {
+		return nil, err
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /compress", func(w http.ResponseWriter, r *http.Request) {
+		d.handleData(w, r, false)
+	})
+	mux.HandleFunc("POST /decompress", func(w http.ResponseWriter, r *http.Request) {
+		d.handleData(w, r, true)
+	})
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /readyz", d.handleReadyz)
+	mux.HandleFunc("GET /metricz", d.handleMetricz)
+	d.srv = &http.Server{Handler: mux}
+	return d, nil
+}
+
+// start binds the listener and begins serving; it returns once the daemon is
+// accepting connections so callers (and tests) can read Addr().
+func (d *daemon) start() error {
+	ln, err := net.Listen("tcp", d.cfg.addr)
+	if err != nil {
+		return err
+	}
+	d.ln = ln
+	d.ready.Store(true)
+	go func() {
+		// ErrServerClosed is the expected outcome of a drain; anything else
+		// surfaces through failed client requests, not the exit status.
+		_ = d.srv.Serve(ln)
+	}()
+	return nil
+}
+
+// Addr reports the bound listen address (useful with ":0" in tests).
+func (d *daemon) Addr() string {
+	if d.ln == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// drain implements graceful shutdown: readiness flips false immediately (so
+// rolling restarts stop routing new work here), a lame-duck window keeps the
+// listener open while load balancers notice, then the listener closes and
+// in-flight requests get until the drain deadline to finish.
+func (d *daemon) drain() error {
+	d.ready.Store(false)
+	d.draining.Store(true)
+	if d.cfg.lameDuck > 0 {
+		time.Sleep(d.cfg.lameDuck)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.drainTimeout)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil {
+		_ = d.srv.Close()
+		return fmt.Errorf("drain deadline %s exceeded: %w", d.cfg.drainTimeout, err)
+	}
+	return nil
+}
+
+// writeError maps an error to its HTTP shape. Overload rejections — anything
+// wrapping core.ErrShed, including open-breaker rejections — become typed
+// 503s with Retry-After, so clients can tell "back off" from "broken".
+func writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrShed):
+		kind := "shed"
+		if errors.Is(err, service.ErrBreakerOpen) {
+			kind = "breaker-open"
+		}
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("X-Pressio-Error", kind)
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, core.ErrInvalidOption):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		w.Header().Set("X-Pressio-Error", "fault")
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// parseShape reads the dims and dtype query parameters every data-plane
+// request must carry (compressed streams are not self-describing).
+func parseShape(q map[string][]string) (core.DType, []uint64, error) {
+	get := func(k string) string {
+		if v := q[k]; len(v) > 0 {
+			return v[0]
+		}
+		return ""
+	}
+	dimsParam, dtypeParam := get("dims"), get("dtype")
+	if dimsParam == "" || dtypeParam == "" {
+		return 0, nil, errors.New("dims and dtype query parameters are required")
+	}
+	dtype, err := core.ParseDType(dtypeParam)
+	if err != nil {
+		return 0, nil, err
+	}
+	var dims []uint64
+	for _, p := range strings.Split(dimsParam, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return 0, nil, fmt.Errorf("bad dims %q: %v", dimsParam, err)
+		}
+		dims = append(dims, v)
+	}
+	return dtype, dims, nil
+}
+
+// handleData is the shared data-plane path: admission, pool checkout, codec
+// call, response. Admission weight is the declared Content-Length, so the
+// bulkhead budget bounds resident request bytes, not request count.
+func (d *daemon) handleData(w http.ResponseWriter, r *http.Request, decompress bool) {
+	d.started.Add(1)
+	defer func() {
+		d.finished.Add(1)
+		if d.draining.Load() {
+			trace.CounterAdd(trace.CtrDaemonDrained, 1)
+		}
+	}()
+	trace.CounterAdd(trace.CtrDaemonRequests, 1)
+
+	ctx := r.Context()
+	if d.cfg.reqTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d.cfg.reqTimeout)
+		defer cancel()
+	}
+
+	dtype, dims, err := parseShape(r.URL.Query())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	bh := d.compress
+	if decompress {
+		bh = d.decompress
+	}
+	release, err := bh.Acquire(ctx, r.ContentLength)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer release()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, d.cfg.memBudget))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	var comp *core.Compressor
+	select {
+	case comp = <-d.pool:
+	case <-ctx.Done():
+		writeError(w, fmt.Errorf("daemon: %w: context ended waiting for a worker: %v", core.ErrShed, ctx.Err()))
+		return
+	}
+	defer func() { d.pool <- comp }()
+
+	var out *core.Data
+	if decompress {
+		out = core.NewEmpty(dtype, dims...)
+		err = comp.Decompress(core.NewBytes(body), out)
+	} else {
+		var in *core.Data
+		if in, err = core.NewMove(dtype, body, dims...); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out = core.NewEmpty(core.DTypeByte, 0)
+		err = comp.Compress(in, out)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Pressio-Compressor", d.name)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(out.Bytes())
+}
+
+// handleHealthz is liveness: the process is up, even while draining.
+func (d *daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is readiness: false from the instant a drain begins, so
+// rolling restarts route new work elsewhere while in-flight work finishes.
+func (d *daemon) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !d.ready.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleMetricz dumps the trace registry counters plus the live bulkhead
+// gauges in a flat key=value text form.
+func (d *daemon) handleMetricz(w http.ResponseWriter, _ *http.Request) {
+	counters := trace.Counters()
+	keys := make([]string, 0, len(counters))
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, counters[k])
+	}
+	fmt.Fprintf(w, "service.bulkhead.compress.queue_depth=%d\n", d.compress.QueueDepth())
+	fmt.Fprintf(w, "service.bulkhead.compress.used_bytes=%d\n", d.compress.UsedBytes())
+	fmt.Fprintf(w, "service.bulkhead.decompress.queue_depth=%d\n", d.decompress.QueueDepth())
+	fmt.Fprintf(w, "service.bulkhead.decompress.used_bytes=%d\n", d.decompress.UsedBytes())
+}

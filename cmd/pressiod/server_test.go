@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"pressio/internal/service"
+	"pressio/internal/trace"
+)
+
+// startTestDaemon boots a daemon on an ephemeral port and returns it with a
+// drain trigger and the channel carrying drain's result. The cleanup drains
+// if the test has not already done so.
+func startTestDaemon(t *testing.T, mutate func(*config)) (*daemon, func(), chan error) {
+	t.Helper()
+	service.ResetShared()
+	trace.ResetTelemetry()
+	cfg := config{
+		addr:         "127.0.0.1:0",
+		compressor:   "noop",
+		concurrency:  2,
+		memBudget:    1 << 20,
+		queueDepth:   8,
+		reqTimeout:   5 * time.Second,
+		drainTimeout: 5 * time.Second,
+		lameDuck:     10 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	drained := false
+	drain := func() {
+		if !drained {
+			drained = true
+			done <- d.drain()
+		}
+	}
+	t.Cleanup(drain)
+	return d, drain, done
+}
+
+func sampleFloat32(n int) ([]float32, []byte) {
+	vals := make([]float32, n)
+	raw := make([]byte, 4*n)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i) / 7))
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(vals[i]))
+	}
+	return vals, raw
+}
+
+func post(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDaemonRoundTrip(t *testing.T) {
+	d, _, _ := startTestDaemon(t, func(c *config) {
+		c.compressor = "sz_threadsafe"
+		c.options = []string{"pressio:abs=0.01"}
+	})
+	base := "http://" + d.Addr()
+	vals, raw := sampleFloat32(32 * 32)
+
+	resp := post(t, base+"/compress?dims=32,32&dtype=float32", raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	if got := resp.Header.Get("X-Pressio-Compressor"); got != "sz_threadsafe" {
+		t.Errorf("X-Pressio-Compressor %q", got)
+	}
+	compressed := readAll(t, resp)
+	if len(compressed) == 0 || len(compressed) >= len(raw) {
+		t.Fatalf("compressed %d bytes from %d input bytes", len(compressed), len(raw))
+	}
+
+	resp = post(t, base+"/decompress?dims=32,32&dtype=float32", compressed)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	dec := readAll(t, resp)
+	if len(dec) != len(raw) {
+		t.Fatalf("decompressed %d bytes, want %d", len(dec), len(raw))
+	}
+	for i := range vals {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(dec[4*i:]))
+		if math.Abs(float64(got-vals[i])) > 0.01 {
+			t.Fatalf("elem %d bound violated: %v vs %v", i, got, vals[i])
+		}
+	}
+}
+
+func TestDaemonHealthReadyAndDrain(t *testing.T) {
+	d, drain, done := startTestDaemon(t, func(c *config) {
+		c.lameDuck = 300 * time.Millisecond
+	})
+	base := "http://" + d.Addr()
+
+	resp := post(t, base+"/compress?dims=4&dtype=float32", make([]byte, 16))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress status %d", resp.StatusCode)
+	}
+	readAll(t, resp)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d, want 200", path, resp.StatusCode)
+		}
+		readAll(t, resp)
+	}
+
+	go drain()
+	// During the lame-duck window the listener still answers: liveness stays
+	// 200 while readiness flips to 503 so rolling restarts route away.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			t.Fatalf("/readyz unreachable during lame-duck: %v", err)
+		}
+		code := resp.StatusCode
+		body := readAll(t, resp)
+		if code == http.StatusServiceUnavailable {
+			if !strings.Contains(string(body), "draining") {
+				t.Fatalf("/readyz body %q, want draining", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never flipped to 503 after drain start")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz during drain %d, want 200 (liveness != readiness)", resp.StatusCode)
+	}
+	readAll(t, resp)
+
+	if err := <-done; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if s, f := d.started.Load(), d.finished.Load(); s != f {
+		t.Fatalf("drain dropped requests: %d started, %d finished", s, f)
+	}
+}
+
+func TestDaemonShedOversizedTyped503(t *testing.T) {
+	d, _, _ := startTestDaemon(t, func(c *config) {
+		c.memBudget = 16
+	})
+	resp := post(t, "http://"+d.Addr()+"/compress?dims=16&dtype=float32", make([]byte, 64))
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Pressio-Error"); got != "shed" {
+		t.Errorf("X-Pressio-Error %q, want shed", got)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	if trace.CounterValue(trace.BulkheadShedKey("compress")) != 1 {
+		t.Error("per-bulkhead shed counter not incremented")
+	}
+}
+
+func TestDaemonBreakerOpenTyped503(t *testing.T) {
+	d, _, _ := startTestDaemon(t, func(c *config) {
+		c.compressor = "faultinject"
+		c.breaker = true
+		c.options = []string{
+			"faultinject:compressor=noop",
+			"faultinject:error_rate=1",
+			"faultinject:seed=1",
+			"breaker:window=4",
+			"breaker:failure_threshold=2",
+			"breaker:open_ms=60000",
+		}
+	})
+	base := "http://" + d.Addr()
+	payload := make([]byte, 16)
+	// The first two requests reach the always-failing child (typed faults),
+	// then the shared circuit is open and requests are rejected up front.
+	for i := 0; i < 2; i++ {
+		resp := post(t, base+"/compress?dims=4&dtype=float32", payload)
+		readAll(t, resp)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("request %d status %d, want 500 (injected fault)", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Pressio-Error"); got != "fault" {
+			t.Errorf("request %d X-Pressio-Error %q, want fault", i, got)
+		}
+	}
+	resp := post(t, base+"/compress?dims=4&dtype=float32", payload)
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open-circuit status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Pressio-Error"); got != "breaker-open" {
+		t.Errorf("X-Pressio-Error %q, want breaker-open", got)
+	}
+	if trace.CounterValue(trace.CtrBreakerOpened) != 1 {
+		t.Errorf("opened counter %d, want 1", trace.CounterValue(trace.CtrBreakerOpened))
+	}
+}
+
+func TestDaemonBadRequestMissingShape(t *testing.T) {
+	d, _, _ := startTestDaemon(t, nil)
+	resp := post(t, "http://"+d.Addr()+"/compress", make([]byte, 16))
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 for missing dims/dtype", resp.StatusCode)
+	}
+}
+
+func TestDaemonMetricz(t *testing.T) {
+	d, _, _ := startTestDaemon(t, nil)
+	base := "http://" + d.Addr()
+	readAll(t, post(t, base+"/compress?dims=4&dtype=float32", make([]byte, 16)))
+	resp, err := http.Get(base + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(readAll(t, resp))
+	for _, w := range []string{
+		fmt.Sprintf("%s=1\n", trace.CtrDaemonRequests),
+		fmt.Sprintf("%s=1\n", trace.CtrAdmissionAdmitted),
+		"service.bulkhead.compress.queue_depth=0\n",
+		"service.bulkhead.compress.used_bytes=0\n",
+	} {
+		if !strings.Contains(body, w) {
+			t.Errorf("/metricz missing %q:\n%s", w, body)
+		}
+	}
+}

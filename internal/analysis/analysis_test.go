@@ -84,15 +84,18 @@ func TestGatherFacts(t *testing.T) {
 		t.Fatal(err)
 	}
 	facts := gatherFacts([]*Package{pkg})
-	if !facts.Registered["demo"] {
-		t.Errorf("facts missed the literal registration of %q; got %v", "demo", facts.Registered)
+	for _, prefix := range []string{"demo", "breaker"} {
+		if !facts.Registered[prefix] {
+			t.Errorf("facts missed the literal registration of %q; got %v", prefix, facts.Registered)
+		}
 	}
-	if len(facts.Sites) != 1 {
-		t.Fatalf("got %d registration sites, want 1", len(facts.Sites))
+	if len(facts.Sites) != 2 {
+		t.Fatalf("got %d registration sites, want 2", len(facts.Sites))
 	}
-	site := facts.Sites[0]
-	if site.Kind != kindCompressor || site.Func != "init" || site.FactoryType != "plugin" {
-		t.Errorf("site = %+v, want compressor registered from init with factory type plugin", site)
+	for _, site := range facts.Sites {
+		if site.Kind != kindCompressor || site.Func != "init" || site.FactoryType != "plugin" {
+			t.Errorf("site = %+v, want compressor registered from init with factory type plugin", site)
+		}
 	}
 }
 

@@ -25,6 +25,7 @@ func RegisterCompressor(name string, factory func() *plugin) {}
 
 func init() {
 	RegisterCompressor("demo", func() *plugin { return &plugin{} })
+	RegisterCompressor("breaker", func() *plugin { return &plugin{} })
 }
 
 func defaults() *Options {
@@ -36,6 +37,23 @@ func defaults() *Options {
 
 func apply(p *plugin, o *Options) {
 	if v, ok := o.GetFloat64("demo:rate"); ok {
+		p.rate = v
+	}
+}
+
+// The circuit-breaker meta-compressor keys are plugin-prefixed like any
+// other: spelling "breaker:window" at both the set and the get site is the
+// same hoist-to-constant defect, and a lone "breaker:failure_threshold"
+// literal is fine (single use needs no constant).
+func breakerDefaults() *Options {
+	o := NewOptions()
+	o.SetValue("breaker:window", 16.0)
+	o.SetValue("breaker:failure_threshold", 8.0)
+	return o
+}
+
+func applyBreaker(p *plugin, o *Options) {
+	if v, ok := o.GetFloat64("breaker:window"); ok {
 		p.rate = v
 	}
 }

@@ -39,6 +39,13 @@ var (
 	// an error at the framework boundary (the guard meta-compressor).
 	// Panics signal bugs or corrupt state, so they are permanent.
 	ErrPanicked = errors.New("plugin panicked")
+	// ErrShed indicates a request was rejected by an overload-protection
+	// policy (admission control, a full queue, a deadline that would expire
+	// while queued, or an open circuit breaker) before any work was done.
+	// Shedding is a policy decision, not a fault: IsTransient deliberately
+	// reports false so retry loops inside the process do not hammer an
+	// overloaded component — the *caller* should back off and retry later.
+	ErrShed = errors.New("request shed: overloaded")
 )
 
 // transientError marks its wrapped error as transient while preserving the

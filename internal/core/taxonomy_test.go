@@ -95,6 +95,14 @@ func TestTransientHelpers(t *testing.T) {
 	if IsTransient(fmt.Errorf("x: %w", ErrPanicked)) {
 		t.Error("ErrPanicked must be permanent")
 	}
+	// Shedding is a policy decision: the caller backs off, in-process retry
+	// loops must not treat it as retryable.
+	if IsTransient(fmt.Errorf("x: %w", ErrShed)) {
+		t.Error("ErrShed must not be transient: immediate retries defeat load shedding")
+	}
+	if !errors.Is(fmt.Errorf("admission: %w: queue full", ErrShed), ErrShed) {
+		t.Error("wrapped ErrShed not detectable with errors.Is")
+	}
 }
 
 // transientFake fails every compress with a transient-marked error, to prove

@@ -34,10 +34,12 @@ const (
 // can reconcile what was injected against what the resilience layer reports
 // having handled. trace.CtrFaultsInjected aggregates all kinds.
 const (
-	CtrErrors   = "faultinject.errors"
-	CtrPanics   = "faultinject.panics"
-	CtrDelays   = "faultinject.delays"
-	CtrBitflips = "faultinject.bitflips"
+	CtrErrors      = "faultinject.errors"
+	CtrPanics      = "faultinject.panics"
+	CtrDelays      = "faultinject.delays"
+	CtrBitflips    = "faultinject.bitflips"
+	CtrShortReads  = "faultinject.short_reads"
+	CtrShortWrites = "faultinject.short_writes"
 )
 
 // Version is the faultinject plugin version.

@@ -2,6 +2,7 @@ package faultinject
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"sync"
 	"time"
@@ -12,12 +13,14 @@ import (
 
 // Option keys the faultinject IO wrapper owns.
 const (
-	keyIOChild       = "faultinject_io:io"
-	keyIOSeed        = "faultinject_io:seed"
-	keyIOErrorRate   = "faultinject_io:error_rate"
-	keyIODelayRate   = "faultinject_io:delay_rate"
-	keyIODelayMS     = "faultinject_io:delay_ms"
-	keyIOBitflipRate = "faultinject_io:bitflip_rate"
+	keyIOChild          = "faultinject_io:io"
+	keyIOSeed           = "faultinject_io:seed"
+	keyIOErrorRate      = "faultinject_io:error_rate"
+	keyIODelayRate      = "faultinject_io:delay_rate"
+	keyIODelayMS        = "faultinject_io:delay_ms"
+	keyIOBitflipRate    = "faultinject_io:bitflip_rate"
+	keyIOShortReadRate  = "faultinject_io:shortread_rate"
+	keyIOShortWriteRate = "faultinject_io:shortwrite_rate"
 )
 
 func init() {
@@ -36,11 +39,13 @@ type ioPlugin struct {
 	child     core.IOPlugin
 	saved     *core.Options
 
-	seed        int64
-	errorRate   float64
-	delayRate   float64
-	delayMS     int64
-	bitflipRate float64
+	seed           int64
+	errorRate      float64
+	delayRate      float64
+	delayMS        int64
+	bitflipRate    float64
+	shortReadRate  float64
+	shortWriteRate float64
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -72,6 +77,8 @@ func (p *ioPlugin) Options() *core.Options {
 	o.SetValue(keyIODelayRate, p.delayRate)
 	o.SetValue(keyIODelayMS, p.delayMS)
 	o.SetValue(keyIOBitflipRate, p.bitflipRate)
+	o.SetValue(keyIOShortReadRate, p.shortReadRate)
+	o.SetValue(keyIOShortWriteRate, p.shortWriteRate)
 	if p.child != nil {
 		o.Merge(p.child.Options())
 	}
@@ -96,6 +103,8 @@ func (p *ioPlugin) SetOptions(o *core.Options) error {
 		{keyIOErrorRate, &p.errorRate},
 		{keyIODelayRate, &p.delayRate},
 		{keyIOBitflipRate, &p.bitflipRate},
+		{keyIOShortReadRate, &p.shortReadRate},
+		{keyIOShortWriteRate, &p.shortWriteRate},
 	} {
 		if v, err := o.GetFloat64(r.key); err == nil {
 			if err := checkRate(r.key, v); err != nil {
@@ -168,6 +177,16 @@ func (p *ioPlugin) Read(hint *core.Data) (*core.Data, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p.shortReadRate > 0 && d.ByteLen() > 1 && p.roll() < p.shortReadRate {
+		// A short read delivers a strict prefix of the stream, as a torn
+		// storage read or truncated transfer would. The prefix has no valid
+		// shape, so it comes back as plain bytes; consumers (the frame
+		// decoder, format parsers) must detect the truncation themselves.
+		trace.CounterAdd(CtrShortReads, 1)
+		trace.CounterAdd(trace.CtrFaultsInjected, 1)
+		cut := 1 + p.bit(int(d.ByteLen())-1)
+		return core.NewBytes(append([]byte(nil), d.Bytes()[:cut]...)), nil
+	}
 	if p.bitflipRate > 0 && d.ByteLen() > 0 && p.roll() < p.bitflipRate {
 		trace.CounterAdd(CtrBitflips, 1)
 		trace.CounterAdd(trace.CtrFaultsInjected, 1)
@@ -193,17 +212,32 @@ func (p *ioPlugin) Write(d *core.Data) error {
 	if err := p.inject("write"); err != nil {
 		return err
 	}
+	if p.shortWriteRate > 0 && d.ByteLen() > 1 && p.roll() < p.shortWriteRate {
+		// A short write persists a strict prefix and reports the failure, as
+		// an interrupted transfer would: only part of the payload reaches the
+		// sink, and the caller gets a transient io.ErrShortWrite to retry on.
+		// The torn artifact is what integrity frames must catch on read.
+		trace.CounterAdd(CtrShortWrites, 1)
+		trace.CounterAdd(trace.CtrFaultsInjected, 1)
+		cut := 1 + p.bit(int(d.ByteLen())-1)
+		if err := child.Write(core.NewBytes(append([]byte(nil), d.Bytes()[:cut]...))); err != nil {
+			return err
+		}
+		return core.Transient(fmt.Errorf("faultinject: %w after %d of %d bytes", io.ErrShortWrite, cut, d.ByteLen()))
+	}
 	return child.Write(d)
 }
 
 func (p *ioPlugin) Clone() core.IOPlugin {
 	clone := &ioPlugin{
-		childName:   p.childName,
-		seed:        p.seed*0x9e3779b9 + 1,
-		errorRate:   p.errorRate,
-		delayRate:   p.delayRate,
-		delayMS:     p.delayMS,
-		bitflipRate: p.bitflipRate,
+		childName:      p.childName,
+		seed:           p.seed*0x9e3779b9 + 1,
+		errorRate:      p.errorRate,
+		delayRate:      p.delayRate,
+		delayMS:        p.delayMS,
+		bitflipRate:    p.bitflipRate,
+		shortReadRate:  p.shortReadRate,
+		shortWriteRate: p.shortWriteRate,
 	}
 	if p.saved != nil {
 		clone.saved = p.saved.Clone()

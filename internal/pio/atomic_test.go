@@ -1,0 +1,122 @@
+package pio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pressio/internal/core"
+)
+
+// TestAtomicWriteKillMidWriteLeavesOldFileIntact simulates a process killed
+// between writing the temp file and the publishing rename: the destination
+// must keep its previous content byte for byte — never a torn prefix.
+func TestAtomicWriteKillMidWriteLeavesOldFileIntact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.bin")
+	old := []byte("the complete old generation")
+	if err := atomicWriteFile(path, old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	killed := errors.New("simulated kill -9 mid-write")
+	crashPoint = func(tmpPath string) error {
+		// The temp file exists beside the target with the new bytes...
+		if filepath.Dir(tmpPath) != dir {
+			t.Errorf("temp file %s not in the target directory %s", tmpPath, dir)
+		}
+		b, err := os.ReadFile(tmpPath)
+		if err != nil || string(b) != "the new generation" {
+			t.Errorf("temp content %q err %v", b, err)
+		}
+		return killed
+	}
+	t.Cleanup(func() { crashPoint = nil })
+
+	err := atomicWriteFile(path, []byte("the new generation"), 0o644)
+	if !errors.Is(err, killed) {
+		t.Fatalf("crash point did not abort the write: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(old) {
+		t.Fatalf("destination torn after mid-write kill: %q", got)
+	}
+
+	// The write path recovers fully once the fault is gone.
+	crashPoint = nil
+	if err := atomicWriteFile(path, []byte("the new generation"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "the new generation" {
+		t.Fatalf("post-recovery content %q", got)
+	}
+}
+
+// TestAtomicWriteKillMidWriteNpy drives the same crash through the npy
+// plugin: the previous .npy file must still parse after a killed rewrite.
+func TestAtomicWriteKillMidWriteNpy(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.npy")
+	writeVia := func(vals []float64) error {
+		io, err := core.NewIO("npy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := io.SetOptions(core.NewOptions().SetValue(core.KeyIOPath, path)); err != nil {
+			t.Fatal(err)
+		}
+		return io.Write(core.FromFloat64s(vals, uint64(len(vals))))
+	}
+	if err := writeVia([]float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+
+	killed := errors.New("simulated kill -9 mid-write")
+	crashPoint = func(string) error { return killed }
+	t.Cleanup(func() { crashPoint = nil })
+	if err := writeVia([]float64{9, 9, 9, 9, 9, 9}); !errors.Is(err, killed) {
+		t.Fatalf("crash point did not abort the npy rewrite: %v", err)
+	}
+	crashPoint = nil
+
+	io, err := core.NewIO("npy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := io.SetOptions(core.NewOptions().SetValue(core.KeyIOPath, path)); err != nil {
+		t.Fatal(err)
+	}
+	d, err := io.Read(nil)
+	if err != nil {
+		t.Fatalf("old npy no longer parses after killed rewrite: %v", err)
+	}
+	got := d.AsFloat64s()
+	if len(got) != 4 || got[0] != 1 || got[3] != 4 {
+		t.Fatalf("old npy content corrupted: %v", got)
+	}
+}
+
+// TestAtomicWriteCleansTempOnFailure: an aborted write withdraws its temp
+// file so crashed-then-restarted processes do not accumulate garbage (a real
+// kill cannot clean up, but every in-process failure path must).
+func TestAtomicWriteCleansTempOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	crashPoint = func(string) error { return errors.New("boom") }
+	t.Cleanup(func() { crashPoint = nil })
+	_ = atomicWriteFile(filepath.Join(dir, "x.bin"), []byte("x"), 0o644)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind by failed write", e.Name())
+		}
+	}
+}

@@ -197,7 +197,7 @@ func (n *npy) Write(d *core.Data) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(n.path, b, 0o644)
+	return atomicWriteFile(n.path, b, 0o644)
 }
 
 func (n *npy) Clone() core.IOPlugin {

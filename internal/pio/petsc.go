@@ -76,7 +76,7 @@ func (p *petsc) Write(d *core.Data) error {
 	for i, v := range vals {
 		binary.BigEndian.PutUint64(out[8+8*i:], math.Float64bits(v))
 	}
-	return os.WriteFile(p.path, out, 0o644)
+	return atomicWriteFile(p.path, out, 0o644)
 }
 
 func (p *petsc) Clone() core.IOPlugin {

@@ -7,6 +7,7 @@ package pio
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"os"
@@ -113,7 +114,7 @@ func (p *posix) Read(hint *core.Data) (*core.Data, error) {
 func (p *posix) Write(d *core.Data) error {
 	sp := ioSpan("write", "posix", p.path)
 	defer sp.End()
-	return classify(os.WriteFile(p.path, d.Bytes(), 0o644))
+	return classify(atomicWriteFile(p.path, d.Bytes(), 0o644))
 }
 
 func (p *posix) Clone() core.IOPlugin {
@@ -192,12 +193,8 @@ func (c *csvIO) Write(d *core.Data) error {
 	}
 	sp := ioSpan("write", "csv", c.path)
 	defer sp.End()
-	f, err := os.Create(c.path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := bufio.NewWriter(f)
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
 	vals := d.AsFloat64s()
 	cols := 1
 	if d.NumDims() >= 2 {
@@ -233,7 +230,7 @@ func (c *csvIO) Write(d *core.Data) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	return nil
+	return atomicWriteFile(c.path, buf.Bytes(), 0o644)
 }
 
 func (c *csvIO) Clone() core.IOPlugin {

@@ -1,0 +1,98 @@
+package resilience
+
+import (
+	"testing"
+
+	"pressio/internal/core"
+	"pressio/internal/meta"
+	"pressio/internal/trace"
+
+	_ "pressio/internal/sz"
+)
+
+// buildVerifyChain constructs a fallback over sz_threadsafe,noop with the
+// round-trip verify gate enabled at the given absolute bound, compressing at
+// the given sz error bound.
+func buildVerifyChain(t *testing.T, compressAbs, verifyAbs float64) *core.Compressor {
+	t.Helper()
+	comp, err := core.NewCompressor("fallback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.NewOptions()
+	o.SetValue("fallback:compressors", "sz_threadsafe,noop")
+	o.SetValue("fallback:verify", int32(1))
+	o.SetValue("fallback:verify_abs", verifyAbs)
+	o.SetValue("pressio:abs", compressAbs)
+	if err := comp.SetOptions(o); err != nil {
+		t.Fatal(err)
+	}
+	return comp
+}
+
+// TestChaosFallbackVerifyGateAcrossWorkers exercises the round-trip verify
+// gate under concurrent CompressMany (run under -race in the chaos CI stage):
+// per-tier counters must stay race-free and sum exactly to the item count,
+// whether the gate rejects tier zero for every item or admits it for every
+// item.
+func TestChaosFallbackVerifyGateAcrossWorkers(t *testing.T) {
+	const items, workers = 48, 8
+	makeBufs := func() []*core.Data {
+		bufs := make([]*core.Data, items)
+		for i := range bufs {
+			vals := make([]float64, 64)
+			for j := range vals {
+				vals[j] = float64(i*j) / 17
+			}
+			bufs[i] = core.FromFloat64s(vals, 8, 8)
+		}
+		return bufs
+	}
+
+	// Lossy tier at abs=0.5 cannot meet a 1e-12 verify bound except on the
+	// handful of buffers it happens to reproduce exactly (the all-zero one,
+	// for instance): the rest must degrade to the lossless noop tier via the
+	// verify gate, and every counter must reconcile exactly.
+	trace.ResetTelemetry()
+	comp := buildVerifyChain(t, 0.5, 1e-12)
+	outs, err := meta.CompressMany(comp, makeBufs(), workers)
+	if err != nil {
+		t.Fatalf("strict-bound batch: %v", err)
+	}
+	if len(outs) != items {
+		t.Fatalf("strict-bound batch produced %d outputs, want %d", len(outs), items)
+	}
+	szTier := trace.CounterValue(trace.FallbackTierKey("sz_threadsafe"))
+	noopTier := trace.CounterValue(trace.FallbackTierKey("noop"))
+	if szTier+noopTier != items {
+		t.Fatalf("tier counters sum to %d (sz=%d noop=%d), want %d: counters dropped or double-counted under concurrency",
+			szTier+noopTier, szTier, noopTier, items)
+	}
+	if noopTier == 0 {
+		t.Fatal("strict bound never engaged the verify gate; the test exercised nothing")
+	}
+	// Each degraded item records exactly one verify rejection and one
+	// fallback engagement — the gate's books must balance across workers.
+	if got := trace.CounterValue(trace.CtrFallbackVerifyFailed); got != noopTier {
+		t.Fatalf("verify-failed counter %d, want %d (one rejection per degraded item)", got, noopTier)
+	}
+	if got := trace.CounterValue(trace.CtrFallbackEngaged); got != noopTier {
+		t.Fatalf("fallback-engaged counter %d, want %d", got, noopTier)
+	}
+
+	// With the verify bound looser than the compression bound, tier zero
+	// passes the gate for every item and the chain never degrades.
+	trace.ResetTelemetry()
+	comp = buildVerifyChain(t, 0.01, 0.02)
+	if _, err := meta.CompressMany(comp, makeBufs(), workers); err != nil {
+		t.Fatalf("loose-bound batch: %v", err)
+	}
+	szTier = trace.CounterValue(trace.FallbackTierKey("sz_threadsafe"))
+	noopTier = trace.CounterValue(trace.FallbackTierKey("noop"))
+	if szTier != items || noopTier != 0 {
+		t.Fatalf("loose bound: tiers sz=%d noop=%d, want %d/0", szTier, noopTier, items)
+	}
+	if got := trace.CounterValue(trace.CtrFallbackVerifyFailed); got != 0 {
+		t.Fatalf("verify-failed counter %d, want 0", got)
+	}
+}

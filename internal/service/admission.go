@@ -1,0 +1,202 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pressio/internal/core"
+	"pressio/internal/trace"
+)
+
+// Admission is one bulkhead compartment: a weighted semaphore whose weights
+// are declared input bytes (so the budget is a memory budget, not a request
+// count) in front of a bounded FIFO queue with deadline-aware load shedding.
+// A request is shed — typed core.ErrShed, no work done — when it could never
+// fit the budget, when the queue is full, when its context deadline would
+// expire before its estimated turn, or when its context ends while queued.
+//
+// Separate compartments isolate workload classes from each other (the
+// bulkhead pattern): pressiod runs one for compression and one for
+// decompression, so a flood of huge compress jobs cannot starve reads.
+type Admission struct {
+	name     string
+	budget   int64
+	maxQueue int
+	clock    Clock
+
+	mu      sync.Mutex
+	used    int64     // admitted weight currently held
+	queue   []*waiter // FIFO; head is next to admit
+	avgHold time.Duration
+}
+
+// waiter is one queued acquisition.
+type waiter struct {
+	weight   int64
+	enqueued time.Time
+	ready    chan struct{} // closed on admission
+	admitted bool
+}
+
+// NewBulkhead builds a compartment. name tags the per-bulkhead shed counter
+// (empty for anonymous), budget is the admitted-bytes ceiling (must be > 0),
+// maxQueue bounds the waiters beyond the budget (0 disables queueing), and a
+// nil clock means the real one.
+func NewBulkhead(name string, budget int64, maxQueue int, clock Clock) (*Admission, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("%w: bulkhead budget %d must be positive", core.ErrInvalidOption, budget)
+	}
+	if maxQueue < 0 {
+		return nil, fmt.Errorf("%w: bulkhead queue depth %d must be >= 0", core.ErrInvalidOption, maxQueue)
+	}
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &Admission{name: name, budget: budget, maxQueue: maxQueue, clock: clock}, nil
+}
+
+// QueueDepth reports the current number of queued waiters (a live gauge for
+// /metricz; the monotone counters live in the trace registry).
+func (a *Admission) QueueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.queue)
+}
+
+// UsedBytes reports the admitted weight currently held.
+func (a *Admission) UsedBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used
+}
+
+// shed counts and types one rejection.
+func (a *Admission) shed(format string, args ...any) error {
+	trace.CounterAdd(trace.CtrAdmissionShed, 1)
+	if a.name != "" {
+		trace.CounterAdd(trace.BulkheadShedKey(a.name), 1)
+	}
+	return fmt.Errorf("admission[%s]: %w: %s", a.name, core.ErrShed, fmt.Sprintf(format, args...))
+}
+
+// estimateWait predicts how long the queuePos-th waiter will sit in queue,
+// from the EWMA of observed hold times. With no history it is optimistic
+// (zero): the policy sheds on evidence, not guesses.
+func (a *Admission) estimateWait(queuePos int) time.Duration {
+	return a.avgHold * time.Duration(queuePos+1)
+}
+
+// tryAdmit performs the locked half of Acquire: immediate admission, an
+// up-front shed decision, or enqueueing.
+func (a *Admission) tryAdmit(ctx context.Context, weight int64) (*waiter, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.queue) == 0 && a.used+weight <= a.budget {
+		a.used += weight
+		trace.CounterAdd(trace.CtrAdmissionAdmitted, 1)
+		return nil, nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		return nil, a.shed("queue full (%d waiting, %d/%d bytes held)",
+			len(a.queue), a.used, a.budget)
+	}
+	// The deadline is compared on the real clock (it came from a real
+	// context); the injectable clock only feeds the hold-time estimator, so
+	// fake-clock tests stay coherent.
+	if deadline, ok := ctx.Deadline(); ok {
+		est := a.estimateWait(len(a.queue))
+		if remaining := time.Until(deadline); est > remaining {
+			return nil, a.shed("deadline %s away would expire during the estimated %s queue wait",
+				remaining.Round(time.Millisecond), est)
+		}
+	}
+	w := &waiter{weight: weight, enqueued: a.clock.Now(), ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	trace.CounterAdd(trace.CtrAdmissionQueued, 1)
+	return w, nil
+}
+
+// cancelWaiter removes w from the queue after its context ended. If w was
+// admitted concurrently, the grant is returned to the pool instead.
+func (a *Admission) cancelWaiter(w *waiter, cause error) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if w.admitted {
+		// Lost the race: admitted between ctx.Done and here. Hand the
+		// capacity back and still report the shed — the caller's deadline
+		// is gone, running the work would be wasted.
+		a.used -= w.weight
+		a.grantLocked()
+		return a.shed("context ended as the request was admitted: %v", cause)
+	}
+	for i := range a.queue {
+		if a.queue[i] == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			break
+		}
+	}
+	return a.shed("context ended while queued: %v", cause)
+}
+
+// grantLocked admits queued waiters in FIFO order while they fit. Callers
+// hold a.mu.
+func (a *Admission) grantLocked() {
+	for len(a.queue) > 0 && a.used+a.queue[0].weight <= a.budget {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		a.used += w.weight
+		w.admitted = true
+		trace.CounterAdd(trace.CtrAdmissionAdmitted, 1)
+		trace.ObserveDuration(trace.HistQueueWait, a.clock.Now().Sub(w.enqueued))
+		close(w.ready)
+	}
+}
+
+// Acquire admits one request of the given weight (declared input bytes),
+// blocking in FIFO order behind the budget. On success it returns a release
+// function that must be called exactly once when the work is done. On
+// rejection the error wraps core.ErrShed.
+func (a *Admission) Acquire(ctx context.Context, weight int64) (release func(), err error) {
+	if weight < 0 {
+		weight = 0
+	}
+	if weight > a.budget {
+		return nil, a.shed("request weight %d exceeds the whole budget %d", weight, a.budget)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, a.shed("context already ended: %v", err)
+	}
+	w, err := a.tryAdmit(ctx, weight)
+	if err != nil {
+		return nil, err
+	}
+	if w != nil {
+		select {
+		case <-w.ready:
+		case <-ctx.Done():
+			return nil, a.cancelWaiter(w, ctx.Err())
+		}
+	}
+	admittedAt := a.clock.Now()
+	return func() { a.release(weight, admittedAt) }, nil
+}
+
+// release returns capacity, folds the observed hold time into the wait
+// estimator, and admits whoever now fits.
+func (a *Admission) release(weight int64, admittedAt time.Time) {
+	hold := a.clock.Now().Sub(admittedAt)
+	if hold < 0 {
+		hold = 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.avgHold == 0 {
+		a.avgHold = hold
+	} else {
+		a.avgHold = (a.avgHold*7 + hold) / 8
+	}
+	a.used -= weight
+	a.grantLocked()
+}

@@ -1,0 +1,206 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pressio/internal/core"
+	"pressio/internal/trace"
+)
+
+func TestAdmissionImmediateWithinBudget(t *testing.T) {
+	trace.ResetTelemetry()
+	a, err := NewBulkhead("t", 100, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := a.Acquire(context.Background(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(context.Background(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.UsedBytes(); got != 100 {
+		t.Fatalf("used %d, want 100", got)
+	}
+	r1()
+	r2()
+	if got := a.UsedBytes(); got != 0 {
+		t.Fatalf("used after release %d, want 0", got)
+	}
+	if trace.CounterValue(trace.CtrAdmissionAdmitted) != 2 {
+		t.Fatalf("admitted counter %d, want 2", trace.CounterValue(trace.CtrAdmissionAdmitted))
+	}
+}
+
+func TestAdmissionOversizedRequestShedsTyped(t *testing.T) {
+	a, err := NewBulkhead("t", 100, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Acquire(context.Background(), 101); !errors.Is(err, core.ErrShed) {
+		t.Fatalf("oversized acquire: %v, want ErrShed", err)
+	}
+}
+
+func TestAdmissionQueueFullSheds(t *testing.T) {
+	trace.ResetTelemetry()
+	a, err := NewBulkhead("compress", 10, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, err := a.Acquire(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits the queue...
+	var wg sync.WaitGroup
+	wg.Add(1)
+	waiterErr := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		r, err := a.Acquire(context.Background(), 10)
+		if err == nil {
+			r()
+		}
+		waiterErr <- err
+	}()
+	for a.QueueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	// ...the next one is shed instantly.
+	if _, err := a.Acquire(context.Background(), 10); !errors.Is(err, core.ErrShed) {
+		t.Fatalf("queue-full acquire: %v, want ErrShed", err)
+	}
+	if trace.CounterValue(trace.BulkheadShedKey("compress")) != 1 {
+		t.Fatal("per-bulkhead shed counter not incremented")
+	}
+	release()
+	wg.Wait()
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("queued waiter should have been admitted on release: %v", err)
+	}
+}
+
+func TestAdmissionFIFOOrder(t *testing.T) {
+	a, err := NewBulkhead("t", 10, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold, err := a.Acquire(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 4
+	order := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		// Enqueue strictly one at a time so arrival order is defined.
+		wg.Add(1)
+		depth := a.QueueDepth()
+		go func(i int) {
+			defer wg.Done()
+			r, err := a.Acquire(context.Background(), 10)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			order <- i
+			r()
+		}(i)
+		for a.QueueDepth() != depth+1 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	hold()
+	wg.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("admission order: got waiter %d, want %d (FIFO)", got, want)
+		}
+		want++
+	}
+}
+
+func TestAdmissionDeadlineAwareShedding(t *testing.T) {
+	fc := NewFakeClock(time.Unix(1000, 0))
+	a, err := NewBulkhead("t", 100, 8, fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train the hold-time estimator: one 500ms occupancy.
+	r, err := a.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc.Advance(500 * time.Millisecond)
+	r()
+	// Occupy the whole budget so the next request must queue.
+	hold, err := a.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold()
+	// A deadline shorter than the 500ms estimate is rejected up front.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := a.Acquire(ctx, 10); !errors.Is(err, core.ErrShed) {
+		t.Fatalf("doomed-deadline acquire: %v, want up-front ErrShed", err)
+	}
+	// A deadline with room to spare queues instead of shedding.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	done := make(chan error, 1)
+	go func() {
+		r, err := a.Acquire(ctx2, 10)
+		if err == nil {
+			r()
+		}
+		done <- err
+	}()
+	for a.QueueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	hold()
+	if err := <-done; err != nil {
+		t.Fatalf("roomy-deadline acquire: %v, want admission after release", err)
+	}
+}
+
+func TestAdmissionContextCancelledWhileQueued(t *testing.T) {
+	a, err := NewBulkhead("t", 10, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hold, err := a.Acquire(context.Background(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx, 5)
+		done <- err
+	}()
+	for a.QueueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, core.ErrShed) {
+		t.Fatalf("cancelled-in-queue acquire: %v, want ErrShed", err)
+	}
+	if a.QueueDepth() != 0 {
+		t.Fatal("cancelled waiter left in queue")
+	}
+	hold()
+	if got := a.UsedBytes(); got != 0 {
+		t.Fatalf("used %d after all releases, want 0", got)
+	}
+}

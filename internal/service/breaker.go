@@ -1,0 +1,260 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pressio/internal/core"
+)
+
+// Option keys the breaker meta-compressor owns.
+const (
+	keyBreakerCompressor  = "breaker:compressor"
+	keyBreakerScope       = "breaker:scope"
+	keyBreakerWindow      = "breaker:window"
+	keyBreakerFailures    = "breaker:failure_threshold"
+	keyBreakerOpenMS      = "breaker:open_ms"
+	keyBreakerProbes      = "breaker:halfopen_probes"
+	keyBreakerLatencyMS   = "breaker:latency_threshold_ms"
+	keyBreakerStateReport = "breaker:state"
+)
+
+// Version is the service meta-compressor family version.
+const Version = "1.0.0"
+
+// ErrBreakerOpen marks calls rejected because the circuit was open (or its
+// half-open probe budget was spent). Returned errors wrap both this sentinel
+// and core.ErrShed, so generic overload handling (a 503 in pressiod) and
+// breaker-specific handling can each match with errors.Is.
+var ErrBreakerOpen = errors.New("circuit breaker open")
+
+// breakerWindowCap bounds the sliding window so a typo cannot allocate an
+// absurd ring.
+const breakerWindowCap = 1 << 16
+
+func init() {
+	core.RegisterCompressor("breaker", func() core.CompressorPlugin {
+		return &breaker{
+			childName: "sz_threadsafe",
+			cfg: breakerConfig{
+				window:   16,
+				failures: 8,
+				cooldown: time.Second,
+				probes:   1,
+			},
+		}
+	})
+}
+
+// breaker is the circuit-breaker meta-compressor: it passes calls to its
+// child while the child is healthy, trips open after breaker:failure_threshold
+// failures within the last breaker:window calls (slow calls count as failures
+// when breaker:latency_threshold_ms is set), rejects instantly while open,
+// and after breaker:open_ms admits breaker:halfopen_probes trial calls whose
+// outcomes either close the circuit or re-open it.
+//
+// State lives in a shared per-scope BreakerState (scope defaults to the child
+// compressor name), so clones — a CompressMany worker fleet, or independent
+// breakers guarding the same backend — trip and recover together.
+type breaker struct {
+	childName string
+	comp      *core.Compressor
+	saved     *core.Options
+	scope     string
+	cfg       breakerConfig
+	st        *BreakerState
+}
+
+func (p *breaker) Prefix() string  { return "breaker" }
+func (p *breaker) Version() string { return Version }
+
+func (p *breaker) Options() *core.Options {
+	o := core.NewOptions()
+	o.SetValue(keyBreakerCompressor, p.childName)
+	o.SetValue(keyBreakerScope, p.scope)
+	o.SetValue(keyBreakerWindow, uint64(p.cfg.window))
+	o.SetValue(keyBreakerFailures, uint64(p.cfg.failures))
+	o.SetValue(keyBreakerOpenMS, int64(p.cfg.cooldown/time.Millisecond))
+	o.SetValue(keyBreakerProbes, uint64(p.cfg.probes))
+	o.SetValue(keyBreakerLatencyMS, int64(p.cfg.latencyLimit/time.Millisecond))
+	o.SetValue(keyBreakerStateReport, p.state().Mode().String())
+	if p.comp != nil {
+		o.Merge(p.comp.Options())
+	}
+	return o
+}
+
+func (p *breaker) SetOptions(o *core.Options) error {
+	if v, err := o.GetString(keyBreakerCompressor); err == nil && v != p.childName {
+		p.childName = v
+		p.comp = nil
+		p.st = nil // default scope follows the child name
+	}
+	if v, err := o.GetString(keyBreakerScope); err == nil && v != p.scope {
+		p.scope = v
+		p.st = nil
+	}
+	if v, err := o.GetUint64(keyBreakerWindow); err == nil {
+		if v < 1 || v > breakerWindowCap {
+			return fmt.Errorf("%w: %s %d not in [1,%d]", core.ErrInvalidOption, keyBreakerWindow, v, breakerWindowCap)
+		}
+		p.cfg.window = int(v)
+		p.st = nil
+	}
+	if v, err := o.GetUint64(keyBreakerFailures); err == nil {
+		if v < 1 || v > breakerWindowCap {
+			return fmt.Errorf("%w: %s %d not in [1,%d]", core.ErrInvalidOption, keyBreakerFailures, v, breakerWindowCap)
+		}
+		p.cfg.failures = int(v)
+		p.st = nil
+	}
+	if v, err := o.GetInt64(keyBreakerOpenMS); err == nil {
+		if v < 0 {
+			return fmt.Errorf("%w: %s %d", core.ErrInvalidOption, keyBreakerOpenMS, v)
+		}
+		p.cfg.cooldown = time.Duration(v) * time.Millisecond
+		p.st = nil
+	}
+	if v, err := o.GetUint64(keyBreakerProbes); err == nil {
+		if v < 1 || v > breakerWindowCap {
+			return fmt.Errorf("%w: %s %d not in [1,%d]", core.ErrInvalidOption, keyBreakerProbes, v, breakerWindowCap)
+		}
+		p.cfg.probes = int(v)
+		p.st = nil
+	}
+	if v, err := o.GetInt64(keyBreakerLatencyMS); err == nil {
+		if v < 0 {
+			return fmt.Errorf("%w: %s %d", core.ErrInvalidOption, keyBreakerLatencyMS, v)
+		}
+		p.cfg.latencyLimit = time.Duration(v) * time.Millisecond
+		p.st = nil
+	}
+	if p.cfg.failures > p.cfg.window {
+		return fmt.Errorf("%w: %s %d exceeds %s %d (the circuit could never trip)",
+			core.ErrInvalidOption, keyBreakerFailures, p.cfg.failures, keyBreakerWindow, p.cfg.window)
+	}
+	if p.saved == nil {
+		p.saved = core.NewOptions()
+	}
+	p.saved.Merge(o)
+	if p.comp != nil {
+		return p.comp.SetOptions(o)
+	}
+	return nil
+}
+
+func (p *breaker) CheckOptions(o *core.Options) error {
+	clone := p.cloneBreaker()
+	return clone.SetOptions(o)
+}
+
+func (p *breaker) Configuration() *core.Options {
+	cfg := core.StandardConfiguration(core.ThreadSafetySerialized, "stable", Version, false)
+	cfg.SetValue("breaker:resilient", int32(1))
+	return cfg
+}
+
+// state resolves the shared per-scope BreakerState, creating or retuning it
+// on first use after a configuration change.
+func (p *breaker) state() *BreakerState {
+	if p.st == nil {
+		scope := p.scope
+		if scope == "" {
+			scope = p.childName
+		}
+		p.st = StateFor(scope, p.cfg)
+	}
+	return p.st
+}
+
+// child lazily instantiates the wrapped compressor, replaying saved options.
+func (p *breaker) child() (*core.Compressor, error) {
+	if p.comp == nil {
+		comp, err := core.NewCompressor(p.childName)
+		if err != nil {
+			return nil, err
+		}
+		if p.saved != nil {
+			if err := comp.SetOptions(p.saved); err != nil {
+				return nil, err
+			}
+		}
+		p.comp = comp
+	}
+	return p.comp, nil
+}
+
+// rejected builds the typed fast-rejection error for one operation.
+func (p *breaker) rejected(st *BreakerState, op string) error {
+	return fmt.Errorf("breaker[%s]: %w (%w): %s of %q rejected",
+		st.Scope(), ErrBreakerOpen, core.ErrShed, op, p.childName)
+}
+
+// through runs one admitted call and reports its outcome to the shared
+// state. Latency is measured on the real clock — the injectable Clock drives
+// cooldown arithmetic, not stopwatch reads, and error-driven chaos schedules
+// stay deterministic either way.
+func (p *breaker) through(st *BreakerState, probe bool, op func(*core.Compressor) error) error {
+	comp, err := p.child()
+	if err != nil {
+		// A child that cannot even be built counts as a failure: tripping
+		// here stops a fleet from re-attempting a misconfigured backend.
+		st.Done(probe, err, 0)
+		return err
+	}
+	begin := time.Now()
+	err = op(comp)
+	st.Done(probe, err, time.Since(begin))
+	return err
+}
+
+func (p *breaker) CompressImpl(in, out *core.Data) error {
+	st := p.state()
+	probe, ok := st.Allow()
+	if !ok {
+		return p.rejected(st, "compress")
+	}
+	return p.through(st, probe, func(comp *core.Compressor) error {
+		tmp := core.NewEmpty(core.DTypeByte, 0)
+		if err := comp.Compress(in, tmp); err != nil {
+			return err
+		}
+		out.Become(tmp)
+		return nil
+	})
+}
+
+func (p *breaker) DecompressImpl(in, out *core.Data) error {
+	st := p.state()
+	probe, ok := st.Allow()
+	if !ok {
+		return p.rejected(st, "decompress")
+	}
+	return p.through(st, probe, func(comp *core.Compressor) error {
+		tmp := core.NewEmpty(out.DType(), out.Dims()...)
+		if err := comp.Decompress(in, tmp); err != nil {
+			return err
+		}
+		out.Become(tmp)
+		return nil
+	})
+}
+
+func (p *breaker) cloneBreaker() *breaker {
+	clone := &breaker{
+		childName: p.childName,
+		scope:     p.scope,
+		cfg:       p.cfg,
+		st:        p.st, // clones share the scope state by construction
+	}
+	if p.saved != nil {
+		clone.saved = p.saved.Clone()
+	}
+	if p.comp != nil {
+		clone.comp = p.comp.Clone()
+	}
+	return clone
+}
+
+func (p *breaker) Clone() core.CompressorPlugin { return p.cloneBreaker() }

@@ -1,0 +1,136 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"pressio/internal/core"
+	"pressio/internal/meta"
+	"pressio/internal/trace"
+)
+
+// chaosTranscript drives one scripted schedule through a breaker over the
+// deterministic fault injector and renders everything observable — per-call
+// outcome, state transitions, final counters — into one string, so replay
+// equality is a single comparison.
+func chaosTranscript(t *testing.T) string {
+	t.Helper()
+	ResetShared()
+	trace.ResetTelemetry()
+	comp, err := core.NewCompressor("breaker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.NewOptions()
+	o.SetValue(keyBreakerCompressor, "faultinject")
+	o.SetValue(keyBreakerScope, "chaos")
+	o.SetValue(keyBreakerWindow, uint64(8))
+	o.SetValue(keyBreakerFailures, uint64(3))
+	o.SetValue(keyBreakerOpenMS, int64(1000))
+	o.SetValue(keyBreakerProbes, uint64(2))
+	o.SetValue("faultinject:compressor", "noop")
+	o.SetValue("faultinject:seed", int64(42))
+	o.SetValue("faultinject:error_rate", float64(0.5))
+	if err := comp.SetOptions(o); err != nil {
+		t.Fatal(err)
+	}
+	b := comp.Plugin().(*breaker)
+	fc := NewFakeClock(time.Unix(0, 0))
+	b.state().SetClock(fc)
+
+	var sb strings.Builder
+	for i := 0; i < 40; i++ {
+		if i == 20 {
+			heal := core.NewOptions()
+			heal.SetValue("faultinject:error_rate", float64(0))
+			if err := comp.SetOptions(heal); err != nil {
+				t.Fatal(err)
+			}
+		}
+		err := compressOnce(comp)
+		outcome := "ok"
+		switch {
+		case errors.Is(err, ErrBreakerOpen):
+			outcome = "open"
+		case err != nil:
+			outcome = "fault"
+		}
+		fmt.Fprintf(&sb, "%02d %-5s %s\n", i, outcome, b.state().Mode())
+		fc.Advance(300 * time.Millisecond)
+	}
+	for _, key := range []string{
+		trace.CtrBreakerOpened, trace.CtrBreakerRejected,
+		trace.CtrBreakerProbes, trace.CtrBreakerRecovered,
+		"faultinject.errors",
+	} {
+		fmt.Fprintf(&sb, "%s=%d\n", key, trace.CounterValue(key))
+	}
+	return sb.String()
+}
+
+// TestChaosBreakerScheduleReplaysBitForBit is the acceptance criterion for
+// breaker determinism: a scripted faultinject schedule trips the breaker,
+// half-open probes recover it after the schedule heals, and the entire
+// sequence — outcomes, state transitions, counters — replays identically.
+func TestChaosBreakerScheduleReplaysBitForBit(t *testing.T) {
+	first := chaosTranscript(t)
+	second := chaosTranscript(t)
+	if first != second {
+		t.Fatalf("chaos schedule did not replay bit-for-bit:\n--- first\n%s--- second\n%s", first, second)
+	}
+	if !strings.Contains(first, "open") {
+		t.Fatal("schedule never tripped the breaker")
+	}
+	if !strings.Contains(first, trace.CtrBreakerRecovered+"=") ||
+		strings.Contains(first, trace.CtrBreakerRecovered+"=0") {
+		t.Fatalf("breaker never recovered via half-open probes:\n%s", first)
+	}
+	if !strings.HasSuffix(strings.TrimSpace(strings.Split(first, "\n")[39]), "closed") {
+		t.Fatalf("final state not closed after healing:\n%s", first)
+	}
+}
+
+// TestChaosBreakerTripsAcrossCompressManyWorkers proves the per-scope shared
+// state: a CompressMany worker fleet over an always-failing child trips
+// *once*, and every worker sees the open circuit immediately afterwards.
+func TestChaosBreakerTripsAcrossCompressManyWorkers(t *testing.T) {
+	ResetShared()
+	trace.ResetTelemetry()
+	comp, err := core.NewCompressor("breaker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := core.NewOptions()
+	o.SetValue(keyBreakerCompressor, "faultinject")
+	o.SetValue(keyBreakerScope, "many")
+	o.SetValue(keyBreakerWindow, uint64(8))
+	o.SetValue(keyBreakerFailures, uint64(3))
+	o.SetValue(keyBreakerOpenMS, int64(60000)) // no recovery within this test
+	o.SetValue(keyBreakerProbes, uint64(1))
+	o.SetValue("faultinject:compressor", "noop")
+	o.SetValue("faultinject:seed", int64(7))
+	o.SetValue("faultinject:error_rate", float64(1))
+	if err := comp.SetOptions(o); err != nil {
+		t.Fatal(err)
+	}
+	bufs := make([]*core.Data, 32)
+	for i := range bufs {
+		bufs[i] = core.FromFloat64s([]float64{1, 2, 3, 4}, 4)
+	}
+	if _, err := meta.CompressMany(comp, bufs, 4); err == nil {
+		t.Fatal("an always-failing child should fail the batch")
+	}
+	if got := trace.CounterValue(trace.CtrBreakerOpened); got != 1 {
+		t.Fatalf("breaker opened %d times across the fleet, want exactly 1 (shared state)", got)
+	}
+	if trace.CounterValue(trace.CtrBreakerRejected) == 0 {
+		t.Fatal("no fast rejections: workers did not share the tripped circuit")
+	}
+	// The child saw only the calls before the trip, never the whole batch.
+	if faults := trace.CounterValue("faultinject.errors"); faults >= 32 {
+		t.Fatalf("child absorbed %d calls; the shared breaker should have cut the batch short", faults)
+	}
+}

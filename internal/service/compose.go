@@ -1,0 +1,33 @@
+package service
+
+// ComposeResilience translates the resilience convenience flags shared by the
+// pressio CLI and the pressiod daemon (-guard, -fallback, -breaker) into the
+// equivalent meta-compressor composition. The wrapping order is deterministic
+// and independent of flag order on the command line:
+//
+//	breaker{ guard{ fallback{ codec, backups... } } }
+//
+// fallback sits innermost (the selected compressor becomes tier zero of the
+// chain), guard wraps the whole chain so retries and panic containment cover
+// every tier, and the breaker wraps everything so a tripped circuit rejects
+// instantly — before guard retries or fallback tier probing can burn more
+// work on a failing backend.
+//
+// Synthesised options are prepended to the user's options, so an explicit
+// key=value from the user always wins when the list is folded into a map.
+func ComposeResilience(compressor string, guard bool, fallbackCSV string, breaker bool, opts []string) (string, []string) {
+	out := opts
+	if fallbackCSV != "" {
+		out = append([]string{"fallback:compressors=" + compressor + "," + fallbackCSV}, out...)
+		compressor = "fallback"
+	}
+	if guard {
+		out = append([]string{"guard:compressor=" + compressor}, out...)
+		compressor = "guard"
+	}
+	if breaker {
+		out = append([]string{"breaker:compressor=" + compressor}, out...)
+		compressor = "breaker"
+	}
+	return compressor, out
+}

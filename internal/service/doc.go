@@ -1,0 +1,17 @@
+// Package service is the overload-protection layer: fleet-level robustness
+// *across* calls, complementing internal/resilience which protects a single
+// call. It provides a circuit-breaker meta-compressor ("breaker") that stops
+// traffic to a failing child before the failures cascade, and admission
+// control with weighted (memory-budget) semaphores, bounded FIFO queues,
+// deadline-aware load shedding, and named bulkhead compartments.
+//
+// Everything composes through the ordinary plugin registry, so a production
+// stack reads breaker{guard{fallback{codec}}}: the breaker is the outermost
+// layer — an open circuit rejects in nanoseconds without burning the guard's
+// retry budget — and its per-scope state is shared across clones, so a fleet
+// of CompressMany workers trips and recovers together.
+//
+// All time-dependent behavior (breaker cooldowns, queue-wait estimates) goes
+// through an injectable Clock, which is what makes the chaos tests replay
+// bit-for-bit. cmd/pressiod serves this layer over HTTP.
+package service

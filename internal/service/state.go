@@ -1,0 +1,234 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"pressio/internal/trace"
+)
+
+// BreakerMode enumerates the classic three circuit states.
+type BreakerMode int
+
+const (
+	// ModeClosed passes traffic and records outcomes in a sliding window.
+	ModeClosed BreakerMode = iota
+	// ModeOpen rejects traffic fast until the cooldown elapses.
+	ModeOpen
+	// ModeHalfOpen admits a bounded number of trial probes; their outcomes
+	// decide whether the circuit closes again or re-opens.
+	ModeHalfOpen
+)
+
+// String returns the lowercase state name used in the read-only
+// "breaker:state" option.
+func (m BreakerMode) String() string {
+	switch m {
+	case ModeClosed:
+		return "closed"
+	case ModeOpen:
+		return "open"
+	case ModeHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breakerConfig is the tunable half of a breaker's behavior.
+type breakerConfig struct {
+	window       int           // sliding window length in calls
+	failures     int           // failures within the window that trip the circuit
+	cooldown     time.Duration // open → half-open delay
+	probes       int           // half-open probe budget; that many successes close
+	latencyLimit time.Duration // >0: calls slower than this count as failures
+}
+
+// BreakerState is the shared, mutex-protected state machine behind one
+// breaker scope. Every clone of a breaker plugin (e.g. the worker fleet a
+// CompressMany spawns) holds the same *BreakerState, so one worker's
+// failures protect all of them and one worker's successful probe re-opens
+// traffic for all of them.
+type BreakerState struct {
+	mu    sync.Mutex
+	clock Clock
+	cfg   breakerConfig
+	scope string
+
+	mode      BreakerMode
+	outcomes  []bool // ring buffer, true = failure
+	next      int    // ring cursor
+	filled    int    // valid entries in the ring
+	failCount int    // failures currently in the ring
+	openUntil time.Time
+
+	probesInFlight int
+	probeSuccesses int
+}
+
+// Mode returns the current state, applying the open→half-open transition if
+// the cooldown has elapsed (so introspection agrees with admission).
+func (s *BreakerState) Mode() BreakerMode {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maybeHalfOpen()
+	return s.mode
+}
+
+// Scope returns the name this state is registered under.
+func (s *BreakerState) Scope() string { return s.scope }
+
+// SetClock injects a test clock. Call before traffic flows.
+func (s *BreakerState) SetClock(c Clock) {
+	s.mu.Lock()
+	s.clock = c
+	s.mu.Unlock()
+}
+
+// configure replaces the tunables, resizing the window ring. The circuit
+// position (open/half-open) is preserved; the recorded window restarts.
+func (s *BreakerState) configure(cfg breakerConfig) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cfg == s.cfg {
+		return
+	}
+	s.cfg = cfg
+	s.outcomes = make([]bool, cfg.window)
+	s.next, s.filled, s.failCount = 0, 0, 0
+}
+
+// maybeHalfOpen transitions open → half-open when the cooldown has elapsed.
+// Callers must hold s.mu.
+func (s *BreakerState) maybeHalfOpen() {
+	if s.mode == ModeOpen && !s.clock.Now().Before(s.openUntil) {
+		s.mode = ModeHalfOpen
+		s.probesInFlight = 0
+		s.probeSuccesses = 0
+	}
+}
+
+// trip opens the circuit now. Callers must hold s.mu.
+func (s *BreakerState) trip() {
+	s.mode = ModeOpen
+	s.openUntil = s.clock.Now().Add(s.cfg.cooldown)
+	s.next, s.filled, s.failCount = 0, 0, 0
+	s.probesInFlight = 0
+	s.probeSuccesses = 0
+	trace.CounterAdd(trace.CtrBreakerOpened, 1)
+	trace.CounterAdd(trace.BreakerScopeKey(s.scope), 1)
+}
+
+// Allow decides whether one call may proceed. It returns probe=true when the
+// call is a half-open trial (the caller must report its outcome via Done with
+// the same flag), and ok=false when the circuit rejects the call outright.
+func (s *BreakerState) Allow() (probe, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.maybeHalfOpen()
+	switch s.mode {
+	case ModeClosed:
+		return false, true
+	case ModeHalfOpen:
+		if s.probesInFlight < s.cfg.probes {
+			s.probesInFlight++
+			trace.CounterAdd(trace.CtrBreakerProbes, 1)
+			return true, true
+		}
+		trace.CounterAdd(trace.CtrBreakerRejected, 1)
+		return false, false
+	default: // ModeOpen
+		trace.CounterAdd(trace.CtrBreakerRejected, 1)
+		return false, false
+	}
+}
+
+// Done records the outcome of a call previously admitted by Allow. latency
+// is compared against the configured latency limit: a technically successful
+// but too-slow call counts as a failure (a stalling dependency should trip
+// the breaker before timeouts cascade).
+func (s *BreakerState) Done(probe bool, callErr error, latency time.Duration) {
+	failure := callErr != nil ||
+		(s.cfg.latencyLimit > 0 && latency > s.cfg.latencyLimit)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if probe {
+		// A probe outcome is meaningful in half-open only; if another probe
+		// already re-opened the circuit, this result arrives late and the
+		// breaker ignores it (the next half-open round will re-probe).
+		if s.mode != ModeHalfOpen {
+			return
+		}
+		s.probesInFlight--
+		if failure {
+			s.trip()
+			return
+		}
+		s.probeSuccesses++
+		if s.probeSuccesses >= s.cfg.probes {
+			s.mode = ModeClosed
+			s.next, s.filled, s.failCount = 0, 0, 0
+			trace.CounterAdd(trace.CtrBreakerRecovered, 1)
+		}
+		return
+	}
+	if s.mode != ModeClosed {
+		// A non-probe call that was admitted while closed but finished after
+		// the circuit opened: its outcome no longer matters.
+		return
+	}
+	if s.filled == len(s.outcomes) && s.outcomes[s.next] {
+		s.failCount--
+	}
+	if s.filled < len(s.outcomes) {
+		s.filled++
+	}
+	s.outcomes[s.next] = failure
+	s.next = (s.next + 1) % len(s.outcomes)
+	if failure {
+		s.failCount++
+		if s.failCount >= s.cfg.failures {
+			s.trip()
+		}
+	}
+}
+
+// The scope registry: breakers created with the same "breaker:scope" (which
+// defaults to the child compressor name) share one BreakerState even when
+// they were constructed independently, so every path to a failing component
+// trips together.
+var (
+	sharedMu sync.Mutex
+	shared   = map[string]*BreakerState{}
+)
+
+// StateFor returns the shared BreakerState registered under scope, creating
+// it with the given config on first use. Later callers with a different
+// config retune the existing state (last writer wins), which keeps a fleet
+// of clones coherent when options change.
+func StateFor(scope string, cfg breakerConfig) *BreakerState {
+	sharedMu.Lock()
+	st, ok := shared[scope]
+	if !ok {
+		st = &BreakerState{
+			clock:    RealClock{},
+			cfg:      cfg,
+			scope:    scope,
+			outcomes: make([]bool, cfg.window),
+		}
+		shared[scope] = st
+	}
+	sharedMu.Unlock()
+	if ok {
+		st.configure(cfg)
+	}
+	return st
+}
+
+// ResetShared drops every registered breaker state (tests only: the registry
+// is process-global on purpose).
+func ResetShared() {
+	sharedMu.Lock()
+	shared = map[string]*BreakerState{}
+	sharedMu.Unlock()
+}

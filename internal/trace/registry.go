@@ -60,10 +60,42 @@ const (
 	// CtrFaultsInjected counts faults (errors, panics, delays, bit flips)
 	// the faultinject plugin deliberately introduced.
 	CtrFaultsInjected = "faultinject.faults"
+	// CtrBreakerOpened counts closed→open (and half-open→open) transitions
+	// of circuit breakers: the moment a failing component started being
+	// protected from further traffic.
+	CtrBreakerOpened = "service.breaker.opened"
+	// CtrBreakerRejected counts calls rejected fast because a breaker was
+	// open (no work was attempted).
+	CtrBreakerRejected = "service.breaker.rejected"
+	// CtrBreakerProbes counts half-open trial calls allowed through an
+	// otherwise-open breaker.
+	CtrBreakerProbes = "service.breaker.halfopen_probes"
+	// CtrBreakerRecovered counts half-open→closed transitions: enough probes
+	// succeeded to restore normal traffic.
+	CtrBreakerRecovered = "service.breaker.recovered"
+	// CtrAdmissionAdmitted counts requests that passed admission control
+	// (immediately or after queueing).
+	CtrAdmissionAdmitted = "service.admission.admitted"
+	// CtrAdmissionQueued counts requests that had to wait in the admission
+	// queue before being admitted or shed.
+	CtrAdmissionQueued = "service.admission.queued"
+	// CtrAdmissionShed counts requests rejected by admission control: queue
+	// full, deadline would expire while queued, context cancelled while
+	// waiting, or a request larger than the whole budget.
+	CtrAdmissionShed = "service.admission.shed"
+	// CtrDaemonRequests counts HTTP requests the pressiod daemon accepted
+	// for processing (after admission).
+	CtrDaemonRequests = "service.daemon.requests"
+	// CtrDaemonDrained counts in-flight requests completed during a graceful
+	// drain.
+	CtrDaemonDrained = "service.daemon.drained"
 	// HistCompress is the per-call plugin compress latency histogram.
 	HistCompress = "compress.latency"
 	// HistDecompress is the per-call plugin decompress latency histogram.
 	HistDecompress = "decompress.latency"
+	// HistQueueWait is the admission-queue wait-time histogram (time between
+	// arrival and admission for requests that had to queue).
+	HistQueueWait = "service.admission.queue_wait"
 )
 
 // PluginErrorKey names the per-plugin error counter ("plugin.sz.errors").
@@ -72,6 +104,15 @@ func PluginErrorKey(prefix string) string { return "plugin." + prefix + ".errors
 // FallbackTierKey names the per-tier served-call counter
 // ("resilience.fallback.tier.sz").
 func FallbackTierKey(prefix string) string { return "resilience.fallback.tier." + prefix }
+
+// BulkheadShedKey names the per-bulkhead shed counter
+// ("service.bulkhead.compress.shed"), so one compartment's overload is
+// distinguishable from another's.
+func BulkheadShedKey(name string) string { return "service.bulkhead." + name + ".shed" }
+
+// BreakerScopeKey names the per-scope breaker open-transition counter
+// ("service.breaker.scope.sz.opened").
+func BreakerScopeKey(scope string) string { return "service.breaker.scope." + scope + ".opened" }
 
 // Counter is a monotonically adjustable int64 telemetry cell.
 type Counter struct {

@@ -1,10 +1,11 @@
 #!/bin/sh
 # Tier-2 quality gate: build + vet + pressiolint the whole module, race-test
 # the concurrency-sensitive packages (the tracing layer, the parallel
-# meta-compressors, and the core wrapper), run the deterministic chaos tests
-# of the resilience layer, smoke-fuzz the stream decoders, and run the
-# disabled-tracing overhead benchmark that guards the "near-zero cost when
-# off" promise.
+# meta-compressors, the core wrapper, and the serving layer), run the
+# deterministic chaos tests of the resilience and serving layers, smoke-test
+# the pressiod daemon end to end (SIGTERM graceful drain included),
+# smoke-fuzz the stream decoders, and run the disabled-tracing overhead
+# benchmark that guards the "near-zero cost when off" promise.
 #
 # Usage: scripts/check.sh   (or: make check)
 set -eu
@@ -20,11 +21,16 @@ go vet ./...
 echo "==> pressiolint ./... (all ten analyzers)"
 go run ./cmd/pressiolint ./...
 
-echo "==> go test -race (trace, meta, core)"
-go test -race ./internal/trace/... ./internal/meta/... ./internal/core/...
+echo "==> go test -race (trace, meta, core, service, pressiod)"
+go test -race ./internal/trace/... ./internal/meta/... ./internal/core/... \
+    ./internal/service/... ./cmd/pressiod/
 
-echo "==> chaos tests under race detector (resilience, faultinject)"
-go test -race -run 'TestChaos' ./internal/resilience/ ./internal/faultinject/
+echo "==> chaos tests under race detector (resilience, faultinject, service, pressiod)"
+go test -race -run 'TestChaos' ./internal/resilience/ ./internal/faultinject/ \
+    ./internal/service/ ./cmd/pressiod/
+
+echo "==> pressiod smoke (start, /readyz, round-trip, SIGTERM, clean drain)"
+scripts/pressiod-smoke.sh
 
 echo "==> fuzz smoke (decoders, 5s each; corpora replay known crashers)"
 go test -fuzz 'FuzzDecompressSlice' -fuzztime 5s ./internal/sz/

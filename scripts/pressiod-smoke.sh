@@ -1,0 +1,69 @@
+#!/bin/sh
+# pressiod smoke test: build the daemon, start it on an ephemeral port, wait
+# for readiness, push one compress/decompress round-trip through the HTTP
+# data plane, then SIGTERM it and require a clean (exit 0) graceful drain.
+#
+# Usage: scripts/pressiod-smoke.sh   (also run by the CI pressiod-smoke job)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "==> build pressiod"
+go build -o "$tmp/pressiod" ./cmd/pressiod
+
+echo "==> start daemon (ephemeral port, breaker+guard over sz_threadsafe)"
+"$tmp/pressiod" -addr 127.0.0.1:0 -compressor sz_threadsafe -breaker -guard \
+    -o pressio:abs=0.01 -lame-duck 200ms 2>"$tmp/log" &
+pid=$!
+
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's/^pressiod: listening on \([^ ]*\).*/\1/p' "$tmp/log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "pressiod never reported a listen address:" >&2
+    cat "$tmp/log" >&2
+    exit 1
+fi
+base="http://$addr"
+
+echo "==> wait for /readyz on $addr"
+i=0
+until curl -fsS "$base/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ $i -ge 50 ] && { echo "/readyz never became ready" >&2; exit 1; }
+    sleep 0.1
+done
+curl -fsS "$base/healthz" >/dev/null
+
+echo "==> compress/decompress round-trip"
+dd if=/dev/zero of="$tmp/x.bin" bs=4096 count=4 2>/dev/null
+curl -fsS --data-binary @"$tmp/x.bin" \
+    "$base/compress?dims=4096&dtype=float32" -o "$tmp/x.sz"
+curl -fsS --data-binary @"$tmp/x.sz" \
+    "$base/decompress?dims=4096&dtype=float32" -o "$tmp/x.out"
+out_bytes=$(wc -c <"$tmp/x.out")
+if [ "$out_bytes" -ne 16384 ]; then
+    echo "round-trip produced $out_bytes bytes, want 16384" >&2
+    exit 1
+fi
+
+echo "==> SIGTERM and graceful drain"
+kill -TERM "$pid"
+wait "$pid" # must exit 0: a clean drain within the deadline
+pid=""
+
+echo "==> pressiod smoke OK"
+cat "$tmp/log"
