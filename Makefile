@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint check bench
+.PHONY: build test lint check bench ledger ledger-check
 
 build:
 	$(GO) build ./...
@@ -25,3 +25,13 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Perf ledger: `make ledger` records a full BENCH_<date>.json on this
+# machine (commit it to move the regression baseline); `make ledger-check`
+# gates a quick fresh measurement against the most recent committed one.
+# See docs/OBSERVABILITY.md.
+ledger:
+	sh scripts/perf-ledger.sh record
+
+ledger-check:
+	sh scripts/perf-ledger.sh check --quick

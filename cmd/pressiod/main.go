@@ -1,8 +1,10 @@
 // Command pressiod is the compression daemon: the pressio plugin library
-// behind an HTTP data plane with overload protection and graceful shutdown.
+// behind an HTTP data plane with overload protection, graceful shutdown, and
+// a production observability plane.
 //
 //	pressiod -addr :8123 -compressor sz_threadsafe -breaker -guard \
-//	         -o pressio:abs=1e-3 -mem-budget 268435456 -concurrency 8
+//	         -o pressio:abs=1e-3 -mem-budget 268435456 -concurrency 8 \
+//	         -ops-addr 127.0.0.1:8124 -slow-request 500ms
 //
 //	curl -s --data-binary @x.bin \
 //	     'http://localhost:8123/compress?dims=100,500&dtype=float32' > x.sz
@@ -14,7 +16,15 @@
 // are typed 503s with Retry-After. SIGTERM starts a graceful drain: /readyz
 // flips to 503 immediately, a short lame-duck window lets load balancers
 // notice, in-flight requests finish under -drain-timeout, and the process
-// exits 0 on a clean drain. See docs/RESILIENCE.md.
+// exits 0 on a clean drain.
+//
+// Observability (see docs/OBSERVABILITY.md): every data-plane response
+// carries an X-Pressio-Request-Id (W3C traceparent-compatible, propagated
+// from inbound traceparent headers); the request's span tree is retrievable
+// from /tracez?id=<id>; /metricz serves Prometheus text exposition format
+// (?format=json for the JSON rendering); structured JSON-lines events go to
+// stderr at -log-level and above; -ops-addr binds an operator-only listener
+// with /debug/pprof. See docs/RESILIENCE.md for the serving behavior.
 package main
 
 import (
@@ -26,6 +36,8 @@ import (
 	"syscall"
 	"time"
 
+	"pressio/internal/daemon"
+	"pressio/internal/obslog"
 	"pressio/internal/trace"
 
 	// Register the full plugin library.
@@ -50,39 +62,48 @@ func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
 
 func main() {
 	var opts stringList
-	cfg := config{}
-	flag.StringVar(&cfg.addr, "addr", ":8123", "listen address")
-	flag.StringVar(&cfg.compressor, "compressor", "sz_threadsafe", "compressor plugin name")
-	flag.BoolVar(&cfg.guard, "guard", false, "wrap the compressor in the guard meta-compressor (tune with -o guard:...)")
-	flag.StringVar(&cfg.fallbackCSV, "fallback", "", "comma separated backup compressors tried in order when the primary fails")
-	flag.BoolVar(&cfg.breaker, "breaker", false, "wrap the composition in the circuit-breaker meta-compressor (tune with -o breaker:...)")
-	flag.IntVar(&cfg.concurrency, "concurrency", 4, "compressor pool size (parallel codec calls)")
-	flag.Int64Var(&cfg.memBudget, "mem-budget", 1<<30, "admission budget per bulkhead in declared request bytes")
-	flag.IntVar(&cfg.queueDepth, "queue-depth", 64, "bounded FIFO queue length per bulkhead; requests beyond it are shed")
-	flag.DurationVar(&cfg.reqTimeout, "request-timeout", 30*time.Second, "per-request deadline (0 disables)")
-	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 10*time.Second, "how long in-flight requests may run after SIGTERM")
-	flag.DurationVar(&cfg.lameDuck, "lame-duck", 500*time.Millisecond, "window after SIGTERM during which the listener stays open but /readyz reports 503")
+	cfg := daemon.Config{}
+	flag.StringVar(&cfg.Addr, "addr", ":8123", "listen address")
+	flag.StringVar(&cfg.OpsAddr, "ops-addr", "", "operator-only listener with /debug/pprof, /metricz, /tracez (empty disables)")
+	flag.StringVar(&cfg.Compressor, "compressor", "sz_threadsafe", "compressor plugin name")
+	flag.BoolVar(&cfg.Guard, "guard", false, "wrap the compressor in the guard meta-compressor (tune with -o guard:...)")
+	flag.StringVar(&cfg.FallbackCSV, "fallback", "", "comma separated backup compressors tried in order when the primary fails")
+	flag.BoolVar(&cfg.Breaker, "breaker", false, "wrap the composition in the circuit-breaker meta-compressor (tune with -o breaker:...)")
+	flag.IntVar(&cfg.Concurrency, "concurrency", 4, "compressor pool size (parallel codec calls)")
+	flag.Int64Var(&cfg.MemBudget, "mem-budget", 1<<30, "admission budget per bulkhead in declared request bytes")
+	flag.IntVar(&cfg.QueueDepth, "queue-depth", 64, "bounded FIFO queue length per bulkhead; requests beyond it are shed")
+	flag.DurationVar(&cfg.ReqTimeout, "request-timeout", 30*time.Second, "per-request deadline (0 disables)")
+	flag.DurationVar(&cfg.DrainTimeout, "drain-timeout", 10*time.Second, "how long in-flight requests may run after SIGTERM")
+	flag.DurationVar(&cfg.LameDuck, "lame-duck", 500*time.Millisecond, "window after SIGTERM during which the listener stays open but /readyz reports 503")
+	flag.DurationVar(&cfg.SlowRequest, "slow-request", 500*time.Millisecond, "log a warn-level slow_request event for data-plane requests slower than this (0 disables)")
+	flag.IntVar(&cfg.TraceBuffer, "trace-buffer", 256, "completed request span trees retained for /tracez")
+	logLevel := flag.String("log-level", "info", "structured-log threshold: debug, info, warn, error")
 	flag.Var(&opts, "o", "compressor option key=value (repeatable)")
 	flag.Parse()
-	cfg.options = opts
+	cfg.Options = opts
 
-	d, err := newDaemon(cfg)
+	obslog.SetDefault(obslog.New(os.Stderr, obslog.ParseLevel(*logLevel)))
+
+	d, err := daemon.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pressiod:", err)
 		os.Exit(1)
 	}
 
-	if err := d.start(); err != nil {
+	if err := d.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, "pressiod:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "pressiod: listening on %s (compressor %s)\n", d.Addr(), d.name)
+	fmt.Fprintf(os.Stderr, "pressiod: listening on %s (compressor %s)\n", d.Addr(), d.Name())
+	if ops := d.OpsAddr(); ops != "" {
+		fmt.Fprintf(os.Stderr, "pressiod: ops listener on %s (pprof, metricz, tracez)\n", ops)
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
 	s := <-sigCh
 	fmt.Fprintf(os.Stderr, "pressiod: received %v, draining\n", s)
-	if err := d.drain(); err != nil {
+	if err := d.Drain(); err != nil {
 		fmt.Fprintln(os.Stderr, "pressiod:", err)
 		os.Exit(1)
 	}

@@ -1,4 +1,4 @@
-package main
+package daemon
 
 import (
 	"bytes"
@@ -17,16 +17,16 @@ import (
 // and (c) finish the drain cleanly within the deadline.
 func TestChaosDaemonDrainUnderLoadWithFaults(t *testing.T) {
 	const drainTimeout = 10 * time.Second
-	d, drain, done := startTestDaemon(t, func(c *config) {
-		c.compressor = "faultinject"
-		c.breaker = true
-		c.guard = true
-		c.concurrency = 4
-		c.memBudget = 1 << 20
-		c.queueDepth = 4
-		c.lameDuck = 50 * time.Millisecond
-		c.drainTimeout = drainTimeout
-		c.options = []string{
+	d, drain, done := startTestDaemon(t, func(c *Config) {
+		c.Compressor = "faultinject"
+		c.Breaker = true
+		c.Guard = true
+		c.Concurrency = 4
+		c.MemBudget = 1 << 20
+		c.QueueDepth = 4
+		c.LameDuck = 50 * time.Millisecond
+		c.DrainTimeout = drainTimeout
+		c.Options = []string{
 			"faultinject:compressor=noop",
 			"faultinject:error_rate=0.2",
 			"faultinject:seed=42",

@@ -1,0 +1,252 @@
+// Package daemon implements the pressiod compression service: a pool of
+// compressor clones behind per-operation bulkheads, an HTTP data plane with
+// overload protection and graceful drain, and a production observability
+// surface — request-scoped span trees correlated by W3C trace ids,
+// Prometheus-format metrics, structured JSON-lines event logs, and an
+// ops-only listener carrying pprof. cmd/pressiod is a thin flag wrapper
+// around this package; the perf-ledger harness drives it in-process to
+// measure serving latency.
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"pressio/internal/core"
+	"pressio/internal/launch"
+	"pressio/internal/obslog"
+	"pressio/internal/service"
+	"pressio/internal/trace"
+)
+
+// Config collects everything the daemon needs to serve: which compressor
+// stack to build, how much concurrency and memory to admit, how long a drain
+// may take, and the observability knobs.
+type Config struct {
+	// Addr is the data-plane listen address.
+	Addr string
+	// OpsAddr, when non-empty, binds a second ops-only listener carrying
+	// /debug/pprof, /metricz, /tracez, and /healthz. Keep it off the
+	// data-plane network: profiling endpoints are for operators.
+	OpsAddr string
+	// Compressor is the innermost compressor plugin name.
+	Compressor string
+	// Guard wraps the compressor in the guard meta-compressor.
+	Guard bool
+	// FallbackCSV lists backup compressors tried in order.
+	FallbackCSV string
+	// Breaker wraps the composition in the circuit-breaker meta-compressor.
+	Breaker bool
+	// Options are key=value compressor options.
+	Options []string
+	// Concurrency is the compressor pool size.
+	Concurrency int
+	// MemBudget is the admission budget per bulkhead in declared bytes.
+	MemBudget int64
+	// QueueDepth is the bounded FIFO queue length per bulkhead.
+	QueueDepth int
+	// ReqTimeout is the per-request deadline (0 disables).
+	ReqTimeout time.Duration
+	// DrainTimeout bounds how long in-flight requests may run after drain
+	// starts.
+	DrainTimeout time.Duration
+	// LameDuck keeps the listener open after drain starts while /readyz
+	// reports 503, so load balancers route away before connections break.
+	LameDuck time.Duration
+	// SlowRequest, when >0, emits a warn-level slow_request event for any
+	// data-plane request slower than this.
+	SlowRequest time.Duration
+	// TraceBuffer is how many completed request span trees /tracez retains
+	// (default 256).
+	TraceBuffer int
+}
+
+// Daemon is the running service.
+type Daemon struct {
+	cfg        Config
+	name       string // composed compressor name (breaker outermost)
+	srv        *http.Server
+	ln         net.Listener
+	opsSrv     *http.Server
+	opsLn      net.Listener
+	pool       chan *core.Compressor
+	compress   *service.Admission
+	decompress *service.Admission
+	traces     *traceStore
+
+	ready    atomic.Bool
+	draining atomic.Bool
+
+	// started/finished account for every data-plane request the server began
+	// processing; drain is correct iff they are equal when Drain returns.
+	started  atomic.Int64
+	finished atomic.Int64
+}
+
+// New builds the compressor pool and bulkheads. The resilience flags compose
+// exactly as in the pressio CLI: breaker{guard{fallback{codec}}}.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Concurrency < 1 {
+		return nil, fmt.Errorf("concurrency %d must be >= 1", cfg.Concurrency)
+	}
+	if cfg.TraceBuffer <= 0 {
+		cfg.TraceBuffer = 256
+	}
+	name, opts := service.ComposeResilience(cfg.Compressor, cfg.Guard, cfg.FallbackCSV, cfg.Breaker, cfg.Options)
+	base, err := core.NewCompressor(name)
+	if err != nil {
+		return nil, err
+	}
+	kv := map[string]string{}
+	for _, o := range opts {
+		k, v, ok := strings.Cut(o, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad option %q: want key=value", o)
+		}
+		kv[k] = v
+	}
+	if err := launch.ApplyStringOptions(base, kv); err != nil {
+		return nil, err
+	}
+	d := &Daemon{cfg: cfg, name: name, traces: newTraceStore(cfg.TraceBuffer)}
+	// Clones share breaker scope state by construction, so one worker's
+	// failures trip the circuit for the whole pool.
+	d.pool = make(chan *core.Compressor, cfg.Concurrency)
+	d.pool <- base
+	for i := 1; i < cfg.Concurrency; i++ {
+		d.pool <- base.Clone()
+	}
+	if d.compress, err = service.NewBulkhead("compress", cfg.MemBudget, cfg.QueueDepth, nil); err != nil {
+		return nil, err
+	}
+	if d.decompress, err = service.NewBulkhead("decompress", cfg.MemBudget, cfg.QueueDepth, nil); err != nil {
+		return nil, err
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /compress", func(w http.ResponseWriter, r *http.Request) {
+		d.handleData(w, r, false)
+	})
+	mux.HandleFunc("POST /decompress", func(w http.ResponseWriter, r *http.Request) {
+		d.handleData(w, r, true)
+	})
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	mux.HandleFunc("GET /readyz", d.handleReadyz)
+	mux.HandleFunc("GET /metricz", d.handleMetricz)
+	mux.HandleFunc("GET /tracez", d.handleTracez)
+	d.srv = &http.Server{Handler: mux}
+
+	if cfg.OpsAddr != "" {
+		d.opsSrv = &http.Server{Handler: d.opsMux()}
+	}
+	return d, nil
+}
+
+// opsMux is the operator surface: pprof (never on the data plane), plus the
+// same metrics/trace/liveness endpoints so operators need only one port.
+func (d *Daemon) opsMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metricz", d.handleMetricz)
+	mux.HandleFunc("GET /tracez", d.handleTracez)
+	mux.HandleFunc("GET /healthz", d.handleHealthz)
+	return mux
+}
+
+// Start binds the listener(s) and begins serving; it returns once the daemon
+// is accepting connections so callers (and tests) can read Addr().
+func (d *Daemon) Start() error {
+	ln, err := net.Listen("tcp", d.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	d.ln = ln
+	if d.opsSrv != nil {
+		opsLn, err := net.Listen("tcp", d.cfg.OpsAddr)
+		if err != nil {
+			_ = ln.Close()
+			return err
+		}
+		d.opsLn = opsLn
+		go func() { _ = d.opsSrv.Serve(opsLn) }()
+	}
+	d.ready.Store(true)
+	go func() {
+		// ErrServerClosed is the expected outcome of a drain; anything else
+		// surfaces through failed client requests, not the exit status.
+		_ = d.srv.Serve(ln)
+	}()
+	obslog.Default().Infow("daemon.start",
+		obslog.Str("addr", d.Addr()),
+		obslog.Str("ops_addr", d.OpsAddr()),
+		obslog.Str("compressor", d.name),
+		obslog.Int("concurrency", int64(d.cfg.Concurrency)))
+	return nil
+}
+
+// Name reports the composed compressor name (breaker outermost).
+func (d *Daemon) Name() string { return d.name }
+
+// Addr reports the bound data-plane address (useful with ":0" in tests).
+func (d *Daemon) Addr() string {
+	if d.ln == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// OpsAddr reports the bound ops listener address ("" when disabled).
+func (d *Daemon) OpsAddr() string {
+	if d.opsLn == nil {
+		return ""
+	}
+	return d.opsLn.Addr().String()
+}
+
+// Drain implements graceful shutdown: readiness flips false immediately (so
+// rolling restarts stop routing new work here), a lame-duck window keeps the
+// listener open while load balancers notice, then the listener closes and
+// in-flight requests get until the drain deadline to finish. The ops
+// listener closes last — operators can still scrape a draining process.
+func (d *Daemon) Drain() error {
+	d.ready.Store(false)
+	d.draining.Store(true)
+	obslog.Default().Infow("daemon.drain.begin",
+		obslog.Dur("lame_duck", d.cfg.LameDuck),
+		obslog.Dur("deadline", d.cfg.DrainTimeout))
+	if d.cfg.LameDuck > 0 {
+		time.Sleep(d.cfg.LameDuck)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.DrainTimeout)
+	defer cancel()
+	err := d.srv.Shutdown(ctx)
+	if err != nil {
+		_ = d.srv.Close()
+		err = fmt.Errorf("drain deadline %s exceeded: %w", d.cfg.DrainTimeout, err)
+	}
+	if d.opsSrv != nil {
+		_ = d.opsSrv.Close()
+	}
+	obslog.Default().Infow("daemon.drain.end",
+		obslog.Int("served", d.started.Load()),
+		obslog.Int("drained_in_flight", trace.CounterValue(trace.CtrDaemonDrained)),
+		obslog.Err(err))
+	return err
+}
+
+// Started reports data-plane requests the server began processing; equality
+// with Finished after Drain proves zero dropped in-flight work.
+func (d *Daemon) Started() int64 { return d.started.Load() }
+
+// Finished reports completed data-plane requests; see Started.
+func (d *Daemon) Finished() int64 { return d.finished.Load() }

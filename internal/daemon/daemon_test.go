@@ -1,0 +1,519 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pressio/internal/obslog"
+	"pressio/internal/service"
+	"pressio/internal/trace"
+)
+
+// startTestDaemon boots a daemon on an ephemeral port and returns it with a
+// drain trigger and the channel carrying drain's result. The cleanup drains
+// if the test has not already done so.
+func startTestDaemon(t *testing.T, mutate func(*Config)) (*Daemon, func(), chan error) {
+	t.Helper()
+	service.ResetShared()
+	trace.ResetTelemetry()
+	cfg := Config{
+		Addr:         "127.0.0.1:0",
+		Compressor:   "noop",
+		Concurrency:  2,
+		MemBudget:    1 << 20,
+		QueueDepth:   8,
+		ReqTimeout:   5 * time.Second,
+		DrainTimeout: 5 * time.Second,
+		LameDuck:     10 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	drained := false
+	drain := func() {
+		if !drained {
+			drained = true
+			done <- d.Drain()
+		}
+	}
+	t.Cleanup(drain)
+	return d, drain, done
+}
+
+func sampleFloat32(n int) ([]float32, []byte) {
+	vals := make([]float32, n)
+	raw := make([]byte, 4*n)
+	for i := range vals {
+		vals[i] = float32(math.Sin(float64(i) / 7))
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(vals[i]))
+	}
+	return vals, raw
+}
+
+func post(t *testing.T, url string, body []byte) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func readAll(t *testing.T, resp *http.Response) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestDaemonRoundTrip(t *testing.T) {
+	d, _, _ := startTestDaemon(t, func(c *Config) {
+		c.Compressor = "sz_threadsafe"
+		c.Options = []string{"pressio:abs=0.01"}
+	})
+	base := "http://" + d.Addr()
+	vals, raw := sampleFloat32(32 * 32)
+
+	resp := post(t, base+"/compress?dims=32,32&dtype=float32", raw)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	if got := resp.Header.Get("X-Pressio-Compressor"); got != "sz_threadsafe" {
+		t.Errorf("X-Pressio-Compressor %q", got)
+	}
+	compressed := readAll(t, resp)
+	if len(compressed) == 0 || len(compressed) >= len(raw) {
+		t.Fatalf("compressed %d bytes from %d input bytes", len(compressed), len(raw))
+	}
+
+	resp = post(t, base+"/decompress?dims=32,32&dtype=float32", compressed)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress status %d: %s", resp.StatusCode, readAll(t, resp))
+	}
+	dec := readAll(t, resp)
+	if len(dec) != len(raw) {
+		t.Fatalf("decompressed %d bytes, want %d", len(dec), len(raw))
+	}
+	for i := range vals {
+		got := math.Float32frombits(binary.LittleEndian.Uint32(dec[4*i:]))
+		if math.Abs(float64(got-vals[i])) > 0.01 {
+			t.Fatalf("elem %d bound violated: %v vs %v", i, got, vals[i])
+		}
+	}
+}
+
+func TestDaemonHealthReadyAndDrain(t *testing.T) {
+	d, drain, done := startTestDaemon(t, func(c *Config) {
+		c.LameDuck = 300 * time.Millisecond
+	})
+	base := "http://" + d.Addr()
+
+	resp := post(t, base+"/compress?dims=4&dtype=float32", make([]byte, 16))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress status %d", resp.StatusCode)
+	}
+	readAll(t, resp)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status %d, want 200", path, resp.StatusCode)
+		}
+		readAll(t, resp)
+	}
+
+	go drain()
+	// During the lame-duck window the listener still answers: liveness stays
+	// 200 while readiness flips to 503 so rolling restarts route away.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			t.Fatalf("/readyz unreachable during lame-duck: %v", err)
+		}
+		code := resp.StatusCode
+		body := readAll(t, resp)
+		if code == http.StatusServiceUnavailable {
+			if !strings.Contains(string(body), "draining") {
+				t.Fatalf("/readyz body %q, want draining", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never flipped to 503 after drain start")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz during drain %d, want 200 (liveness != readiness)", resp.StatusCode)
+	}
+	readAll(t, resp)
+
+	if err := <-done; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if s, f := d.started.Load(), d.finished.Load(); s != f {
+		t.Fatalf("drain dropped requests: %d started, %d finished", s, f)
+	}
+}
+
+func TestDaemonShedOversizedTyped503(t *testing.T) {
+	d, _, _ := startTestDaemon(t, func(c *Config) {
+		c.MemBudget = 16
+	})
+	resp := post(t, "http://"+d.Addr()+"/compress?dims=16&dtype=float32", make([]byte, 64))
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Pressio-Error"); got != "shed" {
+		t.Errorf("X-Pressio-Error %q, want shed", got)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	if trace.CounterValue(trace.BulkheadShedKey("compress")) != 1 {
+		t.Error("per-bulkhead shed counter not incremented")
+	}
+}
+
+func TestDaemonBreakerOpenTyped503(t *testing.T) {
+	d, _, _ := startTestDaemon(t, func(c *Config) {
+		c.Compressor = "faultinject"
+		c.Breaker = true
+		c.Options = []string{
+			"faultinject:compressor=noop",
+			"faultinject:error_rate=1",
+			"faultinject:seed=1",
+			"breaker:window=4",
+			"breaker:failure_threshold=2",
+			"breaker:open_ms=60000",
+		}
+	})
+	base := "http://" + d.Addr()
+	payload := make([]byte, 16)
+	// The first two requests reach the always-failing child (typed faults),
+	// then the shared circuit is open and requests are rejected up front.
+	for i := 0; i < 2; i++ {
+		resp := post(t, base+"/compress?dims=4&dtype=float32", payload)
+		readAll(t, resp)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("request %d status %d, want 500 (injected fault)", i, resp.StatusCode)
+		}
+		if got := resp.Header.Get("X-Pressio-Error"); got != "fault" {
+			t.Errorf("request %d X-Pressio-Error %q, want fault", i, got)
+		}
+	}
+	resp := post(t, base+"/compress?dims=4&dtype=float32", payload)
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open-circuit status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Pressio-Error"); got != "breaker-open" {
+		t.Errorf("X-Pressio-Error %q, want breaker-open", got)
+	}
+	if trace.CounterValue(trace.CtrBreakerOpened) != 1 {
+		t.Errorf("opened counter %d, want 1", trace.CounterValue(trace.CtrBreakerOpened))
+	}
+}
+
+func TestDaemonBadRequestMissingShape(t *testing.T) {
+	d, _, _ := startTestDaemon(t, nil)
+	resp := post(t, "http://"+d.Addr()+"/compress", make([]byte, 16))
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400 for missing dims/dtype", resp.StatusCode)
+	}
+}
+
+func TestDaemonMetriczPrometheus(t *testing.T) {
+	d, _, _ := startTestDaemon(t, nil)
+	base := "http://" + d.Addr()
+	readAll(t, post(t, base+"/compress?dims=4&dtype=float32", make([]byte, 16)))
+	resp, err := http.Get(base + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != trace.PromContentType {
+		t.Errorf("/metricz Content-Type %q, want %q", ct, trace.PromContentType)
+	}
+	body := string(readAll(t, resp))
+	for _, w := range []string{
+		"# TYPE pressio_service_daemon_requests_total counter\npressio_service_daemon_requests_total 1\n",
+		"# TYPE pressio_service_admission_admitted_total counter\npressio_service_admission_admitted_total 1\n",
+		"# TYPE pressio_service_bulkhead_compress_queue_depth gauge\npressio_service_bulkhead_compress_queue_depth 0\n",
+		"pressio_service_bulkhead_compress_used_bytes 0\n",
+		"pressio_service_daemon_ready 1\n",
+		"# TYPE pressio_service_daemon_latency_seconds histogram\n",
+		"pressio_service_daemon_latency_seconds_bucket{le=\"+Inf\"} 1\n",
+		"pressio_service_daemon_latency_seconds_count 1\n",
+		"# TYPE pressio_goroutines gauge\n",
+		"pressio_build_info{go_version=",
+	} {
+		if !strings.Contains(body, w) {
+			t.Errorf("/metricz missing %q:\n%s", w, body)
+		}
+	}
+	// Every sample line must be well-formed exposition format.
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndex(line, " ")
+		if sp <= 0 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestDaemonMetriczJSONMode(t *testing.T) {
+	d, _, _ := startTestDaemon(t, nil)
+	base := "http://" + d.Addr()
+	readAll(t, post(t, base+"/compress?dims=4&dtype=float32", make([]byte, 16)))
+	resp, err := http.Get(base + "/metricz?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("json-mode Content-Type %q", ct)
+	}
+	var got struct {
+		Counters map[string]int64   `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal(readAll(t, resp), &got); err != nil {
+		t.Fatalf("json mode did not parse: %v", err)
+	}
+	if got.Counters[trace.CtrDaemonRequests] != 1 {
+		t.Errorf("daemon requests counter %d, want 1", got.Counters[trace.CtrDaemonRequests])
+	}
+	if _, ok := got.Gauges["pressio_goroutines"]; !ok {
+		t.Error("json mode missing runtime gauges")
+	}
+}
+
+// Satellite: the health/metrics endpoints declare an explicit Content-Type
+// and are uncacheable — a cached readiness answer misroutes rolling
+// restarts.
+func TestDaemonEndpointHeaders(t *testing.T) {
+	d, _, _ := startTestDaemon(t, nil)
+	base := "http://" + d.Addr()
+	for path, wantCT := range map[string]string{
+		"/healthz": "text/plain; charset=utf-8",
+		"/readyz":  "text/plain; charset=utf-8",
+		"/metricz": trace.PromContentType,
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		readAll(t, resp)
+		if got := resp.Header.Get("Content-Type"); got != wantCT {
+			t.Errorf("%s Content-Type %q, want %q", path, got, wantCT)
+		}
+		if got := resp.Header.Get("Cache-Control"); got != "no-store" {
+			t.Errorf("%s Cache-Control %q, want no-store", path, got)
+		}
+	}
+}
+
+func TestDaemonRequestIDAndTracez(t *testing.T) {
+	d, _, _ := startTestDaemon(t, func(c *Config) {
+		c.Compressor = "sz_threadsafe"
+		c.Options = []string{"pressio:abs=0.01"}
+	})
+	base := "http://" + d.Addr()
+	_, raw := sampleFloat32(32 * 32)
+
+	resp := post(t, base+"/compress?dims=32,32&dtype=float32", raw)
+	readAll(t, resp)
+	id := resp.Header.Get("X-Pressio-Request-Id")
+	if len(id) != 32 {
+		t.Fatalf("X-Pressio-Request-Id %q, want 32 hex digits", id)
+	}
+	tp := resp.Header.Get("Traceparent")
+	if !strings.HasPrefix(tp, "00-"+id+"-") {
+		t.Fatalf("Traceparent %q does not carry the request id %q", tp, id)
+	}
+
+	// The span tree is retrievable by the returned id.
+	tr, err := http.Get(base + "/tracez?id=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("/tracez?id= status %d", tr.StatusCode)
+	}
+	var entry struct {
+		ID     string `json:"id"`
+		Path   string `json:"path"`
+		Status int    `json:"status"`
+		Spans  []struct {
+			Name   string `json:"name"`
+			Parent uint64 `json:"parent"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(readAll(t, tr), &entry); err != nil {
+		t.Fatal(err)
+	}
+	if entry.ID != id || entry.Path != "/compress" || entry.Status != 200 {
+		t.Errorf("trace entry %+v", entry)
+	}
+	names := map[string]bool{}
+	for _, sp := range entry.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"daemon.request", "daemon.admission", "daemon.read_body", "daemon.compress", "daemon.write_response"} {
+		if !names[want] {
+			t.Errorf("span tree missing %q: %v", want, names)
+		}
+	}
+
+	// Tree rendering works too.
+	tree, err := http.Get(base + "/tracez?id=" + id + "&format=tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeBody := string(readAll(t, tree))
+	if !strings.Contains(treeBody, "daemon.request") || !strings.Contains(treeBody, "  daemon.compress") {
+		t.Errorf("tree rendering:\n%s", treeBody)
+	}
+
+	// The listing shows the request, newest first, without spans.
+	list, err := http.Get(base + "/tracez")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Capacity int `json:"capacity"`
+		Recent   []struct {
+			ID string `json:"id"`
+		} `json:"recent"`
+	}
+	if err := json.Unmarshal(readAll(t, list), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Recent) == 0 || listing.Recent[0].ID != id {
+		t.Errorf("listing %+v does not lead with %q", listing, id)
+	}
+
+	// Unknown ids 404.
+	missing, err := http.Get(base + "/tracez?id=ffffffffffffffffffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, missing)
+	if missing.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace id status %d, want 404", missing.StatusCode)
+	}
+}
+
+func TestDaemonPropagatesInboundTraceparent(t *testing.T) {
+	d, _, _ := startTestDaemon(t, nil)
+	const inbound = "4bf92f3577b34da6a3ce929d0e0e4736"
+	req, err := http.NewRequest("POST", "http://"+d.Addr()+"/compress?dims=4&dtype=float32",
+		bytes.NewReader(make([]byte, 16)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Traceparent", "00-"+inbound+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if got := resp.Header.Get("X-Pressio-Request-Id"); got != inbound {
+		t.Errorf("request id %q, want propagated %q", got, inbound)
+	}
+}
+
+func TestDaemonSlowRequestLogged(t *testing.T) {
+	var buf syncBuffer
+	obslog.SetDefault(obslog.New(&buf, obslog.Debug))
+	defer obslog.SetDefault(nil)
+
+	d, _, _ := startTestDaemon(t, func(c *Config) {
+		c.SlowRequest = time.Nanosecond // everything is slow
+	})
+	resp := post(t, "http://"+d.Addr()+"/compress?dims=4&dtype=float32", make([]byte, 16))
+	readAll(t, resp)
+	id := resp.Header.Get("X-Pressio-Request-Id")
+
+	out := buf.String()
+	if !strings.Contains(out, `"event":"slow_request"`) {
+		t.Fatalf("no slow_request event:\n%s", out)
+	}
+	if !strings.Contains(out, `"request_id":"`+id+`"`) {
+		t.Errorf("slow_request not correlated with request id %s:\n%s", id, out)
+	}
+}
+
+func TestDaemonOpsListener(t *testing.T) {
+	d, _, _ := startTestDaemon(t, func(c *Config) {
+		c.OpsAddr = "127.0.0.1:0"
+	})
+	ops := "http://" + d.OpsAddr()
+	for _, path := range []string{"/debug/pprof/", "/metricz", "/tracez", "/healthz"} {
+		resp, err := http.Get(ops + path)
+		if err != nil {
+			t.Fatalf("ops %s: %v", path, err)
+		}
+		readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("ops %s status %d", path, resp.StatusCode)
+		}
+	}
+	// pprof stays off the data plane.
+	resp, err := http.Get("http://" + d.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode == http.StatusOK {
+		t.Error("/debug/pprof/ reachable on the data plane")
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the daemon logs from request
+// goroutines while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

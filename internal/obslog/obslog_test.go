@@ -1,0 +1,136 @@
+package obslog
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+}
+
+func TestEventShapeAndOrder(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Debug)
+	l.SetClock(fixedClock)
+
+	l.Warnw("slow_request",
+		Str("request_id", "4bf92f3577b34da6a3ce929d0e0e4736"),
+		Str("path", "/compress"),
+		Dur("latency", 1500*time.Millisecond),
+		Int("status", 200),
+		Bool("draining", false),
+	)
+	line := buf.String()
+	want := `{"ts":"2026-08-07T12:00:00Z","level":"warn","event":"slow_request",` +
+		`"request_id":"4bf92f3577b34da6a3ce929d0e0e4736","path":"/compress",` +
+		`"latency_ms":1500,"status":200,"draining":false}` + "\n"
+	if line != want {
+		t.Errorf("event line:\n got %q\nwant %q", line, want)
+	}
+}
+
+func TestEveryLineIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Debug)
+	l.Debugw("a")
+	l.Infow("b", Str("k", `quote " and \ slash`), F64("nan", math.NaN()))
+	l.Errorw("c", Err(errors.New("boom")), Err(nil))
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Errorf("line %q: %v", line, err)
+			continue
+		}
+		for _, k := range []string{"ts", "level", "event"} {
+			if _, ok := m[k]; !ok {
+				t.Errorf("line %q missing %q", line, k)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), `"error":"boom"`) {
+		t.Error("Err field not encoded")
+	}
+	if strings.Contains(buf.String(), `"":`) {
+		t.Error("Err(nil) produced an empty-keyed field")
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Warn)
+	l.Debugw("drop")
+	l.Infow("drop")
+	l.Warnw("keep")
+	l.Errorw("keep")
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Errorf("wrote %d events, want 2:\n%s", got, buf.String())
+	}
+	if l.Enabled(Info) || !l.Enabled(Error) {
+		t.Error("Enabled disagrees with filtering")
+	}
+}
+
+func TestNilAndDefaultLoggerAreSafe(t *testing.T) {
+	var l *Logger
+	l.Infow("nothing") // must not panic
+	if l.Enabled(Error) {
+		t.Error("nil logger claims enabled")
+	}
+
+	// Default starts disabled; SetDefault swaps it in and out atomically.
+	Default().Infow("discarded")
+	var buf bytes.Buffer
+	SetDefault(New(&buf, Info))
+	defer SetDefault(nil)
+	Default().Infow("captured", Str("x", "y"))
+	if !strings.Contains(buf.String(), `"event":"captured"`) {
+		t.Errorf("default logger did not capture: %q", buf.String())
+	}
+	SetDefault(nil)
+	Default().Infow("discarded again")
+	if strings.Count(buf.String(), "\n") != 1 {
+		t.Error("disabled default still wrote")
+	}
+}
+
+func TestConcurrentWritesStayLineAtomic(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(&buf, Debug)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Infow("evt", Int("worker", int64(i)), Int("j", int64(j)))
+			}
+		}(i)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, line := range lines {
+		if !json.Valid([]byte(line)) {
+			t.Fatalf("interleaved line %q", line)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": Debug, "info": Info, "warn": Warn, "error": Error, "bogus": Info,
+	} {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

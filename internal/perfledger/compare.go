@@ -1,0 +1,187 @@
+package perfledger
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tolerance bounds how much worse a candidate ledger may be than the
+// baseline before the gate fails. The defaults are deliberately loose:
+// committed ledgers come from whatever machine the author had, CI runners
+// vary wildly, and the gate exists to catch order-of-magnitude regressions
+// (an accidental O(n²), a hot-path allocation explosion), not 10% noise.
+type Tolerance struct {
+	// MaxThroughputDrop is the allowed fractional MB/s loss (0.6 = the
+	// candidate may be 60% slower).
+	MaxThroughputDrop float64
+	// MaxAllocGrowth is the allowed fractional allocs/op growth, and
+	// AllocSlack an absolute allowance on top (small counts jitter).
+	MaxAllocGrowth float64
+	AllocSlack     float64
+	// MaxP99Growth is the allowed multiplicative p99 growth, and P99SlackMs
+	// an absolute allowance on top.
+	MaxP99Growth float64
+	P99SlackMs   float64
+}
+
+// DefaultTolerance is the gate configuration scripts/check.sh uses.
+func DefaultTolerance() Tolerance {
+	return Tolerance{
+		MaxThroughputDrop: 0.60,
+		MaxAllocGrowth:    0.25,
+		AllocSlack:        2,
+		MaxP99Growth:      3.0,
+		P99SlackMs:        5,
+	}
+}
+
+// Delta is one compared metric.
+type Delta struct {
+	// Metric names the compared quantity, e.g. "huffman.encode MB/s".
+	Metric string
+	// Base and Cand are the baseline and candidate values.
+	Base float64
+	Cand float64
+	// Pct is the relative change in percent (positive = candidate larger).
+	Pct float64
+	// Regressed marks deltas that exceed the tolerance in the bad
+	// direction.
+	Regressed bool
+}
+
+// Comparison is the result of gating a candidate ledger against a baseline.
+type Comparison struct {
+	Deltas []Delta
+	// Missing lists baseline stages absent from the candidate — a silently
+	// dropped measurement fails the gate, otherwise deleting a stage would
+	// hide its regression.
+	Missing []string
+}
+
+// OK reports whether the candidate passed.
+func (c *Comparison) OK() bool {
+	if len(c.Missing) > 0 {
+		return false
+	}
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			return false
+		}
+	}
+	return true
+}
+
+func pctChange(base, cand float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cand - base) / base * 100
+}
+
+// Compare gates cand against base. Both must carry the current schema
+// version (ReadFile enforces that for loaded files).
+func Compare(base, cand *Ledger, tol Tolerance) *Comparison {
+	out := &Comparison{}
+	candStages := make(map[string]Stage, len(cand.Stages))
+	for _, s := range cand.Stages {
+		candStages[s.Name] = s
+	}
+	for _, b := range base.Stages {
+		c, ok := candStages[b.Name]
+		if !ok {
+			out.Missing = append(out.Missing, b.Name)
+			continue
+		}
+		out.Deltas = append(out.Deltas, Delta{
+			Metric:    b.Name + " MB/s",
+			Base:      b.MBPerS,
+			Cand:      c.MBPerS,
+			Pct:       pctChange(b.MBPerS, c.MBPerS),
+			Regressed: b.MBPerS > 0 && c.MBPerS < b.MBPerS*(1-tol.MaxThroughputDrop),
+		})
+		out.Deltas = append(out.Deltas, Delta{
+			Metric:    b.Name + " allocs/op",
+			Base:      b.AllocsPerOp,
+			Cand:      c.AllocsPerOp,
+			Pct:       pctChange(b.AllocsPerOp, c.AllocsPerOp),
+			Regressed: c.AllocsPerOp > b.AllocsPerOp*(1+tol.MaxAllocGrowth)+tol.AllocSlack,
+		})
+	}
+	if base.Daemon != nil && cand.Daemon != nil {
+		b, c := base.Daemon, cand.Daemon
+		out.Deltas = append(out.Deltas,
+			Delta{
+				Metric: "daemon p50 ms", Base: b.P50Ms, Cand: c.P50Ms,
+				Pct: pctChange(b.P50Ms, c.P50Ms),
+				// p50 is informational: only p99 gates, the tail is what
+				// pages people.
+			},
+			Delta{
+				Metric: "daemon p99 ms", Base: b.P99Ms, Cand: c.P99Ms,
+				Pct:       pctChange(b.P99Ms, c.P99Ms),
+				Regressed: c.P99Ms > b.P99Ms*tol.MaxP99Growth+tol.P99SlackMs,
+			},
+			Delta{
+				Metric: "daemon errors", Base: float64(b.Errors), Cand: float64(c.Errors),
+				Pct:       pctChange(float64(b.Errors), float64(c.Errors)),
+				Regressed: c.Errors > b.Errors,
+			})
+	}
+	return out
+}
+
+// MarkdownTable renders the comparison as a GitHub-flavored markdown table
+// (the CI job writes it to the step summary).
+func (c *Comparison) MarkdownTable() string {
+	var b strings.Builder
+	b.WriteString("| metric | baseline | candidate | delta | gate |\n")
+	b.WriteString("|---|---:|---:|---:|---|\n")
+	for _, d := range c.Deltas {
+		gate := "ok"
+		if d.Regressed {
+			gate = "**REGRESSED**"
+		}
+		fmt.Fprintf(&b, "| %s | %.2f | %.2f | %+.1f%% | %s |\n",
+			d.Metric, d.Base, d.Cand, d.Pct, gate)
+	}
+	for _, m := range c.Missing {
+		fmt.Fprintf(&b, "| %s | — | missing | — | **MISSING** |\n", m)
+	}
+	return b.String()
+}
+
+// Report renders the comparison as an aligned plain-text table for
+// terminals, one metric per line.
+func (c *Comparison) Report() string {
+	var b strings.Builder
+	for _, d := range c.Deltas {
+		gate := "ok"
+		if d.Regressed {
+			gate = "REGRESSED"
+		}
+		fmt.Fprintf(&b, "%-32s %12.2f -> %12.2f  %+7.1f%%  %s\n",
+			d.Metric, d.Base, d.Cand, d.Pct, gate)
+	}
+	for _, m := range c.Missing {
+		fmt.Fprintf(&b, "%-32s MISSING from candidate\n", m)
+	}
+	return b.String()
+}
+
+// Report renders a ledger as an aligned plain-text table.
+func (l *Ledger) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "perf ledger %s (schema %d, %s %s/%s, quick=%v)\n",
+		l.Date, l.SchemaVersion, l.GoVersion, l.GOOS, l.GOARCH, l.Quick)
+	fmt.Fprintf(&b, "%-24s %12s %12s %12s %14s\n", "stage", "MB/s", "ns/op", "allocs/op", "bytes/op")
+	for _, s := range l.Stages {
+		fmt.Fprintf(&b, "%-24s %12.1f %12.0f %12.1f %14d\n",
+			s.Name, s.MBPerS, s.NsPerOp, s.AllocsPerOp, s.BytesPerOp)
+	}
+	if l.Daemon != nil {
+		d := l.Daemon
+		fmt.Fprintf(&b, "daemon: %d reqs x %d B at concurrency %d: p50 %.2fms p99 %.2fms max %.2fms errors %d\n",
+			d.Requests, d.PayloadBytes, d.Concurrency, d.P50Ms, d.P99Ms, d.MaxMs, d.Errors)
+	}
+	return b.String()
+}

@@ -1,0 +1,497 @@
+// Package perfledger measures the performance envelope of the pressio stack
+// — codec-stage throughput, allocation rates, and serving latency — and
+// records it as a schema-versioned JSON ledger that is committed alongside
+// the code (BENCH_<date>.json at the repo root).
+//
+// A committed ledger turns "did this PR slow us down?" into a diffable
+// question: scripts/perf-ledger.sh records a fresh ledger on the current
+// tree and Compare gates it against the most recent committed one with
+// generous tolerances (ledgers are recorded on whatever hardware the author
+// or CI runner had, so the gate only flags order-of-magnitude regressions,
+// not noise).
+package perfledger
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pressio/internal/bitstream"
+	"pressio/internal/core"
+	"pressio/internal/daemon"
+	"pressio/internal/huffman"
+	"pressio/internal/rangecoder"
+	"pressio/internal/sdrbench"
+	"pressio/internal/service"
+	"pressio/internal/trace"
+
+	// The ledger drives real compressor stacks.
+	_ "pressio/internal/lossless"
+	_ "pressio/internal/meta"
+	_ "pressio/internal/sz"
+	_ "pressio/internal/zfp"
+)
+
+// SchemaVersion identifies the ledger JSON layout. Bump it when fields
+// change incompatibly; Compare refuses to gate across schema versions.
+const SchemaVersion = 1
+
+// Stage is one measured pipeline stage.
+type Stage struct {
+	// Name identifies the stage (e.g. "huffman.encode", "sz.compress").
+	Name string `json:"name"`
+	// BytesPerOp is the payload processed by one operation.
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// Ops is how many operations the measurement averaged over.
+	Ops int `json:"ops"`
+	// NsPerOp is the mean wall time of one operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MBPerS is the resulting throughput (payload MB per second).
+	MBPerS float64 `json:"mb_per_s"`
+	// AllocsPerOp and AllocBytesPerOp are heap allocation rates.
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	AllocBytesPerOp float64 `json:"alloc_bytes_per_op"`
+}
+
+// DaemonStats is the serving-latency section: pressiod measured in-process
+// under concurrent load.
+type DaemonStats struct {
+	Requests     int     `json:"requests"`
+	Concurrency  int     `json:"concurrency"`
+	PayloadBytes int64   `json:"payload_bytes"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	MaxMs        float64 `json:"max_ms"`
+	Errors       int     `json:"errors"`
+}
+
+// Ledger is one recorded performance snapshot.
+type Ledger struct {
+	SchemaVersion int          `json:"schema_version"`
+	Date          string       `json:"date"`
+	GoVersion     string       `json:"go_version"`
+	GOOS          string       `json:"goos"`
+	GOARCH        string       `json:"goarch"`
+	Quick         bool         `json:"quick"`
+	Stages        []Stage      `json:"stages"`
+	Daemon        *DaemonStats `json:"daemon,omitempty"`
+}
+
+// Options configures a ledger run.
+type Options struct {
+	// Quick shrinks iteration counts (never payload sizes) for CI smoke
+	// runs. The numbers are noisier but stay comparable with full-mode
+	// ledgers, and the run finishes in seconds.
+	Quick bool
+	// Seed fixes the synthetic datasets.
+	Seed int64
+	// SkipDaemon omits the serving-latency section (useful in sandboxes
+	// that cannot bind sockets).
+	SkipDaemon bool
+}
+
+// Run measures every stage and returns the ledger.
+func Run(opts Options) (*Ledger, error) {
+	led := &Ledger{
+		SchemaVersion: SchemaVersion,
+		Date:          time.Now().UTC().Format("2006-01-02"),
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		Quick:         opts.Quick,
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 20210101
+	}
+
+	stages := []func(Options) (Stage, error){
+		stageHuffmanEncode, stageHuffmanDecode,
+		stageRangecoderEncode, stageRangecoderDecode,
+		stageBitstreamWrite, stageBitstreamRead,
+		stageCodecCompress("sz_threadsafe"), stageCodecDecompress("sz_threadsafe"),
+		stageCodecCompress("zfp"), stageCodecDecompress("zfp"),
+	}
+	for _, f := range stages {
+		s, err := f(opts)
+		if err != nil {
+			return nil, err
+		}
+		led.Stages = append(led.Stages, s)
+	}
+
+	if !opts.SkipDaemon {
+		ds, err := measureDaemon(opts)
+		if err != nil {
+			return nil, err
+		}
+		led.Daemon = ds
+	}
+	return led, nil
+}
+
+// opsFor picks the iteration count: enough ops to average out scheduler
+// noise, fewer in quick mode. Quick mode only ever reduces repetitions —
+// payload sizes stay identical to full runs, so per-op numbers (MB/s,
+// allocs/op) stay comparable with a full-mode committed baseline and the
+// regression gate is not biased by amortization differences.
+func opsFor(opts Options, full, quick int) int {
+	if opts.Quick {
+		return quick
+	}
+	return full
+}
+
+// measure times ops calls of fn and samples heap-allocation deltas around
+// the loop. fn must do the same work every call.
+func measure(name string, bytesPerOp int64, ops int, fn func() error) (Stage, error) {
+	// Warm up once so lazy initialization does not land in the measurement.
+	if err := fn(); err != nil {
+		return Stage{}, fmt.Errorf("%s: %w", name, err)
+	}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if err := fn(); err != nil {
+			return Stage{}, fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	nsPerOp := float64(elapsed.Nanoseconds()) / float64(ops)
+	s := Stage{
+		Name:            name,
+		BytesPerOp:      bytesPerOp,
+		Ops:             ops,
+		NsPerOp:         nsPerOp,
+		AllocsPerOp:     float64(after.Mallocs-before.Mallocs) / float64(ops),
+		AllocBytesPerOp: float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
+	}
+	if nsPerOp > 0 {
+		s.MBPerS = float64(bytesPerOp) / (nsPerOp / 1e9) / 1e6
+	}
+	return s, nil
+}
+
+// ledgerSymbols builds a deterministic quantizer-shaped symbol stream: a
+// peaked distribution like the quantization bins SZ feeds to its entropy
+// stage, so the huffman numbers reflect realistic codeword lengths.
+func ledgerSymbols(n int, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	syms := make([]uint32, n)
+	for i := range syms {
+		v := int(rng.NormFloat64()*12) + 128
+		if v < 0 {
+			v = 0
+		} else if v > 255 {
+			v = 255
+		}
+		syms[i] = uint32(v)
+	}
+	return syms
+}
+
+func stageHuffmanEncode(opts Options) (Stage, error) {
+	const n = 1 << 18
+	syms := ledgerSymbols(n, opts.Seed)
+	return measure("huffman.encode", 4*n, opsFor(opts, 40, 5), func() error {
+		_, err := huffman.Encode(syms, 256)
+		return err
+	})
+}
+
+func stageHuffmanDecode(opts Options) (Stage, error) {
+	const n = 1 << 18
+	syms := ledgerSymbols(n, opts.Seed)
+	enc, err := huffman.Encode(syms, 256)
+	if err != nil {
+		return Stage{}, err
+	}
+	return measure("huffman.decode", 4*n, opsFor(opts, 40, 5), func() error {
+		_, _, err := huffman.Decode(enc)
+		return err
+	})
+}
+
+func stageRangecoderEncode(opts Options) (Stage, error) {
+	const nbits = 1 << 20
+	bits := make([]int, nbits)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i := range bits {
+		if rng.Float64() < 0.8 { // skewed, so the adaptive model has work to do
+			bits[i] = 1
+		}
+	}
+	return measure("rangecoder.encode", nbits/8, opsFor(opts, 20, 3), func() error {
+		e := rangecoder.NewEncoder()
+		p := rangecoder.NewProb()
+		for _, b := range bits {
+			e.EncodeBit(&p, b)
+		}
+		e.Finish()
+		return nil
+	})
+}
+
+func stageRangecoderDecode(opts Options) (Stage, error) {
+	const nbits = 1 << 20
+	bits := make([]int, nbits)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for i := range bits {
+		if rng.Float64() < 0.8 {
+			bits[i] = 1
+		}
+	}
+	e := rangecoder.NewEncoder()
+	p := rangecoder.NewProb()
+	for _, b := range bits {
+		e.EncodeBit(&p, b)
+	}
+	buf := e.Finish()
+	return measure("rangecoder.decode", nbits/8, opsFor(opts, 20, 3), func() error {
+		d := rangecoder.NewDecoder(buf)
+		q := rangecoder.NewProb()
+		for i := 0; i < nbits; i++ {
+			d.DecodeBit(&q)
+		}
+		return nil
+	})
+}
+
+func stageBitstreamWrite(opts Options) (Stage, error) {
+	const n = 1 << 18
+	const width = 13 // zfp-style odd width exercises the cross-word path
+	return measure("bitstream.write", n*width/8, opsFor(opts, 40, 5), func() error {
+		w := bitstream.NewWriter(n * width / 8)
+		for i := 0; i < n; i++ {
+			w.WriteBits(uint64(i)&((1<<width)-1), width)
+		}
+		w.Bytes()
+		return nil
+	})
+}
+
+func stageBitstreamRead(opts Options) (Stage, error) {
+	const n = 1 << 18
+	const width = 13
+	w := bitstream.NewWriter(n * width / 8)
+	for i := 0; i < n; i++ {
+		w.WriteBits(uint64(i)&((1<<width)-1), width)
+	}
+	buf := w.Bytes()
+	return measure("bitstream.read", n*width/8, opsFor(opts, 40, 5), func() error {
+		r := bitstream.NewReader(buf)
+		for i := 0; i < n; i++ {
+			r.ReadBits(width)
+		}
+		return nil
+	})
+}
+
+// ledgerDataset is the float32 field the codec stages compress. The scale
+// is the same in quick and full runs (only repetitions shrink), so the
+// throughput numbers stay comparable across modes.
+func ledgerDataset(opts Options) (*core.Data, error) {
+	d, ok := sdrbench.Generate(sdrbench.NameScaleLetKF, 2, opts.Seed)
+	if !ok {
+		return nil, fmt.Errorf("perfledger: unknown dataset %q", sdrbench.NameScaleLetKF)
+	}
+	return d, nil
+}
+
+func newLedgerCompressor(name string) (*core.Compressor, error) {
+	c, err := core.NewCompressor(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.SetOptions(core.NewOptions().SetValue(core.KeyAbs, 1e-3)); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func stageCodecCompress(name string) func(Options) (Stage, error) {
+	return func(opts Options) (Stage, error) {
+		in, err := ledgerDataset(opts)
+		if err != nil {
+			return Stage{}, err
+		}
+		c, err := newLedgerCompressor(name)
+		if err != nil {
+			return Stage{}, err
+		}
+		return measure(name+".compress", int64(in.ByteLen()), opsFor(opts, 10, 2), func() error {
+			_, err := core.Compress(c, in)
+			return err
+		})
+	}
+}
+
+func stageCodecDecompress(name string) func(Options) (Stage, error) {
+	return func(opts Options) (Stage, error) {
+		in, err := ledgerDataset(opts)
+		if err != nil {
+			return Stage{}, err
+		}
+		c, err := newLedgerCompressor(name)
+		if err != nil {
+			return Stage{}, err
+		}
+		comp, err := core.Compress(c, in)
+		if err != nil {
+			return Stage{}, err
+		}
+		return measure(name+".decompress", int64(in.ByteLen()), opsFor(opts, 10, 2), func() error {
+			_, err := core.Decompress(c, comp, in.DType(), in.Dims()...)
+			return err
+		})
+	}
+}
+
+// measureDaemon boots pressiod in-process on a loopback port and measures
+// end-to-end /compress latency under concurrent load — the same number an
+// operator sees from the edge, breaker and bulkheads included.
+func measureDaemon(opts Options) (*DaemonStats, error) {
+	service.ResetShared()
+	trace.ResetTelemetry()
+	concurrency := 8
+	requests := opsFor(opts, 400, 60)
+	in, err := ledgerDataset(opts)
+	if err != nil {
+		return nil, err
+	}
+	payload := in.Bytes()
+	dims := in.Dims()
+	dimsCSV := make([]string, len(dims))
+	for i, v := range dims {
+		dimsCSV[i] = fmt.Sprint(v)
+	}
+	url := "/compress?dims=" + strings.Join(dimsCSV, ",") + "&dtype=float32"
+
+	d, err := daemon.New(daemon.Config{
+		Addr:        "127.0.0.1:0",
+		Compressor:  "sz_threadsafe",
+		Options:     []string{"pressio:abs=0.001"},
+		Concurrency: 4,
+		MemBudget:   1 << 30,
+		QueueDepth:  2 * requests,
+		LameDuck:    time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Start(); err != nil {
+		return nil, err
+	}
+	defer func() { _ = d.Drain() }()
+	target := "http://" + d.Addr() + url
+
+	latencies := make([]time.Duration, requests)
+	errs := make([]bool, requests)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				start := time.Now()
+				resp, err := http.Post(target, "application/octet-stream", bytes.NewReader(payload))
+				latencies[i] = time.Since(start)
+				if err != nil {
+					errs[i] = true
+					continue
+				}
+				_ = resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs[i] = true
+				}
+			}
+		}()
+	}
+	for i := 0; i < requests; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	sorted := append([]time.Duration(nil), latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	nerr := 0
+	for _, e := range errs {
+		if e {
+			nerr++
+		}
+	}
+	pct := func(p float64) float64 {
+		idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return float64(sorted[idx]) / float64(time.Millisecond)
+	}
+	return &DaemonStats{
+		Requests:     requests,
+		Concurrency:  concurrency,
+		PayloadBytes: int64(len(payload)),
+		P50Ms:        pct(0.50),
+		P99Ms:        pct(0.99),
+		MaxMs:        float64(sorted[len(sorted)-1]) / float64(time.Millisecond),
+		Errors:       nerr,
+	}, nil
+}
+
+// WriteFile writes the ledger as indented JSON.
+func WriteFile(path string, led *Ledger) error {
+	b, err := json.MarshalIndent(led, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadFile loads a ledger and checks its schema version.
+func ReadFile(path string) (*Ledger, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var led Ledger
+	if err := json.Unmarshal(b, &led); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if led.SchemaVersion != SchemaVersion {
+		return nil, fmt.Errorf("%s: schema version %d, this build understands %d",
+			path, led.SchemaVersion, SchemaVersion)
+	}
+	return &led, nil
+}
+
+// FindLatest returns the lexicographically greatest BENCH_<date>.json in
+// dir — with ISO dates that is the most recent — or "" when none exist.
+func FindLatest(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(matches) == 0 {
+		return "", nil
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1], nil
+}

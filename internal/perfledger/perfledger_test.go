@@ -1,0 +1,223 @@
+package perfledger
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// quickOpts keeps the measurement loop tiny; the tests check plumbing, not
+// numbers.
+func quickOpts() Options { return Options{Quick: true, Seed: 7} }
+
+func TestRunQuickProducesAllStages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real codec measurements")
+	}
+	led, err := Run(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if led.SchemaVersion != SchemaVersion {
+		t.Errorf("schema version %d", led.SchemaVersion)
+	}
+	if !led.Quick || led.GoVersion == "" || led.Date == "" {
+		t.Errorf("metadata incomplete: %+v", led)
+	}
+	want := []string{
+		"huffman.encode", "huffman.decode",
+		"rangecoder.encode", "rangecoder.decode",
+		"bitstream.write", "bitstream.read",
+		"sz_threadsafe.compress", "sz_threadsafe.decompress",
+		"zfp.compress", "zfp.decompress",
+	}
+	got := map[string]Stage{}
+	for _, s := range led.Stages {
+		got[s.Name] = s
+	}
+	for _, name := range want {
+		s, ok := got[name]
+		if !ok {
+			t.Errorf("missing stage %q", name)
+			continue
+		}
+		if s.MBPerS <= 0 || s.NsPerOp <= 0 || s.BytesPerOp <= 0 || s.Ops <= 0 {
+			t.Errorf("stage %q has non-positive measurements: %+v", name, s)
+		}
+	}
+	if led.Daemon == nil {
+		t.Fatal("daemon section missing")
+	}
+	d := led.Daemon
+	if d.Errors != 0 {
+		t.Errorf("daemon measurement saw %d errors", d.Errors)
+	}
+	if d.P50Ms <= 0 || d.P99Ms < d.P50Ms || d.MaxMs < d.P99Ms {
+		t.Errorf("daemon percentiles inconsistent: %+v", d)
+	}
+
+	// Round-trip through the file format.
+	path := filepath.Join(t.TempDir(), "BENCH_2026-01-01.json")
+	if err := WriteFile(path, led); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Stages) != len(led.Stages) || back.Date != led.Date {
+		t.Errorf("round-trip mismatch: %d stages vs %d", len(back.Stages), len(led.Stages))
+	}
+}
+
+func TestReadFileRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_2026-01-01.json")
+	if err := os.WriteFile(path, []byte(`{"schema_version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Errorf("want schema-version error, got %v", err)
+	}
+}
+
+func TestFindLatest(t *testing.T) {
+	dir := t.TempDir()
+	latest, err := FindLatest(dir)
+	if err != nil || latest != "" {
+		t.Fatalf("empty dir: %q, %v", latest, err)
+	}
+	for _, name := range []string{"BENCH_2026-01-05.json", "BENCH_2025-12-31.json", "BENCH_2026-02-01.json", "other.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	latest, err = FindLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(latest) != "BENCH_2026-02-01.json" {
+		t.Errorf("latest = %q", latest)
+	}
+}
+
+func baseLedger() *Ledger {
+	return &Ledger{
+		SchemaVersion: SchemaVersion,
+		Stages: []Stage{
+			{Name: "huffman.encode", MBPerS: 100, AllocsPerOp: 10},
+			{Name: "sz.compress", MBPerS: 50, AllocsPerOp: 4},
+		},
+		Daemon: &DaemonStats{P50Ms: 2, P99Ms: 10, Errors: 0},
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	cand := &Ledger{
+		SchemaVersion: SchemaVersion,
+		Stages: []Stage{
+			// 50% slower and a couple more allocs: inside the loose gate.
+			{Name: "huffman.encode", MBPerS: 50, AllocsPerOp: 12},
+			{Name: "sz.compress", MBPerS: 60, AllocsPerOp: 4},
+		},
+		Daemon: &DaemonStats{P50Ms: 4, P99Ms: 20, Errors: 0},
+	}
+	cmp := Compare(baseLedger(), cand, DefaultTolerance())
+	if !cmp.OK() {
+		t.Fatalf("should pass:\n%s", cmp.Report())
+	}
+	if len(cmp.Deltas) == 0 {
+		t.Fatal("no deltas produced")
+	}
+}
+
+func TestCompareFlagsThroughputCollapse(t *testing.T) {
+	cand := &Ledger{
+		SchemaVersion: SchemaVersion,
+		Stages: []Stage{
+			{Name: "huffman.encode", MBPerS: 10, AllocsPerOp: 10}, // 90% drop
+			{Name: "sz.compress", MBPerS: 50, AllocsPerOp: 4},
+		},
+		Daemon: &DaemonStats{P50Ms: 2, P99Ms: 10},
+	}
+	cmp := Compare(baseLedger(), cand, DefaultTolerance())
+	if cmp.OK() {
+		t.Fatal("90% throughput drop must fail the gate")
+	}
+	found := false
+	for _, d := range cmp.Deltas {
+		if d.Metric == "huffman.encode MB/s" && d.Regressed {
+			found = true
+		}
+		if d.Metric == "sz.compress MB/s" && d.Regressed {
+			t.Error("unregressed stage flagged")
+		}
+	}
+	if !found {
+		t.Errorf("collapsed stage not flagged:\n%s", cmp.Report())
+	}
+}
+
+func TestCompareFlagsAllocExplosionAndTailLatency(t *testing.T) {
+	cand := &Ledger{
+		SchemaVersion: SchemaVersion,
+		Stages: []Stage{
+			{Name: "huffman.encode", MBPerS: 100, AllocsPerOp: 100}, // 10x allocs
+			{Name: "sz.compress", MBPerS: 50, AllocsPerOp: 4},
+		},
+		Daemon: &DaemonStats{P50Ms: 2, P99Ms: 200}, // 20x p99
+	}
+	cmp := Compare(baseLedger(), cand, DefaultTolerance())
+	regressed := map[string]bool{}
+	for _, d := range cmp.Deltas {
+		if d.Regressed {
+			regressed[d.Metric] = true
+		}
+	}
+	if !regressed["huffman.encode allocs/op"] {
+		t.Error("alloc explosion not flagged")
+	}
+	if !regressed["daemon p99 ms"] {
+		t.Error("p99 explosion not flagged")
+	}
+	if regressed["daemon p50 ms"] {
+		t.Error("p50 is informational and must not gate")
+	}
+}
+
+func TestCompareFlagsMissingStage(t *testing.T) {
+	cand := &Ledger{
+		SchemaVersion: SchemaVersion,
+		Stages: []Stage{
+			{Name: "huffman.encode", MBPerS: 100, AllocsPerOp: 10},
+			// sz.compress silently dropped
+		},
+	}
+	cmp := Compare(baseLedger(), cand, DefaultTolerance())
+	if cmp.OK() {
+		t.Fatal("dropping a measured stage must fail the gate")
+	}
+	if len(cmp.Missing) != 1 || cmp.Missing[0] != "sz.compress" {
+		t.Errorf("missing = %v", cmp.Missing)
+	}
+	if !strings.Contains(cmp.MarkdownTable(), "MISSING") {
+		t.Error("markdown table does not surface the missing stage")
+	}
+}
+
+func TestMarkdownTableShape(t *testing.T) {
+	cmp := Compare(baseLedger(), baseLedger(), DefaultTolerance())
+	md := cmp.MarkdownTable()
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("table too short:\n%s", md)
+	}
+	if !strings.HasPrefix(lines[0], "| metric |") || !strings.HasPrefix(lines[1], "|---") {
+		t.Errorf("bad header:\n%s", md)
+	}
+	for _, l := range lines[2:] {
+		if strings.Count(l, "|") != 6 {
+			t.Errorf("row has wrong column count: %q", l)
+		}
+	}
+}

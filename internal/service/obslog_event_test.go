@@ -1,0 +1,54 @@
+package service
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"pressio/internal/obslog"
+)
+
+// Breaker state transitions are observable as structured events: a trip
+// emits breaker.trip (warn) and a half-open recovery emits breaker.recover
+// (info), both correlated by scope.
+func TestBreakerTransitionsEmitObslogEvents(t *testing.T) {
+	ResetShared()
+	var buf bytes.Buffer
+	obslog.SetDefault(obslog.New(&buf, obslog.Debug))
+	defer obslog.SetDefault(nil)
+
+	clk := NewFakeClock(time.Unix(0, 0))
+	st := StateFor("evt-scope", breakerConfig{
+		window: 2, failures: 1, cooldown: time.Second, probes: 1,
+	})
+	st.SetClock(clk)
+
+	_, ok := st.Allow()
+	if !ok {
+		t.Fatal("closed breaker rejected")
+	}
+	st.Done(false, errors.New("boom"), 0)
+	if st.Mode() != ModeOpen {
+		t.Fatalf("mode %v, want open", st.Mode())
+	}
+
+	clk.Advance(2 * time.Second)
+	probe, ok := st.Allow()
+	if !probe || !ok {
+		t.Fatalf("half-open probe not admitted (probe=%v ok=%v)", probe, ok)
+	}
+	st.Done(true, nil, 0)
+	if st.Mode() != ModeClosed {
+		t.Fatalf("mode %v, want closed after successful probe", st.Mode())
+	}
+
+	out := buf.String()
+	if !strings.Contains(out, `"event":"breaker.trip"`) || !strings.Contains(out, `"scope":"evt-scope"`) {
+		t.Errorf("missing breaker.trip event:\n%s", out)
+	}
+	if !strings.Contains(out, `"event":"breaker.recover"`) {
+		t.Errorf("missing breaker.recover event:\n%s", out)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"pressio/internal/obslog"
 	"pressio/internal/trace"
 )
 
@@ -117,6 +118,11 @@ func (s *BreakerState) trip() {
 	s.probeSuccesses = 0
 	trace.CounterAdd(trace.CtrBreakerOpened, 1)
 	trace.CounterAdd(trace.BreakerScopeKey(s.scope), 1)
+	obslog.Default().Warnw("breaker.trip",
+		obslog.Str("scope", s.scope),
+		obslog.Dur("cooldown", s.cfg.cooldown),
+		obslog.Int("window", int64(s.cfg.window)),
+		obslog.Int("failure_threshold", int64(s.cfg.failures)))
 }
 
 // Allow decides whether one call may proceed. It returns probe=true when the
@@ -169,6 +175,7 @@ func (s *BreakerState) Done(probe bool, callErr error, latency time.Duration) {
 			s.mode = ModeClosed
 			s.next, s.filled, s.failCount = 0, 0, 0
 			trace.CounterAdd(trace.CtrBreakerRecovered, 1)
+			obslog.Default().Infow("breaker.recover", obslog.Str("scope", s.scope))
 		}
 		return
 	}

@@ -96,6 +96,10 @@ const (
 	// HistQueueWait is the admission-queue wait-time histogram (time between
 	// arrival and admission for requests that had to queue).
 	HistQueueWait = "service.admission.queue_wait"
+	// HistDaemonRequest is the end-to-end pressiod data-plane request
+	// latency histogram, observed for every request regardless of the
+	// global tracing switch (it is the serving SLO metric).
+	HistDaemonRequest = "service.daemon.latency"
 )
 
 // PluginErrorKey names the per-plugin error counter ("plugin.sz.errors").
@@ -180,7 +184,10 @@ func (s HistogramSnapshot) Mean() time.Duration {
 }
 
 // Quantile returns an upper bound for the p-quantile (0 < p <= 1) derived
-// from the bucket boundaries — coarse (factor-of-two) but monotone.
+// from the bucket boundaries — coarse (factor-of-two) but monotone. The last
+// bucket is unbounded (it absorbs every observation of 2^38 ns ≈ 4.6 min and
+// beyond), so a quantile landing there reports Max rather than the
+// meaningless 2^39 boundary.
 func (s HistogramSnapshot) Quantile(p float64) time.Duration {
 	if s.Count == 0 || p <= 0 {
 		return 0
@@ -193,6 +200,9 @@ func (s HistogramSnapshot) Quantile(p float64) time.Duration {
 	for i, n := range s.Buckets {
 		seen += n
 		if seen >= target {
+			if i == histBuckets-1 {
+				return s.Max
+			}
 			return time.Duration(int64(1) << uint(i))
 		}
 	}
@@ -217,8 +227,9 @@ var (
 )
 
 // GetCounter returns the named counter, creating it on first use. The
-// returned pointer is stable for the process lifetime, so hot paths can
-// resolve once and Add repeatedly.
+// returned pointer is stable until the next ResetTelemetry, so hot paths can
+// resolve once and Add repeatedly — but a pointer held across a reset is
+// detached from the registry (see ResetTelemetry).
 func GetCounter(name string) *Counter {
 	regMu.RLock()
 	c := counters[name]
@@ -304,8 +315,16 @@ func CounterNames() []string {
 }
 
 // ResetTelemetry clears all counters and histograms (for tests and between
-// benchmark phases). Existing Counter/Histogram pointers remain usable but
-// are detached from the registry.
+// benchmark or ledger phases).
+//
+// The retained-pointer contract: a *Counter or *Histogram obtained from
+// GetCounter/GetHistogram BEFORE a reset remains usable — Add/Observe never
+// panic — but it is detached: the registry now holds a fresh zeroed cell
+// under the same name, so increments through the stale pointer are invisible
+// to CounterValue/Counters/Histograms and to every exporter. Code that must
+// survive phase resets (the perf-ledger harness resets between stages) must
+// either re-resolve the pointer after each reset or use the name-keyed
+// helpers (CounterAdd/ObserveDuration), which resolve on every call.
 func ResetTelemetry() {
 	regMu.Lock()
 	defer regMu.Unlock()

@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request-scoped tracing: a RequestTrace is a private span collector owned by
+// one request, independent of the process-global span buffer and of the
+// global Enabled switch. A server creates one per request, threads it through
+// the call stack via the context, and harvests the completed span tree when
+// the request ends — no global state, no cross-request filtering, and no
+// pressure on the bounded global buffer from a long-running daemon.
+//
+// Identity is W3C Trace Context compatible: the trace id is 16 random bytes
+// rendered as 32 lowercase hex digits, parseable from and serializable to a
+// `traceparent` header ("00-<trace-id>-<parent-id>-<flags>").
+
+// traceparentVersion is the only W3C Trace Context version we emit.
+const traceparentVersion = "00"
+
+// RequestTrace collects the span tree of a single request. All methods are
+// safe for concurrent use and nil-receiver safe, so handler code can record
+// unconditionally whether or not a trace was attached.
+type RequestTrace struct {
+	traceID string
+
+	mu     sync.Mutex
+	nextID uint64
+	rootID uint64
+	epoch  time.Time
+	spans  []SpanRecord
+}
+
+// maxRequestSpans bounds one request's span tree; a request that records
+// more is misbehaving and further spans are dropped silently.
+const maxRequestSpans = 4096
+
+// NewRequestTrace starts a request trace under the given W3C trace id
+// (32 lowercase hex digits). An empty or malformed id gets a fresh random
+// one, so callers can pass whatever the inbound header contained.
+func NewRequestTrace(traceID string) *RequestTrace {
+	if !validTraceID(traceID) {
+		traceID = randomTraceID()
+	}
+	return &RequestTrace{traceID: traceID, epoch: time.Now()}
+}
+
+// validTraceID reports whether s is 32 lowercase hex digits and not all
+// zeros (the W3C invalid trace id).
+func validTraceID(s string) bool {
+	if len(s) != 32 {
+		return false
+	}
+	zero := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}
+
+func randomTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to a
+		// timestamp-derived id rather than panicking in a serving path.
+		now := uint64(time.Now().UnixNano())
+		for i := 0; i < 8; i++ {
+			b[i] = byte(now >> (8 * i))
+			b[i+8] = byte(now >> (8 * (7 - i)))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ParseTraceparent extracts the trace id from a W3C traceparent header
+// ("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"). It accepts
+// any version byte and ignores the parent-id and flags; ok is false when the
+// header is structurally invalid.
+func ParseTraceparent(h string) (traceID string, ok bool) {
+	// version(2) '-' traceid(32) '-' parentid(16) '-' flags(2)
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", false
+	}
+	id := h[3:35]
+	if !validTraceID(id) {
+		return "", false
+	}
+	return id, true
+}
+
+// TraceID returns the 32-hex-digit trace id.
+func (t *RequestTrace) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
+
+// Traceparent renders the outbound W3C traceparent header for this trace,
+// using the root span id (or zero before any span started) as the parent-id.
+func (t *RequestTrace) Traceparent() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	root := t.rootID
+	t.mu.Unlock()
+	return fmt.Sprintf("%s-%s-%016x-01", traceparentVersion, t.traceID, root)
+}
+
+// RequestSpan is one timed region inside a RequestTrace. Like the global
+// *Span, every method is nil-receiver safe.
+type RequestSpan struct {
+	t      *RequestTrace
+	id     uint64
+	parent uint64
+	name   string
+	attrs  []Attr
+	begin  time.Time
+	ended  atomic.Bool
+}
+
+// Start opens a root-level span in the request's tree. The first span
+// started becomes the root whose id appears in Traceparent().
+func (t *RequestTrace) Start(name string, attrs ...Attr) *RequestSpan {
+	return t.newSpan(name, attrs, 0)
+}
+
+func (t *RequestTrace) newSpan(name string, attrs []Attr, parent uint64) *RequestSpan {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	if t.rootID == 0 {
+		t.rootID = id
+	}
+	t.mu.Unlock()
+	return &RequestSpan{t: t, id: id, parent: parent, name: name, attrs: attrs, begin: time.Now()}
+}
+
+// Child opens a span parented under s (in s's request trace).
+func (s *RequestSpan) Child(name string, attrs ...Attr) *RequestSpan {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(name, attrs, s.id)
+}
+
+// End closes the span and records it into the request's tree. Idempotent and
+// nil-safe, mirroring the global Span contract.
+func (s *RequestSpan) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	end := time.Now()
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= maxRequestSpans {
+		return
+	}
+	t.spans = append(t.spans, SpanRecord{
+		ID:       s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Attrs:    s.attrs,
+		Start:    s.begin.Sub(t.epoch),
+		Duration: end.Sub(s.begin),
+	})
+}
+
+// Spans returns a copy of the completed spans, in completion order. The
+// SpanRecord Start offsets are relative to the trace's creation.
+func (t *RequestTrace) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// reqTraceKey is the context key for the request's trace.
+type reqTraceKey struct{}
+
+// WithRequestTrace attaches t to the context, making it available to every
+// layer the request flows through.
+func WithRequestTrace(ctx context.Context, t *RequestTrace) context.Context {
+	return context.WithValue(ctx, reqTraceKey{}, t)
+}
+
+// RequestTraceFrom returns the context's request trace, or nil — and because
+// every RequestTrace/RequestSpan method is nil-safe, callers never need to
+// check.
+func RequestTraceFrom(ctx context.Context) *RequestTrace {
+	t, _ := ctx.Value(reqTraceKey{}).(*RequestTrace)
+	return t
+}

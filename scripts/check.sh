@@ -4,8 +4,10 @@
 # meta-compressors, the core wrapper, and the serving layer), run the
 # deterministic chaos tests of the resilience and serving layers, smoke-test
 # the pressiod daemon end to end (SIGTERM graceful drain included),
-# smoke-fuzz the stream decoders, and run the disabled-tracing overhead
-# benchmark that guards the "near-zero cost when off" promise.
+# smoke-fuzz the stream decoders, run the disabled-tracing overhead
+# benchmark that guards the "near-zero cost when off" promise, and gate a
+# quick perf-ledger measurement against the most recent committed
+# BENCH_<date>.json (see docs/OBSERVABILITY.md).
 #
 # Usage: scripts/check.sh   (or: make check)
 set -eu
@@ -21,13 +23,13 @@ go vet ./...
 echo "==> pressiolint ./... (all ten analyzers)"
 go run ./cmd/pressiolint ./...
 
-echo "==> go test -race (trace, meta, core, service, pressiod)"
-go test -race ./internal/trace/... ./internal/meta/... ./internal/core/... \
-    ./internal/service/... ./cmd/pressiod/
+echo "==> go test -race (trace, obslog, meta, core, service, daemon)"
+go test -race ./internal/trace/... ./internal/obslog/... ./internal/meta/... \
+    ./internal/core/... ./internal/service/... ./internal/daemon/
 
-echo "==> chaos tests under race detector (resilience, faultinject, service, pressiod)"
+echo "==> chaos tests under race detector (resilience, faultinject, service, daemon)"
 go test -race -run 'TestChaos' ./internal/resilience/ ./internal/faultinject/ \
-    ./internal/service/ ./cmd/pressiod/
+    ./internal/service/ ./internal/daemon/
 
 echo "==> pressiod smoke (start, /readyz, round-trip, SIGTERM, clean drain)"
 scripts/pressiod-smoke.sh
@@ -41,5 +43,8 @@ go test -fuzz 'FuzzDecodeFrame' -fuzztime 5s ./internal/resilience/
 echo "==> disabled-tracing overhead benchmark"
 go test -run '^$' -bench 'BenchmarkStartDisabled' -benchtime 100ms ./internal/trace/
 go test -run '^$' -bench 'BenchmarkDispatchDirectImpl|BenchmarkDispatchWrappedUntraced' -benchtime 100ms .
+
+echo "==> perf-ledger regression gate (quick mode, vs most recent BENCH_*.json)"
+scripts/perf-ledger.sh check --quick
 
 echo "==> check OK"

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Perf-ledger workflow (see docs/OBSERVABILITY.md):
+#
+#   scripts/perf-ledger.sh record [--quick]
+#       Measure a fresh ledger on this machine and write BENCH_<date>.json
+#       at the repo root, ready to commit. Run it without --quick on a quiet
+#       machine when a PR intentionally shifts the performance envelope.
+#
+#   scripts/perf-ledger.sh check [--quick] [--md out.md]
+#       Measure a fresh ledger and gate it against the most recent committed
+#       BENCH_*.json with the default (generous) tolerances. Exits non-zero
+#       on a regression. --md additionally writes the comparison as a
+#       markdown table (CI puts it in the job summary). With no committed
+#       ledger the check records nothing and passes.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mode="${1:-check}"
+[ $# -gt 0 ] && shift
+
+quick=""
+md=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+    --quick) quick="-quick" ;;
+    --md)
+        shift
+        md="$1"
+        ;;
+    *)
+        echo "usage: scripts/perf-ledger.sh [record|check] [--quick] [--md out.md]" >&2
+        exit 2
+        ;;
+    esac
+    shift
+done
+
+case "$mode" in
+record)
+    out="BENCH_$(date -u +%Y-%m-%d).json"
+    echo "==> recording perf ledger to $out"
+    go run ./cmd/pressio-bench -experiment ledger $quick -ledger-out "$out"
+    echo "==> commit $out to make it the regression baseline"
+    ;;
+check)
+    echo "==> perf-ledger gate (fresh measurement vs most recent BENCH_*.json)"
+    if [ -n "$md" ]; then
+        go run ./cmd/pressio-bench -experiment ledger-diff $quick -ledger-md "$md"
+    else
+        go run ./cmd/pressio-bench -experiment ledger-diff $quick
+    fi
+    ;;
+*)
+    echo "usage: scripts/perf-ledger.sh [record|check] [--quick] [--md out.md]" >&2
+    exit 2
+    ;;
+esac

@@ -1,7 +1,9 @@
 #!/bin/sh
 # pressiod smoke test: build the daemon, start it on an ephemeral port, wait
 # for readiness, push one compress/decompress round-trip through the HTTP
-# data plane, then SIGTERM it and require a clean (exit 0) graceful drain.
+# data plane (checking the observability headers and that /metricz serves
+# valid Prometheus exposition), then SIGTERM it and require a clean (exit 0)
+# graceful drain.
 #
 # Usage: scripts/pressiod-smoke.sh   (also run by the CI pressiod-smoke job)
 set -eu
@@ -48,9 +50,24 @@ until curl -fsS "$base/readyz" >/dev/null 2>&1; do
 done
 curl -fsS "$base/healthz" >/dev/null
 
+echo "==> health endpoints carry explicit Content-Type and no-store"
+for path in /healthz /readyz; do
+    curl -fsS -D "$tmp/h" "$base$path" >/dev/null
+    grep -qi '^content-type: text/plain; charset=utf-8' "$tmp/h" || {
+        echo "$path missing text/plain Content-Type:" >&2
+        cat "$tmp/h" >&2
+        exit 1
+    }
+    grep -qi '^cache-control: no-store' "$tmp/h" || {
+        echo "$path missing Cache-Control: no-store:" >&2
+        cat "$tmp/h" >&2
+        exit 1
+    }
+done
+
 echo "==> compress/decompress round-trip"
 dd if=/dev/zero of="$tmp/x.bin" bs=4096 count=4 2>/dev/null
-curl -fsS --data-binary @"$tmp/x.bin" \
+curl -fsS -D "$tmp/h" --data-binary @"$tmp/x.bin" \
     "$base/compress?dims=4096&dtype=float32" -o "$tmp/x.sz"
 curl -fsS --data-binary @"$tmp/x.sz" \
     "$base/decompress?dims=4096&dtype=float32" -o "$tmp/x.out"
@@ -59,6 +76,55 @@ if [ "$out_bytes" -ne 16384 ]; then
     echo "round-trip produced $out_bytes bytes, want 16384" >&2
     exit 1
 fi
+
+echo "==> response carries a request id whose span tree is on /tracez"
+req_id=$(sed -n 's/^[Xx]-[Pp]ressio-[Rr]equest-[Ii]d: \([0-9a-f]*\).*/\1/p' "$tmp/h")
+if [ -z "$req_id" ]; then
+    echo "compress response carried no X-Pressio-Request-Id:" >&2
+    cat "$tmp/h" >&2
+    exit 1
+fi
+grep -qi '^traceparent: 00-' "$tmp/h" || {
+    echo "compress response carried no traceparent:" >&2
+    cat "$tmp/h" >&2
+    exit 1
+}
+curl -fsS "$base/tracez?id=$req_id" >"$tmp/trace.json"
+grep -q '"daemon.compress"' "$tmp/trace.json" || {
+    echo "/tracez?id=$req_id has no daemon.compress span:" >&2
+    cat "$tmp/trace.json" >&2
+    exit 1
+}
+
+echo "==> /metricz parses as Prometheus text exposition"
+curl -fsS -D "$tmp/h" "$base/metricz" -o "$tmp/metrics"
+grep -qi '^content-type: text/plain; version=0.0.4' "$tmp/h" || {
+    echo "/metricz missing exposition Content-Type:" >&2
+    cat "$tmp/h" >&2
+    exit 1
+}
+grep -qi '^cache-control: no-store' "$tmp/h" || {
+    echo "/metricz missing Cache-Control: no-store" >&2
+    exit 1
+}
+# Every non-comment line must be "<name>[{labels}] <value>"; the round-trip
+# above guarantees at least the request counter is present.
+if grep -vE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9eE.]+|)$' "$tmp/metrics"; then
+    echo "/metricz contains malformed exposition lines (printed above)" >&2
+    exit 1
+fi
+grep -q '^pressio_service_daemon_requests_total ' "$tmp/metrics" || {
+    echo "/metricz has no pressio_service_daemon_requests_total sample" >&2
+    exit 1
+}
+grep -q '^pressio_service_daemon_latency_seconds_bucket{le="' "$tmp/metrics" || {
+    echo "/metricz has no request-latency histogram buckets" >&2
+    exit 1
+}
+curl -fsS "$base/metricz?format=json" | grep -q '"counters"' || {
+    echo "/metricz?format=json did not return the JSON rendering" >&2
+    exit 1
+}
 
 echo "==> SIGTERM and graceful drain"
 kill -TERM "$pid"
