@@ -10,10 +10,12 @@ test:
 
 # Static analysis: pressiolint enforces the plugin invariants (option-key
 # constants, init-time registration, thread-safety honesty, handled errors,
-# deterministic codecs) plus the flow-sensitive rules (lock pairing, buffer
-# ownership, option/type consistency, error-path write ordering). Use
-# `-json` or `-sarif` for machine-readable output. See
-# docs/STATIC_ANALYSIS.md.
+# deterministic codecs), the flow-sensitive rules (lock pairing, buffer
+# ownership, option/type consistency, error-path write ordering), and the
+# interprocedural rules (goroutine leaks, request-context flow, locks held
+# across blocking operations, hot-path allocations). Use `-json` or `-sarif`
+# for machine-readable output, `-baseline lint-baseline.sarif` to gate on
+# new findings only. See docs/STATIC_ANALYSIS.md.
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/pressiolint ./...

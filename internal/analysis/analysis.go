@@ -46,11 +46,13 @@ type Analyzer struct {
 }
 
 // Analyzers returns the full suite in stable order: the six syntactic
-// checks, then the four flow-sensitive ones built on the CFG/dataflow layer.
+// checks, the four flow-sensitive ones built on the CFG/dataflow layer, then
+// the four interprocedural ones built on the call-graph/summary layer.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		OptionKeys, Registration, ThreadSafe, ErrCheck, Forbidden, PanicFree,
 		LockCheck, BufAlias, OptionTypes, ErrFlow,
+		GoroutineLeak, CtxFlow, BlockingLock, HotAlloc,
 	}
 }
 
@@ -132,6 +134,12 @@ type Facts struct {
 	// across all kinds. The optionkeys analyzer treats these as the known
 	// option-key prefixes.
 	Registered map[string]bool
+	// Graph is the module-local call graph over the analyzed set (static
+	// dispatch + interface-method resolution), SCC-condensed.
+	Graph *CallGraph
+	// Summaries holds the per-function interprocedural summaries computed
+	// bottom-up over Graph.
+	Summaries *Summaries
 }
 
 // gatherFacts scans every package for plugin registrations before the
@@ -245,6 +253,8 @@ func factoryTypeName(e ast.Expr) string {
 // base is the directory diagnostics are relativized against.
 func Run(pkgs []*Package, analyzers []*Analyzer, base string) []Diagnostic {
 	facts := gatherFacts(pkgs)
+	facts.Graph = BuildCallGraph(pkgs)
+	facts.Summaries = ComputeSummaries(facts.Graph)
 	var diags []Diagnostic
 	var sups []suppression
 	for _, pkg := range pkgs {

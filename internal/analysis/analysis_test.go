@@ -18,6 +18,7 @@ func TestAnalyzersStable(t *testing.T) {
 	want := []string{
 		"optionkeys", "registration", "threadsafe", "errcheck", "forbidden",
 		"panicfree", "lockcheck", "bufalias", "optiontypes", "errflow",
+		"goroutineleak", "ctxflow", "blockinglock", "hotalloc",
 	}
 	got := Analyzers()
 	if len(got) != len(want) {

@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"testing"
+)
+
+// loadCallgraphFixture loads testdata/src/callgraphx and builds its graph and
+// summaries once per test.
+func loadCallgraphFixture(t *testing.T) (*CallGraph, *Summaries, *Package) {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("internal", "analysis", "testdata", "src", "callgraphx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := BuildCallGraph([]*Package{pkg})
+	return g, ComputeSummaries(g), pkg
+}
+
+func nodeByName(t *testing.T, g *CallGraph, name string) *FuncNode {
+	t.Helper()
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	t.Fatalf("call graph has no node %q", name)
+	return nil
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	g, _, _ := loadCallgraphFixture(t)
+	run := nodeByName(t, g, "callgraphx.run")
+	targets := map[string]bool{}
+	for _, e := range run.Calls {
+		if !e.Dynamic {
+			t.Errorf("run's edge to %s is static; interface dispatch must be dynamic", e.Callee.Name)
+		}
+		targets[e.Callee.Name] = true
+	}
+	for _, want := range []string{"callgraphx.padded.Compress", "callgraphx.noop.Compress"} {
+		if !targets[want] {
+			t.Errorf("interface dispatch from run missed implementation %s; got %v", want, targets)
+		}
+	}
+}
+
+func TestCallGraphGoEdges(t *testing.T) {
+	g, _, pkg := loadCallgraphFixture(t)
+	spawn := nodeByName(t, g, "callgraphx.spawn")
+	found := false
+	for _, e := range spawn.Calls {
+		if e.Callee.Name == "callgraphx.worker" {
+			found = true
+			if !e.Go {
+				t.Error("spawn's edge to worker lost its Go flag")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("spawn has no edge to worker")
+	}
+
+	// A bound method value spawned with go must resolve to the method node.
+	ms := nodeByName(t, g, "callgraphx.methodSpawn")
+	var goStmt *ast.GoStmt
+	ast.Inspect(ms.Body, func(n ast.Node) bool {
+		if gs, ok := n.(*ast.GoStmt); ok {
+			goStmt = gs
+		}
+		return true
+	})
+	if goStmt == nil {
+		t.Fatal("methodSpawn fixture has no go statement")
+	}
+	entry := g.GoEntry(pkg, goStmt)
+	if entry == nil || entry.Name != "callgraphx.padded.Compress" {
+		t.Errorf("GoEntry resolved method-value spawn to %v, want callgraphx.padded.Compress", entry)
+	}
+}
+
+func TestCallGraphSCCs(t *testing.T) {
+	g, _, _ := loadCallgraphFixture(t)
+	even := nodeByName(t, g, "callgraphx.even")
+	odd := nodeByName(t, g, "callgraphx.odd")
+	if even.SCC != odd.SCC {
+		t.Errorf("mutually recursive even (SCC %d) and odd (SCC %d) must share a component", even.SCC, odd.SCC)
+	}
+	// Bottom-up order visits callees before callers outside a shared SCC.
+	pos := map[string]int{}
+	for i, n := range g.BottomUp() {
+		pos[n.Name] = i
+	}
+	if pos["callgraphx.pad"] > pos["callgraphx.padded.Compress"] {
+		t.Errorf("bottom-up order has pad (%d) after its caller padded.Compress (%d)",
+			pos["callgraphx.pad"], pos["callgraphx.padded.Compress"])
+	}
+	if pos["callgraphx.wait"] > pos["callgraphx.caller"] {
+		t.Errorf("bottom-up order has wait (%d) after its caller caller (%d)",
+			pos["callgraphx.wait"], pos["callgraphx.caller"])
+	}
+}
+
+func TestSummaryPropagation(t *testing.T) {
+	g, sums, _ := loadCallgraphFixture(t)
+
+	pad := sums.Of(nodeByName(t, g, "callgraphx.pad"))
+	if pad == nil || !pad.Allocates {
+		t.Fatalf("pad's summary must record its make allocation; got %+v", pad)
+	}
+	compress := sums.Of(nodeByName(t, g, "callgraphx.padded.Compress"))
+	if compress == nil || !compress.Allocates || compress.AllocVia != "pad" {
+		t.Errorf("padded.Compress must inherit Allocates via pad; got %+v", compress)
+	}
+
+	caller := sums.Of(nodeByName(t, g, "callgraphx.caller"))
+	if caller == nil || !caller.Blocks {
+		t.Errorf("caller must inherit Blocks from wait; got %+v", caller)
+	}
+
+	// The go edge is a concurrency boundary: worker's channel send must not
+	// make spawn itself a blocking function.
+	spawn := sums.Of(nodeByName(t, g, "callgraphx.spawn"))
+	if spawn == nil {
+		t.Fatal("spawn has no summary")
+	}
+	if spawn.Blocks {
+		t.Errorf("spawn inherited Blocks across a go edge: %+v", spawn)
+	}
+	if !spawn.SpawnsGoroutine {
+		t.Error("spawn's summary lost SpawnsGoroutine")
+	}
+
+	uses := sums.Of(nodeByName(t, g, "callgraphx.usesCtx"))
+	if uses == nil || !uses.HasCtxParam || !uses.UsesCtx {
+		t.Errorf("usesCtx must record both HasCtxParam and UsesCtx; got %+v", uses)
+	}
+	drops := sums.Of(nodeByName(t, g, "callgraphx.dropsCtx"))
+	if drops == nil || !drops.HasCtxParam || drops.UsesCtx {
+		t.Errorf("dropsCtx must record HasCtxParam without UsesCtx; got %+v", drops)
+	}
+
+	// Summaries converge for recursive components instead of looping.
+	if even := sums.Of(nodeByName(t, g, "callgraphx.even")); even == nil {
+		t.Error("mutually recursive even has no summary")
+	}
+}
+
+func TestReachableStaticExcludesDynamicEdges(t *testing.T) {
+	g, _, _ := loadCallgraphFixture(t)
+	run := nodeByName(t, g, "callgraphx.run")
+	static := g.ReachableStatic([]*FuncNode{run})
+	full := g.Reachable([]*FuncNode{run})
+	impl := nodeByName(t, g, "callgraphx.padded.Compress")
+	if static[impl] {
+		t.Error("ReachableStatic followed a dynamic interface-dispatch edge")
+	}
+	if !full[impl] {
+		t.Error("Reachable must follow dynamic interface-dispatch edges")
+	}
+	if !static[run] {
+		t.Error("roots must be in their own closure")
+	}
+}

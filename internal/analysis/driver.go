@@ -16,6 +16,60 @@ type jsonReport struct {
 	Count       int          `json:"count"`
 }
 
+// analyzersValue makes -analyzers serve double duty: bare -analyzers lists
+// the registry and exits, -analyzers=a,b selects a subset (same semantics as
+// -run). IsBoolFlag lets the flag package accept the bare form.
+type analyzersValue struct {
+	csv string
+	set bool
+}
+
+func (v *analyzersValue) String() string   { return v.csv }
+func (v *analyzersValue) IsBoolFlag() bool { return true }
+func (v *analyzersValue) Set(s string) error {
+	v.set = true
+	v.csv = s
+	return nil
+}
+
+// selectAnalyzers resolves a comma-separated name list against the registry,
+// preserving registry order and deduplicating. Unknown names are an error
+// that spells out what is available.
+func selectAnalyzers(all []*Analyzer, names []string) ([]*Analyzer, error) {
+	want := make(map[string]bool, len(names))
+	for _, raw := range names {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, a := range all {
+			if a.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			known := make([]string, 0, len(all))
+			for _, a := range all {
+				known = append(known, a.Name)
+			}
+			return nil, fmt.Errorf("unknown analyzer %q (known analyzers: %s)", name, strings.Join(known, ", "))
+		}
+		want[name] = true
+	}
+	if len(want) == 0 {
+		return all, nil
+	}
+	var sel []*Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			sel = append(sel, a)
+		}
+	}
+	return sel, nil
+}
+
 // Main is the pressiolint entry point, factored out of cmd/pressiolint so
 // tests can drive the CLI in-process. It returns the process exit code:
 // 0 clean, 1 diagnostics reported, 2 usage or load failure.
@@ -25,10 +79,12 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
 	sarifOut := fs.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0")
 	runList := fs.String("run", "", "comma-separated analyzer subset (default: all)")
-	listOnly := fs.Bool("analyzers", false, "list analyzers and exit")
+	var sel analyzersValue
+	fs.Var(&sel, "analyzers", "list analyzers and exit; -analyzers=a,b runs a subset")
+	baselinePath := fs.String("baseline", "", "SARIF baseline file; fail only on findings not present in it")
 	verbose := fs.Bool("v", false, "print soft type-check warnings to stderr")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: pressiolint [-json|-sarif] [-run a,b] [-v] [packages]")
+		fmt.Fprintln(stderr, "usage: pressiolint [-json|-sarif] [-run a,b|-analyzers=a,b] [-baseline file.sarif] [-v] [packages]")
 		fmt.Fprintln(stderr, "packages are directories; a trailing /... recurses (default ./...)")
 		fs.PrintDefaults()
 	}
@@ -36,25 +92,24 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	analyzers := Analyzers()
-	if *listOnly {
+	if sel.set && (sel.csv == "" || sel.csv == "true" || sel.csv == "false") {
 		for _, a := range analyzers {
 			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
+	var names []string
+	if sel.set {
+		names = append(names, strings.Split(sel.csv, ",")...)
+	}
 	if *runList != "" {
-		byName := make(map[string]*Analyzer)
-		for _, a := range analyzers {
-			byName[a.Name] = a
-		}
-		analyzers = nil
-		for _, name := range strings.Split(*runList, ",") {
-			a, ok := byName[strings.TrimSpace(name)]
-			if !ok {
-				fmt.Fprintf(stderr, "pressiolint: unknown analyzer %q\n", name)
-				return 2
-			}
-			analyzers = append(analyzers, a)
+		names = append(names, strings.Split(*runList, ",")...)
+	}
+	if len(names) > 0 {
+		var err error
+		if analyzers, err = selectAnalyzers(analyzers, names); err != nil {
+			fmt.Fprintln(stderr, "pressiolint:", err)
+			return 2
 		}
 	}
 	patterns := fs.Args()
@@ -113,10 +168,39 @@ func Main(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "pressiolint:", err)
 			return 2
 		}
+	case *baselinePath != "":
+		// Delta-only mode: the table is the output.
 	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}
+	}
+	if *baselinePath != "" {
+		// Baseline mode gates on NEW findings only: known debt stays recorded
+		// in the committed SARIF file, while regressions fail the run. The
+		// delta table goes to stdout (CI drops it into the job summary)
+		// unless stdout already carries a report, in which case stderr.
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "pressiolint:", err)
+			return 2
+		}
+		baseline, err := ReadSARIFBaseline(f)
+		_ = f.Close()
+		if err != nil {
+			fmt.Fprintln(stderr, "pressiolint:", err)
+			return 2
+		}
+		delta := DiffBaseline(diags, baseline)
+		out := stdout
+		if *sarifOut || *jsonOut {
+			out = stderr
+		}
+		delta.WriteDeltaTable(out)
+		if len(delta.New) > 0 {
+			return 1
+		}
+		return 0
 	}
 	if len(diags) > 0 {
 		return 1

@@ -38,6 +38,14 @@ var goldenCases = []struct {
 	{"optiontypes_suppressed", "optiontypes"},
 	{"errflow_bad", "errflow"},
 	{"errflow_suppressed", "errflow"},
+	{"goroutineleak_bad", "goroutineleak"},
+	{"goroutineleak_suppressed", "goroutineleak"},
+	{"ctxflow_bad", "ctxflow"},
+	{"ctxflow_suppressed", "ctxflow"},
+	{"blockinglock_bad", "blockinglock"},
+	{"blockinglock_suppressed", "blockinglock"},
+	{"hotalloc_bad", "hotalloc"},
+	{"hotalloc_suppressed", "hotalloc"},
 }
 
 func analyzerByName(t *testing.T, name string) *Analyzer {

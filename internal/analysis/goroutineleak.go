@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLeak flags go statements whose spawned body can block forever
+// with no cancellation path. The serving plane leaks goroutines exactly this
+// way: a worker parked on a channel nobody closes, a send to a receiver that
+// returned early, an accept loop on a listener nothing shuts down. The check
+// is interprocedural — the spawned function's transitive (static) closure is
+// scanned for blocking hazards and for release mechanisms:
+//
+//   - a context reaching the body (cancel releases it),
+//   - a channel receive anywhere in the closure (close releases it — this
+//     also covers range-over-channel workers and select loops with a done
+//     case),
+//   - sends that only target channels visibly made with nonzero capacity in
+//     the spawning or spawned scope (the buffered watchdog idiom: the send
+//     completes even when the receiver is gone),
+//   - a WaitGroup Done in the body (the worker-pool join idiom — a stuck
+//     body stalls the Wait visibly instead of leaking silently).
+//
+// Hazards with none of those are reported at the go statement. Deliberately
+// process-lifetime goroutines (an HTTP serve loop whose listener is closed
+// by a shutdown path the analyzer cannot see) are waived with //lint:ignore.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "goroutines that can block forever with no context, close-able channel, or buffered send to release them",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *Pass) {
+	g, sums := pass.Facts.Graph, pass.Facts.Summaries
+	if g == nil || sums == nil {
+		return
+	}
+	for _, node := range g.Nodes {
+		if node.Pkg != pass.Pkg {
+			continue
+		}
+		spawnerBuf := bufferedChanKeys(node.Body)
+		inspectNoFuncLit(node.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			entry := g.GoEntry(pass.Pkg, gs)
+			if entry == nil {
+				return true // opaque entry (function value from elsewhere)
+			}
+			closure := spawnClosure(g, entry)
+			why, hazard := closureHazard(closure, sums, spawnerBuf)
+			if !hazard {
+				return true
+			}
+			if closureCancellable(closure, sums) {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"goroutine %s may block forever (%s) and nothing can release it: thread a context through it, receive on a channel a caller closes, or join it",
+				entry.ShortName(), why)
+			return true
+		})
+	}
+}
+
+// spawnClosure is the set of bodies the spawned goroutine can run: the entry
+// plus its static (non-interface, non-go) call closure and nested literals.
+// Dynamic edges are excluded for the same reason BlocksForever excludes them
+// — one slow interface implementation must not condemn every spawn site that
+// dispatches through the interface.
+func spawnClosure(g *CallGraph, entry *FuncNode) []*FuncNode {
+	seen := map[*FuncNode]bool{}
+	var order []*FuncNode
+	var walk func(n *FuncNode)
+	walk = func(n *FuncNode) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		order = append(order, n)
+		for _, e := range n.Calls {
+			if e.Dynamic || e.Go {
+				continue
+			}
+			walk(e.Callee)
+		}
+		inspectNoFuncLit(n.Body, func(m ast.Node) bool {
+			if lit, ok := m.(*ast.FuncLit); ok {
+				walk(g.NodeOfLit(lit))
+			}
+			return true
+		})
+	}
+	walk(entry)
+	return order
+}
+
+// closureHazard scans the closure bodies for constructs that can park the
+// goroutine forever. Receives are NOT hazards here (close releases them);
+// they are counted as cancellation evidence instead.
+func closureHazard(closure []*FuncNode, sums *Summaries, spawnerBuf map[string]bool) (string, bool) {
+	buffered := map[string]bool{}
+	for k := range spawnerBuf {
+		buffered[k] = true
+	}
+	for _, n := range closure {
+		for k := range bufferedChanKeys(n.Body) {
+			buffered[k] = true
+		}
+	}
+	for _, n := range closure {
+		var why string
+		inspectNoFuncLit(n.Body, func(m ast.Node) bool {
+			if why != "" {
+				return false
+			}
+			switch x := m.(type) {
+			case *ast.SendStmt:
+				if !buffered[exprKey(x.Chan)] {
+					why = "sends on an unbuffered or unknown channel"
+				}
+			case *ast.SelectStmt:
+				// A select whose comms are all sends (no default) can park
+				// forever; one with a receive case is release-able by close
+				// and one with default never parks.
+				hasDefault, hasRecv := false, false
+				for _, c := range x.Body.List {
+					cc, ok := c.(*ast.CommClause)
+					if !ok {
+						continue
+					}
+					if cc.Comm == nil {
+						hasDefault = true
+					} else if commIsReceive(cc.Comm) {
+						hasRecv = true
+					}
+				}
+				if !hasDefault && !hasRecv {
+					why = "selects over sends only"
+				}
+			case *ast.CallExpr:
+				fn := calleeObject(n.Pkg, x)
+				if reason, forever, ok := stdlibBlocking(fn); ok && forever {
+					why = reason
+				}
+			}
+			return true
+		})
+		if why != "" {
+			return n.ShortName() + " " + why, true
+		}
+	}
+	return "", false
+}
+
+// closureCancellable reports whether anything in the closure gives a caller
+// a handle to release or observe the goroutine: a context in scope, a
+// channel receive (close-able), or a WaitGroup Done (the spawner joins it —
+// a stuck body then stalls the join visibly instead of leaking silently).
+func closureCancellable(closure []*FuncNode, sums *Summaries) bool {
+	for _, n := range closure {
+		if sum := sums.Of(n); sum != nil && (sum.HasCtxParam || sum.UsesCtx) {
+			return true
+		}
+		found := false
+		inspectNoFuncLit(n.Body, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			switch x := m.(type) {
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					found = true
+				}
+			case *ast.RangeStmt:
+				// range over a channel terminates on close; checking the
+				// operand type is unnecessary — ranging anything else is not
+				// a blocking hazard in the first place.
+				if _, isChan := rangeOverChan(n.Pkg, x); isChan {
+					found = true
+				}
+			case *ast.CallExpr:
+				if isWaitGroupDone(n.Pkg, x) {
+					found = true
+				}
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isWaitGroupDone matches wg.Done() on a sync.WaitGroup-like receiver. With
+// type information the receiver type must be named WaitGroup; without it
+// (fixtures) the receiver name must contain "wg" so ctx.Done() never
+// matches.
+func isWaitGroupDone(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" || len(call.Args) != 0 {
+		return false
+	}
+	if pkg.Info == nil {
+		key := exprKey(sel.X)
+		return key != "" && stringsContainsFold(key, "wg")
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "WaitGroup"
+}
+
+func stringsContainsFold(s, sub string) bool {
+	return strings.Contains(strings.ToLower(s), sub)
+}
+
+// commIsReceive reports whether a select comm statement is a receive.
+func commIsReceive(s ast.Stmt) bool {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		u, ok := ast.Unparen(x.X).(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	case *ast.AssignStmt:
+		if len(x.Rhs) != 1 {
+			return false
+		}
+		u, ok := ast.Unparen(x.Rhs[0]).(*ast.UnaryExpr)
+		return ok && u.Op == token.ARROW
+	}
+	return false
+}
+
+// rangeOverChan reports whether a range statement iterates a channel.
+func rangeOverChan(pkg *Package, r *ast.RangeStmt) (ast.Expr, bool) {
+	if pkg.Info == nil {
+		return nil, false
+	}
+	tv, ok := pkg.Info.Types[r.X]
+	if !ok || tv.Type == nil {
+		return nil, false
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+		return r.X, true
+	}
+	return nil, false
+}
+
+// bufferedChanKeys collects the exprKeys of locals bound to make(chan T, n)
+// with a literal nonzero capacity in the body: sends to those channels
+// complete without a receiver (up to the buffer), the watchdog idiom.
+func bufferedChanKeys(body *ast.BlockStmt) map[string]bool {
+	keys := map[string]bool{}
+	if body == nil {
+		return keys
+	}
+	inspectNoFuncLit(body, func(m ast.Node) bool {
+		asg, ok := m.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || len(call.Args) != 2 {
+				continue
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "make" {
+				continue
+			}
+			if _, isChan := call.Args[0].(*ast.ChanType); !isChan {
+				continue
+			}
+			lit, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit)
+			if !ok || lit.Kind != token.INT || lit.Value == "0" {
+				continue
+			}
+			if i < len(asg.Lhs) {
+				if k := exprKey(asg.Lhs[i]); k != "" {
+					keys[k] = true
+				}
+			}
+		}
+		return true
+	})
+	return keys
+}

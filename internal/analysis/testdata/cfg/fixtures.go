@@ -1,6 +1,7 @@
 // Package cfgfixtures holds function shapes exercising the CFG builder's
 // edge cases: goto (backward and forward), labeled break/continue, select
-// with and without default, fallthrough, and defer inside loops. The golden
+// with and without default, fallthrough, defer inside loops, labeled range
+// over channels, and method values spawned as goroutines. The golden
 // dumps live in testdata/golden/cfg_dumps.txt; regenerate with
 // go test ./internal/analysis -run TestCFGDumps -update.
 package cfgfixtures
@@ -92,4 +93,38 @@ func fallthroughChain(v int) string {
 		out = "big"
 	}
 	return out
+}
+
+// labeledRangeOverChannel mixes a labeled range over a channel with labeled
+// continue/break from a nested loop: the range's implicit receive must stay
+// the loop head both jumps target.
+func labeledRangeOverChannel(jobs, results chan int) {
+drain:
+	for v := range jobs {
+		for {
+			if v < 0 {
+				continue drain
+			}
+			if v == 0 {
+				break drain
+			}
+			results <- v
+			v--
+		}
+	}
+}
+
+type runner struct{}
+
+func (runner) run()  {}
+func (runner) stop() {}
+
+// methodValueGoroutine spawns a bound method value: the go and defer calls
+// are straight-line CFG nodes; resolving f to runner.run is the call graph's
+// job, not the CFG's.
+func methodValueGoroutine(r runner) {
+	f := r.run
+	go f()
+	done := r.stop
+	defer done()
 }

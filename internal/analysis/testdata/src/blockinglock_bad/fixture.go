@@ -1,0 +1,81 @@
+// Package blockinglock_bad holds mutexes across operations that can block:
+// channel sends and receives, a blocking select, a compressor dispatch, and —
+// interprocedurally — a call to a helper whose summary says it blocks. The
+// shrunk critical sections and the select with a default must stay unflagged.
+package blockinglock_bad
+
+import "sync"
+
+var (
+	mu    sync.Mutex
+	state int
+)
+
+// sendWhileLocked convoys every mu contender behind the channel's receiver.
+func sendWhileLocked(ch chan int) {
+	mu.Lock()
+	state++
+	ch <- state
+	mu.Unlock()
+}
+
+// recvWhileLocked parks with the lock held until a peer sends.
+func recvWhileLocked(ch chan int) {
+	mu.Lock()
+	state = <-ch
+	mu.Unlock()
+}
+
+// selectWhileLocked blocks under the lock: no default, receive-only cases
+// still park until a peer is ready.
+func selectWhileLocked(a, b chan int) {
+	mu.Lock()
+	select {
+	case state = <-a:
+	case state = <-b:
+	}
+	mu.Unlock()
+}
+
+// codec mimics a compressor plugin: dispatch latency is unbounded.
+type codec struct{}
+
+func (codec) Compress(data []byte) []byte { return data }
+
+// dispatchWhileLocked holds the lock across a Compress dispatch.
+func dispatchWhileLocked(c codec, data []byte) {
+	mu.Lock()
+	_ = c.Compress(data)
+	mu.Unlock()
+}
+
+// callBlockerWhileLocked has the bug one call deep: waitPeer's summary says
+// it blocks on a channel receive.
+func callBlockerWhileLocked(ch chan int) {
+	mu.Lock()
+	waitPeer(ch)
+	mu.Unlock()
+}
+
+func waitPeer(ch chan int) {
+	state = <-ch
+}
+
+// shrunk releases before blocking: clean.
+func shrunk(ch chan int) {
+	mu.Lock()
+	state++
+	v := state
+	mu.Unlock()
+	ch <- v
+}
+
+// polled uses a select with a default under the lock — non-blocking: clean.
+func polled(ch chan int) {
+	mu.Lock()
+	select {
+	case state = <-ch:
+	default:
+	}
+	mu.Unlock()
+}

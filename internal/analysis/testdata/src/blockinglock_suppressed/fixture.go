@@ -1,0 +1,21 @@
+// Package blockinglock_suppressed waives a deliberate blocking critical
+// section with //lint:ignore; the analyzer must report nothing. (The block is
+// real: the mutex is what serializes writers, so the send cannot leave it.)
+package blockinglock_suppressed
+
+import "sync"
+
+var (
+	mu  sync.Mutex
+	seq int
+)
+
+// publishInOrder must send under the lock: the mutex is what guarantees
+// subscribers observe sequence numbers in order.
+func publishInOrder(ch chan int) {
+	mu.Lock()
+	seq++
+	//lint:ignore blockinglock the mutex is what orders the sends; the channel is buffered by construction
+	ch <- seq
+	mu.Unlock()
+}

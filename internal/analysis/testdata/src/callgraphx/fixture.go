@@ -1,0 +1,86 @@
+// Package callgraphx exercises call-graph construction and summary
+// propagation: static calls, interface dispatch, go edges, method values as
+// goroutine entries, mutual recursion, and blocking/allocating/context facts
+// that must propagate bottom-up.
+package callgraphx
+
+import "context"
+
+// Codec pins the interface-dispatch resolution: run's dynamic edges must
+// reach every implementation's Compress.
+type Codec interface {
+	Compress(b []byte) []byte
+}
+
+type padded struct{}
+
+func (padded) Compress(b []byte) []byte { return pad(b) }
+
+type noop struct{}
+
+func (noop) Compress(b []byte) []byte { return b }
+
+// pad allocates; its summary seeds the Allocates propagation.
+func pad(b []byte) []byte {
+	out := make([]byte, len(b)+1)
+	copy(out, b)
+	return out
+}
+
+// run dispatches through the interface: dynamic edges, not static ones.
+func run(c Codec, b []byte) []byte {
+	return c.Compress(b)
+}
+
+// wait blocks; caller must inherit Blocks through the static edge.
+func wait(ch chan int) int {
+	return <-ch
+}
+
+func caller(ch chan int) int {
+	return wait(ch)
+}
+
+// spawn's edge to worker must carry the Go flag (and not propagate worker's
+// facts into spawn's summary).
+func spawn(ch chan int) {
+	go worker(ch)
+}
+
+func worker(ch chan int) {
+	ch <- 1
+}
+
+// methodSpawn spawns a bound method value: GoEntry must resolve it.
+func methodSpawn(b []byte) {
+	f := padded{}.Compress
+	go f(b)
+}
+
+// even/odd are mutually recursive: one SCC, summaries must still converge.
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+
+// usesCtx seeds the context facts.
+func usesCtx(ctx context.Context, ch chan int) {
+	select {
+	case <-ctx.Done():
+	case <-ch:
+	}
+}
+
+// dropsCtx has the parameter but never reads it.
+func dropsCtx(ctx context.Context) int {
+	return 0
+}

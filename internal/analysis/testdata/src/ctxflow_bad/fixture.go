@@ -1,0 +1,58 @@
+// Package ctxflow_bad breaks the request-context chain in the three ways the
+// analyzer reports: minting a root context mid-path, accepting a context and
+// never using it, and storing a context in a struct. Only code reachable from
+// request roots (a *web.Request handler or a //pressio:requestpath function)
+// is on the path; offPath below does the same things unflagged.
+package ctxflow_bad
+
+import (
+	"context"
+
+	"pressio/internal/analysis/testdata/src/ctxflow_bad/web"
+)
+
+// handle is a request root by signature (*web.Request parameter).
+func handle(r *web.Request) {
+	process(context.Background())
+}
+
+//pressio:requestpath
+// serve is a request root by directive (non-HTTP entry points opt in).
+func serve(ctx context.Context) {
+	process(ctx)
+}
+
+// mint severs the caller's deadline: reachable from handle via process.
+func mint() {
+	ctx := context.Background()
+	_ = ctx
+}
+
+// process takes a context and never uses it: cancellation dead-ends here.
+func process(ctx context.Context) {
+	mint()
+}
+
+// holder keeps a context alive past its request.
+type holder struct {
+	ctx context.Context
+}
+
+// stash stores the request context in a struct field and a struct literal.
+func stash(ctx context.Context, h *holder) *holder {
+	h.ctx = ctx
+	return &holder{ctx: ctx}
+}
+
+//pressio:requestpath
+// stashRoot pulls stash onto the request path.
+func stashRoot(ctx context.Context) {
+	_ = stash(ctx, &holder{})
+}
+
+// offPath is not reachable from any root: the same breaks stay unflagged.
+func offPath() {
+	ctx := context.Background()
+	_ = ctx
+	_ = &holder{ctx: ctx}
+}

@@ -1,0 +1,9 @@
+// Package web is a stand-in for net/http: ctxflow recognizes request roots
+// syntactically (any *<pkg>.Request parameter), so the fixture avoids
+// type-checking the real net/http tree.
+package web
+
+// Request mimics http.Request for handler signatures.
+type Request struct {
+	Path string
+}

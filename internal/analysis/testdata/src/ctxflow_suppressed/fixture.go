@@ -1,0 +1,26 @@
+// Package ctxflow_suppressed waives each request-path context break with
+// //lint:ignore; the analyzer must report nothing. The breaks are real — the
+// waivers document why each one is deliberate.
+package ctxflow_suppressed
+
+import "context"
+
+//pressio:requestpath
+func serve(ctx context.Context) {
+	detach()
+	audit(ctx)
+}
+
+// detach deliberately severs the request context: the cleanup it schedules
+// must outlive the request.
+func detach() {
+	//lint:ignore ctxflow cleanup work is intentionally detached from the request lifetime
+	ctx := context.Background()
+	_ = ctx
+}
+
+// audit accepts a context only to satisfy an interface.
+//
+//lint:ignore ctxflow the audit sink is synchronous and local; the parameter exists for interface compatibility
+func audit(ctx context.Context) {
+}

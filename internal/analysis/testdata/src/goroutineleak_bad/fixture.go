@@ -1,0 +1,90 @@
+// Package goroutineleak_bad spawns goroutines that can park forever with no
+// release mechanism. The leaks are interprocedural: the hazard may sit in a
+// helper the goroutine calls, not in the spawned literal itself. The
+// cancellable and buffered spawns below must stay unflagged.
+package goroutineleak_bad
+
+import (
+	"context"
+	"sync"
+)
+
+// leakSend parks forever when the receiver has already returned: the channel
+// is unbuffered and nothing can release the sender.
+func leakSend() chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute()
+	}()
+	return ch
+}
+
+// leakViaHelper has the same bug one call deep: the spawned entry looks
+// innocent, the helper it calls sends on an unbuffered channel.
+func leakViaHelper() chan int {
+	ch := make(chan int)
+	go func() {
+		deliver(ch)
+	}()
+	return ch
+}
+
+func deliver(ch chan int) {
+	ch <- compute()
+}
+
+// leakSelectOverSends can only park: every select case is a send and there is
+// no default, no receive a close could release.
+func leakSelectOverSends(a, b chan int) {
+	go func() {
+		select {
+		case a <- 1:
+		case b <- 2:
+		}
+	}()
+}
+
+// bufferedWatchdog is the buffered-send idiom: the result channel has
+// capacity, so the send completes even when the waiter timed out. Clean.
+func bufferedWatchdog() chan int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- compute()
+	}()
+	return ch
+}
+
+// ctxWorker threads a context through the spawned body; cancel releases it.
+// Clean.
+func ctxWorker(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case ch <- compute():
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// rangeWorker parks on a channel its owner closes: range terminates on close.
+// Clean.
+func rangeWorker(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// joinedWorker is the worker-pool idiom: the spawner Waits on the group, so a
+// stuck body stalls the join visibly instead of leaking silently. Clean.
+func joinedWorker(ch chan int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ch <- compute()
+	}()
+	wg.Wait()
+}
+
+func compute() int { return 42 }

@@ -1,0 +1,16 @@
+// Package goroutineleak_suppressed waives a deliberate process-lifetime
+// goroutine with //lint:ignore; the analyzer must report nothing. (The leak
+// is real by the analyzer's rules: the send can park forever. The waiver
+// documents that the process owns the goroutine for its whole lifetime.)
+package goroutineleak_suppressed
+
+func leakSend() chan int {
+	ch := make(chan int)
+	//lint:ignore goroutineleak process-lifetime producer; the consumer never exits before the process does
+	go func() {
+		ch <- compute()
+	}()
+	return ch
+}
+
+func compute() int { return 42 }

@@ -1,0 +1,91 @@
+// Package hotalloc_bad allocates in loops on //pressio:hotpath-marked paths:
+// an unmanaged append, a heap literal, a closure, and — interprocedurally — a
+// loop call to a helper whose summary says it allocates. The amortized
+// patterns (preallocated append, receiver-owned buffer growth, splice) and
+// the unmarked twin must stay unflagged.
+package hotalloc_bad
+
+//pressio:hotpath fixture kernel
+// hotAppend grows an unmanaged slice once per element.
+func hotAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+//pressio:hotpath fixture kernel
+// hotLiteral heap-allocates a node and a closure per iteration.
+func hotLiteral(xs []int) {
+	for _, x := range xs {
+		n := &box{v: x}
+		f := func() int { return n.v }
+		sink = f
+	}
+}
+
+//pressio:hotpath fixture kernel
+// hotCaller allocates one call deep: pad's summary carries the make site.
+func hotCaller(xs [][]byte) {
+	for _, x := range xs {
+		_ = pad(x)
+	}
+}
+
+// warm is unmarked but statically reachable from hotCaller's hot closure via
+// hotTransitive, so its loop allocation is hot too.
+func warm(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+//pressio:hotpath fixture kernel
+func hotTransitive() {
+	_ = warm(8)
+}
+
+// pad copies into a fresh buffer: an allocation on every call.
+func pad(b []byte) []byte {
+	out := make([]byte, len(b)+4)
+	copy(out, b)
+	return out
+}
+
+type box struct{ v int }
+
+var sink func() int
+
+// preallocated appends into a capacity made outside the loop: amortized,
+// clean.
+//
+//pressio:hotpath fixture kernel
+func preallocated(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// buffer grows a receiver-owned byte slice: amortized, clean.
+type buffer struct{ buf []byte }
+
+//pressio:hotpath fixture kernel
+func (w *buffer) write(chunks [][]byte) {
+	for _, c := range chunks {
+		w.buf = append(w.buf, c...)
+	}
+}
+
+// coldAppend is not reachable from any hot root: clean.
+func coldAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -178,9 +178,11 @@ func (d *Daemon) Start() error {
 			return err
 		}
 		d.opsLn = opsLn
+		//lint:ignore goroutineleak process-lifetime serve loop; Drain/Close shuts the listener down, which Serve observes
 		go func() { _ = d.opsSrv.Serve(opsLn) }()
 	}
 	d.ready.Store(true)
+	//lint:ignore goroutineleak process-lifetime serve loop; Drain/Close shuts the listener down, which Serve observes
 	go func() {
 		// ErrServerClosed is the expected outcome of a drain; anything else
 		// surfaces through failed client requests, not the exit status.

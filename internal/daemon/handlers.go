@@ -82,8 +82,9 @@ func parseShape(q map[string][]string) (core.DType, []uint64, error) {
 	if err != nil {
 		return 0, nil, err
 	}
-	var dims []uint64
-	for _, p := range strings.Split(dimsParam, ",") {
+	parts := strings.Split(dimsParam, ",")
+	dims := make([]uint64, 0, len(parts))
+	for _, p := range parts {
 		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
 		if err != nil {
 			return 0, nil, fmt.Errorf("bad dims %q: %v", dimsParam, err)
@@ -93,6 +94,7 @@ func parseShape(q map[string][]string) (core.DType, []uint64, error) {
 	return dtype, dims, nil
 }
 
+//pressio:hotpath measured by the perf ledger
 // handleData is the shared data-plane path: request trace setup, admission,
 // pool checkout, codec call, response. Admission weight is the declared
 // Content-Length, so the bulkhead budget bounds resident request bytes, not

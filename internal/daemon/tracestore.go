@@ -65,15 +65,7 @@ func (s *traceStore) add(rt *trace.RequestTrace, method, path string, status int
 		return
 	}
 	spans := rt.Spans()
-	entry := &traceEntry{
-		ID:         rt.TraceID(),
-		Method:     method,
-		Path:       path,
-		Status:     status,
-		Start:      begin.UTC().Format(time.RFC3339Nano),
-		DurationMs: float64(dur) / float64(time.Millisecond),
-		Spans:      make([]spanJSON, 0, len(spans)),
-	}
+	spansJS := make([]spanJSON, 0, len(spans))
 	for _, sp := range spans {
 		js := spanJSON{
 			ID:      sp.ID,
@@ -83,12 +75,24 @@ func (s *traceStore) add(rt *trace.RequestTrace, method, path string, status int
 			DurUs:   float64(sp.Duration) / float64(time.Microsecond),
 		}
 		if len(sp.Attrs) > 0 {
+			// The attrs map is the retained /tracez representation itself —
+			// it has to be allocated per span to outlive the request.
+			//lint:ignore hotalloc the map is the retained trace entry, built once per completed request off the response path
 			js.Attrs = make(map[string]any, len(sp.Attrs))
 			for _, a := range sp.Attrs {
 				js.Attrs[a.Key] = a.Value
 			}
 		}
-		entry.Spans = append(entry.Spans, js)
+		spansJS = append(spansJS, js)
+	}
+	entry := &traceEntry{
+		ID:         rt.TraceID(),
+		Method:     method,
+		Path:       path,
+		Status:     status,
+		Start:      begin.UTC().Format(time.RFC3339Nano),
+		DurationMs: float64(dur) / float64(time.Millisecond),
+		Spans:      spansJS,
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

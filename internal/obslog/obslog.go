@@ -151,6 +151,10 @@ func (l *Logger) Event(level Level, event string, fields ...Field) {
 	}
 	buf = append(buf, '}', '\n')
 	l.mu.Lock()
+	// The write must stay inside the critical section: the mutex is what
+	// keeps concurrent log lines from interleaving mid-record. The line is
+	// fully formatted before Lock, so the held window is one Write call.
+	//lint:ignore blockinglock the mutex serializes writes to the sink; formatting already happens outside it
 	_, _ = l.w.Write(buf)
 	l.mu.Unlock()
 }

@@ -109,7 +109,10 @@ func (s *BreakerState) maybeHalfOpen() {
 	}
 }
 
-// trip opens the circuit now. Callers must hold s.mu.
+// trip opens the circuit now. Callers must hold s.mu. Logging is split out
+// into tripEvent and deferred until the lock is released: the logger writes
+// to an io.Writer, and holding the breaker mutex across that write would
+// convoy every admission decision behind the log sink (blockinglock).
 func (s *BreakerState) trip() {
 	s.mode = ModeOpen
 	s.openUntil = s.clock.Now().Add(s.cfg.cooldown)
@@ -118,11 +121,20 @@ func (s *BreakerState) trip() {
 	s.probeSuccesses = 0
 	trace.CounterAdd(trace.CtrBreakerOpened, 1)
 	trace.CounterAdd(trace.BreakerScopeKey(s.scope), 1)
-	obslog.Default().Warnw("breaker.trip",
-		obslog.Str("scope", s.scope),
-		obslog.Dur("cooldown", s.cfg.cooldown),
-		obslog.Int("window", int64(s.cfg.window)),
-		obslog.Int("failure_threshold", int64(s.cfg.failures)))
+}
+
+// tripEvent captures the trip log fields while s.mu is still held and
+// returns the emission to run once it is released.
+func (s *BreakerState) tripEvent() func() {
+	scope, cooldown := s.scope, s.cfg.cooldown
+	window, failures := s.cfg.window, s.cfg.failures
+	return func() {
+		obslog.Default().Warnw("breaker.trip",
+			obslog.Str("scope", scope),
+			obslog.Dur("cooldown", cooldown),
+			obslog.Int("window", int64(window)),
+			obslog.Int("failure_threshold", int64(failures)))
+	}
 }
 
 // Allow decides whether one call may proceed. It returns probe=true when the
@@ -156,6 +168,16 @@ func (s *BreakerState) Allow() (probe, ok bool) {
 func (s *BreakerState) Done(probe bool, callErr error, latency time.Duration) {
 	failure := callErr != nil ||
 		(s.cfg.latencyLimit > 0 && latency > s.cfg.latencyLimit)
+	if emit := s.record(probe, failure); emit != nil {
+		emit()
+	}
+}
+
+// record applies one call outcome under s.mu and returns the log emission to
+// run after the lock is released (nil when the outcome logs nothing). State
+// transitions log; logging does I/O; I/O must not happen inside the critical
+// section — so the locked half decides and the unlocked half speaks.
+func (s *BreakerState) record(probe, failure bool) func() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if probe {
@@ -163,26 +185,29 @@ func (s *BreakerState) Done(probe bool, callErr error, latency time.Duration) {
 		// already re-opened the circuit, this result arrives late and the
 		// breaker ignores it (the next half-open round will re-probe).
 		if s.mode != ModeHalfOpen {
-			return
+			return nil
 		}
 		s.probesInFlight--
 		if failure {
 			s.trip()
-			return
+			return s.tripEvent()
 		}
 		s.probeSuccesses++
 		if s.probeSuccesses >= s.cfg.probes {
 			s.mode = ModeClosed
 			s.next, s.filled, s.failCount = 0, 0, 0
 			trace.CounterAdd(trace.CtrBreakerRecovered, 1)
-			obslog.Default().Infow("breaker.recover", obslog.Str("scope", s.scope))
+			scope := s.scope
+			return func() {
+				obslog.Default().Infow("breaker.recover", obslog.Str("scope", scope))
+			}
 		}
-		return
+		return nil
 	}
 	if s.mode != ModeClosed {
 		// A non-probe call that was admitted while closed but finished after
 		// the circuit opened: its outcome no longer matters.
-		return
+		return nil
 	}
 	if s.filled == len(s.outcomes) && s.outcomes[s.next] {
 		s.failCount--
@@ -196,8 +221,10 @@ func (s *BreakerState) Done(probe bool, callErr error, latency time.Duration) {
 		s.failCount++
 		if s.failCount >= s.cfg.failures {
 			s.trip()
+			return s.tripEvent()
 		}
 	}
+	return nil
 }
 
 // The scope registry: breakers created with the same "breaker:scope" (which

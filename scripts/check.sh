@@ -20,8 +20,8 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
-echo "==> pressiolint ./... (all ten analyzers)"
-go run ./cmd/pressiolint ./...
+echo "==> pressiolint ./... (all fourteen analyzers, vs lint-baseline.sarif)"
+go run ./cmd/pressiolint -baseline lint-baseline.sarif ./...
 
 echo "==> go test -race (trace, obslog, meta, core, service, daemon)"
 go test -race ./internal/trace/... ./internal/obslog/... ./internal/meta/... \
