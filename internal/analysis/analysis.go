@@ -13,9 +13,11 @@ import (
 	"go/ast"
 	"go/token"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding, addressable by file position. File is relative
@@ -46,13 +48,15 @@ type Analyzer struct {
 }
 
 // Analyzers returns the full suite in stable order: the six syntactic
-// checks, the four flow-sensitive ones built on the CFG/dataflow layer, then
-// the four interprocedural ones built on the call-graph/summary layer.
+// checks, the four flow-sensitive ones built on the CFG/dataflow layer, the
+// four interprocedural ones built on the call-graph/summary layer, then the
+// three taint-driven ones built on the untrusted-input engine (taint.go).
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		OptionKeys, Registration, ThreadSafe, ErrCheck, Forbidden, PanicFree,
 		LockCheck, BufAlias, OptionTypes, ErrFlow,
 		GoroutineLeak, CtxFlow, BlockingLock, HotAlloc,
+		UntrustedAlloc, UntrustedLoop, UntrustedIndex,
 	}
 }
 
@@ -140,6 +144,9 @@ type Facts struct {
 	// Summaries holds the per-function interprocedural summaries computed
 	// bottom-up over Graph.
 	Summaries *Summaries
+	// Taint is the untrusted-input taint computation over Graph, consumed by
+	// the untrustedalloc/untrustedloop/untrustedindex analyzers.
+	Taint *TaintInfo
 }
 
 // gatherFacts scans every package for plugin registrations before the
@@ -250,11 +257,21 @@ func factoryTypeName(e ast.Expr) string {
 
 // Run executes the given analyzers over the packages, applies //lint:ignore
 // suppressions, and returns the surviving diagnostics sorted by position.
-// base is the directory diagnostics are relativized against.
+// base is the directory diagnostics are relativized against. Packages are
+// analyzed concurrently (bounded by GOMAXPROCS); the module-wide fact
+// structures are built once up front and are read-only during the fan-out,
+// and the final position sort makes the output order deterministic.
 func Run(pkgs []*Package, analyzers []*Analyzer, base string) []Diagnostic {
+	return runWith(pkgs, analyzers, base, runtime.GOMAXPROCS(0))
+}
+
+// runWith is Run with an explicit worker count, so tests and benchmarks can
+// pin sequential-vs-parallel behavior.
+func runWith(pkgs []*Package, analyzers []*Analyzer, base string, workers int) []Diagnostic {
 	facts := gatherFacts(pkgs)
 	facts.Graph = BuildCallGraph(pkgs)
 	facts.Summaries = ComputeSummaries(facts.Graph)
+	facts.Taint = ComputeTaint(facts.Graph, facts.Summaries)
 	var diags []Diagnostic
 	var sups []suppression
 	for _, pkg := range pkgs {
@@ -262,12 +279,45 @@ func Run(pkgs []*Package, analyzers []*Analyzer, base string) []Diagnostic {
 		sups = append(sups, s...)
 		diags = append(diags, malformed...)
 	}
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, Facts: facts, base: base, diags: &diags})
-		}
+	if workers < 1 {
+		workers = 1
 	}
-	diags = filterSuppressed(diags, sups)
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	// Fan out per package: each worker owns a disjoint diagnostic slice, so
+	// Pass.Reportf never races; facts/Graph/Summaries/Taint are read-only.
+	perPkg := make([][]Diagnostic, len(pkgs))
+	if workers <= 1 {
+		for i, pkg := range pkgs {
+			for _, a := range analyzers {
+				a.Run(&Pass{Analyzer: a, Pkg: pkg, Facts: facts, base: base, diags: &perPkg[i]})
+			}
+		}
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					for _, a := range analyzers {
+						a.Run(&Pass{Analyzer: a, Pkg: pkgs[i], Facts: facts, base: base, diags: &perPkg[i]})
+					}
+				}
+			}()
+		}
+		for i := range pkgs {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+	}
+	for _, d := range perPkg {
+		diags = append(diags, d...)
+	}
+	diags = filterSuppressed(diags, sups, newScopeIndex(pkgs, base))
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -292,6 +342,7 @@ type suppression struct {
 	analyzer string // analyzer name or "all"
 	file     string // relative to the run base, like Diagnostic.File
 	line     int
+	col      int
 }
 
 // collectSuppressions parses //lint:ignore <analyzer> <reason> comments. A
@@ -328,6 +379,7 @@ func collectSuppressions(pkg *Package, base string) ([]suppression, []Diagnostic
 					analyzer: fields[0],
 					file:     file,
 					line:     position.Line,
+					col:      position.Column,
 				})
 			}
 		}
@@ -335,8 +387,119 @@ func collectSuppressions(pkg *Package, base string) ([]suppression, []Diagnostic
 	return sups, malformed
 }
 
-// filterSuppressed drops diagnostics covered by a suppression.
-func filterSuppressed(diags []Diagnostic, sups []suppression) []Diagnostic {
+// scopeIndex resolves a (file, line, col) position to the innermost
+// enclosing function body — declared function or function literal — so
+// suppressions match by scope, not just by line. A //lint:ignore inside a
+// function literal passed to go/defer used to match by line alone and could
+// mis-suppress a finding on the enclosing statement sharing that line.
+type scopeIndex struct {
+	files map[string][]scopeExtent
+}
+
+// scopeExtent is one function-body extent; parent indexes the enclosing
+// extent in the same file (-1 for file scope).
+type scopeExtent struct {
+	parent             int
+	startLine, startCol int
+	endLine, endCol     int
+}
+
+func newScopeIndex(pkgs []*Package, base string) *scopeIndex {
+	idx := &scopeIndex{files: make(map[string][]scopeExtent)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			pos := pkg.Fset.Position(f.Pos())
+			file := relTo(base, pos.Filename)
+			var extents []scopeExtent
+			var stack []int // extent indexes of the enclosing bodies
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil {
+					return true
+				}
+				var body *ast.BlockStmt
+				switch x := n.(type) {
+				case *ast.FuncDecl:
+					body = x.Body
+				case *ast.FuncLit:
+					body = x.Body
+				default:
+					return true
+				}
+				if body == nil {
+					return true
+				}
+				start := pkg.Fset.Position(body.Pos())
+				end := pkg.Fset.Position(body.End())
+				parent := -1
+				// Pop extents that no longer enclose this body.
+				for len(stack) > 0 {
+					top := extents[stack[len(stack)-1]]
+					if beforeEq(top.startLine, top.startCol, start.Line, start.Column) &&
+						beforeEq(end.Line, end.Column, top.endLine, top.endCol) {
+						parent = stack[len(stack)-1]
+						break
+					}
+					stack = stack[:len(stack)-1]
+				}
+				extents = append(extents, scopeExtent{
+					parent:    parent,
+					startLine: start.Line, startCol: start.Column,
+					endLine: end.Line, endCol: end.Column,
+				})
+				stack = append(stack, len(extents)-1)
+				return true
+			})
+			idx.files[file] = append(idx.files[file], extents...)
+		}
+	}
+	return idx
+}
+
+// beforeEq reports (l1,c1) <= (l2,c2) in source order.
+func beforeEq(l1, c1, l2, c2 int) bool {
+	return l1 < l2 || (l1 == l2 && c1 <= c2)
+}
+
+// scopeOf returns the index of the innermost extent containing the position
+// (-1 for file scope).
+func (idx *scopeIndex) scopeOf(file string, line, col int) int {
+	best := -1
+	for i, e := range idx.files[file] {
+		if !beforeEq(e.startLine, e.startCol, line, col) || !beforeEq(line, col, e.endLine, e.endCol) {
+			continue
+		}
+		if best == -1 {
+			best = i
+			continue
+		}
+		b := idx.files[file][best]
+		if beforeEq(b.startLine, b.startCol, e.startLine, e.startCol) {
+			best = i // later-starting contained extent is innermore
+		}
+	}
+	return best
+}
+
+// ancestorOf reports whether extent a encloses (or is) extent b in file.
+func (idx *scopeIndex) ancestorOf(file string, a, b int) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if b == -1 {
+			return false
+		}
+		b = idx.files[file][b].parent
+	}
+}
+
+// filterSuppressed drops diagnostics covered by a suppression. Matching is
+// keyed by (line, analyzer, innermost enclosing function): a same-line
+// directive only covers findings in its own scope, and a comment-above
+// directive covers findings in its scope or any nested one — so a
+// //lint:ignore inside `go func() { ... }` cannot silence the enclosing
+// statement's finding on the shared line.
+func filterSuppressed(diags []Diagnostic, sups []suppression, scopes *scopeIndex) []Diagnostic {
 	if len(sups) == 0 {
 		return diags
 	}
@@ -344,13 +507,27 @@ func filterSuppressed(diags []Diagnostic, sups []suppression) []Diagnostic {
 		file string
 		line int
 	}
-	index := make(map[key][]string)
+	index := make(map[key][]suppression)
 	for _, s := range sups {
-		index[key{s.file, s.line}] = append(index[key{s.file, s.line}], s.analyzer)
+		index[key{s.file, s.line}] = append(index[key{s.file, s.line}], s)
 	}
 	matches := func(d Diagnostic, line int) bool {
-		for _, name := range index[key{d.File, line}] {
-			if name == d.Analyzer || name == "all" {
+		for _, s := range index[key{d.File, line}] {
+			if s.analyzer != d.Analyzer && s.analyzer != "all" {
+				continue
+			}
+			supScope := scopes.scopeOf(d.File, s.line, s.col)
+			diagScope := scopes.scopeOf(d.File, d.Line, d.Col)
+			if line == d.Line {
+				// Trailing same-line directive: exact scope only.
+				if supScope == diagScope {
+					return true
+				}
+				continue
+			}
+			// Comment-above directive: its scope or any scope nested in it
+			// (covers a comment above a closure suppressing inside it).
+			if scopes.ancestorOf(d.File, supScope, diagScope) {
 				return true
 			}
 		}

@@ -19,6 +19,7 @@ func TestAnalyzersStable(t *testing.T) {
 		"optionkeys", "registration", "threadsafe", "errcheck", "forbidden",
 		"panicfree", "lockcheck", "bufalias", "optiontypes", "errflow",
 		"goroutineleak", "ctxflow", "blockinglock", "hotalloc",
+		"untrustedalloc", "untrustedloop", "untrustedindex",
 	}
 	got := Analyzers()
 	if len(got) != len(want) {

@@ -261,7 +261,7 @@ func (g *CallGraph) resolveCall(pkg *Package, call *ast.CallExpr) []*CallEdge {
 		obj := pkg.objectOf(f.Sel)
 		if fn, ok := obj.(*types.Func); ok {
 			if recvIsInterface(fn) {
-				return g.interfaceEdges(call, fn)
+				return g.interfaceEdges(pkg, call, fn)
 			}
 		}
 		return g.edgesForObject(pkg, call, obj)
@@ -321,11 +321,23 @@ func recvIsInterface(fn *types.Func) bool {
 // compressor registry — core.Compressor.Compress dispatches to the
 // CompressImpl of whichever registered plugin was constructed, so every
 // registered implementation is a possible callee.
-func (g *CallGraph) interfaceEdges(call *ast.CallExpr, ifaceMethod *types.Func) []*CallEdge {
+func (g *CallGraph) interfaceEdges(pkg *Package, call *ast.CallExpr, ifaceMethod *types.Func) []*CallEdge {
 	sig := ifaceMethod.Type().(*types.Signature)
 	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
 	if !ok {
 		return nil
+	}
+	// The method object of a selection through an embedded interface belongs
+	// to the interface that declares it: io.ReadCloser's Close is io.Closer's
+	// method, and matching candidates against bare io.Closer would link every
+	// Close in the module. The static type of the receiver expression is the
+	// narrowest interface the callee must satisfy, so prefer it when present.
+	if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel && pkg.Info != nil {
+		if tv, known := pkg.Info.Types[sel.X]; known && tv.Type != nil {
+			if narrow, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+				iface = narrow
+			}
+		}
 	}
 	var edges []*CallEdge
 	for _, cand := range g.methodsByName[ifaceMethod.Name()] {

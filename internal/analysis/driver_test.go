@@ -128,3 +128,22 @@ func TestMainBaselineGatesOnNewFindingsOnly(t *testing.T) {
 		t.Errorf("delta table does not list the new findings:\n%s", out.String())
 	}
 }
+
+// TestRunParallelDeterministic pins the worker-pool contract: the parallel
+// fan-out must produce byte-identical diagnostics, in the same order, as a
+// sequential run — whatever the worker count.
+func TestRunParallelDeterministic(t *testing.T) {
+	pkgs := loadedModule(t)
+	want := runWith(pkgs, Analyzers(), "", 1)
+	for _, workers := range []int{2, 4, 16} {
+		got := runWith(pkgs, Analyzers(), "", workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d diagnostics, sequential has %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: diagnostic %d differs:\n got %v\nwant %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -46,6 +46,24 @@ var goldenCases = []struct {
 	{"blockinglock_suppressed", "blockinglock"},
 	{"hotalloc_bad", "hotalloc"},
 	{"hotalloc_suppressed", "hotalloc"},
+	{"untrustedalloc_bad", "untrustedalloc"},
+	{"untrustedalloc_suppressed", "untrustedalloc"},
+	{"untrustedloop_bad", "untrustedloop"},
+	{"untrustedloop_suppressed", "untrustedloop"},
+	{"untrustedindex_bad", "untrustedindex"},
+	{"untrustedindex_suppressed", "untrustedindex"},
+	// The three PR-4 fuzz fixes, reverted: each regression fixture is the
+	// pre-fix decoder shape and must stay flagged by its analyzer.
+	{"regress_fpzip_bad", "untrustedalloc"},
+	{"regress_zfp_bad", "untrustedloop"},
+	{"regress_delta_bad", "untrustedindex"},
+	// Sanitizer idioms: the accepted five produce an empty golden across all
+	// three taint analyzers; the rejected shapes must each report.
+	{"taintsan_accepted", "untrustedalloc,untrustedloop,untrustedindex"},
+	{"taintsan_rejected_bad", "untrustedalloc"},
+	// Suppression scope: a directive inside a go/defer literal must not
+	// silence the enclosing statement's finding on the shared line.
+	{"lintscope_bad", "errcheck"},
 }
 
 func analyzerByName(t *testing.T, name string) *Analyzer {
@@ -80,7 +98,11 @@ func runCase(t *testing.T, loader *Loader, name, analyzer string) string {
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	diags := Run(pkgs, []*Analyzer{analyzerByName(t, analyzer)}, caseDir)
+	var sel []*Analyzer
+	for _, name := range strings.Split(analyzer, ",") {
+		sel = append(sel, analyzerByName(t, name))
+	}
+	diags := Run(pkgs, sel, caseDir)
 	var b strings.Builder
 	for _, d := range diags {
 		b.WriteString(d.String())

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"runtime"
 	"go/importer"
 	"go/token"
 	"testing"
@@ -55,5 +56,53 @@ func BenchmarkLoadModuleColdStd(b *testing.B) {
 			b.Fatal(err)
 		}
 		loadWholeModule(b, loader)
+	}
+}
+
+// loadedModule loads every package of the module once, for benchmarks that
+// measure the analyze half (Run) rather than the load half.
+func loadedModule(tb testing.TB) []*Package {
+	tb.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	dirs, err := loader.Expand(root, []string{"./..."})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loader.LoadDir(dir)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs
+}
+
+// BenchmarkRunSequential pins the pre-parallel analyze cost: one worker
+// walks every package through all seventeen analyzers.
+func BenchmarkRunSequential(b *testing.B) {
+	pkgs := loadedModule(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runWith(pkgs, Analyzers(), "", 1)
+	}
+}
+
+// BenchmarkRunParallel is the production configuration: the per-package
+// fan-out bounded by GOMAXPROCS. The gap against RunSequential is the
+// speedup the worker pool buys.
+func BenchmarkRunParallel(b *testing.B) {
+	pkgs := loadedModule(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runWith(pkgs, Analyzers(), "", runtime.GOMAXPROCS(0))
 	}
 }

@@ -199,4 +199,10 @@ func (delta BaselineDelta) WriteDeltaTable(w io.Writer) {
 			fmt.Fprintf(w, "- `%s`\n", d.String())
 		}
 	}
+	if delta.Fixed > 0 {
+		// Stale fingerprints warn rather than fail: recorded debt that no
+		// longer reproduces should be pruned, but must not block a build.
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "warning: %d baseline fingerprint(s) no longer reproduce; run `make lint-baseline` to re-record the baseline\n", delta.Fixed)
+	}
 }

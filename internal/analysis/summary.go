@@ -56,6 +56,12 @@ type FuncSummary struct {
 
 	// OwnAllocs lists the body's non-exempt allocation sites for hotalloc.
 	OwnAllocs []AllocSite
+
+	// TaintOut is the taint mask of each result value, over the function's
+	// own parameter bits plus the source bit; TaintIn records the sinks each
+	// parameter can reach. Both are backfilled by ComputeTaint (taint.go).
+	TaintOut []uint64
+	TaintIn  []TaintSinkRef
 }
 
 // AllocSite is one allocation the summary walker attributes to a body.

@@ -1,0 +1,20 @@
+// Package lintscope_bad pins the suppression scope rules: a //lint:ignore
+// inside a function literal passed to go/defer only covers findings in that
+// literal's scope, so the enclosing statement's finding on the shared line
+// must survive; a directive above a closure still suppresses inside it.
+package lintscope_bad
+
+type file struct{}
+
+func (f *file) Close() error { return nil }
+
+func run() {
+	f := &file{}
+	h := &file{}
+	go func() {
+		f.Close()
+		//lint:ignore errcheck the goroutine drops its own close error on purpose
+	}(); h.Close()
+	//lint:ignore errcheck the deferred close error is dropped deliberately
+	defer func() { f.Close() }()
+}

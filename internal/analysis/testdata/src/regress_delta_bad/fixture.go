@@ -1,0 +1,25 @@
+// Package regress_delta_bad is the reverted shape of the PR-4 delta
+// encoding fuzz fix: the decoder sizes its output from the payload but
+// walks it under the header's declared dims product, so a header that
+// declares more elements than the payload carries indexes past the end and
+// panics. untrustedindex must flag the out-of-range walk.
+package regress_delta_bad
+
+func le32(b []byte, off int) uint64 {
+	return uint64(b[off]) | uint64(b[off+1])<<8 |
+		uint64(b[off+2])<<16 | uint64(b[off+3])<<24
+}
+
+// DecompressImpl reconstructs absolute values from deltas: the element loop
+// trusts the declared dims product instead of the allocated length.
+func DecompressImpl(stream []byte) ([]uint64, error) {
+	total := le32(stream, 0) * le32(stream, 4)
+	payload := stream[8:]
+	out := make([]uint64, len(payload))
+	prev := uint64(0)
+	for i := uint64(0); i < total; i++ {
+		prev += uint64(payload[i])
+		out[i] = prev
+	}
+	return out, nil
+}

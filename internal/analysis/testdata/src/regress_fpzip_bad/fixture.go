@@ -1,0 +1,35 @@
+// Package regress_fpzip_bad is the reverted shape of the PR-4 fpzip fuzz
+// fix: DecompressImpl multiplies the header's declared extents into an
+// element count and allocates it with no payload-ratio cap, so a 24-byte
+// header can declare a 2^40-element tensor and commit the memory before a
+// single payload byte is decoded. untrustedalloc must flag the make.
+package regress_fpzip_bad
+
+type header struct {
+	nx, ny, nz, nf uint64
+}
+
+func le32(b []byte, off int) uint64 {
+	return uint64(b[off]) | uint64(b[off+1])<<8 |
+		uint64(b[off+2])<<16 | uint64(b[off+3])<<24
+}
+
+func parseHeader(stream []byte) header {
+	return header{
+		nx: le32(stream, 0),
+		ny: le32(stream, 4),
+		nz: le32(stream, 8),
+		nf: le32(stream, 12),
+	}
+}
+
+// DecompressImpl trusts the declared shape: the pre-fix fpzip decoder.
+func DecompressImpl(stream []byte) ([]float32, error) {
+	h := parseHeader(stream)
+	total := h.nx * h.ny * h.nz * h.nf
+	out := make([]float32, total)
+	for i := range out {
+		out[i] = 0
+	}
+	return out, nil
+}

@@ -1,0 +1,41 @@
+// Package regress_zfp_bad is the reverted shape of the PR-4 zfp fuzz fix:
+// the block decoder pads the bit cursor up to the header's declared maxbits
+// with no cap, so a hostile header makes the padding loop consume 2^64
+// iterations. untrustedloop must flag the padding bound.
+package regress_zfp_bad
+
+func le32(b []byte, off int) uint64 {
+	return uint64(b[off]) | uint64(b[off+1])<<8 |
+		uint64(b[off+2])<<16 | uint64(b[off+3])<<24
+}
+
+type reader struct {
+	buf []byte
+	pos uint64
+}
+
+func (r *reader) readBit() uint64 {
+	byteIdx := r.pos / 8
+	if byteIdx >= uint64(len(r.buf)) {
+		r.pos++
+		return 0
+	}
+	bit := (r.buf[byteIdx] >> (r.pos % 8)) & 1
+	r.pos++
+	return uint64(bit)
+}
+
+// DecompressImpl decodes one block then skips to the declared per-block bit
+// budget: the pre-fix zfp decoder with the maxbits cap reverted.
+func DecompressImpl(stream []byte) (uint64, error) {
+	maxbits := le32(stream, 0)
+	r := &reader{buf: stream[4:]}
+	var acc uint64
+	for i := 0; i < 64; i++ {
+		acc = acc<<1 | r.readBit()
+	}
+	for bits := uint64(64); bits < maxbits; bits++ {
+		r.readBit()
+	}
+	return acc, nil
+}

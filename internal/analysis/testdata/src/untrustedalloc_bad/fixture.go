@@ -1,0 +1,35 @@
+// Package untrustedalloc_bad allocates sizes that flow straight from the
+// decoded stream: the declared element count of a four-byte header commits
+// arbitrary memory before any payload is validated. Both the direct make
+// and the interprocedural Buffer.Grow path must be flagged.
+package untrustedalloc_bad
+
+import "bytes"
+
+// parseCount models a header parse: the count is a pure function of the
+// stream bytes, so it carries the input taint.
+func parseCount(stream []byte) uint64 {
+	return uint64(stream[0]) | uint64(stream[1])<<8 |
+		uint64(stream[2])<<16 | uint64(stream[3])<<24
+}
+
+// Decompress trusts the declared count: a hostile header allocates
+// gigabytes from a handful of input bytes.
+func Decompress(stream []byte) ([]float64, error) {
+	n := parseCount(stream)
+	out := make([]float64, n)
+	return out, nil
+}
+
+// grow reaches the Grow sink one call deep: the tainted size arrives
+// through a parameter of a helper that never sees the stream itself.
+func grow(buf *bytes.Buffer, n int) {
+	buf.Grow(n)
+}
+
+// DecompressImpl routes the untrusted count through the helper.
+func DecompressImpl(stream []byte) error {
+	var buf bytes.Buffer
+	grow(&buf, int(parseCount(stream)))
+	return nil
+}

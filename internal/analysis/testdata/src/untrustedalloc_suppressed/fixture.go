@@ -1,0 +1,43 @@
+// Package untrustedalloc_suppressed repeats the untrustedalloc_bad shapes
+// with the accepted sanitizers in place — a constant cap, a length-derived
+// bound, and an audited //lint:ignore waiver — so none of them may report.
+package untrustedalloc_suppressed
+
+import "errors"
+
+var errCorrupt = errors.New("corrupt stream")
+
+const maxCount = 1 << 20
+
+func parseCount(stream []byte) uint64 {
+	return uint64(stream[0]) | uint64(stream[1])<<8 |
+		uint64(stream[2])<<16 | uint64(stream[3])<<24
+}
+
+// Decompress rejects the count against a constant cap before allocating.
+func Decompress(stream []byte) ([]float64, error) {
+	n := parseCount(stream)
+	if n > maxCount {
+		return nil, errCorrupt
+	}
+	out := make([]float64, n)
+	return out, nil
+}
+
+// DecompressImpl bounds the count by the input length: the output cannot
+// exceed what the stream physically carries.
+func DecompressImpl(stream []byte) ([]byte, error) {
+	n := parseCount(stream)
+	if n > uint64(len(stream)) {
+		return nil, errCorrupt
+	}
+	return make([]byte, n), nil
+}
+
+// DecompressSlice documents why the unchecked allocation is safe here: the
+// transport layer already capped the stream, so the waiver is auditable.
+func DecompressSlice(stream []byte) []byte {
+	n := parseCount(stream)
+	//lint:ignore untrustedalloc the HTTP layer's MaxBytesReader caps the stream before decode
+	return make([]byte, n)
+}

@@ -1,0 +1,27 @@
+// Package untrustedindex_bad indexes with stream-controlled values: a
+// selector byte reaches a table lookup unchecked, and a clean induction
+// variable walks past the output because its loop bound is the header's
+// declared total, not the allocated length.
+package untrustedindex_bad
+
+func parseCount(stream []byte) uint64 {
+	return uint64(stream[0]) | uint64(stream[1])<<8 |
+		uint64(stream[2])<<16 | uint64(stream[3])<<24
+}
+
+// Decompress uses a stream byte as a table index without a bound check.
+func Decompress(stream []byte) (byte, error) {
+	table := [16]byte{}
+	sel := stream[4]
+	return table[sel], nil
+}
+
+// DecompressImpl writes out[i] under a loop bounded by the declared total:
+// i itself is clean, but the bound lets it run past len(out).
+func DecompressImpl(stream []byte, out []float64) error {
+	total := parseCount(stream)
+	for i := uint64(0); i < total; i++ {
+		out[i] = 0
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+// Package untrustedindex_suppressed repeats the untrustedindex_bad shapes
+// with the accepted sanitizers: a len() guard before the lookup, a
+// modulo-by-len reduction, a bitmask against a power-of-two table, and a
+// loop rebounded by the allocated length.
+package untrustedindex_suppressed
+
+import "errors"
+
+var errCorrupt = errors.New("corrupt stream")
+
+func parseCount(stream []byte) uint64 {
+	return uint64(stream[0]) | uint64(stream[1])<<8 |
+		uint64(stream[2])<<16 | uint64(stream[3])<<24
+}
+
+// Decompress checks the selector against the table length first.
+func Decompress(stream []byte) (byte, error) {
+	table := make([]byte, 16)
+	sel := int(stream[4])
+	if sel >= len(table) {
+		return 0, errCorrupt
+	}
+	return table[sel], nil
+}
+
+// DecompressImpl reduces the selector into range arithmetically: modulo by
+// the length and a bitmask both pin the index inside the table.
+func DecompressImpl(stream []byte) (byte, error) {
+	table := make([]byte, 16)
+	a := table[int(stream[4])%len(table)]
+	b := table[stream[5]&15]
+	return a ^ b, nil
+}
+
+// DecompressSlice bounds the write loop by the allocated length, not the
+// declared total, so the clean induction variable stays in range.
+func DecompressSlice(stream []byte, out []float64) error {
+	total := parseCount(stream)
+	if total > uint64(len(out)) {
+		return errCorrupt
+	}
+	for i := uint64(0); i < total; i++ {
+		out[i] = 0
+	}
+	return nil
+}

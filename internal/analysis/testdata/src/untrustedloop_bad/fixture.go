@@ -1,0 +1,42 @@
+// Package untrustedloop_bad spins on stream-controlled trip counts: a
+// declared count bounds a loop directly, a frame field marked
+// //pressio:untrusted bounds one interprocedurally, and a stream byte feeds
+// a loop step that can be zero — the decoder never progresses.
+package untrustedloop_bad
+
+func parseCount(stream []byte) uint64 {
+	return uint64(stream[0]) | uint64(stream[1])<<8 |
+		uint64(stream[2])<<16 | uint64(stream[3])<<24
+}
+
+// Decompress iterates as many times as the header claims, unbounded.
+func Decompress(stream []byte) (uint64, error) {
+	count := parseCount(stream)
+	var sum uint64
+	for i := uint64(0); i < count; i++ {
+		sum += i
+	}
+	return sum, nil
+}
+
+//pressio:untrusted frame fields arrive straight from the wire
+func replay(count uint64) uint64 {
+	var n uint64
+	for i := uint64(0); i < count; i++ {
+		n += i
+	}
+	return n
+}
+
+// DecompressImpl advances the cursor by a stream byte: a zero advance makes
+// the scan loop spin forever.
+func DecompressImpl(stream []byte) (int, error) {
+	pos := 0
+	frames := 0
+	for pos < len(stream)-1 {
+		adv := int(stream[pos])
+		pos += adv
+		frames++
+	}
+	return frames, nil
+}

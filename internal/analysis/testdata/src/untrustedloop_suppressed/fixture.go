@@ -1,0 +1,58 @@
+// Package untrustedloop_suppressed repeats the untrustedloop_bad shapes
+// with the accepted sanitizers: an early-return cap on the trip count, a
+// strictly-positive guard on the loop step, and a shrinking-unsigned bound
+// that terminates within the bit width no matter the initial value.
+package untrustedloop_suppressed
+
+import "errors"
+
+var errCorrupt = errors.New("corrupt stream")
+
+const maxOps = 1 << 16
+
+func parseCount(stream []byte) uint64 {
+	return uint64(stream[0]) | uint64(stream[1])<<8 |
+		uint64(stream[2])<<16 | uint64(stream[3])<<24
+}
+
+// Decompress rejects oversized counts before looping.
+func Decompress(stream []byte) (uint64, error) {
+	count := parseCount(stream)
+	if count > maxOps {
+		return 0, errCorrupt
+	}
+	var sum uint64
+	for i := uint64(0); i < count; i++ {
+		sum += i
+	}
+	return sum, nil
+}
+
+// DecompressImpl guards the advance to be strictly positive, so the cursor
+// always moves.
+func DecompressImpl(stream []byte) (int, error) {
+	pos := 0
+	frames := 0
+	for pos < len(stream)-1 {
+		adv := int(stream[pos])
+		if adv < 1 {
+			return 0, errCorrupt
+		}
+		pos += adv
+		frames++
+	}
+	return frames, nil
+}
+
+// DecompressSlice halves the untrusted value every iteration: the loop
+// terminates in at most 64 steps however hostile the header, so no cap is
+// needed (the shrinking-unsigned rule).
+func DecompressSlice(stream []byte) int {
+	v := parseCount(stream)
+	bits := 0
+	for v > 0 {
+		bits++
+		v >>= 1
+	}
+	return bits
+}

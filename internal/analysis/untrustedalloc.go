@@ -1,0 +1,15 @@
+package analysis
+
+// UntrustedAlloc flags the decompression-bomb shape the PR-4 fuzzing found
+// in fpzip: a value derived from the untrusted input stream reaches an
+// allocation size (make length/capacity, bytes.Buffer.Grow) with no
+// dominating bound check. A declared shape of 2^40 elements must be rejected
+// against a cap derived from a constant, an option, or the actual input
+// length — before the allocator commits the memory.
+var UntrustedAlloc = &Analyzer{
+	Name: "untrustedalloc",
+	Doc:  "allocation sized by untrusted input without a dominating bound check (decompression bomb)",
+	Run: func(pass *Pass) {
+		pass.Facts.Taint.reportKind(pass, TaintAlloc)
+	},
+}

@@ -1,0 +1,14 @@
+package analysis
+
+// UntrustedIndex flags the wild-indexing panic shape the PR-4 fuzzing found
+// in delta_encoding: a slice or array index derived from the untrusted
+// input stream (or an induction variable bounded only by one) with no
+// dominating length check. Out-of-range declared dims must be compared
+// against the actual decoded length before element access.
+var UntrustedIndex = &Analyzer{
+	Name: "untrustedindex",
+	Doc:  "slice index derived from untrusted input without a dominating length check (panic)",
+	Run: func(pass *Pass) {
+		pass.Facts.Taint.reportKind(pass, TaintIndex)
+	},
+}

@@ -1,0 +1,14 @@
+package analysis
+
+// UntrustedLoop flags the unbounded-spin shape the PR-4 fuzzing found in
+// zfp's fixed-rate padding loop: a loop whose bound is a value derived from
+// the untrusted input stream with no dominating cap, or a loop-carried step
+// that is stream-derived and can be zero (never progressing). Either way an
+// adversarial header turns a decode into a CPU hostage.
+var UntrustedLoop = &Analyzer{
+	Name: "untrustedloop",
+	Doc:  "loop bound or step controlled by untrusted input without a cap (unbounded spin)",
+	Run: func(pass *Pass) {
+		pass.Facts.Taint.reportKind(pass, TaintLoop)
+	},
+}

@@ -86,14 +86,23 @@ func width[T Float]() uint {
 
 // geometry mirrors the sz package's reduction of arbitrary rank to a
 // batched 3-D Lorenzo scan.
+// maxGeomElems bounds the declared element count (and so every extent and
+// partial product), keeping extent arithmetic overflow-free.
+const maxGeomElems = 1 << 42
+
 func geometry(dims []uint64) (outer, nx, ny, nz int, err error) {
 	if len(dims) == 0 {
 		return 0, 0, 0, 0, fmt.Errorf("fpzip: %w: no dimensions", core.ErrInvalidDims)
 	}
+	total := uint64(1)
 	for _, d := range dims {
 		if d == 0 {
 			return 0, 0, 0, 0, fmt.Errorf("fpzip: %w: zero extent", core.ErrInvalidDims)
 		}
+		if d > maxGeomElems || total > maxGeomElems/d {
+			return 0, 0, 0, 0, fmt.Errorf("fpzip: %w: declared geometry %v exceeds %d elements", core.ErrInvalidDims, dims, uint64(maxGeomElems))
+		}
+		total *= d
 	}
 	outer, nx, ny, nz = 1, 1, 1, 1
 	switch len(dims) {
@@ -108,6 +117,9 @@ func geometry(dims []uint64) (outer, nx, ny, nz int, err error) {
 			outer *= int(d)
 		}
 		nx, ny, nz = int(dims[len(dims)-3]), int(dims[len(dims)-2]), int(dims[len(dims)-1])
+	}
+	if outer > maxGeomElems || nx > maxGeomElems || ny > maxGeomElems || nz > maxGeomElems {
+		return 0, 0, 0, 0, fmt.Errorf("fpzip: %w: extent exceeds %d", core.ErrInvalidDims, uint64(maxGeomElems))
 	}
 	return outer, nx, ny, nz, nil
 }

@@ -24,6 +24,11 @@ var ErrCorrupt = errors.New("huffman: corrupt stream")
 // adversarial inputs).
 const maxCodeLen = 57
 
+// maxAlphabet bounds the symbol alphabet on both sides of the codec: the
+// decoder refuses larger length tables, so the encoder refuses to emit
+// streams it could never read back.
+const maxAlphabet = 1 << 28
+
 // buildLengths computes Huffman code lengths from symbol frequencies using
 // the standard two-queue method over sorted leaf weights.
 func buildLengths(freq []uint64) []uint8 {
@@ -159,6 +164,9 @@ func reverseBits(v uint64, n uint) uint64 {
 // Encode compresses the symbol stream. alphabet is the exclusive upper bound
 // on symbol values; callers typically pass maxSymbol+1.
 func Encode(symbols []uint32, alphabet uint32) ([]byte, error) {
+	if alphabet > maxAlphabet {
+		return nil, fmt.Errorf("huffman: alphabet %d exceeds %d", alphabet, uint32(maxAlphabet))
+	}
 	freq := make([]uint64, alphabet)
 	for _, s := range symbols {
 		if s >= alphabet {
@@ -209,7 +217,7 @@ func encodeLengths(lengths []uint8) []byte {
 
 func decodeLengths(b []byte) ([]uint8, int, error) {
 	n, sz := binary.Uvarint(b)
-	if sz <= 0 || n > 1<<28 {
+	if sz <= 0 || n > maxAlphabet {
 		return nil, 0, ErrCorrupt
 	}
 	pos := sz
@@ -221,7 +229,7 @@ func decodeLengths(b []byte) ([]uint8, int, error) {
 		l := b[pos]
 		pos++
 		run, sz := binary.Uvarint(b[pos:])
-		if sz <= 0 || uint64(len(lengths))+run > n {
+		if sz <= 0 || run > maxAlphabet || uint64(len(lengths))+run > n {
 			return nil, 0, ErrCorrupt
 		}
 		pos += sz
@@ -241,17 +249,21 @@ type decodeTable struct {
 }
 
 func buildDecodeTable(lengths []uint8) (*decodeTable, error) {
+	// Validate every length into a fresh table: codeLens elements are
+	// proven <= maxCodeLen here, so they can index the per-length arrays.
+	codeLens := make([]uint8, len(lengths))
 	maxLen := uint8(0)
-	for _, l := range lengths {
+	for i, l := range lengths {
+		if l > maxCodeLen {
+			return nil, ErrCorrupt
+		}
+		codeLens[i] = l
 		if l > maxLen {
 			maxLen = l
 		}
 	}
-	if maxLen > maxCodeLen {
-		return nil, ErrCorrupt
-	}
 	countByLen := make([]uint64, maxLen+1)
-	for _, l := range lengths {
+	for _, l := range codeLens {
 		if l > 0 {
 			countByLen[l]++
 		}
@@ -269,7 +281,7 @@ func buildDecodeTable(lengths []uint8) (*decodeTable, error) {
 	}
 	t.symsByLen = make([]uint32, total)
 	next := make([]uint64, maxLen+1)
-	for s, l := range lengths {
+	for s, l := range codeLens {
 		if l == 0 {
 			continue
 		}
@@ -342,7 +354,11 @@ func (t *decodeTable) decodeOne(r *bitstream.Reader) (uint32, error) {
 			count = uint64(len(t.symsByLen)) - t.offset[l]
 		}
 		if count > 0 && code >= t.firstCode[l] && code-t.firstCode[l] < count {
-			return t.symsByLen[t.offset[l]+(code-t.firstCode[l])], nil
+			idx := t.offset[l] + (code - t.firstCode[l])
+			if idx < uint64(len(t.symsByLen)) {
+				return t.symsByLen[idx], nil
+			}
+			return 0, ErrCorrupt
 		}
 	}
 	return 0, ErrCorrupt

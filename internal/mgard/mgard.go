@@ -113,6 +113,31 @@ func inverse1D(v []float64, starts []int, n, stride int) {
 
 // lineStarts enumerates the start offset of every 1-D line along dimension
 // d for a tensor with the given dims (C order).
+// maxGeomElems bounds the declared element count (and so every extent and
+// partial product), keeping extent arithmetic overflow-free.
+const maxGeomElems = 1 << 42
+
+// checkedDims validates every extent and the total element count against
+// maxGeomElems and returns a freshly built copy of dims plus the product.
+// The copy, not the caller's slice, must be handed to the transform
+// kernels: its elements are proven bounded here, so declared-shape input
+// can never drive lineStarts or the 1-D passes past allocated storage.
+func checkedDims(dims []uint64) ([]uint64, uint64, error) {
+	if len(dims) == 0 {
+		return nil, 0, fmt.Errorf("mgard: %w: no dimensions", core.ErrInvalidDims)
+	}
+	out := make([]uint64, len(dims))
+	total := uint64(1)
+	for i, d := range dims {
+		if d < 1 || d > maxGeomElems || total > maxGeomElems/d {
+			return nil, 0, fmt.Errorf("mgard: %w: dims %v exceed %d elements", core.ErrInvalidDims, dims, uint64(maxGeomElems))
+		}
+		total *= d
+		out[i] = d
+	}
+	return out, total, nil
+}
+
 func lineStarts(dims []uint64, d int) ([]int, int, int) {
 	n := int(dims[d])
 	stride := 1
@@ -176,14 +201,17 @@ func CompressSlice[T Float](vals []T, dims []uint64, p Params) ([]byte, error) {
 	if p.Bound <= 0 || math.IsNaN(p.Bound) || math.IsInf(p.Bound, 0) {
 		return nil, fmt.Errorf("mgard: bound %v must be positive and finite", p.Bound)
 	}
-	total := 1
 	for _, d := range dims {
 		if d < 3 {
 			return nil, fmt.Errorf("%w: dims %v", ErrTooSmall, dims)
 		}
-		total *= int(d)
 	}
-	if len(dims) == 0 || total != len(vals) {
+	dims, total64, err := checkedDims(dims)
+	if err != nil {
+		return nil, err
+	}
+	total := int(total64)
+	if total != len(vals) {
 		return nil, fmt.Errorf("mgard: %w: dims %v vs %d elements", core.ErrInvalidDims, dims, len(vals))
 	}
 	work := make([]float64, total)
@@ -340,12 +368,9 @@ func DecompressSlice[T Float](stream []byte) ([]T, []uint64, error) {
 	if sz <= 0 || count > uint64(len(payload)) {
 		return nil, nil, ErrCorrupt
 	}
-	total := uint64(1)
-	for _, d := range h.Dims {
-		total *= d
-		if total > 1<<44 {
-			return nil, nil, ErrCorrupt
-		}
+	dims, total, err := checkedDims(h.Dims)
+	if err != nil {
+		return nil, nil, ErrCorrupt
 	}
 	if count != total {
 		return nil, nil, ErrCorrupt
@@ -361,12 +386,12 @@ func DecompressSlice[T Float](stream []byte) ([]T, []uint64, error) {
 		off += sz
 	}
 	recon := dequantize(codes, h.Bin)
-	recompose(recon, h.Dims)
+	recompose(recon, dims)
 	out := make([]T, total)
 	for i, v := range recon {
 		out[i] = T(v)
 	}
-	return out, h.Dims, nil
+	return out, dims, nil
 }
 
 func dtypeByte[T Float]() byte {

@@ -92,6 +92,10 @@ func DecompressFloat64(stream []byte) ([]float64, []uint64, error) {
 // ompMagic tags the framed multi-block format of the parallel variant.
 const ompMagic = "SZMP"
 
+// maxParallelBlocks caps the goroutine fan-out however large the nthreads
+// option is, matching the 2^20 block ceiling DecompressParallel enforces.
+const maxParallelBlocks = 1 << 20
+
 // CompressParallel compresses by splitting the slowest dimension into
 // roughly equal blocks compressed concurrently, the strategy of SZ-OMP.
 // Each block is an independent CompressSlice stream, so the error bound is
@@ -120,6 +124,9 @@ func CompressParallel[T Float](vals []T, dims []uint64, p Params, nthreads int) 
 	}
 	if blocks < 1 {
 		blocks = 1
+	}
+	if blocks > maxParallelBlocks {
+		blocks = maxParallelBlocks
 	}
 	rowLen := 1
 	for _, d := range dims[1:] {

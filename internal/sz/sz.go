@@ -88,14 +88,24 @@ const (
 // geometry reduces arbitrary-rank dims to (outer, nx, ny, nz): prediction
 // runs over the trailing three dimensions while leading dimensions are
 // treated as an independent batch, mirroring how SZ handles 4-D data.
+// maxGeomElems bounds the declared element count (and so every extent and
+// partial product): 2^42 elements is 32 TiB of float64s, far past any slab
+// this codec meets, while keeping products of capped extents overflow-free.
+const maxGeomElems = 1 << 42
+
 func geometry(dims []uint64) (outer, nx, ny, nz int, err error) {
 	if len(dims) == 0 {
 		return 0, 0, 0, 0, fmt.Errorf("sz: %w: no dimensions", core.ErrInvalidDims)
 	}
+	total := uint64(1)
 	for _, d := range dims {
 		if d == 0 {
 			return 0, 0, 0, 0, fmt.Errorf("sz: %w: zero extent", core.ErrInvalidDims)
 		}
+		if d > maxGeomElems || total > maxGeomElems/d {
+			return 0, 0, 0, 0, fmt.Errorf("sz: %w: declared geometry %v exceeds %d elements", core.ErrInvalidDims, dims, uint64(maxGeomElems))
+		}
+		total *= d
 	}
 	outer, nx, ny, nz = 1, 1, 1, 1
 	switch len(dims) {
@@ -110,6 +120,9 @@ func geometry(dims []uint64) (outer, nx, ny, nz int, err error) {
 			outer *= int(d)
 		}
 		nx, ny, nz = int(dims[len(dims)-3]), int(dims[len(dims)-2]), int(dims[len(dims)-1])
+	}
+	if outer > maxGeomElems || nx > maxGeomElems || ny > maxGeomElems || nz > maxGeomElems {
+		return 0, 0, 0, 0, fmt.Errorf("sz: %w: extent exceeds %d", core.ErrInvalidDims, uint64(maxGeomElems))
 	}
 	return outer, nx, ny, nz, nil
 }
@@ -450,7 +463,8 @@ func floatsFrom[T Float](b []byte, n uint64) ([]T, error) {
 	if _, ok := any(zero).(float64); ok {
 		size = 8
 	}
-	if uint64(len(b)) < n*size {
+	// Divide rather than multiply: n*size can wrap for a hostile count.
+	if n > uint64(len(b))/size {
 		return nil, ErrCorrupt
 	}
 	out := make([]T, n)

@@ -52,13 +52,11 @@ func dims3(dims []uint64) (d0, d1, d2 int, err error) {
 	case 3:
 		d0, d1, d2 = int(dims[0]), int(dims[1]), int(dims[2])
 	}
-	for _, d := range []int{d0, d1, d2} {
-		if d == 0 {
-			return 0, 0, 0, fmt.Errorf("tthresh: %w: zero extent", core.ErrInvalidDims)
-		}
-		if d > maxModeDim {
-			return 0, 0, 0, fmt.Errorf("tthresh: %w: extent %d exceeds %d", core.ErrInvalidDims, d, maxModeDim)
-		}
+	if d0 < 1 || d1 < 1 || d2 < 1 {
+		return 0, 0, 0, fmt.Errorf("tthresh: %w: zero or overflowed extent", core.ErrInvalidDims)
+	}
+	if d0 > maxModeDim || d1 > maxModeDim || d2 > maxModeDim {
+		return 0, 0, 0, fmt.Errorf("tthresh: %w: extents %dx%dx%d exceed %d", core.ErrInvalidDims, d0, d1, d2, maxModeDim)
 	}
 	return d0, d1, d2, nil
 }

@@ -93,7 +93,9 @@ type resolved struct {
 func resolve(p Params, intprec uint, blockSize int) (resolved, error) {
 	switch p.Mode {
 	case ModeFixedRate:
-		if p.Rate <= 0 || p.Rate > float64(intprec)*2 {
+		// The constant clause restates the widest possible dynamic cap
+		// (intprec <= 64) so the bound holds on its own.
+		if p.Rate <= 0 || p.Rate > 128 || p.Rate > float64(intprec)*2 {
 			return resolved{}, fmt.Errorf("zfp: rate %v out of range", p.Rate)
 		}
 		maxbits := uint64(p.Rate*float64(blockSize) + 0.5)
@@ -102,7 +104,7 @@ func resolve(p Params, intprec uint, blockSize int) (resolved, error) {
 		}
 		return resolved{maxbits: maxbits, maxprec: intprec, minexp: -1075, pad: true}, nil
 	case ModeFixedPrecision:
-		if p.Precision == 0 || p.Precision > intprec {
+		if p.Precision == 0 || p.Precision > 64 || p.Precision > intprec {
 			return resolved{}, fmt.Errorf("zfp: precision %d out of range (1..%d)", p.Precision, intprec)
 		}
 		return resolved{maxbits: hugeBits, maxprec: p.Precision, minexp: -1075}, nil
@@ -111,6 +113,15 @@ func resolve(p Params, intprec uint, blockSize int) (resolved, error) {
 			return resolved{}, fmt.Errorf("zfp: tolerance %v must be positive and finite", p.Tolerance)
 		}
 		minexp := int(math.Floor(math.Log2(p.Tolerance)))
+		// Pin to the double exponent range: tolerance may be derived from
+		// input values (value-range-relative bounds), so the exponent must
+		// not be trusted to land in range on its own.
+		if minexp < -1075 {
+			minexp = -1075
+		}
+		if minexp > 1024 {
+			minexp = 1024
+		}
 		return resolved{maxbits: hugeBits, maxprec: intprec, minexp: minexp}, nil
 	default:
 		return resolved{}, fmt.Errorf("zfp: unknown mode %d", p.Mode)
@@ -134,14 +145,23 @@ func (r resolved) blockPrecision(emax, d int) uint {
 
 // geometry maps C-order dims onto the codec's Fortran-order spatial extents
 // (x fastest) plus an outer batch count for rank > 3.
+// maxGeomElems bounds the declared element count (and so every extent and
+// partial product), keeping extent arithmetic overflow-free.
+const maxGeomElems = 1 << 42
+
 func geometry(dims []uint64) (outer, sx, sy, sz, d int, err error) {
 	if len(dims) == 0 {
 		return 0, 0, 0, 0, 0, fmt.Errorf("zfp: %w: no dimensions", core.ErrInvalidDims)
 	}
+	total := uint64(1)
 	for _, v := range dims {
 		if v == 0 {
 			return 0, 0, 0, 0, 0, fmt.Errorf("zfp: %w: zero extent", core.ErrInvalidDims)
 		}
+		if v > maxGeomElems || total > maxGeomElems/v {
+			return 0, 0, 0, 0, 0, fmt.Errorf("zfp: %w: declared geometry %v exceeds %d elements", core.ErrInvalidDims, dims, uint64(maxGeomElems))
+		}
+		total *= v
 	}
 	outer, sx, sy, sz = 1, 1, 1, 1
 	switch len(dims) {
@@ -156,6 +176,9 @@ func geometry(dims []uint64) (outer, sx, sy, sz, d int, err error) {
 			outer *= int(v)
 		}
 		sz, sy, sx, d = int(dims[len(dims)-3]), int(dims[len(dims)-2]), int(dims[len(dims)-1]), 3
+	}
+	if outer > maxGeomElems || sx > maxGeomElems || sy > maxGeomElems || sz > maxGeomElems {
+		return 0, 0, 0, 0, 0, fmt.Errorf("zfp: %w: extent exceeds %d", core.ErrInvalidDims, uint64(maxGeomElems))
 	}
 	return outer, sx, sy, sz, d, nil
 }
