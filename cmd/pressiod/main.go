@@ -18,6 +18,18 @@
 // notice, in-flight requests finish under -drain-timeout, and the process
 // exits 0 on a clean drain.
 //
+// Router mode (see docs/CLUSTER.md) turns the daemon into a shard router:
+//
+//	pressiod -router -peers 10.0.0.1:8123,10.0.0.2:8123,10.0.0.3:8123 \
+//	         -replicas 2 -hedge-after 25ms -health-interval 1s
+//
+// Requests are consistent-hash-routed across the fleet with per-peer circuit
+// breakers and admission, hedged to the next replica when the primary
+// exceeds its p99, failed over when peers die, and served by the local
+// compressor when the whole fleet is unreachable (disable with
+// -no-local-fallback). The HTTP surface and error shapes are identical to a
+// single node, so clients cannot tell the topologies apart.
+//
 // Observability (see docs/OBSERVABILITY.md): every data-plane response
 // carries an X-Pressio-Request-Id (W3C traceparent-compatible, propagated
 // from inbound traceparent headers); the request's span tree is retrievable
@@ -77,10 +89,25 @@ func main() {
 	flag.DurationVar(&cfg.LameDuck, "lame-duck", 500*time.Millisecond, "window after SIGTERM during which the listener stays open but /readyz reports 503")
 	flag.DurationVar(&cfg.SlowRequest, "slow-request", 500*time.Millisecond, "log a warn-level slow_request event for data-plane requests slower than this (0 disables)")
 	flag.IntVar(&cfg.TraceBuffer, "trace-buffer", 256, "completed request span trees retained for /tracez")
+	router := flag.Bool("router", false, "router mode: shard data-plane requests across -peers instead of compressing locally")
+	flag.StringVar(&cfg.RouterPeers, "peers", "", "comma separated pressiod shard addresses for -router mode")
+	flag.IntVar(&cfg.RouterReplicas, "replicas", 2, "replica-set size per key in -router mode")
+	flag.IntVar(&cfg.RouterVNodes, "vnodes", 0, "virtual nodes per peer on the hash ring (0 = default)")
+	flag.DurationVar(&cfg.RouterHedgeAfter, "hedge-after", 25*time.Millisecond, "hedge-delay floor: hedge to the next replica after max(this, peer p99)")
+	flag.DurationVar(&cfg.RouterHealthInterval, "health-interval", time.Second, "peer /readyz poll period in -router mode")
+	flag.BoolVar(&cfg.RouterNoLocal, "no-local-fallback", false, "shed instead of compressing locally when the whole fleet is unreachable")
+	flag.DurationVar(&cfg.PeerTimeout, "peer-timeout", 10*time.Second, "per-attempt deadline on router→peer calls")
 	logLevel := flag.String("log-level", "info", "structured-log threshold: debug, info, warn, error")
 	flag.Var(&opts, "o", "compressor option key=value (repeatable)")
 	flag.Parse()
 	cfg.Options = opts
+	if *router && cfg.RouterPeers == "" {
+		fmt.Fprintln(os.Stderr, "pressiod: -router requires -peers")
+		os.Exit(2)
+	}
+	if !*router {
+		cfg.RouterPeers = "" // -peers without -router is inert, not a surprise mode switch
+	}
 
 	obslog.SetDefault(obslog.New(os.Stderr, obslog.ParseLevel(*logLevel)))
 
@@ -94,7 +121,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pressiod:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "pressiod: listening on %s (compressor %s)\n", d.Addr(), d.Name())
+	mode := "compressor " + d.Name()
+	if cfg.RouterPeers != "" {
+		mode = "router over " + cfg.RouterPeers
+	}
+	fmt.Fprintf(os.Stderr, "pressiod: listening on %s (%s)\n", d.Addr(), mode)
 	if ops := d.OpsAddr(); ops != "" {
 		fmt.Fprintf(os.Stderr, "pressiod: ops listener on %s (pprof, metricz, tracez)\n", ops)
 	}

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyWindowQuantile(t *testing.T) {
+	w := newLatencyWindow()
+	if got := w.quantile(0.99); got != 0 {
+		t.Fatalf("empty window p99 = %v, want 0", got)
+	}
+	for i := 1; i <= 100; i++ {
+		w.observe(time.Duration(i) * time.Millisecond)
+	}
+	if got := w.quantile(0.5); got < 45*time.Millisecond || got > 55*time.Millisecond {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := w.quantile(0.99); got < 95*time.Millisecond {
+		t.Fatalf("p99 = %v", got)
+	}
+}
+
+func TestLatencyWindowWrapsAround(t *testing.T) {
+	w := newLatencyWindow()
+	// Fill with slow samples, then overwrite the whole ring with fast ones:
+	// the p99 must forget the old regime.
+	for i := 0; i < latencyWindowSize; i++ {
+		w.observe(time.Second)
+	}
+	for i := 0; i < latencyWindowSize; i++ {
+		w.observe(time.Millisecond)
+	}
+	if got := w.quantile(0.99); got != time.Millisecond {
+		t.Fatalf("p99 after full wrap = %v, want 1ms", got)
+	}
+}
+
+func TestHedgeDelayClamps(t *testing.T) {
+	w := newLatencyWindow()
+	floor, ceiling := 25*time.Millisecond, 2*time.Second
+
+	// Cold window: floor applies (never hedge instantly).
+	if got := w.hedgeDelay(floor, ceiling); got != floor {
+		t.Fatalf("cold hedge delay = %v, want floor %v", got, floor)
+	}
+	// Fast peer: p99 below the floor still hedges no earlier than the floor.
+	for i := 0; i < 64; i++ {
+		w.observe(time.Millisecond)
+	}
+	if got := w.hedgeDelay(floor, ceiling); got != floor {
+		t.Fatalf("fast-peer hedge delay = %v, want floor %v", got, floor)
+	}
+	// Pathological peer: p99 above the ceiling is capped.
+	for i := 0; i < latencyWindowSize; i++ {
+		w.observe(10 * time.Second)
+	}
+	if got := w.hedgeDelay(floor, ceiling); got != ceiling {
+		t.Fatalf("slow-peer hedge delay = %v, want ceiling %v", got, ceiling)
+	}
+}

@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"pressio/internal/obslog"
+)
+
+// Component is one managed piece of a daemon: something with a bounded
+// start, a bounded stop, and a name for dependency edges and logs.
+type Component interface {
+	Name() string
+	// Start brings the component up. ctx bounds startup only; long-running
+	// components own their run lifetime and join it in Stop.
+	Start(ctx context.Context) error
+	// Stop brings the component down, bounded by ctx.
+	Stop(ctx context.Context) error
+}
+
+// ReadyReporter is optionally implemented by components with a readiness
+// notion beyond "Start returned nil" (a health checker mid-first-sweep, a
+// router with no live peers). Runtime.Ready aggregates these.
+type ReadyReporter interface {
+	Ready() bool
+}
+
+// Runtime is a small lifecycle manager: components register with dependency
+// edges, Start brings them up in dependency order (dependencies first),
+// Stop tears them down in exact reverse start order, and Ready aggregates
+// component readiness. It exists so pressiod's router mode can sequence
+// health-checker → router → listener without hand-rolled ordering in the
+// daemon, and so a failed startup unwinds cleanly.
+type Runtime struct {
+	mu      sync.Mutex
+	nodes   map[string]*runtimeNode
+	started []*runtimeNode // in start order
+}
+
+type runtimeNode struct {
+	comp Component
+	deps []string
+}
+
+// NewRuntime returns an empty runtime.
+func NewRuntime() *Runtime {
+	return &Runtime{nodes: map[string]*runtimeNode{}}
+}
+
+// Register adds a component with its dependencies (by component name).
+// Dependencies may be registered later; they are resolved at Start.
+func (r *Runtime) Register(c Component, deps ...string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	name := c.Name()
+	if name == "" {
+		return errors.New("lifecycle: component has no name")
+	}
+	if _, dup := r.nodes[name]; dup {
+		return fmt.Errorf("lifecycle: duplicate component %q", name)
+	}
+	r.nodes[name] = &runtimeNode{comp: c, deps: append([]string(nil), deps...)}
+	return nil
+}
+
+// order topologically sorts the registered components, dependencies first.
+// Ties break on name so the order is deterministic. Callers hold r.mu.
+func (r *Runtime) order() ([]*runtimeNode, error) {
+	names := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	indegree := make(map[string]int, len(names))
+	dependents := make(map[string][]string, len(names))
+	for _, n := range names {
+		for _, d := range r.nodes[n].deps {
+			if _, ok := r.nodes[d]; !ok {
+				return nil, fmt.Errorf("lifecycle: component %q depends on unregistered %q", n, d)
+			}
+			indegree[n]++
+			dependents[d] = append(dependents[d], n)
+		}
+	}
+	var queue []string
+	for _, n := range names {
+		if indegree[n] == 0 {
+			queue = append(queue, n)
+		}
+	}
+	out := make([]*runtimeNode, 0, len(names))
+	for len(queue) > 0 {
+		sort.Strings(queue)
+		n := queue[0]
+		queue = queue[1:]
+		out = append(out, r.nodes[n])
+		for _, dep := range dependents[n] {
+			indegree[dep]--
+			if indegree[dep] == 0 {
+				queue = append(queue, dep)
+			}
+		}
+	}
+	if len(out) != len(names) {
+		cyclic := make([]string, 0)
+		for _, n := range names {
+			if indegree[n] > 0 {
+				cyclic = append(cyclic, n)
+			}
+		}
+		return nil, fmt.Errorf("lifecycle: dependency cycle among %v", cyclic)
+	}
+	return out, nil
+}
+
+// Start brings every component up, dependencies first. If any Start fails,
+// the components already started are stopped in reverse order and the
+// startup error is returned (joined with any unwind errors).
+func (r *Runtime) Start(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.started) > 0 {
+		return errors.New("lifecycle: already started")
+	}
+	order, err := r.order()
+	if err != nil {
+		return err
+	}
+	for _, node := range order {
+		// The mutex is MEANT to cover the blocking Start: it serializes whole
+		// lifecycle transitions so a concurrent Stop cannot interleave with a
+		// half-finished startup. Component Starts are boot-time, not request-path.
+		//lint:ignore blockinglock the lock's contract is mutual exclusion of full start/stop transitions, blocking included
+		if err := node.comp.Start(ctx); err != nil {
+			err = fmt.Errorf("lifecycle: start %q: %w", node.comp.Name(), err)
+			//lint:ignore blockinglock the failed-start unwind must run under the same transition lock it began with
+			if unwindErr := r.stopLocked(ctx); unwindErr != nil {
+				err = errors.Join(err, unwindErr)
+			}
+			return err
+		}
+		//lint:ignore blockinglock boot-time log, once per component start, off any request path
+		obslog.Default().Debugw("lifecycle.started", obslog.Str("component", node.comp.Name()))
+		r.started = append(r.started, node)
+	}
+	return nil
+}
+
+// Stop tears the started components down in exact reverse start order,
+// bounded by ctx. All stop errors are joined; every component gets its
+// chance to stop even when an earlier one fails.
+func (r *Runtime) Stop(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Same contract as Start: the lock serializes the whole (blocking)
+	// transition so Start/Stop can never interleave.
+	//lint:ignore blockinglock the lock's contract is mutual exclusion of full start/stop transitions, blocking included
+	return r.stopLocked(ctx)
+}
+
+func (r *Runtime) stopLocked(ctx context.Context) error {
+	var errs []error
+	for i := len(r.started) - 1; i >= 0; i-- {
+		node := r.started[i]
+		if err := node.comp.Stop(ctx); err != nil {
+			errs = append(errs, fmt.Errorf("lifecycle: stop %q: %w", node.comp.Name(), err))
+		}
+		obslog.Default().Debugw("lifecycle.stopped", obslog.Str("component", node.comp.Name()))
+	}
+	r.started = nil
+	return errors.Join(errs...)
+}
+
+// Ready reports aggregate readiness: every registered component has started
+// and every ReadyReporter among them answers true.
+func (r *Runtime) Ready() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.started) != len(r.nodes) || len(r.nodes) == 0 {
+		return false
+	}
+	for _, node := range r.started {
+		if rr, ok := node.comp.(ReadyReporter); ok && !rr.Ready() {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the started component names in start order (for logs
+// and tests).
+func (r *Runtime) Components() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.started))
+	for i, node := range r.started {
+		out[i] = node.comp.Name()
+	}
+	return out
+}

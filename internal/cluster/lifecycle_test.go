@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fakeComp records start/stop order into a shared journal.
+type fakeComp struct {
+	name     string
+	journal  *[]string
+	startErr error
+	stopErr  error
+	ready    bool
+}
+
+func (f *fakeComp) Name() string { return f.name }
+func (f *fakeComp) Start(context.Context) error {
+	*f.journal = append(*f.journal, "start:"+f.name)
+	return f.startErr
+}
+func (f *fakeComp) Stop(context.Context) error {
+	*f.journal = append(*f.journal, "stop:"+f.name)
+	return f.stopErr
+}
+
+// fakeReadyComp additionally reports readiness.
+type fakeReadyComp struct {
+	fakeComp
+}
+
+func (f *fakeReadyComp) Ready() bool { return f.ready }
+
+func TestRuntimeStartsDependenciesFirstStopsInReverse(t *testing.T) {
+	var journal []string
+	rt := NewRuntime()
+	// Register out of dependency order on purpose.
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(rt.Register(&fakeComp{name: "listener", journal: &journal}, "router"))
+	must(rt.Register(&fakeComp{name: "router", journal: &journal}, "health"))
+	must(rt.Register(&fakeComp{name: "health", journal: &journal}))
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Components(); !reflect.DeepEqual(got, []string{"health", "router", "listener"}) {
+		t.Fatalf("start order %v", got)
+	}
+	if err := rt.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"start:health", "start:router", "start:listener",
+		"stop:listener", "stop:router", "stop:health",
+	}
+	if !reflect.DeepEqual(journal, want) {
+		t.Fatalf("journal %v, want %v", journal, want)
+	}
+}
+
+func TestRuntimeFailedStartUnwindsStartedComponents(t *testing.T) {
+	var journal []string
+	rt := NewRuntime()
+	_ = rt.Register(&fakeComp{name: "a", journal: &journal})
+	_ = rt.Register(&fakeComp{name: "b", journal: &journal, startErr: errors.New("boom")}, "a")
+	err := rt.Start(context.Background())
+	if err == nil || !strings.Contains(err.Error(), `start "b"`) {
+		t.Fatalf("err = %v", err)
+	}
+	// a started and must have been stopped again; b never made it into the
+	// started set so only its failed start appears.
+	want := []string{"start:a", "start:b", "stop:a"}
+	if !reflect.DeepEqual(journal, want) {
+		t.Fatalf("journal %v, want %v", journal, want)
+	}
+	if rt.Ready() {
+		t.Fatal("failed runtime must not report ready")
+	}
+}
+
+func TestRuntimeRejectsCyclesAndUnknownDeps(t *testing.T) {
+	var journal []string
+	rt := NewRuntime()
+	_ = rt.Register(&fakeComp{name: "a", journal: &journal}, "b")
+	_ = rt.Register(&fakeComp{name: "b", journal: &journal}, "a")
+	if err := rt.Start(context.Background()); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+
+	rt2 := NewRuntime()
+	_ = rt2.Register(&fakeComp{name: "a", journal: &journal}, "ghost")
+	if err := rt2.Start(context.Background()); err == nil || !strings.Contains(err.Error(), `unregistered "ghost"`) {
+		t.Fatalf("unknown dep not detected: %v", err)
+	}
+
+	rt3 := NewRuntime()
+	if err := rt3.Register(&fakeComp{name: "a", journal: &journal}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt3.Register(&fakeComp{name: "a", journal: &journal}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if err := rt3.Register(&fakeComp{name: "", journal: &journal}); err == nil {
+		t.Fatal("nameless component accepted")
+	}
+}
+
+func TestRuntimeReadyAggregatesReporters(t *testing.T) {
+	var journal []string
+	rt := NewRuntime()
+	plain := &fakeComp{name: "plain", journal: &journal}
+	gated := &fakeReadyComp{fakeComp: fakeComp{name: "gated", journal: &journal}}
+	_ = rt.Register(plain)
+	_ = rt.Register(gated)
+	if rt.Ready() {
+		t.Fatal("unstarted runtime reported ready")
+	}
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Ready() {
+		t.Fatal("runtime ready while a ReadyReporter says not ready")
+	}
+	gated.ready = true
+	if !rt.Ready() {
+		t.Fatal("runtime not ready though every reporter is")
+	}
+	if err := rt.Stop(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Ready() {
+		t.Fatal("stopped runtime reported ready")
+	}
+}
+
+func TestRuntimeStopJoinsErrorsAndStopsEveryone(t *testing.T) {
+	var journal []string
+	rt := NewRuntime()
+	_ = rt.Register(&fakeComp{name: "a", journal: &journal, stopErr: errors.New("a failed")})
+	_ = rt.Register(&fakeComp{name: "b", journal: &journal, stopErr: errors.New("b failed")}, "a")
+	if err := rt.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	err := rt.Stop(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "a failed") || !strings.Contains(err.Error(), "b failed") {
+		t.Fatalf("stop errors not joined: %v", err)
+	}
+	// Both stops ran despite both failing.
+	want := []string{"start:a", "start:b", "stop:b", "stop:a"}
+	if !reflect.DeepEqual(journal, want) {
+		t.Fatalf("journal %v, want %v", journal, want)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pressio/internal/cluster"
 	"pressio/internal/core"
 	"pressio/internal/launch"
 	"pressio/internal/obslog"
@@ -65,6 +66,29 @@ type Config struct {
 	// TraceBuffer is how many completed request span trees /tracez retains
 	// (default 256).
 	TraceBuffer int
+
+	// RouterPeers, when non-empty, switches the daemon into router mode: a
+	// CSV of pressiod shard addresses ("host:port,...") that data-plane
+	// requests are consistent-hash-routed across (with hedging, failover,
+	// and health-driven placement) instead of compressed locally. The local
+	// compressor pool remains as the degradation path unless RouterNoLocal.
+	RouterPeers string
+	// RouterReplicas is the replica-set size per key (default 2).
+	RouterReplicas int
+	// RouterVNodes is the virtual-node count per peer on the hash ring
+	// (default cluster.DefaultVirtualNodes).
+	RouterVNodes int
+	// RouterHedgeAfter is the hedge-delay floor: a hedge to the next
+	// replica launches after max(this, peer p99) (default 25ms).
+	RouterHedgeAfter time.Duration
+	// RouterHealthInterval is the peer /readyz poll period (default 1s).
+	RouterHealthInterval time.Duration
+	// RouterNoLocal disables degradation to local compression when the
+	// whole fleet is unreachable; such requests shed with a typed 503.
+	RouterNoLocal bool
+	// PeerTimeout is the per-attempt deadline on router→peer calls
+	// (default 10s).
+	PeerTimeout time.Duration
 }
 
 // Daemon is the running service.
@@ -80,6 +104,18 @@ type Daemon struct {
 	decompress *service.Admission
 	traces     *traceStore
 
+	// Router mode: requests route across the peer fleet; the lifecycle
+	// runtime sequences health-checker → router → listener. The data plane
+	// calls the router through the dataRouter interface, not the concrete
+	// type: handleData is //pressio:hotpath-marked for the perf ledger's
+	// allocs/op gate, which measures the local compression path — a routed
+	// request's cost is the peer round-trip, so the hot-path contract (and
+	// hotalloc's closure) deliberately ends at this dispatch boundary.
+	router  *cluster.Router
+	route   dataRouter
+	health  *cluster.HealthChecker
+	runtime *cluster.Runtime
+
 	ready    atomic.Bool
 	draining atomic.Bool
 
@@ -87,6 +123,12 @@ type Daemon struct {
 	// processing; drain is correct iff they are equal when Drain returns.
 	started  atomic.Int64
 	finished atomic.Int64
+}
+
+// dataRouter is the slice of the cluster router the request path uses.
+type dataRouter interface {
+	Compress(ctx context.Context, dtype core.DType, dims []uint64, payload []byte) ([]byte, error)
+	Decompress(ctx context.Context, dtype core.DType, dims []uint64, payload []byte) ([]byte, error)
 }
 
 // New builds the compressor pool and bulkheads. The resilience flags compose
@@ -145,8 +187,99 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.OpsAddr != "" {
 		d.opsSrv = &http.Server{Handler: d.opsMux()}
 	}
+
+	// The lifecycle runtime owns start/stop ordering. Single-node mode is
+	// just the listener; router mode sequences health-checker → router →
+	// listener, so the ring is classified before traffic can arrive and
+	// drains unwind in exact reverse.
+	d.runtime = cluster.NewRuntime()
+	if cfg.RouterPeers != "" {
+		var local cluster.LocalFunc
+		if !cfg.RouterNoLocal {
+			local = d.localBytes
+		}
+		d.router, err = cluster.NewRouter(cluster.RouterConfig{
+			Peers:      splitCSV(cfg.RouterPeers),
+			Replicas:   cfg.RouterReplicas,
+			VNodes:     cfg.RouterVNodes,
+			HedgeFloor: cfg.RouterHedgeAfter,
+			Peer:       cluster.PeerConfig{Timeout: cfg.PeerTimeout},
+			Local:      local,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d.route = d.router
+		d.health = cluster.NewHealthChecker(d.router, cfg.RouterHealthInterval)
+		if err := d.runtime.Register(d.health); err != nil {
+			return nil, err
+		}
+		if err := d.runtime.Register(d.router, "health"); err != nil {
+			return nil, err
+		}
+		if err := d.runtime.Register(&listenerComp{d: d}, "router"); err != nil {
+			return nil, err
+		}
+	} else if err := d.runtime.Register(&listenerComp{d: d}); err != nil {
+		return nil, err
+	}
 	return d, nil
 }
+
+// splitCSV parses a comma-separated peer list, trimming blanks.
+func splitCSV(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// listenerComp adapts the data-plane listener to the lifecycle runtime.
+// Start binds and serves; Stop performs the graceful drain (lame-duck
+// window, then bounded Shutdown) so reverse-order teardown stops accepting
+// traffic before the router and health checker go away.
+type listenerComp struct{ d *Daemon }
+
+// Name implements cluster.Component.
+func (l *listenerComp) Name() string { return "listener" }
+
+// Start implements cluster.Component.
+func (l *listenerComp) Start(context.Context) error {
+	ln, err := net.Listen("tcp", l.d.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	l.d.ln = ln
+	//lint:ignore goroutineleak process-lifetime serve loop; the listener component's Stop shuts the server down, which Serve observes
+	go func() {
+		// ErrServerClosed is the expected outcome of a drain; anything else
+		// surfaces through failed client requests, not the exit status.
+		_ = l.d.srv.Serve(ln)
+	}()
+	return nil
+}
+
+// Stop implements cluster.Component: the graceful drain of the data plane.
+func (l *listenerComp) Stop(context.Context) error {
+	if l.d.cfg.LameDuck > 0 {
+		time.Sleep(l.d.cfg.LameDuck)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), l.d.cfg.DrainTimeout)
+	defer cancel()
+	err := l.d.srv.Shutdown(ctx)
+	if err != nil {
+		_ = l.d.srv.Close()
+		err = fmt.Errorf("drain deadline %s exceeded: %w", l.d.cfg.DrainTimeout, err)
+	}
+	return err
+}
+
+// Ready implements cluster.ReadyReporter.
+func (l *listenerComp) Ready() bool { return l.d.ln != nil }
 
 // opsMux is the operator surface: pprof (never on the data plane), plus the
 // same metrics/trace/liveness endpoints so operators need only one port.
@@ -163,36 +296,40 @@ func (d *Daemon) opsMux() *http.ServeMux {
 	return mux
 }
 
-// Start binds the listener(s) and begins serving; it returns once the daemon
-// is accepting connections so callers (and tests) can read Addr().
+// Start brings the daemon up through the lifecycle runtime (dependencies
+// first: in router mode the health checker classifies the fleet before the
+// listener accepts traffic); it returns once the daemon is accepting
+// connections so callers (and tests) can read Addr().
 func (d *Daemon) Start() error {
-	ln, err := net.Listen("tcp", d.cfg.Addr)
-	if err != nil {
-		return err
-	}
-	d.ln = ln
 	if d.opsSrv != nil {
 		opsLn, err := net.Listen("tcp", d.cfg.OpsAddr)
 		if err != nil {
-			_ = ln.Close()
 			return err
 		}
 		d.opsLn = opsLn
 		//lint:ignore goroutineleak process-lifetime serve loop; Drain/Close shuts the listener down, which Serve observes
 		go func() { _ = d.opsSrv.Serve(opsLn) }()
 	}
+	if err := d.runtime.Start(context.Background()); err != nil {
+		if d.opsLn != nil {
+			_ = d.opsLn.Close()
+		}
+		return err
+	}
 	d.ready.Store(true)
-	//lint:ignore goroutineleak process-lifetime serve loop; Drain/Close shuts the listener down, which Serve observes
-	go func() {
-		// ErrServerClosed is the expected outcome of a drain; anything else
-		// surfaces through failed client requests, not the exit status.
-		_ = d.srv.Serve(ln)
-	}()
-	obslog.Default().Infow("daemon.start",
+	ev := []obslog.Field{
 		obslog.Str("addr", d.Addr()),
 		obslog.Str("ops_addr", d.OpsAddr()),
 		obslog.Str("compressor", d.name),
-		obslog.Int("concurrency", int64(d.cfg.Concurrency)))
+		obslog.Int("concurrency", int64(d.cfg.Concurrency)),
+	}
+	if d.router != nil {
+		ev = append(ev,
+			obslog.Str("mode", "router"),
+			obslog.Str("ring", d.router.Ring().String()),
+			obslog.Str("components", strings.Join(d.runtime.Components(), ",")))
+	}
+	obslog.Default().Infow("daemon.start", ev...)
 	return nil
 }
 
@@ -226,16 +363,10 @@ func (d *Daemon) Drain() error {
 	obslog.Default().Infow("daemon.drain.begin",
 		obslog.Dur("lame_duck", d.cfg.LameDuck),
 		obslog.Dur("deadline", d.cfg.DrainTimeout))
-	if d.cfg.LameDuck > 0 {
-		time.Sleep(d.cfg.LameDuck)
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), d.cfg.DrainTimeout)
-	defer cancel()
-	err := d.srv.Shutdown(ctx)
-	if err != nil {
-		_ = d.srv.Close()
-		err = fmt.Errorf("drain deadline %s exceeded: %w", d.cfg.DrainTimeout, err)
-	}
+	// Reverse start order: the listener drains first (lame-duck window, then
+	// bounded Shutdown inside its Stop), then the router and health checker
+	// unwind in router mode.
+	err := d.runtime.Stop(context.Background())
 	if d.opsSrv != nil {
 		_ = d.opsSrv.Close()
 	}

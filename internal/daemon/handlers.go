@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"pressio/internal/cluster"
 	"pressio/internal/core"
 	"pressio/internal/obslog"
 	"pressio/internal/service"
@@ -184,35 +185,24 @@ func (d *Daemon) handleData(w http.ResponseWriter, r *http.Request, decompress b
 		return
 	}
 
-	sp = root.Child("daemon.pool_wait")
-	var comp *core.Compressor
-	select {
-	case comp = <-d.pool:
-		sp.End()
-	case <-ctx.Done():
-		sp.End()
-		status = writeError(w, fmt.Errorf("daemon: %w: context ended waiting for a worker: %v", core.ErrShed, ctx.Err()))
-		return
-	}
-	defer func() { d.pool <- comp }()
-
-	sp = root.Child("daemon."+op, trace.Int("bytes_in", int64(len(body))))
-	var out *core.Data
-	if decompress {
-		out = core.NewEmpty(dtype, dims...)
-		err = comp.Decompress(core.NewBytes(body), out)
-	} else {
-		var in *core.Data
-		if in, err = core.NewMove(dtype, body, dims...); err != nil {
-			sp.End()
-			status = http.StatusBadRequest
-			http.Error(w, err.Error(), status)
-			return
+	var outBytes []byte
+	if d.route != nil {
+		// Router mode: the request fans out across the ring (hedging and
+		// failover inside). The request trace rides ctx, so peer hops carry
+		// this request's trace id in their Traceparent headers.
+		sp = root.Child("daemon.route", trace.Int("bytes_in", int64(len(body))))
+		if decompress {
+			outBytes, err = d.route.Decompress(ctx, dtype, dims, body)
+		} else {
+			outBytes, err = d.route.Compress(ctx, dtype, dims, body)
 		}
-		out = core.NewEmpty(core.DTypeByte, 0)
-		err = comp.Compress(in, out)
+		sp.End()
+	} else {
+		var out *core.Data
+		if out, err = d.localData(ctx, root, decompress, dtype, dims, body); err == nil {
+			outBytes = out.Bytes()
+		}
 	}
-	sp.End()
 	if err != nil {
 		status = writeError(w, err)
 		kind, _ := errKind(err)
@@ -228,12 +218,65 @@ func (d *Daemon) handleData(w http.ResponseWriter, r *http.Request, decompress b
 		return
 	}
 
-	sp = root.Child("daemon.write_response", trace.Int("bytes_out", int64(out.ByteLen())))
+	sp = root.Child("daemon.write_response", trace.Int("bytes_out", int64(len(outBytes))))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set(headerCompressor, d.name)
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write(out.Bytes())
+	_, _ = w.Write(outBytes)
 	sp.End()
+}
+
+// localData runs one operation against the local compressor pool with the
+// single-node span structure (pool_wait, then the codec call) parented
+// under parent. It serves both the direct path and, via localBytes, the
+// router's whole-fleet-unreachable degradation path.
+func (d *Daemon) localData(ctx context.Context, parent *trace.RequestSpan, decompress bool, dtype core.DType, dims []uint64, body []byte) (*core.Data, error) {
+	op := "compress"
+	if decompress {
+		op = "decompress"
+	}
+	sp := parent.Child("daemon.pool_wait")
+	var comp *core.Compressor
+	select {
+	case comp = <-d.pool:
+		sp.End()
+	case <-ctx.Done():
+		sp.End()
+		return nil, fmt.Errorf("daemon: %w: context ended waiting for a worker: %v", core.ErrShed, ctx.Err())
+	}
+	defer func() { d.pool <- comp }()
+
+	sp = parent.Child("daemon."+op, trace.Int("bytes_in", int64(len(body))))
+	defer sp.End()
+	if decompress {
+		out := core.NewEmpty(dtype, dims...)
+		if err := comp.Decompress(core.NewBytes(body), out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	in, err := core.NewMove(dtype, body, dims...)
+	if err != nil {
+		// A payload/shape mismatch is the caller's fault: classify it so
+		// writeError answers 400, not 500.
+		return nil, fmt.Errorf("%w: %v", core.ErrInvalidOption, err)
+	}
+	out := core.NewEmpty(core.DTypeByte, 0)
+	if err := comp.Compress(in, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// localBytes adapts localData to the router's LocalFunc degradation hook.
+func (d *Daemon) localBytes(ctx context.Context, op string, dtype core.DType, dims []uint64, body []byte) ([]byte, error) {
+	sp := trace.RequestTraceFrom(ctx).Start("daemon.local_fallback", trace.Str("op", op))
+	out, err := d.localData(ctx, sp, op == cluster.OpDecompress, dtype, dims, body)
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
 }
 
 // ParseRequestID extracts the W3C trace id from an inbound request: the
@@ -257,12 +300,19 @@ func (d *Daemon) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleReadyz is readiness: false from the instant a drain begins, so
-// rolling restarts route new work elsewhere while in-flight work finishes.
+// handleReadyz is readiness: false from the instant a drain begins (so
+// rolling restarts route new work elsewhere while in-flight work finishes)
+// and false while any lifecycle component reports unready — in router mode
+// that aggregates the health checker's first sweep and the router's
+// can-serve state.
 func (d *Daemon) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	setNoStore(w, textContentType)
 	if !d.ready.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	if !d.runtime.Ready() {
+		http.Error(w, "not ready", http.StatusServiceUnavailable)
 		return
 	}
 	fmt.Fprintln(w, "ready")

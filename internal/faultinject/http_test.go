@@ -1,0 +1,217 @@
+package faultinject
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"syscall"
+	"testing"
+	"time"
+
+	"pressio/internal/trace"
+)
+
+func faultCampaignSchedule(t *testing.T, rt *RoundTripper, url string, n int) []string {
+	t.Helper()
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		resp, err := rt.RoundTrip(mustRequest(t, url))
+		switch {
+		case err != nil:
+			out = append(out, "refused")
+		default:
+			body, readErr := io.ReadAll(resp.Body)
+			_ = resp.Body.Close()
+			switch {
+			case readErr != nil:
+				out = append(out, "truncated")
+			case !bytes.Equal(body, httpPayload):
+				out = append(out, "corrupted")
+			default:
+				out = append(out, "clean")
+			}
+		}
+	}
+	return out
+}
+
+var httpPayload = bytes.Repeat([]byte("pressio-http-fault-payload."), 16)
+
+func mustRequest(t *testing.T, url string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func newFaultServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write(httpPayload)
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestHTTPFaultScheduleDeterministic: same seed, same rates, same request
+// sequence → the identical fault schedule. This is the contract chaos tests
+// depend on to be replayable.
+func TestHTTPFaultScheduleDeterministic(t *testing.T) {
+	ts := newFaultServer(t)
+	rates := HTTPRates{Seed: 42, Refuse: 0.2, Truncate: 0.2, Corrupt: 0.2}
+	mk := func() *RoundTripper {
+		rt, err := NewRoundTripper(nil, rates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	first := faultCampaignSchedule(t, mk(), ts.URL, 50)
+	second := faultCampaignSchedule(t, mk(), ts.URL, 50)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("schedule diverged at request %d: %s vs %s", i, first[i], second[i])
+		}
+	}
+	kinds := map[string]int{}
+	for _, k := range first {
+		kinds[k]++
+	}
+	for _, want := range []string{"clean", "refused", "truncated", "corrupted"} {
+		if kinds[want] == 0 {
+			t.Fatalf("50-request campaign never produced %q: %v", want, kinds)
+		}
+	}
+}
+
+// TestHTTPCloneDerivesIndependentReproducibleSchedule: clones draw distinct
+// schedules (clone fleets do not fault in lockstep) yet cloning twice gives
+// the same derived seed — reproducibility survives the derivation.
+func TestHTTPCloneDerivesIndependentReproducibleSchedule(t *testing.T) {
+	ts := newFaultServer(t)
+	rt, err := NewRoundTripper(nil, HTTPRates{Seed: 42, Refuse: 0.3, Truncate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := faultCampaignSchedule(t, rt, ts.URL, 40)
+	cloneA := faultCampaignSchedule(t, rt.Clone(), ts.URL, 40)
+	cloneB := faultCampaignSchedule(t, rt.Clone(), ts.URL, 40)
+	same := true
+	for i := range base {
+		if base[i] != cloneA[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("clone drew the parent's schedule; fleets would fault in lockstep")
+	}
+	for i := range cloneA {
+		if cloneA[i] != cloneB[i] {
+			t.Fatalf("two clones diverged at request %d; derivation is not stable", i)
+		}
+	}
+}
+
+func TestHTTPRefuseIsConnectionRefused(t *testing.T) {
+	trace.ResetTelemetry()
+	ts := newFaultServer(t)
+	rt, err := NewRoundTripper(nil, HTTPRates{Seed: 1, Refuse: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := mustRequest(t, ts.URL)
+	req.Body = io.NopCloser(bytes.NewReader([]byte("x")))
+	_, err = rt.RoundTrip(req)
+	if !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("refused request error %v, want ECONNREFUSED", err)
+	}
+	if trace.CounterValue(CtrHTTPRefused) != 1 {
+		t.Fatalf("refused counter %d, want 1", trace.CounterValue(CtrHTTPRefused))
+	}
+}
+
+func TestHTTPTruncateDeliversStrictPrefixThenUnexpectedEOF(t *testing.T) {
+	ts := newFaultServer(t)
+	rt, err := NewRoundTripper(nil, HTTPRates{Seed: 1, Truncate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := rt.RoundTrip(mustRequest(t, ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, readErr := io.ReadAll(resp.Body)
+	if !errors.Is(readErr, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated body read error %v, want ErrUnexpectedEOF", readErr)
+	}
+	if len(body) == 0 || len(body) >= len(httpPayload) {
+		t.Fatalf("truncated body is %d bytes of %d, want a strict prefix", len(body), len(httpPayload))
+	}
+	if !bytes.Equal(body, httpPayload[:len(body)]) {
+		t.Fatal("truncated body is not a prefix of the real payload")
+	}
+}
+
+func TestHTTPCorruptFlipsExactlyOneBitPreservingLength(t *testing.T) {
+	ts := newFaultServer(t)
+	rt, err := NewRoundTripper(nil, HTTPRates{Seed: 1, Corrupt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := rt.RoundTrip(mustRequest(t, ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != len(httpPayload) {
+		t.Fatalf("corruption changed the length: %d vs %d", len(body), len(httpPayload))
+	}
+	flipped := 0
+	for i := range body {
+		diff := body[i] ^ httpPayload[i]
+		for ; diff != 0; diff &= diff - 1 {
+			flipped++
+		}
+	}
+	if flipped != 1 {
+		t.Fatalf("%d bits flipped, want exactly 1", flipped)
+	}
+}
+
+func TestHTTPDelayHonorsContextCancellation(t *testing.T) {
+	ts := newFaultServer(t)
+	rt, err := NewRoundTripper(nil, HTTPRates{Seed: 1, Delay: 1, DelayMS: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	begin := time.Now()
+	_, err = rt.RoundTrip(mustRequest(t, ts.URL).WithContext(ctx))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("delayed request error %v, want DeadlineExceeded", err)
+	}
+	if time.Since(begin) > 5*time.Second {
+		t.Fatal("injected delay ignored the context")
+	}
+}
+
+func TestHTTPRatesValidated(t *testing.T) {
+	if _, err := NewRoundTripper(nil, HTTPRates{Refuse: 1.5}); err == nil {
+		t.Fatal("out-of-range refuse rate accepted")
+	}
+	if _, err := NewRoundTripper(nil, HTTPRates{DelayMS: -1}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}

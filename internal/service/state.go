@@ -259,6 +259,51 @@ func StateFor(scope string, cfg breakerConfig) *BreakerState {
 	return st
 }
 
+// BreakerConfig is the exported shape of a breaker's tunables, for callers
+// outside the meta-compressor plugin (the cluster peer client guards each
+// HTTP peer with one of these).
+type BreakerConfig struct {
+	// Window is the sliding outcome window length in calls.
+	Window int
+	// Failures within the window trip the circuit.
+	Failures int
+	// Cooldown is the open → half-open delay.
+	Cooldown time.Duration
+	// Probes is the half-open trial budget; that many successes close.
+	Probes int
+	// LatencyLimit, when >0, counts slower-than-this calls as failures.
+	LatencyLimit time.Duration
+}
+
+// NewSharedBreaker returns the process-shared BreakerState registered under
+// scope, creating or retuning it exactly like the breaker meta-compressor
+// does — so an HTTP peer client and a breaker plugin pointed at the same
+// scope trip together. Zero fields get the plugin defaults.
+func NewSharedBreaker(scope string, cfg BreakerConfig) *BreakerState {
+	if cfg.Window < 1 {
+		cfg.Window = 16
+	}
+	if cfg.Failures < 1 {
+		cfg.Failures = 8
+	}
+	if cfg.Failures > cfg.Window {
+		cfg.Failures = cfg.Window
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Second
+	}
+	if cfg.Probes < 1 {
+		cfg.Probes = 1
+	}
+	return StateFor(scope, breakerConfig{
+		window:       cfg.Window,
+		failures:     cfg.Failures,
+		cooldown:     cfg.Cooldown,
+		probes:       cfg.Probes,
+		latencyLimit: cfg.LatencyLimit,
+	})
+}
+
 // ResetShared drops every registered breaker state (tests only: the registry
 // is process-global on purpose).
 func ResetShared() {

@@ -89,6 +89,30 @@ const (
 	// CtrDaemonDrained counts in-flight requests completed during a graceful
 	// drain.
 	CtrDaemonDrained = "service.daemon.drained"
+	// CtrClusterRequests counts operations the cluster router accepted for
+	// routing (one per buffer, before any peer attempts).
+	CtrClusterRequests = "cluster.requests"
+	// CtrClusterRetries counts per-peer transient retransmissions (one
+	// increment per re-attempt against the same peer).
+	CtrClusterRetries = "cluster.retries"
+	// CtrClusterFailovers counts placements abandoned for the next replica:
+	// the preferred peer was down, its breaker open, or its call failed.
+	CtrClusterFailovers = "cluster.failovers"
+	// CtrClusterHedges counts hedge requests launched because the primary
+	// exceeded its p99-derived hedge delay.
+	CtrClusterHedges = "cluster.hedges"
+	// CtrClusterHedgeWins counts hedged operations won by the hedge (the
+	// primary was cancelled or finished late).
+	CtrClusterHedgeWins = "cluster.hedge_wins"
+	// CtrClusterLocalFallback counts operations served by the router's local
+	// compressor because every replica was unreachable.
+	CtrClusterLocalFallback = "cluster.local_fallback"
+	// CtrClusterPeerDown counts up→down health transitions observed by the
+	// cluster health checker.
+	CtrClusterPeerDown = "cluster.peer_down"
+	// CtrClusterPeerUp counts down→up health transitions (initial discovery
+	// of a live peer included).
+	CtrClusterPeerUp = "cluster.peer_up"
 	// HistCompress is the per-call plugin compress latency histogram.
 	HistCompress = "compress.latency"
 	// HistDecompress is the per-call plugin decompress latency histogram.
@@ -100,6 +124,10 @@ const (
 	// latency histogram, observed for every request regardless of the
 	// global tracing switch (it is the serving SLO metric).
 	HistDaemonRequest = "service.daemon.latency"
+	// HistClusterPeer is the per-attempt router→peer round-trip latency
+	// histogram (successful attempts only; it feeds nothing — the hedge
+	// delay uses the router's own windowed per-peer tracker).
+	HistClusterPeer = "cluster.peer.latency"
 )
 
 // PluginErrorKey names the per-plugin error counter ("plugin.sz.errors").
@@ -117,6 +145,11 @@ func BulkheadShedKey(name string) string { return "service.bulkhead." + name + "
 // BreakerScopeKey names the per-scope breaker open-transition counter
 // ("service.breaker.scope.sz.opened").
 func BreakerScopeKey(scope string) string { return "service.breaker.scope." + scope + ".opened" }
+
+// ClusterPeerKey names a per-peer cluster counter
+// ("cluster.peer.127.0.0.1:8123.requests"); suffix is one of "requests",
+// "failures", or "hedge_wins".
+func ClusterPeerKey(peer, suffix string) string { return "cluster.peer." + peer + "." + suffix }
 
 // Counter is a monotonically adjustable int64 telemetry cell.
 type Counter struct {

@@ -4,6 +4,8 @@
 # meta-compressors, the core wrapper, and the serving layer), run the
 # deterministic chaos tests of the resilience and serving layers, smoke-test
 # the pressiod daemon end to end (SIGTERM graceful drain included),
+# smoke-test the sharded cluster topology (3 shards + router, SIGKILL
+# failover, cross-process trace continuity),
 # smoke-fuzz the stream decoders, run the disabled-tracing overhead
 # benchmark that guards the "near-zero cost when off" promise, and gate a
 # quick perf-ledger measurement against the most recent committed
@@ -23,16 +25,20 @@ go vet ./...
 echo "==> pressiolint ./... (all seventeen analyzers, vs lint-baseline.sarif)"
 go run ./cmd/pressiolint -baseline lint-baseline.sarif ./...
 
-echo "==> go test -race (trace, obslog, meta, core, service, daemon)"
+echo "==> go test -race (trace, obslog, meta, core, service, daemon, cluster)"
 go test -race ./internal/trace/... ./internal/obslog/... ./internal/meta/... \
-    ./internal/core/... ./internal/service/... ./internal/daemon/
+    ./internal/core/... ./internal/service/... ./internal/daemon/ \
+    ./internal/cluster/
 
-echo "==> chaos tests under race detector (resilience, faultinject, service, daemon)"
+echo "==> chaos tests under race detector (resilience, faultinject, service, daemon, cluster)"
 go test -race -run 'TestChaos' ./internal/resilience/ ./internal/faultinject/ \
-    ./internal/service/ ./internal/daemon/
+    ./internal/service/ ./internal/daemon/ ./internal/cluster/
 
 echo "==> pressiod smoke (start, /readyz, round-trip, SIGTERM, clean drain)"
 scripts/pressiod-smoke.sh
+
+echo "==> pressiod cluster smoke (3 shards + router, SIGKILL failover, trace continuity)"
+scripts/pressiod-cluster-smoke.sh
 
 echo "==> fuzz smoke (decoders, 5s each; corpora replay known crashers)"
 go test -fuzz 'FuzzDecompressSlice' -fuzztime 5s ./internal/sz/

@@ -1,0 +1,163 @@
+#!/bin/sh
+# pressiod cluster smoke test: build the daemon, start three shard processes
+# and one router over them, wait for fleet readiness, push compress/
+# decompress round-trips through the router (verifying byte-exact recovery),
+# check trace continuity across the router→shard hop (the caller's
+# traceparent id must appear in BOTH the router's and the serving shard's
+# /tracez), check the cluster.* counters surface in /metricz, then SIGKILL
+# one shard and require round-trips to keep succeeding through failover.
+# Finally SIGTERM everything and require clean (exit 0) drains.
+#
+# Usage: scripts/pressiod-cluster-smoke.sh   (also run by the CI cluster-smoke job)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pids=""
+cleanup() {
+    for p in $pids; do
+        kill "$p" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "==> build pressiod"
+go build -o "$tmp/pressiod" ./cmd/pressiod
+
+# wait_addr LOGFILE: echo the address from "pressiod: listening on ADDR".
+wait_addr() {
+    i=0
+    while [ $i -lt 100 ]; do
+        a=$(sed -n 's/^pressiod: listening on \([^ ]*\).*/\1/p' "$1")
+        if [ -n "$a" ]; then
+            echo "$a"
+            return 0
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    echo "pressiod never reported a listen address:" >&2
+    cat "$1" >&2
+    return 1
+}
+
+echo "==> start three shards (flate, so round-trips are byte-exact)"
+n=1
+while [ $n -le 3 ]; do
+    "$tmp/pressiod" -addr 127.0.0.1:0 -compressor flate \
+        -lame-duck 100ms 2>"$tmp/shard$n.log" &
+    eval "shard${n}_pid=$!"
+    pids="$pids $!"
+    n=$((n + 1))
+done
+shard1=$(wait_addr "$tmp/shard1.log")
+shard2=$(wait_addr "$tmp/shard2.log")
+shard3=$(wait_addr "$tmp/shard3.log")
+
+echo "==> start router over $shard1,$shard2,$shard3"
+"$tmp/pressiod" -addr 127.0.0.1:0 -router -peers "$shard1,$shard2,$shard3" \
+    -replicas 2 -health-interval 200ms -compressor flate \
+    -lame-duck 100ms 2>"$tmp/router.log" &
+router_pid=$!
+pids="$pids $router_pid"
+router=$(wait_addr "$tmp/router.log")
+base="http://$router"
+
+echo "==> wait for router /readyz (health checker classified the fleet)"
+i=0
+until curl -fsS "$base/readyz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ $i -ge 50 ] && { echo "router /readyz never became ready" >&2; cat "$tmp/router.log" >&2; exit 1; }
+    sleep 0.1
+done
+
+echo "==> round-trip through the router (byte-exact)"
+dd if=/dev/urandom of="$tmp/x.bin" bs=4096 count=4 2>/dev/null
+curl -fsS --data-binary @"$tmp/x.bin" \
+    "$base/compress?dims=4096&dtype=float32" -o "$tmp/x.z"
+curl -fsS --data-binary @"$tmp/x.z" \
+    "$base/decompress?dims=4096&dtype=float32" -o "$tmp/x.out"
+cmp -s "$tmp/x.bin" "$tmp/x.out" || {
+    echo "routed round-trip did not restore the payload" >&2
+    exit 1
+}
+
+echo "==> trace continuity: caller's traceparent survives the router->shard hop"
+trace_id=0123456789abcdef0123456789abcdef
+curl -fsS -D "$tmp/h" -H "Traceparent: 00-$trace_id-00f067aa0ba902b7-01" \
+    --data-binary @"$tmp/x.bin" \
+    "$base/compress?dims=4096&dtype=float32" -o /dev/null
+got_id=$(sed -n 's/^[Xx]-[Pp]ressio-[Rr]equest-[Ii]d: \([0-9a-f]*\).*/\1/p' "$tmp/h")
+if [ "$got_id" != "$trace_id" ]; then
+    echo "router response id $got_id, want caller's $trace_id" >&2
+    cat "$tmp/h" >&2
+    exit 1
+fi
+curl -fsS "$base/tracez?id=$trace_id" >"$tmp/router-trace.json"
+grep -q '"daemon.route"' "$tmp/router-trace.json" || {
+    echo "router /tracez has no daemon.route span for $trace_id:" >&2
+    cat "$tmp/router-trace.json" >&2
+    exit 1
+}
+hop_found=0
+for shard in "$shard1" "$shard2" "$shard3"; do
+    if curl -fsS "http://$shard/tracez?id=$trace_id" 2>/dev/null |
+        grep -q '"daemon.compress"'; then
+        hop_found=1
+        break
+    fi
+done
+if [ "$hop_found" -ne 1 ]; then
+    echo "no shard retained the caller's trace id $trace_id; continuity broken" >&2
+    exit 1
+fi
+
+echo "==> cluster counters surface in /metricz"
+curl -fsS "$base/metricz" -o "$tmp/metrics"
+grep -q '^pressio_cluster_requests_total ' "$tmp/metrics" || {
+    echo "/metricz has no pressio_cluster_requests_total sample" >&2
+    exit 1
+}
+# Every non-comment line must still be well-formed exposition, per-peer
+# series (host:port baked into the sanitized name) included.
+if grep -vE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [-+0-9eE.]+|)$' "$tmp/metrics"; then
+    echo "/metricz contains malformed exposition lines (printed above)" >&2
+    exit 1
+fi
+
+echo "==> SIGKILL shard 1 ($shard1); round-trips must survive via failover"
+kill -KILL "$shard1_pid"
+n=1
+while [ $n -le 5 ]; do
+    dd if=/dev/urandom of="$tmp/k$n.bin" bs=4096 count=1 2>/dev/null
+    curl -fsS --data-binary @"$tmp/k$n.bin" \
+        "$base/compress?dims=1024&dtype=float32" -o "$tmp/k$n.z"
+    curl -fsS --data-binary @"$tmp/k$n.z" \
+        "$base/decompress?dims=1024&dtype=float32" -o "$tmp/k$n.out"
+    cmp -s "$tmp/k$n.bin" "$tmp/k$n.out" || {
+        echo "round-trip $n lost data after the shard kill" >&2
+        exit 1
+    }
+    n=$((n + 1))
+done
+
+echo "==> failover/peer-down reflected in cluster metrics"
+curl -fsS "$base/metricz" -o "$tmp/metrics2"
+grep -Eq '^pressio_cluster_(failovers|peer_down|local_fallback)_total [1-9]' "$tmp/metrics2" || {
+    echo "no failover/peer-down/local-fallback counter moved after the kill" >&2
+    grep '^pressio_cluster' "$tmp/metrics2" >&2 || true
+    exit 1
+}
+
+echo "==> SIGTERM router and surviving shards; require clean drains"
+kill -TERM "$router_pid"
+wait "$router_pid"
+kill -TERM "$shard2_pid" "$shard3_pid"
+wait "$shard2_pid"
+wait "$shard3_pid"
+pids=""
+
+echo "==> pressiod cluster smoke OK"
+cat "$tmp/router.log"
