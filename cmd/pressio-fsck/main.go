@@ -1,0 +1,101 @@
+// Command pressio-fsck checks — and with -repair, repairs — a pressio
+// object-store directory offline (the store must not be open elsewhere).
+//
+//	pressio-fsck /var/lib/pressio/objects          # check, human-readable
+//	pressio-fsck -json /var/lib/pressio/objects    # check, typed report
+//	pressio-fsck -repair /var/lib/pressio/objects  # fix what is fixable
+//
+// Check mode is strictly read-only: it computes the state crash recovery
+// would reach (manifest plus journal replay), verifies every reachable chunk
+// against its durable CRC32-C, and reports torn journal tails, corrupt or
+// rebuildable segments, orphans, and leftover temp files. Repair mode runs
+// recovery, a full scrub (quarantining chunks that fail their checksum —
+// nothing is ever deleted, evidence moves to quarantine/), and a checkpoint,
+// then re-checks.
+//
+// Exit codes: 0 the store is clean, 1 problems were found (after repair, if
+// -repair: something remains wrong), 2 usage or operational error. Scripts
+// depend on these — see scripts/pressiod-store-smoke.sh.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pressio/internal/store"
+
+	// Filters referenced by stored objects must be registered for repair's
+	// scrub/rebuild path; register the full plugin library as pressiod does.
+	_ "pressio/internal/bitgroom"
+	_ "pressio/internal/faultinject"
+	_ "pressio/internal/fpzip"
+	_ "pressio/internal/lossless"
+	_ "pressio/internal/meta"
+	_ "pressio/internal/metrics"
+	_ "pressio/internal/mgard"
+	_ "pressio/internal/pio"
+	_ "pressio/internal/resilience"
+	_ "pressio/internal/sz"
+	_ "pressio/internal/tthresh"
+	_ "pressio/internal/zfp"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	repair := flag.Bool("repair", false, "repair the store instead of only reporting (recovery + scrub + checkpoint)")
+	asJSON := flag.Bool("json", false, "emit the typed FsckReport as JSON instead of human-readable lines")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: pressio-fsck [-repair] [-json] <store-dir>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return 2
+	}
+	dir := flag.Arg(0)
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		fmt.Fprintf(os.Stderr, "pressio-fsck: %s is not a directory\n", dir)
+		return 2
+	}
+
+	rep, err := store.Fsck(dir, store.FsckOptions{Repair: *repair})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pressio-fsck: %v\n", err)
+		return 2
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "pressio-fsck: %v\n", err)
+			return 2
+		}
+	} else {
+		fmt.Printf("%s: %d objects, %d chunks verified, %d journal records (%d below checkpoint)\n",
+			rep.Dir, rep.Objects, rep.ChunksChecked, rep.JournalRecords, rep.JournalSkipped)
+		if rep.AlreadyQuarantined > 0 {
+			fmt.Printf("  %d chunks quarantined (consistent: awaiting out-of-band restore)\n", rep.AlreadyQuarantined)
+		}
+		if rep.Repaired != nil {
+			r := rep.Repaired
+			fmt.Printf("repair: replayed %d records, rebuilt %d segments, truncated %d torn bytes, quarantined %d chunks, scrubbed %d chunks\n",
+				r.Recovery.Replayed, r.Recovery.SegmentsRebuilt, r.Recovery.TornTailBytes,
+				r.Recovery.ChunksQuarantined+r.Scrub.Quarantined, r.Scrub.ChunksChecked)
+		}
+		for _, p := range rep.Problems() {
+			fmt.Printf("  problem: %s\n", p)
+		}
+	}
+
+	if !rep.Clean() {
+		return 1
+	}
+	return 0
+}

@@ -30,6 +30,20 @@
 // -no-local-fallback). The HTTP surface and error shapes are identical to a
 // single node, so clients cannot tell the topologies apart.
 //
+// Object-store mode (see docs/STORE.md) additionally serves a
+// crash-consistent compressed object store:
+//
+//	pressiod -store-dir /var/lib/pressio/objects -scrub-interval 10m
+//
+//	curl -X PUT --data-binary @x.bin \
+//	     'http://localhost:8123/objects/sim/run1?dims=100,500&dtype=float32&filter=sz&fopt=sz:abs=1e-3'
+//
+// PUT/DELETE acknowledgements mean the mutation is fsynced into a
+// write-ahead journal and survives any crash; startup replays the journal
+// before the listener opens (gating /readyz), a background scrubber
+// quarantines bit rot at chunk granularity, and cmd/pressio-fsck checks or
+// repairs a store directory offline.
+//
 // Observability (see docs/OBSERVABILITY.md): every data-plane response
 // carries an X-Pressio-Request-Id (W3C traceparent-compatible, propagated
 // from inbound traceparent headers); the request's span tree is retrievable
@@ -97,6 +111,9 @@ func main() {
 	flag.DurationVar(&cfg.RouterHealthInterval, "health-interval", time.Second, "peer /readyz poll period in -router mode")
 	flag.BoolVar(&cfg.RouterNoLocal, "no-local-fallback", false, "shed instead of compressing locally when the whole fleet is unreachable")
 	flag.DurationVar(&cfg.PeerTimeout, "peer-timeout", 10*time.Second, "per-attempt deadline on router→peer calls")
+	flag.StringVar(&cfg.StoreDir, "store-dir", "", "serve the crash-consistent object store rooted here behind /objects (empty disables)")
+	flag.DurationVar(&cfg.ScrubInterval, "scrub-interval", 10*time.Minute, "background scrub period for -store-dir (0 disables the scrubber)")
+	flag.Int64Var(&cfg.StoreCheckpointBytes, "checkpoint-bytes", 0, "journal size triggering an automatic store checkpoint (0 = default 64 MiB, negative disables)")
 	logLevel := flag.String("log-level", "info", "structured-log threshold: debug, info, warn, error")
 	flag.Var(&opts, "o", "compressor option key=value (repeatable)")
 	flag.Parse()

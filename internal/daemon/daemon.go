@@ -23,6 +23,7 @@ import (
 	"pressio/internal/launch"
 	"pressio/internal/obslog"
 	"pressio/internal/service"
+	"pressio/internal/store"
 	"pressio/internal/trace"
 )
 
@@ -89,6 +90,19 @@ type Config struct {
 	// PeerTimeout is the per-attempt deadline on router→peer calls
 	// (default 10s).
 	PeerTimeout time.Duration
+
+	// StoreDir, when non-empty, serves the crash-consistent compressed
+	// object store rooted there behind /objects (see docs/STORE.md). Crash
+	// recovery runs during Start, ahead of the listener; /readyz reports 503
+	// until it completes.
+	StoreDir string
+	// ScrubInterval is the background scrub period for the object store
+	// (0 disables the scrubber; bit rot is then only caught by reads and
+	// pressio-fsck).
+	ScrubInterval time.Duration
+	// StoreCheckpointBytes is the journal size that triggers an automatic
+	// manifest checkpoint (0 = store default, negative disables).
+	StoreCheckpointBytes int64
 }
 
 // Daemon is the running service.
@@ -115,6 +129,10 @@ type Daemon struct {
 	route   dataRouter
 	health  *cluster.HealthChecker
 	runtime *cluster.Runtime
+
+	// Object-store mode: recovery-gated persistent storage behind /objects.
+	store    *store.Store
+	scrubber *store.Scrubber
 
 	ready    atomic.Bool
 	draining atomic.Bool
@@ -182,6 +200,13 @@ func New(cfg Config) (*Daemon, error) {
 	mux.HandleFunc("GET /readyz", d.handleReadyz)
 	mux.HandleFunc("GET /metricz", d.handleMetricz)
 	mux.HandleFunc("GET /tracez", d.handleTracez)
+	if cfg.StoreDir != "" {
+		mux.HandleFunc("PUT /objects/{name...}", d.handleObjectPut)
+		mux.HandleFunc("GET /objects/{name...}", d.handleObjectGet)
+		mux.HandleFunc("DELETE /objects/{name...}", d.handleObjectDelete)
+		mux.HandleFunc("GET /objects", d.handleObjectList)
+		mux.HandleFunc("GET /objects/{$}", d.handleObjectList)
+	}
 	d.srv = &http.Server{Handler: mux}
 
 	if cfg.OpsAddr != "" {
@@ -191,8 +216,18 @@ func New(cfg Config) (*Daemon, error) {
 	// The lifecycle runtime owns start/stop ordering. Single-node mode is
 	// just the listener; router mode sequences health-checker → router →
 	// listener, so the ring is classified before traffic can arrive and
-	// drains unwind in exact reverse.
+	// drains unwind in exact reverse. The object store (when configured)
+	// starts before the listener too — crash recovery must finish before
+	// the first /objects request — and, stopping in reverse order, its
+	// checkpoint-and-close runs only after the listener has fully drained.
 	d.runtime = cluster.NewRuntime()
+	var listenerDeps []string
+	if cfg.StoreDir != "" {
+		if err := d.runtime.Register(&storeComp{d: d}); err != nil {
+			return nil, err
+		}
+		listenerDeps = append(listenerDeps, "store")
+	}
 	if cfg.RouterPeers != "" {
 		var local cluster.LocalFunc
 		if !cfg.RouterNoLocal {
@@ -217,10 +252,10 @@ func New(cfg Config) (*Daemon, error) {
 		if err := d.runtime.Register(d.router, "health"); err != nil {
 			return nil, err
 		}
-		if err := d.runtime.Register(&listenerComp{d: d}, "router"); err != nil {
+		if err := d.runtime.Register(&listenerComp{d: d}, append(listenerDeps, "router")...); err != nil {
 			return nil, err
 		}
-	} else if err := d.runtime.Register(&listenerComp{d: d}); err != nil {
+	} else if err := d.runtime.Register(&listenerComp{d: d}, listenerDeps...); err != nil {
 		return nil, err
 	}
 	return d, nil

@@ -1,0 +1,67 @@
+package faultinject
+
+import (
+	"pressio/internal/fsx"
+)
+
+// Filesystem-operation fault injection: the generalization of the crashPoint
+// hook that used to live in internal/pio/atomic.go. Durable-storage code
+// (internal/fsx, internal/h5lite via fsx, internal/store) declares named
+// crash points at the filesystem operations whose ordering its
+// crash-consistency argument depends on — write, fsync, rename, truncate —
+// and a campaign arms exactly one of them to fire, either as an error
+// (FSModeFail) or as a SIGKILL-equivalent hard stop (FSModeExit).
+//
+// The implementation lives in internal/fsx — the package at the bottom of
+// the storage stack — because fsx is imported by internal/pio, whose tests
+// exercise this package's IO fault injector: hosting the hooks here would
+// cycle. This file re-exports the whole surface so fault-injection users
+// keep a single import, and so FSPoints() enumerates the same registry the
+// storage code declares into.
+
+// FS fault modes and the hard-stop exit status.
+const (
+	// FSModeFail makes FSCrash return ErrFSCrash at the armed point.
+	FSModeFail = fsx.FSModeFail
+	// FSModeExit makes FSCrash hard-stop the process (os.Exit(FSExitCode))
+	// at the armed point — no deferred cleanup runs, exactly as with
+	// SIGKILL.
+	FSModeExit = fsx.FSModeExit
+	// FSExitCode is the exit status of an FSModeExit hard stop.
+	FSExitCode = fsx.FSExitCode
+	// EnvFSCrash is the environment variable ArmFSFromEnv reads:
+	// "point[:mode[:after]]".
+	EnvFSCrash = fsx.EnvFSCrash
+	// CtrFSCrashes counts filesystem faults fired.
+	CtrFSCrashes = fsx.CtrFSCrashes
+)
+
+// ErrFSCrash is the injected filesystem crash error (FSModeFail). It is
+// deliberately not transient: retry loops must not absorb a simulated crash.
+var ErrFSCrash = fsx.ErrFSCrash
+
+// FSFault is one armed filesystem fault.
+type FSFault = fsx.FSFault
+
+// RegisterFSPoint declares a named filesystem crash point (idempotent).
+func RegisterFSPoint(name string) string { return fsx.RegisterFSPoint(name) }
+
+// FSPoints lists every declared crash point, sorted — the enumeration a
+// crash matrix iterates.
+func FSPoints() []string { return fsx.FSPoints() }
+
+// ArmFS arms one filesystem fault; the point must have been declared.
+func ArmFS(f FSFault) error { return fsx.ArmFS(f) }
+
+// DisarmFS clears any armed filesystem fault.
+func DisarmFS() { fsx.DisarmFS() }
+
+// ArmFSFromEnv arms a fault from PRESSIO_FS_CRASH; reports whether one was
+// armed.
+func ArmFSFromEnv() (bool, error) { return fsx.ArmFSFromEnv() }
+
+// FSArmed reports whether the named point is armed and due to fire next hit.
+func FSArmed(point string) bool { return fsx.FSArmed(point) }
+
+// FSCrash is the hook durable-storage code calls at each declared point.
+func FSCrash(point string) error { return fsx.FSCrash(point) }

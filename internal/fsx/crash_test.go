@@ -1,0 +1,74 @@
+package fsx
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFSPointRegistryAndArming(t *testing.T) {
+	pts := FSPoints()
+	want := map[string]bool{
+		"fsx.atomic.write": true, "fsx.atomic.fsync": true,
+		"fsx.atomic.rename": true, "fsx.atomic.dirsync": true,
+	}
+	for _, p := range pts {
+		delete(want, p)
+	}
+	if len(want) != 0 {
+		t.Fatalf("declared points missing from registry: %v (have %v)", want, pts)
+	}
+
+	if err := ArmFS(FSFault{Point: "no.such.point"}); err == nil {
+		t.Fatal("unknown point armed")
+	}
+	if err := ArmFS(FSFault{Point: PointWrite, Mode: "detonate"}); err == nil {
+		t.Fatal("unknown mode armed")
+	}
+
+	// After skips the first N hits, then every later hit fires.
+	if err := ArmFS(FSFault{Point: PointWrite, After: 2}); err != nil {
+		t.Fatal(err)
+	}
+	defer DisarmFS()
+	for i := 0; i < 2; i++ {
+		if FSArmed(PointWrite) {
+			t.Fatalf("point due before After consumed (hit %d)", i)
+		}
+		if err := FSCrash(PointWrite); err != nil {
+			t.Fatalf("hit %d fired early: %v", i, err)
+		}
+	}
+	if !FSArmed(PointWrite) {
+		t.Fatal("point not due after After consumed")
+	}
+	if err := FSCrash(PointWrite); !errors.Is(err, ErrFSCrash) {
+		t.Fatalf("armed point did not fire: %v", err)
+	}
+	if err := FSCrash(PointRename); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	DisarmFS()
+	if err := FSCrash(PointWrite); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}
+
+func TestArmFSFromEnv(t *testing.T) {
+	t.Setenv(EnvFSCrash, "")
+	if armed, err := ArmFSFromEnv(); err != nil || armed {
+		t.Fatalf("empty env: armed=%v err=%v", armed, err)
+	}
+	t.Setenv(EnvFSCrash, PointFsync+":fail:3")
+	armed, err := ArmFSFromEnv()
+	if err != nil || !armed {
+		t.Fatalf("valid env rejected: armed=%v err=%v", armed, err)
+	}
+	DisarmFS()
+	for _, bad := range []string{"nope", PointFsync + ":fail:x", PointFsync + ":fail:1:extra"} {
+		t.Setenv(EnvFSCrash, bad)
+		if _, err := ArmFSFromEnv(); err == nil {
+			t.Fatalf("malformed env %q accepted", bad)
+		}
+	}
+	DisarmFS()
+}

@@ -1,0 +1,110 @@
+// Package fsx holds the crash-consistent filesystem primitives shared by
+// the IO plugins (internal/pio), the h5lite container, and the compressed
+// object store (internal/store). It exists below all of them so each can use
+// the same temp+fsync+rename discipline without import cycles (pio imports
+// h5lite, so the primitive cannot live in pio).
+//
+// Every ordering-critical operation passes through a declared
+// crash point (fsx.atomic.write, fsx.atomic.fsync,
+// fsx.atomic.rename, fsx.atomic.dirsync), so crash campaigns can hard-stop a
+// process at each step and prove that readers only ever observe a complete
+// old file or a complete new one.
+package fsx
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// Declared crash points, one per ordering-critical step of AtomicWriteFile.
+var (
+	// PointWrite fires before the temp-file write: nothing durable yet.
+	PointWrite = RegisterFSPoint("fsx.atomic.write")
+	// PointFsync fires after the write, before the temp file is fsynced:
+	// data may or may not have reached the device.
+	PointFsync = RegisterFSPoint("fsx.atomic.fsync")
+	// PointRename fires after the fsync, before the publishing rename: the
+	// destination must still hold the complete previous generation.
+	PointRename = RegisterFSPoint("fsx.atomic.rename")
+	// PointDirSync fires after the rename, before the directory fsync: the
+	// new name exists but might not survive power loss.
+	PointDirSync = RegisterFSPoint("fsx.atomic.dirsync")
+)
+
+// AtomicWriteFile writes data to path crash-consistently. The bytes go to a
+// temporary file in the same directory (rename is only atomic within one
+// filesystem), the temp file is fsynced so the data reaches the device
+// before the new name does, then a rename publishes it and the directory is
+// fsynced so the name itself survives a crash. A reader racing a crashed
+// writer sees either the complete old file or the complete new one, never a
+// torn prefix.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		// On any failure the temp file is withdrawn; after a successful
+		// rename tmpName is cleared and this is a no-op. (A hard stop skips
+		// this entirely — recovery treats *.tmp-* files as unpublished.)
+		if tmpName != "" {
+			_ = tmp.Close()
+			_ = os.Remove(tmpName)
+		}
+	}()
+	if err := FSCrash(PointWrite); err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return err
+	}
+	if err := FSCrash(PointFsync); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := FSCrash(PointRename); err != nil {
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	tmpName = ""
+	if err := FSCrash(PointDirSync); err != nil {
+		return err
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so a just-renamed entry survives power loss.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// IsTempArtifact reports whether name looks like an AtomicWriteFile temp
+// file left behind by a hard stop. Recovery and fsck remove (or report)
+// these: a temp file is by construction unpublished, so no acknowledged
+// state can live in it.
+func IsTempArtifact(name string) bool {
+	base := filepath.Base(name)
+	for i := 0; i+5 <= len(base); i++ {
+		if base[i:i+5] == ".tmp-" {
+			return true
+		}
+	}
+	return false
+}

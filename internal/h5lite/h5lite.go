@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"pressio/internal/core"
+	"pressio/internal/fsx"
 )
 
 // ErrFormat reports an unreadable container.
@@ -323,6 +324,85 @@ func (f *File) ReadRows(name string, start, count uint64) (*core.Data, error) {
 	return out, nil
 }
 
+// RawChunk is one stored chunk in its on-disk (post-filter) form: the rows
+// it covers along dimension 0 and the compressed payload bytes. The object
+// store uses raw chunks to checksum, journal, and rebuild containers without
+// re-running the filter.
+type RawChunk struct {
+	Rows    uint64
+	Payload []byte
+}
+
+// DatasetMeta is the exported view of a stored dataset's metadata.
+type DatasetMeta struct {
+	DType   string
+	Dims    []uint64
+	Filter  string
+	Options map[string]float64
+}
+
+// Meta returns the metadata of the named dataset.
+func (f *File) Meta(name string) (DatasetMeta, error) {
+	info, ok := f.idx.Datasets[name]
+	if !ok {
+		return DatasetMeta{}, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return DatasetMeta{
+		DType:   info.DType,
+		Dims:    append([]uint64(nil), info.Dims...),
+		Filter:  info.Filter,
+		Options: info.Options,
+	}, nil
+}
+
+// RawChunks returns the stored chunks of the named dataset. Payloads alias
+// the container's buffers; callers must not mutate them.
+func (f *File) RawChunks(name string) ([]RawChunk, error) {
+	info, ok := f.idx.Datasets[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	out := make([]RawChunk, len(info.Chunks))
+	for i, ch := range info.Chunks {
+		out[i] = RawChunk{Rows: ch.Rows, Payload: f.blobs[name][i]}
+	}
+	return out, nil
+}
+
+// WriteRawDataset stores already-filtered chunks under name, bypassing the
+// filter (the payloads are recorded as-is). The journal replay path of the
+// object store uses it to rebuild a container from logged chunk payloads
+// without owning the original uncompressed data. The chunk rows must sum to
+// dims[0].
+func (f *File) WriteRawDataset(name, dtype string, dims []uint64, filter string, options map[string]float64, chunks []RawChunk) error {
+	if _, err := core.ParseDType(dtype); err != nil {
+		return err
+	}
+	if len(dims) == 0 {
+		return fmt.Errorf("h5lite: %w", core.ErrNilData)
+	}
+	var rows uint64
+	infos := make([]chunkInfo, len(chunks))
+	blobs := make([][]byte, len(chunks))
+	for i, ch := range chunks {
+		rows += ch.Rows
+		infos[i] = chunkInfo{Rows: ch.Rows, Length: uint64(len(ch.Payload))}
+		blobs[i] = append([]byte(nil), ch.Payload...)
+	}
+	if rows != dims[0] {
+		return fmt.Errorf("h5lite: raw chunks cover %d rows, dims declare %d", rows, dims[0])
+	}
+	f.idx.Datasets[name] = datasetInfo{
+		DType:   dtype,
+		Dims:    append([]uint64(nil), dims...),
+		Filter:  filter,
+		Options: options,
+		Chunks:  infos,
+	}
+	f.blobs[name] = blobs
+	return nil
+}
+
 // Save writes the container to its path.
 func (f *File) Save() error {
 	// Assign blob offsets in sorted-name order for determinism.
@@ -346,5 +426,8 @@ func (f *File) Save() error {
 	out = binary.LittleEndian.AppendUint64(out, uint64(len(hdr)))
 	out = append(out, hdr...)
 	out = append(out, blobSection...)
-	return os.WriteFile(f.path, out, 0o644)
+	// Crash-consistent publish: a container rewrite that dies mid-write must
+	// leave the previous generation intact (same temp+fsync+rename path as
+	// internal/pio; see the kill-mid-write tests).
+	return fsx.AtomicWriteFile(f.path, out, 0o644)
 }

@@ -33,6 +33,7 @@ import (
 	"pressio/internal/rangecoder"
 	"pressio/internal/sdrbench"
 	"pressio/internal/service"
+	"pressio/internal/store"
 	"pressio/internal/trace"
 
 	// The ledger drives real compressor stacks.
@@ -120,6 +121,7 @@ func Run(opts Options) (*Ledger, error) {
 		stageBitstreamWrite, stageBitstreamRead,
 		stageCodecCompress("sz_threadsafe"), stageCodecDecompress("sz_threadsafe"),
 		stageCodecCompress("zfp"), stageCodecDecompress("zfp"),
+		stageStorePut, stageStoreGet, stageStoreReplay,
 	}
 	for _, f := range stages {
 		s, err := f(opts)
@@ -358,6 +360,98 @@ func stageCodecDecompress(name string) func(Options) (Stage, error) {
 			return err
 		})
 	}
+}
+
+// ledgerStoreData is the 1 MiB float32 payload the object-store stages move.
+// Uncompressed (no chunk filter), so the numbers isolate the store's own
+// costs: journal framing and fsync, segment I/O, and CRC32-C verification.
+func ledgerStoreData(opts Options) *core.Data {
+	const n = 1 << 18
+	rng := rand.New(rand.NewSource(opts.Seed))
+	vals := make([]float32, n)
+	for i := range vals {
+		vals[i] = float32(rng.NormFloat64())
+	}
+	return core.FromFloat32s(vals, n)
+}
+
+// stageStorePut measures the acknowledged-write path: journal append with
+// group-commit fsync, then the segment write. Every op stores a fresh name
+// so nothing amortizes across ops; checkpointing is disabled so the journal
+// cost stays in every measurement.
+func stageStorePut(opts Options) (Stage, error) {
+	dir, err := os.MkdirTemp("", "perfledger-store")
+	if err != nil {
+		return Stage{}, err
+	}
+	defer os.RemoveAll(dir)
+	s, err := store.Open(dir, store.Options{CheckpointBytes: -1})
+	if err != nil {
+		return Stage{}, err
+	}
+	defer s.Close()
+	in := ledgerStoreData(opts)
+	i := 0
+	return measure("store.put", int64(in.ByteLen()), opsFor(opts, 30, 5), func() error {
+		i++
+		_, err := s.Put(fmt.Sprintf("bench/put-%d", i), in, store.PutOptions{ChunkRows: 1 << 15})
+		return err
+	})
+}
+
+// stageStoreGet measures the read path: chunk reads, CRC verification, and
+// reassembly of a multi-chunk object.
+func stageStoreGet(opts Options) (Stage, error) {
+	dir, err := os.MkdirTemp("", "perfledger-store")
+	if err != nil {
+		return Stage{}, err
+	}
+	defer os.RemoveAll(dir)
+	s, err := store.Open(dir, store.Options{CheckpointBytes: -1})
+	if err != nil {
+		return Stage{}, err
+	}
+	defer s.Close()
+	in := ledgerStoreData(opts)
+	if _, err := s.Put("bench/get", in, store.PutOptions{ChunkRows: 1 << 15}); err != nil {
+		return Stage{}, err
+	}
+	return measure("store.get", int64(in.ByteLen()), opsFor(opts, 30, 5), func() error {
+		_, _, err := s.Get("bench/get")
+		return err
+	})
+}
+
+// stageStoreReplay measures crash recovery: Open on a directory whose whole
+// state lives in the journal (never checkpointed), so every op replays all
+// records and re-verifies every chunk — the startup cost that gates /readyz.
+func stageStoreReplay(opts Options) (Stage, error) {
+	dir, err := os.MkdirTemp("", "perfledger-store")
+	if err != nil {
+		return Stage{}, err
+	}
+	defer os.RemoveAll(dir)
+	s, err := store.Open(dir, store.Options{CheckpointBytes: -1})
+	if err != nil {
+		return Stage{}, err
+	}
+	in := ledgerStoreData(opts)
+	const objects = 8
+	for i := 0; i < objects; i++ {
+		if _, err := s.Put(fmt.Sprintf("bench/replay-%d", i), in, store.PutOptions{ChunkRows: 1 << 15}); err != nil {
+			return Stage{}, err
+		}
+	}
+	if err := s.Close(); err != nil {
+		return Stage{}, err
+	}
+	return measure("store.replay", objects*int64(in.ByteLen()), opsFor(opts, 10, 2), func() error {
+		s, err := store.Open(dir, store.Options{CheckpointBytes: -1})
+		if err != nil {
+			return err
+		}
+		return s.Close()
+	})
 }
 
 // measureDaemon boots pressiod in-process on a loopback port and measures

@@ -2,67 +2,17 @@ package pio
 
 import (
 	"os"
-	"path/filepath"
+
+	"pressio/internal/fsx"
 )
 
-// crashPoint is a fault-injection hook for crash-consistency tests: when
-// non-nil it runs after the temp file is written and fsynced but before the
-// rename publishes it, simulating a process killed mid-write. Returning an
-// error aborts the write exactly where a crash would — the destination must
-// be left untouched.
-var crashPoint func(tmpPath string) error
-
-// atomicWriteFile writes data to path crash-consistently. The bytes go to a
-// temporary file in the same directory (rename is only atomic within one
-// filesystem), the temp file is fsynced so the data reaches the device before
-// the new name does, then a rename publishes it and the directory is fsynced
-// so the name itself survives a crash. A reader racing a crashed writer sees
-// either the complete old file or the complete new one, never a torn prefix.
+// atomicWriteFile writes data to path crash-consistently via the shared
+// internal/fsx primitive (same-directory temp file, fsync, rename, directory
+// fsync). The crash points the old package-local crashPoint hook exposed are
+// now the declared internal/faultinject points fsx.atomic.{write, fsync,
+// rename, dirsync}, so the store's crash matrix and these IO plugins prove
+// the same property with the same machinery: a reader racing a crashed
+// writer sees either the complete old file or the complete new one.
 func atomicWriteFile(path string, data []byte, perm os.FileMode) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	tmpName := tmp.Name()
-	defer func() {
-		// On any failure the temp file is withdrawn; after a successful
-		// rename tmpName is cleared and this is a no-op.
-		if tmpName != "" {
-			_ = tmp.Close()
-			_ = os.Remove(tmpName)
-		}
-	}()
-	if _, err := tmp.Write(data); err != nil {
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		return err
-	}
-	if crashPoint != nil {
-		if err := crashPoint(tmpName); err != nil {
-			return err
-		}
-	}
-	if err := tmp.Chmod(perm); err != nil {
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		return err
-	}
-	tmpName = ""
-	return syncDir(dir)
-}
-
-// syncDir fsyncs a directory so a just-renamed entry survives power loss.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	defer d.Close()
-	return d.Sync()
+	return fsx.AtomicWriteFile(path, data, perm)
 }

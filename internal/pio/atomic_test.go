@@ -8,7 +8,19 @@ import (
 	"testing"
 
 	"pressio/internal/core"
+	"pressio/internal/faultinject"
+	"pressio/internal/fsx"
 )
+
+// armCrash arms an injected crash at the named fsx point and disarms it on
+// cleanup.
+func armCrash(t *testing.T, point string) {
+	t.Helper()
+	if err := faultinject.ArmFS(faultinject.FSFault{Point: point, Mode: faultinject.FSModeFail}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(faultinject.DisarmFS)
+}
 
 // TestAtomicWriteKillMidWriteLeavesOldFileIntact simulates a process killed
 // between writing the temp file and the publishing rename: the destination
@@ -21,22 +33,9 @@ func TestAtomicWriteKillMidWriteLeavesOldFileIntact(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	killed := errors.New("simulated kill -9 mid-write")
-	crashPoint = func(tmpPath string) error {
-		// The temp file exists beside the target with the new bytes...
-		if filepath.Dir(tmpPath) != dir {
-			t.Errorf("temp file %s not in the target directory %s", tmpPath, dir)
-		}
-		b, err := os.ReadFile(tmpPath)
-		if err != nil || string(b) != "the new generation" {
-			t.Errorf("temp content %q err %v", b, err)
-		}
-		return killed
-	}
-	t.Cleanup(func() { crashPoint = nil })
-
+	armCrash(t, fsx.PointRename)
 	err := atomicWriteFile(path, []byte("the new generation"), 0o644)
-	if !errors.Is(err, killed) {
+	if !errors.Is(err, faultinject.ErrFSCrash) {
 		t.Fatalf("crash point did not abort the write: %v", err)
 	}
 	got, err := os.ReadFile(path)
@@ -48,13 +47,52 @@ func TestAtomicWriteKillMidWriteLeavesOldFileIntact(t *testing.T) {
 	}
 
 	// The write path recovers fully once the fault is gone.
-	crashPoint = nil
+	faultinject.DisarmFS()
 	if err := atomicWriteFile(path, []byte("the new generation"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	got, _ = os.ReadFile(path)
 	if string(got) != "the new generation" {
 		t.Fatalf("post-recovery content %q", got)
+	}
+}
+
+// TestAtomicWriteKillAtEveryPointLeavesOldFileIntact drives the crash
+// through every declared fsx point before the publishing rename completes:
+// at write, at fsync, and at rename the old generation must survive; at
+// dirsync the rename has happened, so the new generation must be complete.
+func TestAtomicWriteKillAtEveryPointLeavesOldFileIntact(t *testing.T) {
+	for _, tc := range []struct {
+		point   string
+		wantNew bool
+	}{
+		{fsx.PointWrite, false},
+		{fsx.PointFsync, false},
+		{fsx.PointRename, false},
+		{fsx.PointDirSync, true},
+	} {
+		t.Run(tc.point, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "x.bin")
+			if err := atomicWriteFile(path, []byte("old"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			armCrash(t, tc.point)
+			if err := atomicWriteFile(path, []byte("new"), 0o644); !errors.Is(err, faultinject.ErrFSCrash) {
+				t.Fatalf("crash at %s did not abort the write: %v", tc.point, err)
+			}
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := "old"
+			if tc.wantNew {
+				want = "new"
+			}
+			if string(got) != want {
+				t.Fatalf("crash at %s: content %q, want %q", tc.point, got, want)
+			}
+		})
 	}
 }
 
@@ -77,13 +115,11 @@ func TestAtomicWriteKillMidWriteNpy(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	killed := errors.New("simulated kill -9 mid-write")
-	crashPoint = func(string) error { return killed }
-	t.Cleanup(func() { crashPoint = nil })
-	if err := writeVia([]float64{9, 9, 9, 9, 9, 9}); !errors.Is(err, killed) {
+	armCrash(t, fsx.PointRename)
+	if err := writeVia([]float64{9, 9, 9, 9, 9, 9}); !errors.Is(err, faultinject.ErrFSCrash) {
 		t.Fatalf("crash point did not abort the npy rewrite: %v", err)
 	}
-	crashPoint = nil
+	faultinject.DisarmFS()
 
 	io, err := core.NewIO("npy")
 	if err != nil {
@@ -107,8 +143,7 @@ func TestAtomicWriteKillMidWriteNpy(t *testing.T) {
 // kill cannot clean up, but every in-process failure path must).
 func TestAtomicWriteCleansTempOnFailure(t *testing.T) {
 	dir := t.TempDir()
-	crashPoint = func(string) error { return errors.New("boom") }
-	t.Cleanup(func() { crashPoint = nil })
+	armCrash(t, fsx.PointRename)
 	_ = atomicWriteFile(filepath.Join(dir, "x.bin"), []byte("x"), 0o644)
 	entries, err := os.ReadDir(dir)
 	if err != nil {

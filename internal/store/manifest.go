@@ -1,0 +1,107 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"pressio/internal/fsx"
+)
+
+// The manifest is the checkpoint the journal is truncated against: a JSON
+// snapshot of every live object plus the LSN low-water mark below which all
+// records have been fully applied and published. Recovery loads it, then
+// replays only journal records above LastLSN. It is always written through
+// fsx.AtomicWriteFile, so a crashed checkpoint leaves the previous manifest
+// generation intact.
+
+// manifestVersion is the current manifest layout version.
+const manifestVersion = 1
+
+// maxManifestBytes bounds a manifest file read back from disk.
+const maxManifestBytes = 64 << 20
+
+// maxManifestObjects bounds the object count of a manifest.
+const maxManifestObjects = 1 << 20
+
+// PointManifest fires before a checkpoint publishes the manifest.
+var PointManifest = fsx.RegisterFSPoint("store.checkpoint.manifest")
+
+// manifestObject is one checkpointed object: its durable meta plus any
+// quarantined chunk indices.
+type manifestObject struct {
+	Meta        ObjectMeta `json:"meta"`
+	Quarantined []int      `json:"quarantined,omitempty"`
+}
+
+// manifest is the checkpoint file layout.
+type manifest struct {
+	Version int `json:"version"`
+	// LastLSN is the low-water mark: every journal record with an LSN at or
+	// below it is fully applied and its segment published, so replay skips
+	// it. Records above it may or may not be reflected — replay re-applies
+	// them idempotently.
+	LastLSN uint64                    `json:"last_lsn"`
+	Objects map[string]manifestObject `json:"objects"`
+}
+
+// loadManifest reads and validates a checkpoint. A missing file returns an
+// empty manifest; anything unparseable or out of bounds is an error wrapping
+// core.ErrCorrupt (recovery quarantines the file and starts empty). The
+// input is a file read back after an arbitrary crash, so every count and
+// index in it is bounds-checked before use.
+//
+//pressio:untrusted
+func loadManifest(path string) (manifest, error) {
+	man := manifest{Version: manifestVersion, Objects: map[string]manifestObject{}}
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return man, nil
+	}
+	if err != nil {
+		return man, err
+	}
+	if len(raw) > maxManifestBytes {
+		return man, corrupt("manifest of %d bytes exceeds cap", len(raw))
+	}
+	var got manifest
+	if err := json.Unmarshal(raw, &got); err != nil {
+		return man, corrupt("manifest does not parse: %v", err)
+	}
+	if got.Version != manifestVersion {
+		return man, corrupt("unsupported manifest version %d", got.Version)
+	}
+	if len(got.Objects) > maxManifestObjects {
+		return man, corrupt("manifest object count %d exceeds cap", len(got.Objects))
+	}
+	if got.Objects == nil {
+		got.Objects = map[string]manifestObject{}
+	}
+	for name, mo := range got.Objects {
+		if name != mo.Meta.Name {
+			return man, corrupt("manifest key %q names object %q", name, mo.Meta.Name)
+		}
+		if err := validateObjectMeta(&mo.Meta); err != nil {
+			return man, fmt.Errorf("manifest object %q: %w", name, err)
+		}
+		if len(mo.Quarantined) > len(mo.Meta.Chunks) {
+			return man, corrupt("manifest object %q quarantines %d of %d chunks",
+				name, len(mo.Quarantined), len(mo.Meta.Chunks))
+		}
+		for _, idx := range mo.Quarantined {
+			if idx < 0 || idx >= len(mo.Meta.Chunks) {
+				return man, corrupt("manifest object %q quarantine index %d out of range", name, idx)
+			}
+		}
+	}
+	return got, nil
+}
+
+// saveManifest publishes a checkpoint crash-consistently.
+func saveManifest(path string, man manifest) error {
+	data, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return fsx.AtomicWriteFile(path, data, 0o644)
+}

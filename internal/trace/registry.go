@@ -128,6 +128,56 @@ const (
 	// histogram (successful attempts only; it feeds nothing — the hedge
 	// delay uses the router's own windowed per-peer tracker).
 	HistClusterPeer = "cluster.peer.latency"
+	// CtrStorePuts counts acknowledged object-store PUT operations.
+	CtrStorePuts = "store.puts"
+	// CtrStorePutBytes accumulates uncompressed bytes accepted by PUTs.
+	CtrStorePutBytes = "store.put.bytes"
+	// CtrStoreGets counts object-store reads (full, row, and byte range).
+	CtrStoreGets = "store.gets"
+	// CtrStoreGetBytes accumulates uncompressed bytes served by reads.
+	CtrStoreGetBytes = "store.get.bytes"
+	// CtrStoreDeletes counts acknowledged object-store DELETE operations.
+	CtrStoreDeletes = "store.deletes"
+	// CtrStoreJournalRecords counts records appended to the write-ahead
+	// journal (puts, deletes, and quarantine markers).
+	CtrStoreJournalRecords = "store.journal.records"
+	// CtrStoreJournalBytes accumulates journal bytes written.
+	CtrStoreJournalBytes = "store.journal.bytes"
+	// CtrStoreJournalFsyncs counts journal fsync calls; under concurrent
+	// writers group commit makes this grow slower than journal.records.
+	CtrStoreJournalFsyncs = "store.journal.fsyncs"
+	// CtrStoreReplayed counts journal records re-applied during recovery.
+	CtrStoreReplayed = "store.recovery.replayed"
+	// CtrStoreReplaySkipped counts journal records skipped during recovery
+	// because a manifest checkpoint already covers their LSN.
+	CtrStoreReplaySkipped = "store.recovery.skipped"
+	// CtrStoreTornTails counts torn journal tails truncated at recovery.
+	CtrStoreTornTails = "store.journal.torn_tails"
+	// CtrStoreTornBytes accumulates torn-tail bytes quarantined before
+	// truncation (never silently discarded).
+	CtrStoreTornBytes = "store.journal.torn_bytes"
+	// CtrStoreSegmentsRebuilt counts segment containers rebuilt from
+	// journaled chunk payloads during recovery.
+	CtrStoreSegmentsRebuilt = "store.recovery.segments_rebuilt"
+	// CtrStoreCheckpoints counts manifest checkpoints written.
+	CtrStoreCheckpoints = "store.checkpoints"
+	// CtrStoreGCSegments counts obsolete segment files removed by
+	// checkpoint garbage collection.
+	CtrStoreGCSegments = "store.gc.segments"
+	// CtrStoreScrubPasses counts completed scrub passes.
+	CtrStoreScrubPasses = "store.scrub.passes"
+	// CtrStoreScrubChunks counts chunk checksums verified by the scrubber.
+	CtrStoreScrubChunks = "store.scrub.chunks"
+	// CtrStoreChunksQuarantined counts chunks quarantined after checksum
+	// mismatch (by scrub, recovery, or fsck).
+	CtrStoreChunksQuarantined = "store.chunks.quarantined"
+	// CtrStoreChunksRepaired counts chunks restored from journaled payloads.
+	CtrStoreChunksRepaired = "store.chunks.repaired"
+	// HistStorePut is the end-to-end store PUT latency histogram (compress,
+	// journal+fsync, segment publish).
+	HistStorePut = "store.put.latency"
+	// HistStoreGet is the store read latency histogram.
+	HistStoreGet = "store.get.latency"
 )
 
 // PluginErrorKey names the per-plugin error counter ("plugin.sz.errors").

@@ -5,7 +5,8 @@
 # deterministic chaos tests of the resilience and serving layers, smoke-test
 # the pressiod daemon end to end (SIGTERM graceful drain included),
 # smoke-test the sharded cluster topology (3 shards + router, SIGKILL
-# failover, cross-process trace continuity),
+# failover, cross-process trace continuity), smoke-test the crash-consistent
+# object store (SIGKILL mid-load, recovery, byte-exact reads, clean fsck),
 # smoke-fuzz the stream decoders, run the disabled-tracing overhead
 # benchmark that guards the "near-zero cost when off" promise, and gate a
 # quick perf-ledger measurement against the most recent committed
@@ -25,14 +26,17 @@ go vet ./...
 echo "==> pressiolint ./... (all seventeen analyzers, vs lint-baseline.sarif)"
 go run ./cmd/pressiolint -baseline lint-baseline.sarif ./...
 
-echo "==> go test -race (trace, obslog, meta, core, service, daemon, cluster)"
+echo "==> go test -race (trace, obslog, meta, core, service, daemon, cluster, store, fsx)"
 go test -race ./internal/trace/... ./internal/obslog/... ./internal/meta/... \
     ./internal/core/... ./internal/service/... ./internal/daemon/ \
-    ./internal/cluster/
+    ./internal/cluster/ ./internal/store/ ./internal/fsx/
 
 echo "==> chaos tests under race detector (resilience, faultinject, service, daemon, cluster)"
 go test -race -run 'TestChaos' ./internal/resilience/ ./internal/faultinject/ \
     ./internal/service/ ./internal/daemon/ ./internal/cluster/
+
+echo "==> store crash matrix (kill at every declared crash point, zero acked loss)"
+go test -race -run 'TestCrash' ./internal/store/
 
 echo "==> pressiod smoke (start, /readyz, round-trip, SIGTERM, clean drain)"
 scripts/pressiod-smoke.sh
@@ -40,11 +44,15 @@ scripts/pressiod-smoke.sh
 echo "==> pressiod cluster smoke (3 shards + router, SIGKILL failover, trace continuity)"
 scripts/pressiod-cluster-smoke.sh
 
+echo "==> pressiod store smoke (PUT, SIGKILL mid-load, recovery, byte-exact, fsck clean)"
+scripts/pressiod-store-smoke.sh
+
 echo "==> fuzz smoke (decoders, 5s each; corpora replay known crashers)"
 go test -fuzz 'FuzzDecompressSlice' -fuzztime 5s ./internal/sz/
 go test -fuzz 'FuzzDecompressSlice' -fuzztime 5s ./internal/zfp/
 go test -fuzz 'FuzzDecompressSlice' -fuzztime 5s ./internal/fpzip/
 go test -fuzz 'FuzzDecodeFrame' -fuzztime 5s ./internal/resilience/
+go test -fuzz 'FuzzDecodeRecord' -fuzztime 5s ./internal/store/
 
 echo "==> disabled-tracing overhead benchmark"
 go test -run '^$' -bench 'BenchmarkStartDisabled' -benchtime 100ms ./internal/trace/

@@ -1,0 +1,159 @@
+#!/bin/sh
+# pressiod object-store smoke test: build pressiod and pressio-fsck, start
+# the daemon with -store-dir, PUT a large multi-chunk object and read it
+# back byte-exact (full GET, hyperslab, HTTP range), then SIGKILL the
+# daemon in the middle of a PUT load, restart it on the same directory, and
+# require that every acknowledged write survived the crash byte-for-byte.
+# After a clean SIGTERM drain, pressio-fsck must report the store clean
+# (exit 0) — the same exit-code contract pinned by fsck_cli_test.go.
+#
+# Usage: scripts/pressiod-store-smoke.sh   (also run by the CI store-smoke job)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+loadpid=""
+cleanup() {
+    [ -n "$loadpid" ] && kill "$loadpid" 2>/dev/null || true
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "==> build pressiod and pressio-fsck"
+go build -o "$tmp/pressiod" ./cmd/pressiod
+go build -o "$tmp/pressio-fsck" ./cmd/pressio-fsck
+
+start_daemon() {
+    # $1: log file. Sets $pid and $base.
+    "$tmp/pressiod" -addr 127.0.0.1:0 -compressor noop \
+        -store-dir "$tmp/store" -scrub-interval 2s -lame-duck 200ms \
+        >/dev/null 2>"$1" &
+    pid=$!
+    addr=""
+    i=0
+    while [ $i -lt 100 ]; do
+        addr=$(sed -n 's/^pressiod: listening on \([^ ]*\).*/\1/p' "$1")
+        [ -n "$addr" ] && break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    if [ -z "$addr" ]; then
+        echo "pressiod never reported a listen address:" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+    i=0
+    until curl -fsS "http://$addr/readyz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ $i -ge 50 ] && { echo "/readyz never became ready" >&2; cat "$1" >&2; exit 1; }
+        sleep 0.1
+    done
+    base="http://$addr"
+}
+
+echo "==> start daemon with -store-dir (store recovery gates /readyz)"
+start_daemon "$tmp/log"
+
+echo "==> PUT a 2 MiB object (8 flate-filtered chunks)"
+dd if=/dev/urandom of="$tmp/big.bin" bs=65536 count=32 2>/dev/null
+curl -fsS -X PUT --data-binary @"$tmp/big.bin" \
+    "$base/objects/smoke/big?dims=524288&dtype=float32&filter=flate&chunk_rows=65536" \
+    -o "$tmp/put.json"
+grep -q '"chunks": *8' "$tmp/put.json" || {
+    echo "PUT info did not report 8 chunks:" >&2
+    cat "$tmp/put.json" >&2
+    exit 1
+}
+
+echo "==> full GET is byte-exact and carries the shape headers"
+curl -fsS -D "$tmp/h" "$base/objects/smoke/big" -o "$tmp/big.out"
+cmp "$tmp/big.bin" "$tmp/big.out" || { echo "full GET not byte-exact" >&2; exit 1; }
+grep -qi '^x-pressio-dtype: float32' "$tmp/h" || {
+    echo "GET response missing X-Pressio-Dtype:" >&2
+    cat "$tmp/h" >&2
+    exit 1
+}
+
+echo "==> HTTP range GET answers 206 with the exact slice"
+curl -fsS -D "$tmp/h" -H 'Range: bytes=100000-101023' \
+    "$base/objects/smoke/big" -o "$tmp/slice.out"
+grep -q ' 206' "$tmp/h" || { echo "range GET did not answer 206" >&2; cat "$tmp/h" >&2; exit 1; }
+grep -qi '^content-range: bytes 100000-101023/2097152' "$tmp/h" || {
+    echo "range GET Content-Range wrong:" >&2
+    cat "$tmp/h" >&2
+    exit 1
+}
+dd if="$tmp/big.bin" of="$tmp/slice.want" bs=1 skip=100000 count=1024 2>/dev/null
+cmp "$tmp/slice.want" "$tmp/slice.out" || { echo "range GET not byte-exact" >&2; exit 1; }
+
+echo "==> SIGKILL the daemon in the middle of a PUT load"
+dd if=/dev/zero of="$tmp/small.bin" bs=4096 count=1 2>/dev/null
+: >"$tmp/acked"
+(
+    i=0
+    while [ $i -lt 10000 ]; do
+        if curl -fsS -X PUT --data-binary @"$tmp/small.bin" \
+            "$base/objects/load/$i?dims=1024&dtype=float32&filter=flate&chunk_rows=256" \
+            -o /dev/null 2>/dev/null; then
+            echo "load/$i" >>"$tmp/acked"
+        else
+            exit 0 # daemon is gone; stop generating load
+        fi
+        i=$((i + 1))
+    done
+) &
+loadpid=$!
+i=0
+while [ "$(wc -l <"$tmp/acked")" -lt 5 ] && [ $i -lt 100 ]; do
+    sleep 0.1
+    i=$((i + 1))
+done
+[ "$(wc -l <"$tmp/acked")" -ge 1 ] || { echo "load loop never got an ack" >&2; exit 1; }
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+wait "$loadpid" 2>/dev/null || true
+loadpid=""
+acked=$(wc -l <"$tmp/acked")
+echo "    killed with $acked acknowledged writes in the journal"
+
+echo "==> offline fsck sees the crash debris (informational)"
+"$tmp/pressio-fsck" "$tmp/store" >"$tmp/fsck-precheck" 2>&1 || true
+sed 's/^/    /' "$tmp/fsck-precheck"
+
+echo "==> restart on the same directory: recovery replays the journal"
+start_daemon "$tmp/log2"
+grep -q '"store.open"' "$tmp/log2" || {
+    echo "restart log has no store.open recovery event:" >&2
+    cat "$tmp/log2" >&2
+    exit 1
+}
+
+echo "==> the large object is still byte-exact after the crash"
+curl -fsS "$base/objects/smoke/big" -o "$tmp/big.out2"
+cmp "$tmp/big.bin" "$tmp/big.out2" || { echo "big object damaged by crash" >&2; exit 1; }
+
+echo "==> every acknowledged write survived ($acked objects)"
+while IFS= read -r name; do
+    curl -fsS "$base/objects/$name" -o "$tmp/got.bin" || {
+        echo "acknowledged object $name lost after crash" >&2
+        exit 1
+    }
+    cmp -s "$tmp/small.bin" "$tmp/got.bin" || {
+        echo "acknowledged object $name not byte-exact after crash" >&2
+        exit 1
+    }
+done <"$tmp/acked"
+
+echo "==> SIGTERM and graceful drain (checkpoints and closes the store)"
+kill -TERM "$pid"
+wait "$pid" # must exit 0: a clean drain within the deadline
+pid=""
+
+echo "==> offline fsck reports the store clean (exit 0)"
+"$tmp/pressio-fsck" "$tmp/store"
+
+echo "==> pressiod store smoke OK"
